@@ -1,0 +1,112 @@
+// Command chksim simulates one checkpointing configuration: a task
+// defined by utilisation/deadline/fault budget, a cost model, a fault
+// rate and a scheme, over any number of repetitions. With -trace it
+// prints the full execution timeline of a single run (the executable
+// analogue of the paper's Figs. 1 and 5).
+//
+// Usage:
+//
+//	chksim -scheme A_D_S -u 0.78 -lambda 0.0014 -k 5 -reps 10000
+//	chksim -scheme A_D_C -setting ccp -u 0.95 -lambda 1e-4 -k 1
+//	chksim -scheme Poisson -freq 2 -u 0.76 -lambda 0.0014 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/tmr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chksim: ")
+
+	var (
+		schemeName = flag.String("scheme", "A_D_S", "scheme: Poisson | k-f-t | A_D | A_D_S | A_D_C | adapchp-SCP | adapchp-CCP | TMR")
+		setting    = flag.String("setting", "scp", "cost setting: scp (ts=2,tcp=20) or ccp (ts=20,tcp=2)")
+		u          = flag.Float64("u", 0.78, "task utilisation U = N/(f·D)")
+		uFreq      = flag.Float64("ufreq", 1, "speed the utilisation is computed against")
+		deadline   = flag.Float64("deadline", 10000, "deadline D in minimum-speed cycles")
+		lambda     = flag.Float64("lambda", 0.0014, "fault arrival rate λ")
+		k          = flag.Int("k", 5, "fault budget k")
+		freq       = flag.Float64("freq", 1, "operating frequency for fixed-speed schemes")
+		reps       = flag.Int("reps", 10000, "Monte-Carlo repetitions")
+		seed       = flag.Uint64("seed", 1, "base seed")
+		trace      = flag.Bool("trace", false, "print the event timeline of a single run")
+	)
+	flag.Parse()
+
+	var costs checkpoint.Costs
+	switch *setting {
+	case "scp":
+		costs = checkpoint.SCPSetting()
+	case "ccp":
+		costs = checkpoint.CCPSetting()
+	default:
+		log.Fatalf("unknown -setting %q (want scp or ccp)", *setting)
+	}
+
+	var scheme sim.Scheme
+	switch *schemeName {
+	case "Poisson":
+		scheme = core.NewPoissonScheme(*freq)
+	case "k-f-t":
+		scheme = core.NewKFTScheme(*freq)
+	case "A_D":
+		scheme = core.NewADTDVS()
+	case "A_D_S":
+		scheme = core.NewAdaptDVSSCP()
+	case "A_D_C":
+		scheme = core.NewAdaptDVSCCP()
+	case "adapchp-SCP":
+		scheme = core.NewAdaptSCP(*freq)
+	case "adapchp-CCP":
+		scheme = core.NewAdaptCCP(*freq)
+	case "TMR":
+		scheme = tmr.New(*freq)
+	default:
+		log.Fatalf("unknown -scheme %q", *schemeName)
+	}
+
+	tk, err := task.FromUtilization("cli", *u, *uFreq, *deadline, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := sim.Params{Task: tk, Costs: costs, Lambda: *lambda}
+	if err := params.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *trace {
+		tr := &sim.Trace{}
+		params.Trace = tr
+		r := scheme.Run(params, rng.New(*seed))
+		fmt.Println(tr.Timeline(100))
+		fmt.Println()
+		fmt.Print(tr.String())
+		fmt.Printf("\ncompleted=%v reason=%q time=%.1f energy=%.0f faults=%d detections=%d cscps=%d subs=%d switches=%d\n",
+			r.Completed, r.Reason, r.Time, r.Energy, r.Faults, r.Detections, r.CSCPs, r.SubCheckpoints, r.Switches)
+		return
+	}
+
+	src := rng.New(*seed)
+	var cell stats.Cell
+	for i := 0; i < *reps; i++ {
+		r := scheme.Run(params, src.Split())
+		cell.Observe(r.Completed, r.Energy, r.Time, float64(r.Faults), float64(r.Switches))
+	}
+	s := cell.Summary()
+	fmt.Printf("scheme=%s N=%.0f D=%.0f k=%d λ=%g reps=%d\n",
+		scheme.Name(), tk.Cycles, tk.Deadline, *k, *lambda, *reps)
+	fmt.Printf("P = %.4f ± %.4f\n", s.P, s.PCI)
+	fmt.Printf("E = %.0f ± %.0f (over timely completions)\n", s.E, s.ECI)
+	fmt.Printf("mean faults/run = %.2f, mean speed switches/run = %.2f\n", s.MeanFaults, s.MeanSwitches)
+}

@@ -1,0 +1,102 @@
+// Command missioncmp compares checkpointing schemes over a long-horizon
+// mission: repeated task frames drawing their measured energy from a
+// battery with optional duty-cycled harvest. It reports frames flown,
+// deadline misses and the end condition per scheme — the system-level
+// view of the paper's P/E trade.
+//
+// Usage:
+//
+//	missioncmp                                 # defaults: Table 1(a) anchor frame
+//	missioncmp -battery 5e8 -frames 50000
+//	missioncmp -harvest 3e4 -duty 0.6 -period 100
+//	missioncmp -burst                          # MMPP fault environment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/battery"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mission"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/tmr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("missioncmp: ")
+
+	var (
+		u        = flag.Float64("u", 0.78, "frame utilisation U = N/(f1·D)")
+		lambda   = flag.Float64("lambda", 0.0014, "fault rate")
+		k        = flag.Int("k", 5, "fault budget per frame")
+		setting  = flag.String("setting", "scp", "cost setting: scp or ccp")
+		capacity = flag.Float64("battery", 3e8, "battery capacity (V²·cycles)")
+		frames   = flag.Int("frames", 20000, "frame budget")
+		harvest  = flag.Float64("harvest", 0, "harvest energy per lit frame (0 = none)")
+		duty     = flag.Float64("duty", 1, "harvest duty cycle (fraction of frames lit)")
+		period   = flag.Int("period", 100, "harvest duty period in frames")
+		burst    = flag.Bool("burst", false, "use a bursty (MMPP) fault environment at the same average rate")
+		abort    = flag.Bool("abort", false, "end the mission at the first deadline miss")
+		seed     = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	costs := checkpoint.SCPSetting()
+	if *setting == "ccp" {
+		costs = checkpoint.CCPSetting()
+	} else if *setting != "scp" {
+		log.Fatalf("unknown -setting %q", *setting)
+	}
+
+	tk, err := task.FromUtilization("frame", *u, 1, 10000, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frame := sim.Params{Task: tk, Costs: costs, Lambda: *lambda}
+	if *burst {
+		truth := *lambda
+		// Quiet/burst split keeping the stationary rate at λ.
+		quiet, burstRate := truth/5, truth*5
+		meanQuiet, meanBurst := 8000.0, 8000.0*(truth-quiet)/(burstRate-truth)
+		frame.FaultProcess = func(src *rng.Source) fault.Process {
+			return fault.NewMMPP(quiet, burstRate, meanQuiet, meanBurst, src)
+		}
+	}
+
+	cfg := mission.Config{
+		Frame:           frame,
+		BatteryCapacity: *capacity,
+		Harvest:         battery.Source{PerFrame: *harvest, DutyCycle: *duty, Period: *period},
+		MaxFrames:       *frames,
+		AbortOnMiss:     *abort,
+	}
+	schemes := []sim.Scheme{
+		core.NewPoissonScheme(1),
+		core.NewPoissonScheme(2),
+		core.NewADTDVS(),
+		core.NewAdaptDVSSCP(),
+		core.NewAdaptDVSCCP(),
+		tmr.NewAdaptive(),
+	}
+
+	fmt.Printf("frame: N=%.0f D=%.0f k=%d λ=%g (%s setting, burst=%v)\n",
+		tk.Cycles, tk.Deadline, *k, *lambda, *setting, *burst)
+	fmt.Printf("battery %.3g, harvest %.3g×%.0f%% duty, budget %d frames\n\n",
+		*capacity, *harvest, *duty*100, *frames)
+	fmt.Println("scheme            frames   misses  E/frame   end")
+	reports, err := mission.Compare(cfg, schemes, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range reports {
+		fmt.Printf("%-16s  %6d   %6d  %8.0f  %s\n",
+			schemes[i].Name(), r.Frames, r.Misses, r.FrameEnergy.E, r.Reason)
+	}
+}

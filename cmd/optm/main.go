@@ -1,0 +1,76 @@
+// Command optm prints the analytic side of the paper: the renewal-model
+// curves R1(m) / R2(m) for a CSCP interval and the optimal sub-interval
+// counts chosen by num_SCP / num_CCP (paper Fig. 2), for a sweep of
+// interval lengths.
+//
+// Usage:
+//
+//	optm -lambda 0.0014                 # optimal m for both settings
+//	optm -lambda 0.0014 -curve -t 1000  # the full R(m) series (figure data)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/checkpoint"
+	"repro/internal/validate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optm: ")
+
+	var (
+		lambda = flag.Float64("lambda", 0.0014, "fault arrival rate λ")
+		curve  = flag.Bool("curve", false, "print the R(m) series for one interval")
+		tLen   = flag.Float64("t", 1000, "CSCP interval length for -curve")
+		maxM   = flag.Int("maxm", 40, "largest m sampled by -curve")
+		check  = flag.Bool("validate", false, "cross-check the models against the Monte-Carlo engine")
+	)
+	flag.Parse()
+
+	scp := analysis.Params{Costs: checkpoint.SCPSetting(), Lambda: *lambda}
+	ccp := analysis.Params{Costs: checkpoint.CCPSetting(), Lambda: *lambda}
+
+	if *check {
+		fmt.Printf("model vs engine, λ=%g (worst paper-form error first):\n", *lambda)
+		for _, kind := range []checkpoint.Kind{checkpoint.SCP, checkpoint.CCP} {
+			p := scp
+			if kind == checkpoint.CCP {
+				p = ccp
+			}
+			grid, err := validate.Grid(p, kind, []float64{200, 500, 1000}, []int{1, 3, 8}, 3000, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, c := range grid {
+				fmt.Println(" ", c)
+			}
+		}
+		return
+	}
+
+	if *curve {
+		fmt.Printf("# R1(m), R2(m) for T=%g, λ=%g (SCP setting ts=2 tcp=20; CCP setting ts=20 tcp=2)\n", *tLen, *lambda)
+		fmt.Println("m,R1_scp,R2_ccp")
+		c1 := analysis.Curve(scp, checkpoint.SCP, *tLen, *maxM)
+		c2 := analysis.Curve(ccp, checkpoint.CCP, *tLen, *maxM)
+		for i := range c1 {
+			fmt.Printf("%d,%.3f,%.3f\n", c1[i].M, c1[i].R, c2[i].R)
+		}
+		return
+	}
+
+	fmt.Printf("λ = %g\n", *lambda)
+	fmt.Println("interval T | num_SCP m (SCP setting) | num_CCP m (CCP setting) | R1(T/m) | R2(T/m)")
+	for _, t := range []float64{100, 200, 400, 800, 1600, 3200} {
+		m1 := analysis.NumSCP(scp, t)
+		m2 := analysis.NumCCP(ccp, t)
+		r1 := analysis.R1(scp, t, t/float64(m1))
+		r2 := analysis.R2(ccp, t, t/float64(m2))
+		fmt.Printf("%10.0f | %23d | %23d | %8.1f | %8.1f\n", t, m1, m2, r1, r2)
+	}
+}

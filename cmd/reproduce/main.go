@@ -1,0 +1,157 @@
+// Command reproduce regenerates every artefact of the reproduction into
+// an output directory: the eight paper tables (markdown, CSV and
+// paper-vs-measured comparison), the qualitative shape report, the
+// agreement scores, the Fig. 2 analytic curves, the three parameter
+// sweeps, and the model-validation grid. One command, one directory,
+// the whole evaluation.
+//
+// Usage:
+//
+//	reproduce -out artifacts            # full 10000 reps (minutes)
+//	reproduce -out artifacts -reps 2000 # faster, noisier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/validate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reproduce: ")
+
+	var (
+		out  = flag.String("out", "artifacts", "output directory")
+		reps = flag.Int("reps", experiment.DefaultReps, "Monte-Carlo repetitions per table cell")
+		seed = flag.Uint64("seed", 2006, "base seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name, content string) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	// 1. The paper's tables.
+	runner := experiment.Runner{Reps: *reps, Seed: *seed, Progress: func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}}
+	var md, csv, cmp, shapes, scores strings.Builder
+	for _, spec := range experiment.Tables() {
+		tbl, err := runner.RunTable(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		md.WriteString(tbl.Markdown() + "\n")
+		csv.WriteString(tbl.CSV())
+		cmp.WriteString(tbl.Comparison() + "\n")
+		shapes.WriteString(strings.Join(tbl.ShapeReport(), "\n") + "\n")
+		if sc, ok := tbl.Score(); ok {
+			fmt.Fprintf(&scores, "table %s (all columns):  %s\n", spec.ID, sc)
+		}
+		if sc, ok := tbl.BaselineScore(); ok {
+			fmt.Fprintf(&scores, "table %s (baselines):    %s\n", spec.ID, sc)
+		}
+	}
+	for _, spec := range experiment.ExtensionTables() {
+		tbl, err := runner.RunExtensionTable(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		md.WriteString(tbl.Markdown() + "\n")
+		csv.WriteString(tbl.CSV())
+	}
+	write("tables.md", md.String())
+	write("tables.csv", csv.String())
+	write("paper_vs_measured.md", cmp.String())
+	write("shape_report.txt", shapes.String())
+	write("agreement_scores.txt", scores.String())
+
+	// 2. Fig. 2 analytic curves.
+	var curves strings.Builder
+	curves.WriteString("m,R1_scp_T1000,R2_ccp_T1000\n")
+	scp := analysis.Params{Costs: checkpoint.SCPSetting(), Lambda: 0.0014}
+	ccp := analysis.Params{Costs: checkpoint.CCPSetting(), Lambda: 0.0014}
+	c1 := analysis.Curve(scp, checkpoint.SCP, 1000, 40)
+	c2 := analysis.Curve(ccp, checkpoint.CCP, 1000, 40)
+	for i := range c1 {
+		fmt.Fprintf(&curves, "%d,%.3f,%.3f\n", c1[i].M, c1[i].R, c2[i].R)
+	}
+	write("fig2_curves.csv", curves.String())
+
+	// 3. Parameter sweeps.
+	sweepReps := *reps / 5
+	if sweepReps < 200 {
+		sweepReps = 200
+	}
+	cfg := sweep.Config{
+		U: 0.78, UFreq: 1, Deadline: experiment.Deadline, K: 5,
+		Costs: checkpoint.SCPSetting(), Lambda: 0.0014,
+		Reps: sweepReps, Seed: *seed,
+	}
+	schemes := []sim.Scheme{
+		core.NewPoissonScheme(1), core.NewKFTScheme(1),
+		core.NewADTDVS(), core.NewAdaptDVSSCP(), core.NewAdaptDVSCCP(),
+	}
+	lam, err := sweep.Lambda(cfg, schemes, seqValues(2e-4, 2e-3, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("sweep_lambda.csv", lam.CSV())
+	ut, err := sweep.Utilization(cfg, schemes, seqValues(0.70, 0.95, 11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("sweep_utilization.csv", ut.CSV())
+	cr, err := sweep.CostRatio(cfg, schemes, seqValues(0.05, 0.95, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("sweep_costratio.csv", cr.CSV())
+
+	// 4. Model validation grid.
+	var val strings.Builder
+	val.WriteString("model vs engine (worst paper-form error first):\n")
+	for _, kind := range []checkpoint.Kind{checkpoint.SCP, checkpoint.CCP} {
+		p := scp
+		if kind == checkpoint.CCP {
+			p = ccp
+		}
+		grid, err := validate.Grid(p, kind, []float64{200, 500, 1000}, []int{1, 3, 8}, 3000, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range grid {
+			fmt.Fprintf(&val, "  %s\n", c)
+		}
+	}
+	write("model_validation.txt", val.String())
+
+	fmt.Println("done")
+}
+
+func seqValues(from, to float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = from + (to-from)*float64(i)/float64(n-1)
+	}
+	return out
+}

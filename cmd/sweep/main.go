@@ -1,0 +1,88 @@
+// Command sweep traces P and E per scheme over a swept parameter —
+// fault rate, utilisation, or the store/compare cost split — as CSV
+// series, the figure-like counterpart of the paper's tables.
+//
+// Usage:
+//
+//	sweep -kind lambda -from 2e-4 -to 2e-3 -steps 10
+//	sweep -kind u -from 0.70 -to 0.95 -steps 11
+//	sweep -kind costratio -from 0.05 -to 0.95 -steps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	var (
+		kind    = flag.String("kind", "lambda", "swept parameter: lambda | u | costratio")
+		from    = flag.Float64("from", 2e-4, "first swept value")
+		to      = flag.Float64("to", 2e-3, "last swept value")
+		steps   = flag.Int("steps", 10, "number of sweep points")
+		u       = flag.Float64("u", 0.78, "task utilisation (fixed unless swept)")
+		lambda  = flag.Float64("lambda", 0.0014, "fault rate (fixed unless swept)")
+		k       = flag.Int("k", 5, "fault budget")
+		setting = flag.String("setting", "scp", "cost setting: scp or ccp (fixed unless costratio)")
+		reps    = flag.Int("reps", 2000, "repetitions per point")
+		seed    = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	if *steps < 2 {
+		log.Fatal("-steps must be at least 2")
+	}
+	values := make([]float64, *steps)
+	for i := range values {
+		values[i] = *from + (*to-*from)*float64(i)/float64(*steps-1)
+	}
+
+	costs := checkpoint.SCPSetting()
+	if *setting == "ccp" {
+		costs = checkpoint.CCPSetting()
+	} else if *setting != "scp" {
+		log.Fatalf("unknown -setting %q", *setting)
+	}
+
+	cfg := sweep.Config{
+		U: *u, UFreq: 1, Deadline: 10000, K: *k,
+		Costs: costs, Lambda: *lambda,
+		Reps: *reps, Seed: *seed,
+	}
+	schemes := []sim.Scheme{
+		core.NewPoissonScheme(1),
+		core.NewKFTScheme(1),
+		core.NewADTDVS(),
+		core.NewAdaptDVSSCP(),
+		core.NewAdaptDVSCCP(),
+	}
+
+	var (
+		ser sweep.Series
+		err error
+	)
+	switch *kind {
+	case "lambda":
+		ser, err = sweep.Lambda(cfg, schemes, values)
+	case "u":
+		ser, err = sweep.Utilization(cfg, schemes, values)
+	case "costratio":
+		ser, err = sweep.CostRatio(cfg, schemes, values)
+	default:
+		log.Fatalf("unknown -kind %q", *kind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# %s (U=%g λ=%g k=%d reps=%d)\n", ser.Name, *u, *lambda, *k, *reps)
+	fmt.Print(ser.CSV())
+}

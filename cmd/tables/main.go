@@ -1,0 +1,85 @@
+// Command tables regenerates the paper's evaluation tables (1a…4b):
+// for every grid cell it Monte-Carlo-simulates the four schemes and
+// prints P (probability of timely completion) and E (energy), exactly
+// the rows the paper reports, optionally side by side with the published
+// values.
+//
+// Usage:
+//
+//	tables                     # all eight sub-tables, 10000 reps/cell
+//	tables -table 1a -reps 2000
+//	tables -compare            # paper-vs-measured columns
+//	tables -csv                # machine-readable output
+//	tables -shape              # check the qualitative claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+
+	var (
+		tableID = flag.String("table", "", "sub-table to run (1a…4b); empty = all")
+		reps    = flag.Int("reps", experiment.DefaultReps, "Monte-Carlo repetitions per cell")
+		seed    = flag.Uint64("seed", 2006, "base seed (runs are reproducible per seed)")
+		compare = flag.Bool("compare", false, "print paper-vs-measured comparison")
+		csv     = flag.Bool("csv", false, "print CSV instead of markdown")
+		shape   = flag.Bool("shape", false, "check the paper's qualitative claims")
+		score   = flag.Bool("score", false, "print measured-vs-published agreement scores")
+		quiet   = flag.Bool("q", false, "suppress per-cell progress")
+	)
+	flag.Parse()
+
+	runner := experiment.Runner{Reps: *reps, Seed: *seed}
+	if !*quiet {
+		runner.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	specs := experiment.Tables()
+	if *tableID != "" {
+		spec, err := experiment.TableByID(*tableID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = []experiment.Spec{spec}
+	}
+
+	for _, spec := range specs {
+		tbl, err := runner.RunTable(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case *csv:
+			fmt.Print(tbl.CSV())
+		case *compare:
+			fmt.Println(tbl.Comparison())
+		default:
+			fmt.Println(tbl.Markdown())
+		}
+		if *shape {
+			fmt.Println(strings.Join(tbl.ShapeReport(), "\n"))
+			fmt.Println()
+		}
+		if *score {
+			if sc, ok := tbl.Score(); ok {
+				fmt.Printf("table %s (all columns): %s\n", spec.ID, sc)
+			}
+			if sc, ok := tbl.BaselineScore(); ok {
+				fmt.Printf("table %s (baselines):   %s\n", spec.ID, sc)
+			}
+			fmt.Println()
+		}
+	}
+}

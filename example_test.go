@@ -1,0 +1,75 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleRun simulates a single task execution under the paper's
+// adaptive SCP+DVS scheme.
+func ExampleRun() {
+	task, _ := repro.TaskFromUtilization("demo", 0.78, 1, 10000, 5)
+	params := repro.Params{Task: task, Costs: repro.SCPCosts(), Lambda: 0} // fault-free
+	res := repro.Run(repro.AdaptiveSCP(), params, 1)
+	fmt.Println("completed:", res.Completed)
+	fmt.Println("faults:", res.Faults)
+	// Output:
+	// completed: true
+	// faults: 0
+}
+
+// ExampleMonteCarlo reproduces one cell of the paper's Table 1(a): the
+// U = 1.00 row where the fixed-speed baseline can never finish.
+func ExampleMonteCarlo() {
+	task, _ := repro.TaskFromUtilization("u100", 1.00, 1, 10000, 1)
+	params := repro.Params{Task: task, Costs: repro.SCPCosts(), Lambda: 1e-4}
+	sum := repro.MonteCarlo(repro.Poisson(1), params, 200, 7)
+	fmt.Printf("P = %.1f\n", sum.P)
+	// Output:
+	// P = 0.0
+}
+
+// ExampleOptimalSCPCount shows the Fig. 2 procedure: with no faults
+// there is nothing to gain from extra store checkpoints.
+func ExampleOptimalSCPCount() {
+	fmt.Println(repro.OptimalSCPCount(repro.SCPCosts(), 0, 1000))
+	// Output:
+	// 1
+}
+
+// ExampleAssemble runs a program on the bundled ISA-level DMR pair.
+func ExampleAssemble() {
+	prog, err := repro.Assemble(`
+        ldi r1, 6
+        ldi r2, 7
+        mul r3, r1, r2
+        ldi r4, 0
+        st  r3, 0(r4)
+        halt`)
+	if err != nil {
+		panic(err)
+	}
+	cfg := repro.DMRConfig{
+		Prog: prog, MemWords: 1,
+		IntervalCycles: 8, SubCount: 2, Sub: repro.SCP,
+		Costs: repro.SCPCosts(),
+	}
+	rep, _ := repro.ExecuteDMR(cfg, 1)
+	fmt.Println("completed:", rep.Completed)
+	// Output:
+	// completed: true
+}
+
+// ExampleFeasibleEDF checks a periodic task set's fault-tolerant EDF
+// schedulability at the slow speed.
+func ExampleFeasibleEDF() {
+	set := repro.TaskSet{
+		{Name: "ctl", Cycles: 800, Deadline: 4000, Period: 4000, FaultBudget: 2},
+		{Name: "io", Cycles: 1200, Deadline: 6000, Period: 6000, FaultBudget: 2},
+	}
+	ok, _, _ := repro.FeasibleEDF(set, repro.SCPCosts(), 1)
+	fmt.Println("feasible at f1:", ok)
+	// Output:
+	// feasible at f1: true
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate one fault-tolerant real-time task under the
+// paper's adaptive checkpointing scheme and its comparators, and print
+// the metrics the paper reports — the probability of timely completion P
+// and the energy E.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// A task with utilisation 0.78 at the slow speed: 7800 worst-case
+	// cycles against a 10000-cycle deadline, tolerating up to 5 faults.
+	task, err := repro.TaskFromUtilization("quickstart", 0.78, 1, 10000, 5)
+	if err != nil {
+		panic(err)
+	}
+
+	// The paper's §4.1 environment: comparison-dominated checkpoint
+	// costs (ts=2, tcp=20) and a harsh fault rate λ = 1.4e-3.
+	params := repro.Params{
+		Task:   task,
+		Costs:  repro.SCPCosts(),
+		Lambda: 0.0014,
+	}
+
+	// One run, fully deterministic given the seed.
+	res := repro.Run(repro.AdaptiveSCP(), params, 42)
+	fmt.Printf("single run: completed=%v in %.0f cycles, energy %.0f, %d faults (%d rollbacks)\n\n",
+		res.Completed, res.Time, res.Energy, res.Faults, res.Detections)
+
+	// The paper's comparison, Monte-Carlo style.
+	fmt.Println("scheme          P        E (timely completions)")
+	for _, s := range []repro.Scheme{
+		repro.Poisson(1),
+		repro.KFaultTolerant(1),
+		repro.ADTDVS(),
+		repro.AdaptiveSCP(),
+	} {
+		sum := repro.MonteCarlo(s, params, 3000, 7)
+		fmt.Printf("%-14s  %.4f   %.0f\n", s.Name(), sum.P, sum.E)
+	}
+
+	// The analytic side: how many extra store-checkpoints should split a
+	// 1000-cycle CSCP interval at this fault rate?
+	m := repro.OptimalSCPCount(repro.SCPCosts(), 0.0014, 1000)
+	fmt.Printf("\noptimal SCPs per 1000-cycle interval at λ=0.0014: m = %d\n", m)
+}

@@ -1,0 +1,79 @@
+// Satellite payload under solar-particle bursts: space systems (another
+// of the paper's §1 platforms) see fault arrivals that are *not*
+// homogeneous Poisson — quiet cruise punctuated by particle storms. The
+// example runs the paper's schemes under a two-state Markov-modulated
+// (burst) process with the same long-run rate as the Poisson baseline,
+// showing how much of the adaptive schemes' advantage survives when the
+// environment violates their arrival model, and compares DMR against
+// the TMR voting extension, whose single-fault masking is precisely what
+// burst clustering defeats.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	task, err := repro.TaskFromUtilization("payload", 0.78, 1, 10000, 5)
+	if err != nil {
+		panic(err)
+	}
+
+	// Burst environment: calm at 1e-4 faults/cycle for ~8000 cycles,
+	// storms at 8e-3 for ~600 cycles.
+	const (
+		quietRate, burstRate = 1e-4, 8e-3
+		meanQuiet, meanBurst = 8000.0, 600.0
+	)
+	stationary := repro.StationaryBurstRate(quietRate, burstRate, meanQuiet, meanBurst)
+	fmt.Printf("burst environment: stationary rate λ̄ = %.4g faults/cycle\n\n", stationary)
+
+	poissonEnv := repro.Params{Task: task, Costs: repro.SCPCosts(), Lambda: stationary}
+	burstEnv := poissonEnv
+	burstEnv.FaultProcess = repro.BurstFaults(quietRate, burstRate, meanQuiet, meanBurst)
+
+	schemes := []repro.Scheme{
+		repro.Poisson(1),
+		repro.ADTDVS(),
+		repro.AdaptiveSCP(),
+		repro.TMR(1),
+	}
+
+	const reps = 4000
+	fmt.Println("scheme            Poisson-λ̄ P      E     |  bursty P      E")
+	for _, s := range schemes {
+		pois := repro.MonteCarlo(s, poissonEnv, reps, 3)
+		burst := repro.MonteCarlo(s, burstEnv, reps, 3)
+		fmt.Printf("%-16s  %9.4f  %6.0f  | %8.4f  %6.0f\n",
+			s.Name(), pois.P, pois.E, burst.P, burst.E)
+	}
+
+	// Mission view: same burst environment, a 3e8 pack recharged by a
+	// 60%-duty solar orbit. Frames flown before the pack (or the orbit)
+	// ends the mission is the number operators actually care about.
+	fmt.Printf("\n== mission endurance (3e8 pack, 60%%-duty solar) ==\n")
+	reports, err := repro.CompareMissions(repro.MissionConfig{
+		Frame:           burstEnv,
+		BatteryCapacity: 3e8,
+		Harvest:         repro.EnergySource{PerFrame: 3e4, DutyCycle: 0.6, Period: 100},
+		MaxFrames:       20000,
+	}, schemes, 11)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range reports {
+		fmt.Printf("%-16s frames=%-6d misses=%-4d end=%s\n",
+			schemes[i].Name(), r.Frames, r.Misses, r.Reason)
+	}
+
+	fmt.Println(`
+Reading the table: TMR is unbeatable under the homogeneous model — at a
+fixed ×1.5 energy premium, majority voting masks every isolated upset —
+but bursts cluster faults inside a single voting interval, corrupt two
+replicas at once and defeat the majority, so TMR loses completions
+exactly where it was bought to win. The adaptive SCP scheme keeps its
+advantage over the DATE'03 comparator in both environments because its
+rollbacks are cheaper, not because its arrival model is right.`)
+}

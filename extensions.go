@@ -1,0 +1,121 @@
+package repro
+
+import (
+	"repro/internal/dmr"
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/mission"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/task"
+	"repro/internal/tmr"
+)
+
+// This file exposes the library's extensions beyond the paper's core
+// evaluation: alternative fault environments, triple modular redundancy,
+// periodic task-set scheduling, and the ISA-level DMR substrate.
+
+// FaultProcess generates fault arrival times; see BurstFaults and
+// WeibullFaults for ready-made environments beyond the paper's
+// homogeneous Poisson model.
+type FaultProcess = fault.Process
+
+// BurstFaults returns a Params.FaultProcess for a two-state
+// Markov-modulated Poisson environment: a quiet state with rate
+// quietRate and residence meanQuiet alternating with a burst state
+// (burstRate, meanBurst) — solar-particle events striking a satellite,
+// for instance. Set Params.Lambda to the stationary rate (the value
+// StationaryBurstRate returns) so the adaptive policies see a fair
+// scalar estimate.
+func BurstFaults(quietRate, burstRate, meanQuiet, meanBurst float64) func(src *rng.Source) fault.Process {
+	return func(src *rng.Source) fault.Process {
+		return fault.NewMMPP(quietRate, burstRate, meanQuiet, meanBurst, src)
+	}
+}
+
+// StationaryBurstRate returns the long-run average rate of the
+// corresponding BurstFaults process.
+func StationaryBurstRate(quietRate, burstRate, meanQuiet, meanBurst float64) float64 {
+	return (quietRate*meanQuiet + burstRate*meanBurst) / (meanQuiet + meanBurst)
+}
+
+// WeibullFaults returns a Params.FaultProcess with Weibull inter-arrival
+// times: shape > 1 models aging hardware, shape < 1 infant mortality.
+func WeibullFaults(shape, scale float64) func(src *rng.Source) fault.Process {
+	return func(src *rng.Source) fault.Process {
+		return fault.NewWeibull(shape, scale, src)
+	}
+}
+
+// TMR returns the triple-modular-redundancy comparator at a fixed
+// frequency: majority voting masks single faults without rollback at
+// ×1.5 the energy of the DMR pair (extension of the paper's ref [5]).
+func TMR(freq float64) Scheme { return tmr.New(freq) }
+
+// TaskSet is an ordered collection of periodic tasks for the EDF
+// scheduling extension.
+type TaskSet = task.Set
+
+// EDFConfig parameterises a periodic task-set simulation.
+type EDFConfig = sched.Config
+
+// EDFReport is the outcome of an EDF simulation.
+type EDFReport = sched.Report
+
+// FeasibleEDF reports whether the set is EDF-schedulable at speed f with
+// every job budgeted for its k-fault-tolerant worst case, and the
+// effective utilisation.
+func FeasibleEDF(set TaskSet, costs Costs, f float64) (bool, float64, error) {
+	return sched.Feasible(set, costs, f)
+}
+
+// MinSpeedEDF returns the slowest operating point keeping the set
+// feasible — the energy-aware static speed assignment.
+func MinSpeedEDF(set TaskSet, costs Costs, model *CPUModel) (struct{ Freq, Voltage float64 }, error) {
+	pt, err := sched.MinSpeed(set, costs, model)
+	return struct{ Freq, Voltage float64 }{pt.Freq, pt.Voltage}, err
+}
+
+// SimulateEDF runs preemptive EDF with per-job checkpointing and fault
+// injection, seeded deterministically.
+func SimulateEDF(cfg EDFConfig, seed uint64) (EDFReport, error) {
+	return sched.Simulate(cfg, rng.New(seed))
+}
+
+// Instruction is one decoded instruction of the bundled RISC-style ISA.
+type Instruction = isa.Instr
+
+// Assemble translates assembler text for the bundled ISA into a program
+// (see internal/isa for the syntax).
+func Assemble(src string) ([]Instruction, error) { return isa.Assemble(src) }
+
+// DMRConfig parameterises an ISA-level DMR execution: a real program run
+// on two replicas with bit-flip fault injection under checkpointing.
+type DMRConfig = dmr.Config
+
+// DMRReport is the outcome of an ISA-level DMR execution.
+type DMRReport = dmr.Report
+
+// ExecuteDMR runs a program on a DMR replica pair under the configured
+// checkpointing scheme, seeded deterministically.
+func ExecuteDMR(cfg DMRConfig, seed uint64) (DMRReport, error) {
+	return dmr.Execute(cfg, rng.New(seed))
+}
+
+// MissionConfig describes a long-horizon mission: repeated frames of the
+// same task under a scheme, drawing measured energy from a battery with
+// optional harvest.
+type MissionConfig = mission.Config
+
+// MissionReport summarises a mission run.
+type MissionReport = mission.Report
+
+// RunMission executes a mission, seeded deterministically.
+func RunMission(cfg MissionConfig, seed uint64) (MissionReport, error) {
+	return mission.Run(cfg, seed)
+}
+
+// CompareMissions runs the same mission under several schemes.
+func CompareMissions(cfg MissionConfig, schemes []Scheme, seed uint64) ([]MissionReport, error) {
+	return mission.Compare(cfg, schemes, seed)
+}

@@ -1,0 +1,97 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+func TestBurstFaultsInParams(t *testing.T) {
+	tk, _ := TaskFromUtilization("sat", 0.78, 1, 10000, 5)
+	stationary := StationaryBurstRate(1e-4, 5e-3, 8000, 800)
+	p := Params{
+		Task:         tk,
+		Costs:        SCPCosts(),
+		Lambda:       stationary,
+		FaultProcess: BurstFaults(1e-4, 5e-3, 8000, 800),
+	}
+	s := MonteCarlo(AdaptiveSCP(), p, 200, 11)
+	if s.MeanFaults == 0 {
+		t.Fatal("burst process injected nothing")
+	}
+	if s.P <= 0 {
+		t.Fatal("no completions under bursts")
+	}
+}
+
+func TestWeibullFaultsInParams(t *testing.T) {
+	tk, _ := TaskFromUtilization("aging", 0.78, 1, 10000, 5)
+	p := Params{
+		Task:         tk,
+		Costs:        SCPCosts(),
+		Lambda:       1.0 / 700,
+		FaultProcess: WeibullFaults(2, 700/math.Gamma(1.5)),
+	}
+	s := MonteCarlo(AdaptiveSCP(), p, 200, 12)
+	if s.MeanFaults == 0 {
+		t.Fatal("Weibull process injected nothing")
+	}
+}
+
+func TestTMRFacade(t *testing.T) {
+	tk, _ := TaskFromUtilization("t", 0.78, 1, 10000, 5)
+	p := Params{Task: tk, Costs: SCPCosts(), Lambda: 0.0014}
+	s := MonteCarlo(TMR(1), p, 200, 13)
+	if s.P < 0.9 {
+		t.Fatalf("TMR masking should keep P high at f1: %v", s.P)
+	}
+}
+
+func TestEDFFacade(t *testing.T) {
+	set := TaskSet{
+		{Name: "a", Cycles: 900, Deadline: 5000, Period: 5000, FaultBudget: 2},
+		{Name: "b", Cycles: 1500, Deadline: 10000, Period: 10000, FaultBudget: 2},
+	}
+	ok, u, err := FeasibleEDF(set, SCPCosts(), 1)
+	if err != nil || !ok {
+		t.Fatalf("feasibility: ok=%v u=%v err=%v", ok, u, err)
+	}
+	pt, err := MinSpeedEDF(set, SCPCosts(), nil)
+	if err != nil || pt.Freq != 1 {
+		t.Fatalf("MinSpeedEDF: %+v %v", pt, err)
+	}
+	rep, err := SimulateEDF(EDFConfig{Set: set, Costs: SCPCosts(), Lambda: 2e-4, Horizon: 100000}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs == 0 || rep.OnTime == 0 {
+		t.Fatalf("EDF simulation empty: %+v", rep)
+	}
+}
+
+func TestDMRFacade(t *testing.T) {
+	prog, err := Assemble(`
+        ldi r1, 50
+        ldi r2, 0
+    l:  add r2, r2, r1
+        addi r1, r1, -1
+        bne r1, r0, l
+        halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DMRConfig{
+		Prog: prog, MemWords: 4,
+		IntervalCycles: 64, SubCount: 4, Sub: SCP,
+		Costs:  checkpoint.Costs{Store: 2, Compare: 1},
+		Lambda: 0.005,
+	}
+	rep, err := ExecuteDMR(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("DMR run failed: %+v", rep)
+	}
+}

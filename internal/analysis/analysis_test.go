@@ -1,0 +1,395 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/checkpoint"
+)
+
+func scpParams(lambda float64) Params {
+	return Params{Costs: checkpoint.SCPSetting(), Lambda: lambda}
+}
+
+func ccpParams(lambda float64) Params {
+	return Params{Costs: checkpoint.CCPSetting(), Lambda: lambda}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := scpParams(0.001).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Costs: checkpoint.Costs{Store: -1, Compare: 1}, Lambda: 0.001},
+		{Costs: checkpoint.SCPSetting(), Lambda: -1},
+		{Costs: checkpoint.SCPSetting(), Lambda: math.NaN()},
+		{Costs: checkpoint.SCPSetting(), Lambda: math.Inf(1)},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// --- R1 boundary conditions from the paper ---
+
+func TestR1DivergesAtZero(t *testing.T) {
+	p := scpParams(0.001)
+	if !math.IsInf(R1(p, 500, 0), 1) {
+		t.Fatal("R1(T1→0) not +Inf")
+	}
+	if R1(p, 500, 1e-12) < 1e6 {
+		t.Fatal("R1 near zero sub-interval should explode")
+	}
+}
+
+func TestR1SingleSubIntervalClosedForm(t *testing.T) {
+	// Paper: R1(T1=T) = (T + ts + tcp)·e^{λT} when tr = 0.
+	p := scpParams(0.001)
+	tLen := 500.0
+	want := (tLen + p.Costs.Store + p.Costs.Compare) * math.Exp(p.Lambda*tLen)
+	got := R1(p, tLen, tLen)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("R1(T,T) = %v, want %v", got, want)
+	}
+}
+
+func TestR1InteriorMinimumExists(t *testing.T) {
+	// For high λ there should be an interior sub-interval beating m=1.
+	p := scpParams(0.0014)
+	tLen := 1000.0
+	if R1(p, tLen, tLen/4) >= R1(p, tLen, tLen) {
+		t.Fatal("subdividing should help at high λ (cheap stores, expensive redo)")
+	}
+}
+
+func TestR1ZeroLambdaMonotone(t *testing.T) {
+	// Without faults, fewer stores is always better: R1 increasing as t1 shrinks.
+	p := scpParams(0)
+	tLen := 1000.0
+	if !(R1(p, tLen, tLen) < R1(p, tLen, tLen/2) && R1(p, tLen, tLen/2) < R1(p, tLen, tLen/8)) {
+		t.Fatal("fault-free R1 should punish extra SCPs")
+	}
+}
+
+func TestR1ClampsOversizedSubInterval(t *testing.T) {
+	p := scpParams(0.001)
+	if R1(p, 500, 900) != R1(p, 500, 500) {
+		t.Fatal("t1 > T not clamped")
+	}
+}
+
+// --- R2 boundary conditions ---
+
+func TestR2DivergesAtZero(t *testing.T) {
+	p := ccpParams(0.001)
+	if !math.IsInf(R2(p, 500, 0), 1) {
+		t.Fatal("R2(T2→0) not +Inf")
+	}
+}
+
+func TestR2SingleSubIntervalForm(t *testing.T) {
+	// m=1: E[i|fault] = 1 exactly — each fault event restarts the whole
+	// interval: R2(T,T) = T + ts + tcp + (e^{λT}−1)·(T+tcp), tr=0.
+	p := ccpParams(0.001)
+	tLen := 500.0
+	ff := tLen + p.Costs.Store + p.Costs.Compare
+	want := ff + (tLen+p.Costs.Compare)*math.Expm1(p.Lambda*tLen)
+	got := R2(p, tLen, tLen)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("R2(T,T) = %v, want %v", got, want)
+	}
+}
+
+func TestR2ContinuousAtZeroLambda(t *testing.T) {
+	// The truncated-geometric waste must vanish as λ → 0: R2 at tiny λ
+	// approaches the fault-free cost (the untruncated form wrongly added
+	// ~T + m·tcp here).
+	tLen, m := 1000.0, 4.0
+	ff := R2(ccpParams(0), tLen, tLen/m)
+	near := R2(ccpParams(1e-9), tLen, tLen/m)
+	if math.Abs(near-ff) > 0.01 {
+		t.Fatalf("R2 discontinuous at λ=0: %v vs %v", near, ff)
+	}
+}
+
+func TestR2TruncatedMeanBounds(t *testing.T) {
+	// Expected waste per fault event can never exceed the full interval
+	// plus its comparisons (the worst detection point is the last one).
+	p := ccpParams(0.0002)
+	tLen := 1000.0
+	for _, m := range []float64{1, 2, 5, 10} {
+		t2 := tLen / m
+		ff := tLen + (m-1)*p.Costs.Compare + p.Costs.Store + p.Costs.Compare
+		waste := (R2(p, tLen, t2) - ff) / math.Expm1(p.Lambda*tLen)
+		maxWaste := m*(t2+p.Costs.Compare) + p.Costs.Rollback
+		if waste > maxWaste+1e-9 || waste <= 0 {
+			t.Fatalf("m=%v: waste %v outside (0, %v]", m, waste, maxWaste)
+		}
+	}
+}
+
+func TestR2InteriorMinimumExists(t *testing.T) {
+	p := ccpParams(0.0014)
+	tLen := 1000.0
+	if R2(p, tLen, tLen/4) >= R2(p, tLen, tLen) {
+		t.Fatal("subdividing with cheap compares should help at high λ")
+	}
+}
+
+func TestR2ZeroLambdaFaultFree(t *testing.T) {
+	p := ccpParams(0)
+	tLen := 1000.0
+	m := 4.0
+	want := tLen + (m-1)*p.Costs.Compare + p.Costs.Store + p.Costs.Compare
+	got := R2(p, tLen, tLen/m)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fault-free R2 = %v, want %v", got, want)
+	}
+}
+
+// --- NumSub vs brute force ---
+
+func TestNumSCPMatchesBruteForce(t *testing.T) {
+	for _, lambda := range []float64{1e-4, 5e-4, 1.4e-3, 1.6e-3} {
+		p := scpParams(lambda)
+		for _, tLen := range []float64{100, 300, 700, 1500, 3000} {
+			got := NumSCP(p, tLen)
+			want := BruteForceNumSub(p, checkpoint.SCP, tLen, 200)
+			// Golden section may land on a neighbouring integer when the
+			// curve is flat near the optimum; accept within one step and
+			// near-equal objective.
+			if got != want {
+				gv := R1(p, tLen, tLen/float64(got))
+				wv := R1(p, tLen, tLen/float64(want))
+				if math.Abs(gv-wv)/wv > 1e-6 {
+					t.Errorf("λ=%v T=%v: NumSCP=%d (R=%v) brute=%d (R=%v)", lambda, tLen, got, gv, want, wv)
+				}
+			}
+		}
+	}
+}
+
+func TestNumCCPMatchesBruteForce(t *testing.T) {
+	for _, lambda := range []float64{1e-4, 5e-4, 1.4e-3, 1.6e-3} {
+		p := ccpParams(lambda)
+		for _, tLen := range []float64{100, 300, 700, 1500, 3000} {
+			got := NumCCP(p, tLen)
+			want := BruteForceNumSub(p, checkpoint.CCP, tLen, 200)
+			if got != want {
+				gv := R2(p, tLen, tLen/float64(got))
+				wv := R2(p, tLen, tLen/float64(want))
+				if math.Abs(gv-wv)/wv > 1e-6 {
+					t.Errorf("λ=%v T=%v: NumCCP=%d (R=%v) brute=%d (R=%v)", lambda, tLen, got, gv, want, wv)
+				}
+			}
+		}
+	}
+}
+
+func TestNumSubFaultFreeIsOne(t *testing.T) {
+	if got := NumSCP(scpParams(0), 1000); got != 1 {
+		t.Fatalf("fault-free NumSCP = %d, want 1", got)
+	}
+	if got := NumCCP(ccpParams(0), 1000); got != 1 {
+		t.Fatalf("fault-free NumCCP = %d, want 1", got)
+	}
+}
+
+func TestNumSubGrowsWithLambda(t *testing.T) {
+	tLen := 2000.0
+	low := NumSCP(scpParams(1e-4), tLen)
+	high := NumSCP(scpParams(2e-3), tLen)
+	if high < low {
+		t.Fatalf("NumSCP should not shrink as λ grows: %d -> %d", low, high)
+	}
+}
+
+// --- t_est ---
+
+func TestTEstFaultFree(t *testing.T) {
+	if got := TEst(1000, 2, 22, 0); got != 500 {
+		t.Fatalf("TEst λ=0 = %v, want 500", got)
+	}
+}
+
+func TestTEstZeroWork(t *testing.T) {
+	if got := TEst(0, 1, 22, 0.001); got != 0 {
+		t.Fatalf("TEst rc=0 = %v", got)
+	}
+}
+
+func TestTEstInflatesWithFaults(t *testing.T) {
+	base := TEst(1000, 1, 22, 0)
+	noisy := TEst(1000, 1, 22, 0.001)
+	if noisy <= base {
+		t.Fatalf("faults should inflate estimate: %v <= %v", noisy, base)
+	}
+}
+
+func TestTEstFasterSpeedShorter(t *testing.T) {
+	slow := TEst(1000, 1, 22, 0.001)
+	fast := TEst(1000, 2, 22, 0.001)
+	if fast >= slow {
+		t.Fatalf("higher speed should shorten estimate: %v >= %v", fast, slow)
+	}
+}
+
+func TestTEstDiverges(t *testing.T) {
+	// λ·c/f >= 1 → cannot keep up.
+	if !math.IsInf(TEst(1000, 1, 22, 1.0/22), 1) {
+		t.Fatal("TEst should diverge when sqrt(λc/f) >= 1")
+	}
+}
+
+func TestTEstMatchesPaperFormula(t *testing.T) {
+	rc, f, c, lambda := 7600.0, 1.0, 22.0, 0.0014
+	s := math.Sqrt(lambda * c / f)
+	want := rc / f * (1 + s) / (1 - s)
+	if got := TEst(rc, f, c, lambda); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("TEst = %v, want %v", got, want)
+	}
+}
+
+// --- curves & task-level expectation ---
+
+func TestCurveShape(t *testing.T) {
+	p := scpParams(0.0014)
+	curve := Curve(p, checkpoint.SCP, 1000, 50)
+	if len(curve) != 50 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	// Curve must be finite and positive everywhere and have an interior
+	// minimum at high λ.
+	argmin := 0
+	for i, pt := range curve {
+		if pt.R <= 0 || math.IsNaN(pt.R) || math.IsInf(pt.R, 0) {
+			t.Fatalf("bad curve point %+v", pt)
+		}
+		if pt.M != i+1 {
+			t.Fatalf("curve m sequence broken at %d", i)
+		}
+		if pt.R < curve[argmin].R {
+			argmin = i
+		}
+	}
+	if argmin == 0 || argmin == len(curve)-1 {
+		t.Fatalf("no interior minimum: argmin at %d", argmin)
+	}
+}
+
+func TestExpectedTaskTimeScalesWithN(t *testing.T) {
+	p := scpParams(0.001)
+	one := ExpectedTaskTime(p, checkpoint.SCP, 1, 500)
+	ten := ExpectedTaskTime(p, checkpoint.SCP, 10, 500)
+	if math.Abs(ten-10*one)/ten > 1e-12 {
+		t.Fatalf("task time not linear in n: %v vs %v", ten, 10*one)
+	}
+}
+
+func TestGoldenMinimizeQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	x := goldenMinimize(f, 0, 10, 1e-9)
+	if math.Abs(x-3) > 1e-6 {
+		t.Fatalf("golden section found %v, want 3", x)
+	}
+}
+
+func TestPropertyR1FiniteOnBracket(t *testing.T) {
+	p := scpParams(0.0014)
+	f := func(tRaw, subRaw uint16) bool {
+		tLen := 10 + float64(tRaw%5000)
+		sub := 0.5 + float64(subRaw%5000)
+		v := R1(p, tLen, sub)
+		return v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyR2FiniteOnBracket(t *testing.T) {
+	p := ccpParams(0.0014)
+	f := func(tRaw, subRaw uint16) bool {
+		tLen := 10 + float64(tRaw%5000)
+		sub := 0.5 + float64(subRaw%5000)
+		v := R2(p, tLen, sub)
+		return v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNumSubAtLeastOne(t *testing.T) {
+	f := func(tRaw, lamRaw uint16) bool {
+		tLen := 10 + float64(tRaw%5000)
+		lambda := float64(lamRaw%200) / 100000
+		return NumSCP(scpParams(lambda), tLen) >= 1 &&
+			NumCCP(ccpParams(lambda), tLen) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRenewalAboveFaultFree(t *testing.T) {
+	// Expected time can never beat the fault-free cost.
+	f := func(tRaw, mRaw uint16) bool {
+		tLen := 10 + float64(tRaw%5000)
+		m := 1 + float64(mRaw%20)
+		p := scpParams(0.0005)
+		ff := tLen + m*p.Costs.Store + p.Costs.Compare
+		return R1(p, tLen, tLen/m) >= ff-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContinuousMinimizerSCPClosedForm(t *testing.T) {
+	// The closed form must satisfy the stationarity of R1: R1 at T̃±ε is
+	// no better than at T̃.
+	p := scpParams(0.0014)
+	tLen := 1000.0
+	tilde := ContinuousMinimizer(p, checkpoint.SCP, tLen)
+	if tilde <= 0 || tilde > tLen {
+		t.Fatalf("minimiser %v outside (0, T]", tilde)
+	}
+	at := R1(p, tLen, tilde)
+	for _, eps := range []float64{-2, 2} {
+		if R1(p, tLen, tilde+eps) < at-1e-9 {
+			t.Fatalf("R1 improves at T̃%+v: not a minimum", eps)
+		}
+	}
+}
+
+func TestContinuousMinimizerFaultFree(t *testing.T) {
+	if got := ContinuousMinimizer(scpParams(0), checkpoint.SCP, 500); got != 500 {
+		t.Fatalf("fault-free minimiser = %v, want T", got)
+	}
+	if got := ContinuousMinimizer(ccpParams(0), checkpoint.CCP, 500); got != 500 {
+		t.Fatalf("fault-free CCP minimiser = %v, want T", got)
+	}
+}
+
+func TestNumSubGoldenAgrees(t *testing.T) {
+	for _, lambda := range []float64{3e-4, 1.4e-3} {
+		for _, tLen := range []float64{200, 900, 2500} {
+			p := scpParams(lambda)
+			fast := NumSCP(p, tLen)
+			golden := NumSubGolden(p, checkpoint.SCP, tLen)
+			if fast != golden {
+				// Accept ties in objective value only.
+				fv := R1(p, tLen, tLen/float64(fast))
+				gv := R1(p, tLen, tLen/float64(golden))
+				if math.Abs(fv-gv)/gv > 1e-6 {
+					t.Errorf("λ=%v T=%v: fast m=%d (R=%v) golden m=%d (R=%v)",
+						lambda, tLen, fast, fv, golden, gv)
+				}
+			}
+		}
+	}
+}

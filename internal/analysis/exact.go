@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/checkpoint"
+)
+
+// This file holds *exact* expected-time recursions for the two interval
+// schemes, derived without the paper's renewal approximation. The paper
+// compounds every fault event with the factor (e^{λT} − 1), which is
+// exact for restart-from-scratch dynamics (the CCP scheme within one
+// interval) but overestimates the SCP scheme, where rollback retains all
+// sub-intervals before the first fault. The closed forms R1/R2 are what
+// the paper's Fig. 2 optimises and what NumSub uses; these recursions
+// are the ground truth the engine is validated against (see
+// internal/validate).
+
+// ExactSCPTime returns the exact expected wall-clock time to commit one
+// CSCP interval of length t divided into m sub-intervals with SCPs at
+// the boundaries, under Poisson faults of rate λ, with detection at the
+// closing CSCP and rollback to the newest consistent store.
+//
+// Recursion over r = remaining sub-intervals: an attempt spans r subs,
+// costs r·s + r·ts + tcp (stores at every boundary, the last belonging
+// to the CSCP, plus one comparison), succeeds with e^{−λrs}; otherwise
+// the first fault lands in attempt-sub j with probability
+// e^{−λ(j−1)s}(1−e^{−λs}) and retains j−1 subs:
+//
+//	V(r) = r·s + r·ts + tcp + Σ_j q_j·(tr + V(r−j+1))
+//
+// Solved iteratively; V(r) appears on the right only at j = 1.
+func ExactSCPTime(p Params, t float64, m int) float64 {
+	if t <= 0 || m < 1 {
+		panic(fmt.Sprintf("analysis: ExactSCPTime(t=%v, m=%d)", t, m))
+	}
+	ts, tcp, tr := p.Costs.Store, p.Costs.Compare, p.Costs.Rollback
+	s := t / float64(m)
+	if p.Lambda == 0 {
+		return t + float64(m)*ts + tcp
+	}
+	pSub := -math.Expm1(-p.Lambda * s) // P(≥1 fault in one sub)
+	v := make([]float64, m+1)
+	for r := 1; r <= m; r++ {
+		attempt := float64(r)*s + float64(r)*ts + tcp
+		// Σ over j=2..r of q_j (tr + V(r−j+1)); the j=1 term couples to
+		// V(r) itself.
+		sum := 0.0
+		pFail := 0.0
+		for j := 1; j <= r; j++ {
+			qj := math.Exp(-p.Lambda*float64(j-1)*s) * pSub
+			pFail += qj
+			if j >= 2 {
+				sum += qj * (tr + v[r-j+1])
+			}
+		}
+		q1 := pSub // j = 1: retain nothing from this attempt
+		// V(r) = attempt + sum + q1(tr + V(r)) → solve.
+		v[r] = (attempt + sum + q1*tr) / (1 - q1)
+		_ = pFail
+	}
+	return v[m]
+}
+
+// ExactCCPTime returns the exact expected wall-clock time to commit one
+// CSCP interval of length t divided into m sub-intervals with CCPs at
+// the boundaries: a fault in sub j is detected at boundary j (costing
+// j·s execution + j comparison-grade boundaries, the last of which is
+// the detecting one) and restarts the whole interval.
+//
+//	E = S + (1/p)·Σ_j q_j·C_j
+//
+// with S the clean-pass cost, p = e^{−λt}, q_j the first-fault-in-sub-j
+// probability, and C_j = j·s + (j−1)·tcp + b_j + tr, where b_j is the
+// detecting boundary's cost (tcp for j < m, ts+tcp for j = m).
+func ExactCCPTime(p Params, t float64, m int) float64 {
+	if t <= 0 || m < 1 {
+		panic(fmt.Sprintf("analysis: ExactCCPTime(t=%v, m=%d)", t, m))
+	}
+	ts, tcp, tr := p.Costs.Store, p.Costs.Compare, p.Costs.Rollback
+	s := t / float64(m)
+	clean := t + float64(m-1)*tcp + ts + tcp
+	if p.Lambda == 0 {
+		return clean
+	}
+	pClean := math.Exp(-p.Lambda * t)
+	pSub := -math.Expm1(-p.Lambda * s)
+	sum := 0.0
+	for j := 1; j <= m; j++ {
+		qj := math.Exp(-p.Lambda*float64(j-1)*s) * pSub
+		boundary := tcp
+		if j == m {
+			boundary = ts + tcp
+		}
+		cj := float64(j)*s + float64(j-1)*tcp + boundary + tr
+		sum += qj * cj
+	}
+	return clean + sum/pClean
+}
+
+// ExactTime dispatches by sub-checkpoint kind.
+func ExactTime(p Params, kind checkpoint.Kind, t float64, m int) float64 {
+	switch kind {
+	case checkpoint.SCP:
+		return ExactSCPTime(p, t, m)
+	case checkpoint.CCP:
+		return ExactCCPTime(p, t, m)
+	default:
+		panic(fmt.Sprintf("analysis: no exact model for %v sub-checkpoints", kind))
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/checkpoint"
+)
+
+func TestExactSCPFaultFree(t *testing.T) {
+	p := scpParams(0)
+	got := ExactSCPTime(p, 800, 4)
+	want := 800 + 4*p.Costs.Store + p.Costs.Compare
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fault-free exact SCP = %v, want %v", got, want)
+	}
+}
+
+func TestExactCCPFaultFree(t *testing.T) {
+	p := ccpParams(0)
+	got := ExactCCPTime(p, 800, 4)
+	want := 800 + 3*p.Costs.Compare + p.Costs.Store + p.Costs.Compare
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fault-free exact CCP = %v, want %v", got, want)
+	}
+}
+
+func TestExactSCPSingleSubMatchesRestartRenewal(t *testing.T) {
+	// m=1 retains nothing: the exact recursion degenerates to the
+	// restart renewal V = (attempt + q·tr)/(1−q), attempt = T + ts + tcp.
+	p := scpParams(0.001)
+	tLen := 500.0
+	q := -math.Expm1(-p.Lambda * tLen)
+	want := (tLen + p.Costs.Store + p.Costs.Compare + q*p.Costs.Rollback) / (1 - q)
+	got := ExactSCPTime(p, tLen, 1)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("exact SCP m=1 = %v, want %v", got, want)
+	}
+}
+
+func TestExactSCPBelowPaperFormAtHighLambdaT(t *testing.T) {
+	// The paper's renewal factor ignores retained progress, so at large
+	// λT the closed form must upper-bound the exact expectation.
+	p := scpParams(0.0014)
+	tLen := 1000.0
+	for _, m := range []int{4, 10, 20} {
+		paper := R1(p, tLen, tLen/float64(m))
+		exact := ExactSCPTime(p, tLen, m)
+		if exact > paper {
+			t.Fatalf("m=%d: exact %v above paper form %v", m, exact, paper)
+		}
+	}
+}
+
+func TestExactTimesExceedFaultFree(t *testing.T) {
+	f := func(tRaw, mRaw, lamRaw uint16) bool {
+		tLen := 50 + float64(tRaw%3000)
+		m := 1 + int(mRaw%12)
+		lambda := float64(lamRaw%150)/100000 + 1e-5
+		ps := scpParams(lambda)
+		pc := ccpParams(lambda)
+		ffS := tLen + float64(m)*ps.Costs.Store + ps.Costs.Compare
+		ffC := tLen + float64(m-1)*pc.Costs.Compare + pc.Costs.Store + pc.Costs.Compare
+		return ExactSCPTime(ps, tLen, m) >= ffS-1e-9 &&
+			ExactCCPTime(pc, tLen, m) >= ffC-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactMonotoneInLambda(t *testing.T) {
+	tLen := 600.0
+	for _, m := range []int{1, 3, 8} {
+		low := ExactSCPTime(scpParams(5e-4), tLen, m)
+		high := ExactSCPTime(scpParams(2e-3), tLen, m)
+		if high <= low {
+			t.Fatalf("SCP m=%d: exact time not increasing in λ", m)
+		}
+		lowC := ExactCCPTime(ccpParams(5e-4), tLen, m)
+		highC := ExactCCPTime(ccpParams(2e-3), tLen, m)
+		if highC <= lowC {
+			t.Fatalf("CCP m=%d: exact time not increasing in λ", m)
+		}
+	}
+}
+
+func TestExactSubdivisionHelpsUnderFaults(t *testing.T) {
+	// At the paper's high fault rate, m > 1 must beat m = 1 in both
+	// exact models (that is the point of the extra checkpoints).
+	tLen := 1000.0
+	if !(ExactSCPTime(scpParams(0.0014), tLen, 8) < ExactSCPTime(scpParams(0.0014), tLen, 1)) {
+		t.Fatal("SCP subdivision does not help in the exact model")
+	}
+	if !(ExactCCPTime(ccpParams(0.0014), tLen, 8) < ExactCCPTime(ccpParams(0.0014), tLen, 1)) {
+		t.Fatal("CCP subdivision does not help in the exact model")
+	}
+}
+
+func TestExactTimeDispatch(t *testing.T) {
+	p := scpParams(0.001)
+	if ExactTime(p, checkpoint.SCP, 500, 2) != ExactSCPTime(p, 500, 2) {
+		t.Fatal("dispatch SCP wrong")
+	}
+	if ExactTime(p, checkpoint.CCP, 500, 2) != ExactCCPTime(p, 500, 2) {
+		t.Fatal("dispatch CCP wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CSCP dispatch did not panic")
+		}
+	}()
+	ExactTime(p, checkpoint.CSCP, 500, 2)
+}

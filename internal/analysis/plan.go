@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/checkpoint"
+)
+
+// Plan is a static two-level checkpoint placement for a whole task: the
+// task is divided into N CSCP intervals of length T = total/N, each
+// subdivided into M sub-intervals carrying checkpoints of kind Sub.
+// This is the §2 object the paper optimises before the adaptive layer
+// re-plans it at run time.
+type Plan struct {
+	// Sub is the flavour of the additional checkpoints (SCP or CCP).
+	Sub checkpoint.Kind
+	// Intervals is n, the number of CSCP intervals.
+	Intervals int
+	// SubPerInterval is m, the sub-interval count within each.
+	SubPerInterval int
+	// Interval and SubInterval are the resulting lengths.
+	Interval, SubInterval float64
+	// ExpectedTime is n·R(T, T/m): the expected execution time of the
+	// whole task under the renewal model.
+	ExpectedTime float64
+}
+
+// String renders the plan compactly.
+func (pl Plan) String() string {
+	return fmt.Sprintf("%d×%s-interval T=%.1f, m=%d (sub=%.1f), E[time]=%.1f",
+		pl.Intervals, pl.Sub, pl.Interval, pl.SubPerInterval, pl.SubInterval, pl.ExpectedTime)
+}
+
+// OptimalPlan jointly optimises the number of CSCP intervals n and the
+// sub-interval count m for a task of fault-free length total: the
+// "optimal numbers of checkpoints which minimize the average execution
+// time" of the paper's abstract. maxIntervals caps the n scan (0 means
+// a heuristic bound derived from the classical interval sqrt(2C/λ)).
+func OptimalPlan(p Params, kind checkpoint.Kind, total float64, maxIntervals int) Plan {
+	if total <= 0 {
+		panic(fmt.Sprintf("analysis: OptimalPlan requires total>0, got %v", total))
+	}
+	if maxIntervals <= 0 {
+		maxIntervals = 4
+		if p.Lambda > 0 {
+			// Classical spacing suggests n ≈ total/sqrt(2C/λ); scan to
+			// 4× that to be safe.
+			c := p.Costs.CSCPCycles()
+			if c > 0 {
+				n := total / math.Sqrt(2*c/p.Lambda)
+				maxIntervals = int(4*n) + 4
+			}
+		}
+	}
+	best := Plan{Sub: kind, Intervals: 0, ExpectedTime: math.Inf(1)}
+	for n := 1; n <= maxIntervals; n++ {
+		t := total / float64(n)
+		m := NumSub(p, kind, t)
+		r := float64(n) * intervalExpectedTime(p, kind, t, t/float64(m))
+		if r < best.ExpectedTime {
+			best = Plan{
+				Sub:            kind,
+				Intervals:      n,
+				SubPerInterval: m,
+				Interval:       t,
+				SubInterval:    t / float64(m),
+				ExpectedTime:   r,
+			}
+		}
+	}
+	return best
+}
+
+// PlanOverhead returns the fault-free overhead fraction of a plan: the
+// checkpoint time added per unit of useful work.
+func PlanOverhead(p Params, pl Plan) float64 {
+	if pl.Intervals == 0 {
+		return math.Inf(1)
+	}
+	var perInterval float64
+	if pl.Sub == checkpoint.SCP {
+		// m stores (the last belonging to the closing CSCP) + 1 compare.
+		perInterval = float64(pl.SubPerInterval)*p.Costs.Store + p.Costs.Compare
+	} else {
+		// m−1 compares + the closing CSCP.
+		perInterval = float64(pl.SubPerInterval-1)*p.Costs.Compare + p.Costs.CSCPCycles()
+	}
+	return perInterval / pl.Interval
+}

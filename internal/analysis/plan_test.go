@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+func TestOptimalPlanBeatsSingleInterval(t *testing.T) {
+	p := scpParams(0.0014)
+	pl := OptimalPlan(p, checkpoint.SCP, 7600, 0)
+	if pl.Intervals < 2 {
+		t.Fatalf("at λ=0.0014 a 7600-cycle task should split: %+v", pl)
+	}
+	single := ExpectedTaskTime(p, checkpoint.SCP, 1, 7600)
+	if pl.ExpectedTime >= single {
+		t.Fatalf("plan %v not better than one interval (%v)", pl.ExpectedTime, single)
+	}
+}
+
+func TestOptimalPlanFaultFree(t *testing.T) {
+	// No faults: a single interval with a single sub-interval wins.
+	pl := OptimalPlan(scpParams(0), checkpoint.SCP, 7600, 10)
+	if pl.Intervals != 1 || pl.SubPerInterval != 1 {
+		t.Fatalf("fault-free plan should be 1×1: %+v", pl)
+	}
+}
+
+func TestOptimalPlanMatchesBruteForce(t *testing.T) {
+	p := ccpParams(0.0008)
+	pl := OptimalPlan(p, checkpoint.CCP, 5000, 100)
+	// Brute force over the same n range.
+	best := math.Inf(1)
+	bestN := 0
+	for n := 1; n <= 100; n++ {
+		tLen := 5000.0 / float64(n)
+		m := BruteForceNumSub(p, checkpoint.CCP, tLen, 100)
+		r := float64(n) * R2(p, tLen, tLen/float64(m))
+		if r < best {
+			best, bestN = r, n
+		}
+	}
+	if math.Abs(pl.ExpectedTime-best)/best > 1e-9 || pl.Intervals != bestN {
+		t.Fatalf("plan (n=%d, %v) vs brute force (n=%d, %v)", pl.Intervals, pl.ExpectedTime, bestN, best)
+	}
+}
+
+func TestOptimalPlanConsistentGeometry(t *testing.T) {
+	p := scpParams(0.001)
+	pl := OptimalPlan(p, checkpoint.SCP, 9000, 0)
+	if math.Abs(pl.Interval*float64(pl.Intervals)-9000) > 1e-6 {
+		t.Fatalf("intervals don't tile the task: %+v", pl)
+	}
+	if math.Abs(pl.SubInterval*float64(pl.SubPerInterval)-pl.Interval) > 1e-6 {
+		t.Fatalf("sub-intervals don't tile the interval: %+v", pl)
+	}
+}
+
+func TestOptimalPlanMoreFaultsMoreCheckpoints(t *testing.T) {
+	quiet := OptimalPlan(scpParams(2e-4), checkpoint.SCP, 7600, 0)
+	harsh := OptimalPlan(scpParams(2e-3), checkpoint.SCP, 7600, 0)
+	if harsh.Intervals < quiet.Intervals {
+		t.Fatalf("harsher environment chose fewer intervals: %d vs %d",
+			harsh.Intervals, quiet.Intervals)
+	}
+}
+
+func TestPlanOverheadFinite(t *testing.T) {
+	p := scpParams(0.0014)
+	pl := OptimalPlan(p, checkpoint.SCP, 7600, 0)
+	ov := PlanOverhead(p, pl)
+	if ov <= 0 || ov > 1 {
+		t.Fatalf("overhead fraction %v implausible", ov)
+	}
+	if got := PlanOverhead(p, Plan{}); !math.IsInf(got, 1) {
+		t.Fatalf("empty plan overhead = %v, want +Inf", got)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	pl := OptimalPlan(scpParams(0.001), checkpoint.SCP, 5000, 0)
+	s := pl.String()
+	for _, want := range []string{"SCP", "E[time]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("plan string %q missing %q", s, want)
+		}
+	}
+}

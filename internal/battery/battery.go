@@ -1,0 +1,123 @@
+// Package battery models the energy sources that make the paper's
+// platforms "energy-constrained": a battery with finite capacity,
+// optionally recharged by a duty-cycled source (solar panels on a
+// satellite, none on an autonomous drone leg). Mission planning on top
+// of the per-frame energies the simulator produces reduces to simple
+// budget arithmetic, which this package centralises and tests.
+//
+// Energy units are the simulator's normalised V²·cycles.
+package battery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Pack is a battery with capacity and current charge.
+type Pack struct {
+	capacity float64
+	charge   float64
+}
+
+// New returns a full pack of the given capacity.
+func New(capacity float64) (*Pack, error) {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("battery: bad capacity %v", capacity)
+	}
+	return &Pack{capacity: capacity, charge: capacity}, nil
+}
+
+// Capacity returns the pack capacity.
+func (p *Pack) Capacity() float64 { return p.capacity }
+
+// Charge returns the current charge.
+func (p *Pack) Charge() float64 { return p.charge }
+
+// StateOfCharge returns charge/capacity in [0, 1].
+func (p *Pack) StateOfCharge() float64 { return p.charge / p.capacity }
+
+// Draw removes energy; it reports whether the demand was fully met
+// (false means the pack ran flat mid-draw and is now empty).
+func (p *Pack) Draw(energy float64) bool {
+	if energy < 0 || math.IsNaN(energy) {
+		panic(fmt.Sprintf("battery: bad draw %v", energy))
+	}
+	if energy > p.charge {
+		p.charge = 0
+		return false
+	}
+	p.charge -= energy
+	return true
+}
+
+// Recharge adds energy, clamped at capacity.
+func (p *Pack) Recharge(energy float64) {
+	if energy < 0 || math.IsNaN(energy) {
+		panic(fmt.Sprintf("battery: bad recharge %v", energy))
+	}
+	p.charge = math.Min(p.capacity, p.charge+energy)
+}
+
+// Source is a recharging profile: energy delivered per frame interval.
+type Source struct {
+	// PerFrame is the energy harvested during one task frame.
+	PerFrame float64
+	// DutyCycle is the fraction of frames with harvest available (e.g.
+	// the sunlit fraction of an orbit). 1 means always.
+	DutyCycle float64
+	// Period is the duty pattern length in frames (sunlit then eclipse).
+	Period int
+}
+
+// Available reports the harvest during the given frame index.
+func (s Source) Available(frame int) float64 {
+	if s.PerFrame <= 0 {
+		return 0
+	}
+	if s.DutyCycle >= 1 || s.Period <= 0 {
+		return s.PerFrame
+	}
+	lit := int(math.Round(s.DutyCycle * float64(s.Period)))
+	if frame%s.Period < lit {
+		return s.PerFrame
+	}
+	return 0
+}
+
+// Mission simulates frames drawing perFrame energy against the pack with
+// the source recharging, and returns how many frames complete before the
+// pack runs flat (capped at maxFrames; a return of maxFrames means the
+// mission is energy-sustainable over that horizon).
+func Mission(p *Pack, s Source, perFrame float64, maxFrames int) (int, error) {
+	if p == nil {
+		return 0, errors.New("battery: nil pack")
+	}
+	if perFrame <= 0 || math.IsNaN(perFrame) {
+		return 0, fmt.Errorf("battery: bad per-frame energy %v", perFrame)
+	}
+	if maxFrames <= 0 {
+		return 0, errors.New("battery: non-positive frame cap")
+	}
+	for f := 0; f < maxFrames; f++ {
+		p.Recharge(s.Available(f))
+		if !p.Draw(perFrame) {
+			return f, nil
+		}
+	}
+	return maxFrames, nil
+}
+
+// Sustainable reports whether the long-run harvest rate covers the
+// long-run draw rate (the condition for an indefinite mission, ignoring
+// capacity ripple).
+func (s Source) Sustainable(perFrame float64) bool {
+	duty := s.DutyCycle
+	if duty > 1 {
+		duty = 1
+	}
+	if s.Period <= 0 && s.PerFrame > 0 {
+		duty = 1
+	}
+	return s.PerFrame*duty >= perFrame
+}

@@ -1,0 +1,165 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := New(c); err == nil {
+			t.Errorf("capacity %v accepted", c)
+		}
+	}
+	p, err := New(100)
+	if err != nil || p.Charge() != 100 || p.Capacity() != 100 {
+		t.Fatalf("New: %+v %v", p, err)
+	}
+}
+
+func TestDrawAndRecharge(t *testing.T) {
+	p, _ := New(100)
+	if !p.Draw(30) {
+		t.Fatal("draw within charge failed")
+	}
+	if p.Charge() != 70 {
+		t.Fatalf("charge = %v", p.Charge())
+	}
+	if p.StateOfCharge() != 0.7 {
+		t.Fatalf("SoC = %v", p.StateOfCharge())
+	}
+	p.Recharge(50)
+	if p.Charge() != 100 {
+		t.Fatalf("recharge should clamp at capacity: %v", p.Charge())
+	}
+	if p.Draw(150) {
+		t.Fatal("overdraw reported success")
+	}
+	if p.Charge() != 0 {
+		t.Fatalf("overdraw should empty the pack: %v", p.Charge())
+	}
+}
+
+func TestDrawPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	p, _ := New(10)
+	p.Draw(-1)
+}
+
+func TestSourceDutyCycle(t *testing.T) {
+	// 60% sunlit orbit of 10 frames: frames 0-5 lit, 6-9 eclipse.
+	s := Source{PerFrame: 5, DutyCycle: 0.6, Period: 10}
+	lit, dark := 0, 0
+	for f := 0; f < 10; f++ {
+		if s.Available(f) > 0 {
+			lit++
+		} else {
+			dark++
+		}
+	}
+	if lit != 6 || dark != 4 {
+		t.Fatalf("lit/dark = %d/%d, want 6/4", lit, dark)
+	}
+}
+
+func TestSourceAlwaysOn(t *testing.T) {
+	s := Source{PerFrame: 3, DutyCycle: 1}
+	for f := 0; f < 5; f++ {
+		if s.Available(f) != 3 {
+			t.Fatal("always-on source flickered")
+		}
+	}
+	if (Source{}).Available(0) != 0 {
+		t.Fatal("zero source produced energy")
+	}
+}
+
+func TestMissionNoRecharge(t *testing.T) {
+	p, _ := New(100)
+	frames, err := Mission(p, Source{}, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 10 {
+		t.Fatalf("frames = %d, want 10", frames)
+	}
+}
+
+func TestMissionSustainable(t *testing.T) {
+	p, _ := New(100)
+	s := Source{PerFrame: 12, DutyCycle: 1}
+	frames, err := Mission(p, s, 10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 5000 {
+		t.Fatalf("sustainable mission ended at %d", frames)
+	}
+	if !s.Sustainable(10) {
+		t.Fatal("Sustainable disagrees")
+	}
+}
+
+func TestMissionEclipseRipple(t *testing.T) {
+	// Harvest covers the draw on average but eclipse periods drain the
+	// pack; a small pack dies in eclipse, a large one rides through.
+	src := Source{PerFrame: 20, DutyCycle: 0.5, Period: 10} // avg 10/frame
+	small, _ := New(30)
+	frames, _ := Mission(small, src, 10, 10000)
+	if frames == 10000 {
+		t.Fatal("small pack should die in an eclipse")
+	}
+	large, _ := New(500)
+	frames, _ = Mission(large, src, 10, 10000)
+	if frames != 10000 {
+		t.Fatalf("large pack died at %d", frames)
+	}
+	if !src.Sustainable(10) {
+		t.Fatal("average-sustainable source misreported")
+	}
+	if src.Sustainable(11) {
+		t.Fatal("undersized source reported sustainable")
+	}
+}
+
+func TestMissionValidation(t *testing.T) {
+	p, _ := New(10)
+	if _, err := Mission(nil, Source{}, 1, 10); err == nil {
+		t.Error("nil pack accepted")
+	}
+	if _, err := Mission(p, Source{}, 0, 10); err == nil {
+		t.Error("zero draw accepted")
+	}
+	if _, err := Mission(p, Source{}, 1, 0); err == nil {
+		t.Error("zero frames accepted")
+	}
+}
+
+func TestPropertyChargeBounded(t *testing.T) {
+	f := func(ops []int16) bool {
+		p, _ := New(1000)
+		for _, op := range ops {
+			v := float64(op%500) + 250
+			if v < 0 {
+				v = -v
+			}
+			if op%2 == 0 {
+				p.Draw(v)
+			} else {
+				p.Recharge(v)
+			}
+			if p.Charge() < 0 || p.Charge() > p.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{SCP: "SCP", CCP: "CCP", CSCP: "CSCP", Kind(9): "Kind(9)"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestCostsValidate(t *testing.T) {
+	if err := SCPSetting().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CCPSetting().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Costs{
+		{Store: -1, Compare: 1},
+		{Store: 1, Compare: -1},
+		{Store: 1, Compare: 1, Rollback: -1},
+		{Store: 0, Compare: 0},
+		{Store: math.NaN(), Compare: 1},
+		{Store: math.Inf(1), Compare: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid costs accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestCostsOf(t *testing.T) {
+	c := Costs{Store: 2, Compare: 20, Rollback: 3}
+	if got := c.Of(SCP); got != 2 {
+		t.Fatalf("Of(SCP) = %v", got)
+	}
+	if got := c.Of(CCP); got != 20 {
+		t.Fatalf("Of(CCP) = %v", got)
+	}
+	if got := c.Of(CSCP); got != 22 {
+		t.Fatalf("Of(CSCP) = %v", got)
+	}
+	if got := c.CSCPCycles(); got != 22 {
+		t.Fatalf("CSCPCycles = %v", got)
+	}
+}
+
+func TestPaperSettingsCycleCount(t *testing.T) {
+	// Both experimental settings use c = 22 so the CSCP-only baselines
+	// see identical overheads across §4.1 and §4.2.
+	if SCPSetting().CSCPCycles() != 22 || CCPSetting().CSCPCycles() != 22 {
+		t.Fatal("paper settings must both have c = 22")
+	}
+}
+
+func TestAtSpeedHalvesTime(t *testing.T) {
+	c := SCPSetting()
+	if got, want := c.AtSpeed(CSCP, 2), 11.0; got != want {
+		t.Fatalf("AtSpeed(CSCP, 2) = %v, want %v", got, want)
+	}
+	if got, want := c.AtSpeed(SCP, 1), 2.0; got != want {
+		t.Fatalf("AtSpeed(SCP, 1) = %v, want %v", got, want)
+	}
+}
+
+func TestAtSpeedPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SCPSetting().AtSpeed(SCP, 0)
+}
+
+func TestOfPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SCPSetting().Of(Kind(42))
+}
+
+func TestRecordConsistent(t *testing.T) {
+	if !(Record{Digests: [2]uint64{5, 5}}).Consistent() {
+		t.Fatal("equal digests reported inconsistent")
+	}
+	if (Record{Digests: [2]uint64{5, 6}}).Consistent() {
+		t.Fatal("unequal digests reported consistent")
+	}
+}
+
+func TestStorePushAndLatest(t *testing.T) {
+	var s Store
+	if _, ok := s.Latest(); ok {
+		t.Fatal("empty store has a latest record")
+	}
+	s.Push(Record{Time: 1, Kind: SCP, Digests: [2]uint64{1, 1}})
+	s.Push(Record{Time: 2, Kind: CSCP, Digests: [2]uint64{2, 2}})
+	r, ok := s.Latest()
+	if !ok || r.Time != 2 {
+		t.Fatalf("Latest = %+v, %v", r, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreRejectsCCP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CCP push did not panic")
+		}
+	}()
+	var s Store
+	s.Push(Record{Kind: CCP})
+}
+
+func TestLatestConsistentScansBack(t *testing.T) {
+	var s Store
+	s.Push(Record{Time: 1, Kind: SCP, Digests: [2]uint64{1, 1}})
+	s.Push(Record{Time: 2, Kind: SCP, Digests: [2]uint64{2, 2}})
+	s.Push(Record{Time: 3, Kind: SCP, Digests: [2]uint64{3, 99}}) // corrupt
+	s.Push(Record{Time: 4, Kind: SCP, Digests: [2]uint64{4, 98}}) // corrupt
+	r, ok := s.LatestConsistent()
+	if !ok || r.Time != 2 {
+		t.Fatalf("LatestConsistent = %+v, %v; want Time=2", r, ok)
+	}
+}
+
+func TestLatestConsistentNone(t *testing.T) {
+	var s Store
+	s.Push(Record{Time: 1, Kind: SCP, Digests: [2]uint64{1, 2}})
+	if _, ok := s.LatestConsistent(); ok {
+		t.Fatal("found consistency in an all-corrupt store")
+	}
+}
+
+func TestTruncateAfter(t *testing.T) {
+	var s Store
+	for i := 1; i <= 5; i++ {
+		s.Push(Record{Time: float64(i), Kind: SCP, Digests: [2]uint64{uint64(i), uint64(i)}})
+	}
+	s.TruncateAfter(3)
+	if s.Len() != 3 {
+		t.Fatalf("Len after truncate = %d, want 3", s.Len())
+	}
+	r, _ := s.Latest()
+	if r.Time != 3 {
+		t.Fatalf("latest after truncate = %v, want 3", r.Time)
+	}
+	s.TruncateAfter(0)
+	if s.Len() != 0 {
+		t.Fatalf("Len after truncate(0) = %d", s.Len())
+	}
+}
+
+func TestStoreReset(t *testing.T) {
+	var s Store
+	s.Push(Record{Time: 1, Kind: SCP, Digests: [2]uint64{1, 1}})
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset left records")
+	}
+}
+
+func TestPropertyCSCPCostIsSum(t *testing.T) {
+	f := func(a, b uint16) bool {
+		c := Costs{Store: float64(a), Compare: float64(b) + 1}
+		return c.Of(CSCP) == c.Of(SCP)+c.Of(CCP)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTruncatePreservesPrefix(t *testing.T) {
+	f := func(times []uint16, cutRaw uint16) bool {
+		var s Store
+		prev := -1.0
+		for _, raw := range times {
+			tm := float64(raw % 1000)
+			if tm <= prev {
+				continue
+			}
+			prev = tm
+			s.Push(Record{Time: tm, Kind: SCP, Digests: [2]uint64{1, 1}})
+		}
+		cut := float64(cutRaw % 1000)
+		before := s.Len()
+		s.TruncateAfter(cut)
+		if s.Len() > before {
+			return false
+		}
+		if r, ok := s.Latest(); ok && r.Time > cut {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := SCPSetting()
+	half := c.Scaled(2)
+	if half.Store != 1 || half.Compare != 10 || half.Rollback != 0 {
+		t.Fatalf("Scaled(2) = %+v", half)
+	}
+	if got := c.Scaled(1); got != c {
+		t.Fatalf("Scaled(1) = %+v, want identity", got)
+	}
+}
+
+func TestScaledPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SCPSetting().Scaled(0)
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/checkpoint"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func params(u, baselineFreq, lambda float64, k int, costs checkpoint.Costs) sim.Params {
+	tk, err := task.FromUtilization("t", u, baselineFreq, 10000, k)
+	if err != nil {
+		panic(err)
+	}
+	return sim.Params{Task: tk, Costs: costs, Lambda: lambda}
+}
+
+// runMany returns (P, mean E over completions) for a scheme.
+func runMany(t *testing.T, s sim.Scheme, p sim.Params, reps int, seed uint64) (float64, float64) {
+	t.Helper()
+	src := rng.New(seed)
+	done := 0
+	var esum float64
+	for i := 0; i < reps; i++ {
+		r := s.Run(p, src.Split())
+		if r.Completed {
+			done++
+			esum += r.Energy
+		}
+	}
+	if done == 0 {
+		return 0, math.NaN()
+	}
+	return float64(done) / float64(reps), esum / float64(done)
+}
+
+func TestFaultFreeCompletionDeterministic(t *testing.T) {
+	// λ = 0: every scheme must complete exactly once, on time, with
+	// energy equal to V²·(work + checkpoint overhead)·replicas.
+	p := params(0.76, 1, 0, 5, checkpoint.SCPSetting())
+	for _, s := range []sim.Scheme{
+		NewPoissonScheme(1), NewKFTScheme(1), NewADTDVS(),
+		NewAdaptDVSSCP(), NewAdaptDVSCCP(), NewAdaptSCP(1), NewAdaptCCP(1),
+	} {
+		r := s.Run(p, rng.New(1))
+		if !r.Completed {
+			t.Fatalf("%s: fault-free run failed (%s)", s.Name(), r.Reason)
+		}
+		if r.Faults != 0 || r.Detections != 0 {
+			t.Fatalf("%s: phantom faults %d/%d", s.Name(), r.Faults, r.Detections)
+		}
+		if r.Time > p.Task.Deadline {
+			t.Fatalf("%s: completion %v past deadline", s.Name(), r.Time)
+		}
+		// Work alone costs 2 replicas × 7600 cycles × V² ≥ 2·7600·2.
+		if r.Energy < 2*7600*2 {
+			t.Fatalf("%s: energy %v below bare work", s.Name(), r.Energy)
+		}
+	}
+}
+
+func TestFaultFreeEnergyExact(t *testing.T) {
+	// Poisson baseline at f1, λ=0 → single interval (no faults expected),
+	// one CSCP: E = 2·(N + 22)·2.
+	p := params(0.76, 1, 0, 5, checkpoint.SCPSetting())
+	r := NewPoissonScheme(1).Run(p, rng.New(1))
+	want := 2.0 * (7600 + 22) * 2
+	if math.Abs(r.Energy-want) > 1e-6 {
+		t.Fatalf("energy = %v, want %v", r.Energy, want)
+	}
+	if r.CSCPs != 1 {
+		t.Fatalf("CSCPs = %d, want 1", r.CSCPs)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	p := params(0.8, 1, 0.0014, 5, checkpoint.SCPSetting())
+	for _, s := range []sim.Scheme{NewPoissonScheme(1), NewAdaptDVSSCP(), NewAdaptDVSCCP()} {
+		a := s.Run(p, rng.New(99))
+		b := s.Run(p, rng.New(99))
+		if a != b {
+			t.Fatalf("%s: non-deterministic results %+v vs %+v", s.Name(), a, b)
+		}
+	}
+}
+
+func TestInfeasibleAtF1FailsImmediately(t *testing.T) {
+	// U > 1 at f1: the fixed-speed baseline can never finish; the run
+	// must fail without completing, quickly.
+	p := params(1.05, 1, 0.0001, 1, checkpoint.SCPSetting())
+	r := NewPoissonScheme(1).Run(p, rng.New(3))
+	if r.Completed {
+		t.Fatal("infeasible run completed")
+	}
+	if r.Reason != sim.FailInfeasible {
+		t.Fatalf("reason = %q, want infeasible", r.Reason)
+	}
+	if r.Time != 0 {
+		t.Fatalf("failed at t=%v, want immediate", r.Time)
+	}
+}
+
+func TestU100BaselinesNeverComplete(t *testing.T) {
+	// Paper Tables 1b/3b, U = 1.00 rows: P = 0 for Poisson and k-f-t at
+	// f1 — checkpoint overhead alone overruns the deadline.
+	p := params(1.00, 1, 1e-4, 1, checkpoint.SCPSetting())
+	for _, s := range []sim.Scheme{NewPoissonScheme(1), NewKFTScheme(1)} {
+		pp, _ := runMany(t, s, p, 200, 4)
+		if pp != 0 {
+			t.Fatalf("%s: P = %v at U=1.00/f1, want 0", s.Name(), pp)
+		}
+	}
+}
+
+func TestDVSRescuesU100(t *testing.T) {
+	// The DVS schemes switch to f2 and complete nearly always.
+	p := params(1.00, 1, 1e-4, 1, checkpoint.SCPSetting())
+	for _, s := range []sim.Scheme{NewADTDVS(), NewAdaptDVSSCP(), NewAdaptDVSCCP()} {
+		pp, _ := runMany(t, s, p, 300, 5)
+		if pp < 0.97 {
+			t.Fatalf("%s: P = %v at U=1.00, want ≳0.99", s.Name(), pp)
+		}
+	}
+}
+
+func TestHigherLambdaLowersP(t *testing.T) {
+	s := NewPoissonScheme(1)
+	pLow := params(0.78, 1, 0.0010, 5, checkpoint.SCPSetting())
+	pHigh := params(0.78, 1, 0.0020, 5, checkpoint.SCPSetting())
+	low, _ := runMany(t, s, pLow, 1000, 6)
+	high, _ := runMany(t, s, pHigh, 1000, 6)
+	if high >= low {
+		t.Fatalf("P not decreasing in λ: %v -> %v", low, high)
+	}
+}
+
+func TestFasterBaselineUsesMoreEnergy(t *testing.T) {
+	// Same absolute task; baseline at f2 completes more but at ~2× the
+	// energy per cycle.
+	tk, _ := task.FromUtilization("t", 0.78, 1, 10000, 5)
+	p := sim.Params{Task: tk, Costs: checkpoint.SCPSetting(), Lambda: 0.0005}
+	_, eSlow := runMany(t, NewPoissonScheme(1), p, 500, 7)
+	pFast, eFast := runMany(t, NewPoissonScheme(2), p, 500, 7)
+	if pFast < 0.99 {
+		t.Fatalf("f2 baseline should nearly always complete, P=%v", pFast)
+	}
+	if !(eFast > 1.7*eSlow) {
+		t.Fatalf("f2 energy %v not ≈2× f1 energy %v", eFast, eSlow)
+	}
+}
+
+// --- Paper shape assertions (reduced repetition counts) ---
+
+func TestShapeTable1aOrdering(t *testing.T) {
+	// High λ, U=0.76..0.82, k=5, f1 baselines: adaptive DVS schemes
+	// complete ≈ always; baselines almost never; A_D_S uses less energy
+	// than A_D.
+	p := params(0.78, 1, 0.0014, 5, checkpoint.SCPSetting())
+	pPoisson, _ := runMany(t, NewPoissonScheme(1), p, 800, 8)
+	pKFT, _ := runMany(t, NewKFTScheme(1), p, 800, 9)
+	pAD, eAD := runMany(t, NewADTDVS(), p, 800, 10)
+	pADS, eADS := runMany(t, NewAdaptDVSSCP(), p, 800, 11)
+
+	if pPoisson > 0.2 || pKFT > 0.2 {
+		t.Fatalf("baselines too successful: %v %v", pPoisson, pKFT)
+	}
+	if pAD < 0.98 || pADS < 0.98 {
+		t.Fatalf("adaptive schemes too weak: A_D=%v A_D_S=%v", pAD, pADS)
+	}
+	if pADS < pAD-0.01 {
+		t.Fatalf("A_D_S P (%v) should not trail A_D (%v)", pADS, pAD)
+	}
+	if !(eADS < eAD) {
+		t.Fatalf("A_D_S energy %v should beat A_D %v", eADS, eAD)
+	}
+	// Paper ratio ≈ 0.92; allow generous band.
+	if r := eADS / eAD; r < 0.85 || r > 0.98 {
+		t.Fatalf("A_D_S/A_D energy ratio %v outside [0.85, 0.98]", r)
+	}
+}
+
+func TestShapeTable3aOrdering(t *testing.T) {
+	// CCP setting: same story with A_D_C.
+	p := params(0.78, 1, 0.0014, 5, checkpoint.CCPSetting())
+	pAD, eAD := runMany(t, NewADTDVS(), p, 800, 12)
+	pADC, eADC := runMany(t, NewAdaptDVSCCP(), p, 800, 13)
+	if pADC < pAD-0.01 {
+		t.Fatalf("A_D_C P (%v) trails A_D (%v)", pADC, pAD)
+	}
+	if !(eADC < eAD) {
+		t.Fatalf("A_D_C energy %v should beat A_D %v", eADC, eAD)
+	}
+}
+
+func TestShapeTable2aADSAdvantage(t *testing.T) {
+	// Baselines at f2, heavy task (U = N/(f2·D) = 0.78): A_D ≈ baselines,
+	// A_D_S clearly ahead (paper: 0.47 vs 0.84 at λ=0.0014).
+	p := params(0.78, 2, 0.0014, 5, checkpoint.SCPSetting())
+	pPoisson, _ := runMany(t, NewPoissonScheme(2), p, 800, 14)
+	pADS, _ := runMany(t, NewAdaptDVSSCP(), p, 800, 15)
+	if !(pADS > pPoisson+0.15) {
+		t.Fatalf("A_D_S (%v) should clearly beat f2 Poisson baseline (%v)", pADS, pPoisson)
+	}
+}
+
+func TestShapeSCPvsCCPSymmetric(t *testing.T) {
+	// In the SCP cost setting the SCP variant should be at least as good
+	// as dropping sub-checkpoints entirely; symmetrically for CCP.
+	pS := params(0.80, 2, 0.0014, 5, checkpoint.SCPSetting())
+	pAD, _ := runMany(t, NewADTDVS(), pS, 800, 16)
+	pADS, _ := runMany(t, NewAdaptDVSSCP(), pS, 800, 17)
+	if pADS < pAD {
+		t.Fatalf("SCP setting: A_D_S %v < A_D %v", pADS, pAD)
+	}
+	pC := params(0.80, 2, 0.0014, 5, checkpoint.CCPSetting())
+	pAD2, _ := runMany(t, NewADTDVS(), pC, 800, 18)
+	pADC, _ := runMany(t, NewAdaptDVSCCP(), pC, 800, 19)
+	if pADC < pAD2 {
+		t.Fatalf("CCP setting: A_D_C %v < A_D %v", pADC, pAD2)
+	}
+}
+
+// --- engine-level semantics ---
+
+func TestTraceRecordsTimeline(t *testing.T) {
+	tr := &sim.Trace{}
+	p := params(0.80, 1, 0.0014, 5, checkpoint.SCPSetting())
+	p.Trace = tr
+	r := NewAdaptDVSSCP().Run(p, rng.New(44))
+	if got := tr.Count(sim.EvFault); got != r.Faults {
+		t.Fatalf("trace faults %d != result %d", got, r.Faults)
+	}
+	if got := tr.Count(sim.EvRollback); got != r.Detections {
+		t.Fatalf("trace rollbacks %d != detections %d", got, r.Detections)
+	}
+	if got := tr.CheckpointCount(checkpoint.CSCP); got != r.CSCPs {
+		t.Fatalf("trace CSCPs %d != result %d", got, r.CSCPs)
+	}
+	last := tr.Events[len(tr.Events)-1]
+	if r.Completed && last.Kind != sim.EvComplete {
+		t.Fatalf("trace does not end in complete: %v", last.Kind)
+	}
+	// Timeline must be non-decreasing.
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].Time < tr.Events[i-1].Time-1e-9 {
+			t.Fatalf("trace time goes backwards at %d", i)
+		}
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	for s, want := range map[sim.Scheme]string{
+		NewPoissonScheme(1): "Poisson(f=1)",
+		NewKFTScheme(2):     "k-f-t(f=2)",
+		NewADTDVS():         "A_D",
+		NewAdaptDVSSCP():    "A_D_S",
+		NewAdaptDVSCCP():    "A_D_C",
+		NewAdaptSCP(1):      "adapchp-SCP(f=1)",
+	} {
+		if got := s.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFixedSchemeGuardsBadFreq(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown frequency")
+		}
+	}()
+	p := params(0.76, 1, 0.001, 5, checkpoint.SCPSetting())
+	NewPoissonScheme(3).Run(p, rng.New(1))
+}
+
+func TestPropertyResultInvariants(t *testing.T) {
+	schemes := []sim.Scheme{
+		NewPoissonScheme(1), NewKFTScheme(1), NewADTDVS(),
+		NewAdaptDVSSCP(), NewAdaptDVSCCP(),
+	}
+	f := func(seed uint64, uRaw, lamRaw uint16, kRaw uint8) bool {
+		u := 0.5 + float64(uRaw%60)/100        // 0.5 .. 1.09
+		lambda := float64(lamRaw%180) / 100000 // 0 .. 1.8e-3
+		k := int(kRaw % 8)
+		p := params(u, 1, lambda, k, checkpoint.SCPSetting())
+		for _, s := range schemes {
+			r := s.Run(p, rng.New(seed))
+			if r.Energy < 0 || math.IsNaN(r.Energy) {
+				return false
+			}
+			if r.Time < 0 || math.IsNaN(r.Time) {
+				return false
+			}
+			if r.Completed && r.Time > p.Task.Deadline {
+				return false
+			}
+			if r.Completed && r.Reason != sim.FailNone {
+				return false
+			}
+			if !r.Completed && r.Reason == sim.FailNone {
+				return false
+			}
+			if r.Detections > r.Faults {
+				return false
+			}
+			// Cycles must cover at least the useful work if completed.
+			if r.Completed && r.Cycles < sim.Replicas*p.Task.Cycles-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEnergyAtLeastWorkCost(t *testing.T) {
+	// Completed runs can never use less energy than the bare work at the
+	// cheapest operating point.
+	f := func(seed uint64, lamRaw uint16) bool {
+		lambda := float64(lamRaw%150) / 100000
+		p := params(0.76, 1, lambda, 5, checkpoint.SCPSetting())
+		r := NewAdaptDVSSCP().Run(p, rng.New(seed))
+		if !r.Completed {
+			return true
+		}
+		min := sim.Replicas * p.Task.Cycles * 2 // V1² = 2
+		return r.Energy >= min-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig3FixedSpeedAdaptiveBeatsStaticBaselines(t *testing.T) {
+	// The Fig. 3 scheme (adaptive intervals + SCPs, no DVS) at f1 should
+	// outlast the static baselines at moderate λ and utilisation where
+	// the adaptive interval choice and cheap rollbacks matter.
+	p := params(0.72, 1, 0.0010, 5, checkpoint.SCPSetting())
+	pStatic, _ := runMany(t, NewPoissonScheme(1), p, 800, 51)
+	pAdapt, _ := runMany(t, NewAdaptSCP(1), p, 800, 52)
+	if !(pAdapt > pStatic+0.1) {
+		t.Fatalf("fig-3 scheme (%v) should clearly beat static Poisson (%v)", pAdapt, pStatic)
+	}
+}
+
+func TestFig3NoDVSNeverSwitches(t *testing.T) {
+	p := params(0.72, 1, 0.0014, 5, checkpoint.SCPSetting())
+	for seed := uint64(0); seed < 20; seed++ {
+		r := NewAdaptSCP(1).Run(p, rng.New(seed))
+		if r.Switches != 0 {
+			t.Fatalf("fixed-speed scheme switched speeds %d times", r.Switches)
+		}
+	}
+}
+
+func TestAdaptCCPFixedSpeedWorks(t *testing.T) {
+	p := params(0.72, 1, 0.0014, 5, checkpoint.CCPSetting())
+	pp, _ := runMany(t, NewAdaptCCP(1), p, 500, 53)
+	if pp < 0.5 {
+		t.Fatalf("adapchp-CCP P = %v", pp)
+	}
+}
+
+func TestFailReasonPaths(t *testing.T) {
+	// Infeasible from the start at fixed speed.
+	p := params(1.2, 1, 1e-4, 1, checkpoint.SCPSetting())
+	r := NewAdaptSCP(1).Run(p, rng.New(1))
+	if r.Completed || r.Reason != sim.FailInfeasible {
+		t.Fatalf("want infeasible, got %+v", r)
+	}
+	// DVS rescues the same task.
+	r2 := NewAdaptDVSSCP().Run(p, rng.New(1))
+	if !r2.Completed {
+		t.Fatalf("DVS should rescue U=1.2: %+v", r2)
+	}
+}
+
+func TestSwitchesReportedUnderDVS(t *testing.T) {
+	// At U=0.78/λ=0.0014 the scheme starts fast and downshifts on a
+	// fault: most runs should record at least one switch.
+	p := params(0.78, 1, 0.0014, 5, checkpoint.SCPSetting())
+	switched := 0
+	for seed := uint64(0); seed < 50; seed++ {
+		if NewAdaptDVSSCP().Run(p, rng.New(seed)).Switches > 0 {
+			switched++
+		}
+	}
+	if switched < 25 {
+		t.Fatalf("only %d/50 runs switched speed", switched)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// misbeliefParams builds an environment whose true fault rate differs
+// from the rate the planner is told: Params.Lambda carries the (wrong)
+// belief, FaultProcess the (true) physics.
+func misbeliefParams(t *testing.T, believed, actual float64) sim.Params {
+	t.Helper()
+	tk, err := task.FromUtilization("mis", 0.78, 1, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Params{
+		Task:   tk,
+		Costs:  checkpoint.SCPSetting(),
+		Lambda: believed,
+		FaultProcess: func(src *rng.Source) fault.Process {
+			return fault.NewPoisson(actual, src)
+		},
+	}
+}
+
+func TestOnlineLambdaRecoversFromWrongPrior(t *testing.T) {
+	// Planner believes λ = 1e-5; reality is 1.4e-3 (140× worse). The
+	// static-belief scheme under-checkpoints and under-speeds; the
+	// online estimator converges to the true rate and recovers most of
+	// the completion probability of the correctly-informed scheme.
+	const believed, actual = 1e-5, 1.4e-3
+	p := misbeliefParams(t, believed, actual)
+
+	static := NewAdaptDVSSCP()
+	online := NewAdaptDVSSCP().WithOnlineLambda(believed)
+	informed := NewAdaptDVSSCP()
+	informedParams := misbeliefParams(t, actual, actual)
+
+	pStatic, _ := runMany(t, static, p, 800, 31)
+	pOnline, _ := runMany(t, online, p, 800, 32)
+	pInformed, _ := runMany(t, informed, informedParams, 800, 33)
+
+	if !(pOnline > pStatic+0.1) {
+		t.Fatalf("online estimation did not help: static=%v online=%v", pStatic, pOnline)
+	}
+	// Convergence happens within a single task execution, so the online
+	// scheme cannot fully match the informed one — but it must recover
+	// the bulk of the gap.
+	if gotBack := (pOnline - pStatic) / (pInformed - pStatic + 1e-12); gotBack < 0.6 {
+		t.Fatalf("online recovered only %.0f%% of the gap (static=%v online=%v informed=%v)",
+			100*gotBack, pStatic, pOnline, pInformed)
+	}
+}
+
+func TestOnlineLambdaHarmlessWhenPriorRight(t *testing.T) {
+	// With a correct prior the estimator must not hurt.
+	tk, _ := task.FromUtilization("ok", 0.78, 1, 10000, 5)
+	p := sim.Params{Task: tk, Costs: checkpoint.SCPSetting(), Lambda: 0.0014}
+	pKnown, eKnown := runMany(t, NewAdaptDVSSCP(), p, 800, 34)
+	pOnline, eOnline := runMany(t, NewAdaptDVSSCP().WithOnlineLambda(0.0014), p, 800, 35)
+	if pOnline < pKnown-0.02 {
+		t.Fatalf("estimator hurt P with a correct prior: %v vs %v", pOnline, pKnown)
+	}
+	if eOnline > 1.1*eKnown {
+		t.Fatalf("estimator wasted energy with a correct prior: %v vs %v", eOnline, eKnown)
+	}
+}
+
+func TestOnlineLambdaName(t *testing.T) {
+	if got := NewAdaptDVSSCP().WithOnlineLambda(1e-4).Name(); got != "A_D_S+est" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestEagerName(t *testing.T) {
+	if got := NewAdaptDVSSCP().WithEagerDVS().Name(); got != "A_D_S+eager" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestEagerVariantTradesEnergyForP(t *testing.T) {
+	// The idealised every-interval governor must save energy vs the
+	// fault-only replan at the same cell (the BenchmarkAblationDVS
+	// claim, asserted as a test).
+	tk, _ := task.FromUtilization("abl", 0.78, 1, 10000, 5)
+	p := sim.Params{Task: tk, Costs: checkpoint.SCPSetting(), Lambda: 0.0014}
+	_, ePaper := runMany(t, NewAdaptDVSSCP(), p, 800, 36)
+	pEager, eEager := runMany(t, NewAdaptDVSSCP().WithEagerDVS(), p, 800, 37)
+	if !(eEager < ePaper) {
+		t.Fatalf("eager governor should save energy: %v vs %v", eEager, ePaper)
+	}
+	if pEager < 0.9 {
+		t.Fatalf("eager governor P collapsed: %v", pEager)
+	}
+}
+
+func TestMultiLevelDVSUsesIntermediateSpeeds(t *testing.T) {
+	// Extension: with a 4-point DVS table, the adaptive scheme should
+	// settle on an intermediate speed when f1 is infeasible but f2 is
+	// overkill, saving energy over the two-speed part.
+	model4, err := cpu.NewModel([]cpu.OperatingPoint{
+		{Freq: 1, Voltage: cpu.DefaultVoltage(1)},
+		{Freq: 1.25, Voltage: cpu.DefaultVoltage(1.25)},
+		{Freq: 1.5, Voltage: cpu.DefaultVoltage(1.5)},
+		{Freq: 2, Voltage: cpu.DefaultVoltage(2)},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, _ := task.FromUtilization("multi", 1.05, 1, 10000, 5)
+	p2 := sim.Params{Task: tk, Costs: checkpoint.SCPSetting(), Lambda: 5e-4}
+	p4 := p2
+	p4.CPU = model4
+
+	pTwo, eTwo := runMany(t, NewAdaptDVSSCP(), p2, 600, 41)
+	pFour, eFour := runMany(t, NewAdaptDVSSCP(), p4, 600, 42)
+	if pTwo < 0.95 || pFour < 0.95 {
+		t.Fatalf("completion collapsed: two=%v four=%v", pTwo, pFour)
+	}
+	if !(eFour < eTwo) {
+		t.Fatalf("finer DVS table should save energy: four=%v two=%v", eFour, eTwo)
+	}
+}

@@ -1,0 +1,189 @@
+// Package cpu models a dynamically voltage-scaled embedded processor.
+//
+// The paper's analysis uses a single processor (replicated for DMR) with
+// two operating points f1 (the minimum speed, normalised to 1 cycle per
+// time unit) and f2 = 2·f1, able to switch speed in negligible time.
+// Energy is "the product of the square of the voltage and the number of
+// computation cycles over all the segments of the task" (paper §4), so a
+// segment of n cycles at operating point (f, V) costs n·V². The paper
+// never states V1/V2 explicitly, but its table magnitudes back-solve
+// cleanly to an energy-per-cycle of 2 at f1 and 4 at f2 with two
+// replicas metered (all-slow baseline rows report E ≈ 4·cycles, all-fast
+// rows ≈ 8·cycles), i.e. V ∝ √f with V1 = √2 normalised volts.
+// DefaultVoltage encodes that relation.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// OperatingPoint is one frequency/voltage pair of a DVS processor.
+type OperatingPoint struct {
+	// Freq is the clock speed in minimum-speed units (f1 = 1).
+	Freq float64
+	// Voltage is the supply voltage at this speed, in normalised volts.
+	Voltage float64
+}
+
+// EnergyPerCycle returns V² — the energy one cycle costs at this point.
+func (p OperatingPoint) EnergyPerCycle() float64 {
+	return p.Voltage * p.Voltage
+}
+
+// Model is a DVS processor: an ordered set of operating points plus the
+// speed-switch overhead (zero in the paper).
+type Model struct {
+	points      []OperatingPoint
+	switchCost  float64 // cycles of dead time per speed switch
+	switchCount int
+}
+
+// DefaultVoltage derives the supply voltage for a speed in minimum-speed
+// units: V(f) = √(2f), the relation the paper's table magnitudes imply
+// (see the package comment). Energy per cycle is then V² = 2f — 2 at the
+// paper's f1, 4 at its f2.
+func DefaultVoltage(freq float64) float64 {
+	return math.Sqrt(2 * freq)
+}
+
+// NewModel builds a processor from operating points. Points are sorted by
+// frequency; frequencies must be positive and strictly increasing after
+// sorting, voltages positive and non-decreasing with frequency.
+func NewModel(points []OperatingPoint, switchCost float64) (*Model, error) {
+	if len(points) == 0 {
+		return nil, errors.New("cpu: no operating points")
+	}
+	if switchCost < 0 {
+		return nil, errors.New("cpu: negative switch cost")
+	}
+	ps := make([]OperatingPoint, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Freq < ps[j].Freq })
+	for i, p := range ps {
+		if p.Freq <= 0 {
+			return nil, fmt.Errorf("cpu: non-positive frequency %v", p.Freq)
+		}
+		if p.Voltage <= 0 {
+			return nil, fmt.Errorf("cpu: non-positive voltage %v", p.Voltage)
+		}
+		if i > 0 {
+			if p.Freq == ps[i-1].Freq {
+				return nil, fmt.Errorf("cpu: duplicate frequency %v", p.Freq)
+			}
+			if p.Voltage < ps[i-1].Voltage {
+				return nil, fmt.Errorf("cpu: voltage must be non-decreasing with frequency (%v V at %v > %v V at %v)",
+					ps[i-1].Voltage, ps[i-1].Freq, p.Voltage, p.Freq)
+			}
+		}
+	}
+	return &Model{points: ps, switchCost: switchCost}, nil
+}
+
+// TwoSpeed returns the paper's processor: f1 = 1, f2 = 2·f1, zero switch
+// cost, default voltages.
+func TwoSpeed() *Model {
+	m, err := NewModel([]OperatingPoint{
+		{Freq: 1, Voltage: DefaultVoltage(1)},
+		{Freq: 2, Voltage: DefaultVoltage(2)},
+	}, 0)
+	if err != nil {
+		panic(err) // static construction cannot fail
+	}
+	return m
+}
+
+// Points returns the operating points in ascending frequency order.
+// The returned slice must not be modified.
+func (m *Model) Points() []OperatingPoint { return m.points }
+
+// Min returns the slowest operating point (f1 in the paper).
+func (m *Model) Min() OperatingPoint { return m.points[0] }
+
+// Max returns the fastest operating point (f2 in the paper).
+func (m *Model) Max() OperatingPoint { return m.points[len(m.points)-1] }
+
+// AtFreq returns the operating point with exactly the given frequency.
+func (m *Model) AtFreq(freq float64) (OperatingPoint, error) {
+	for _, p := range m.points {
+		if p.Freq == freq {
+			return p, nil
+		}
+	}
+	return OperatingPoint{}, fmt.Errorf("cpu: no operating point at f=%v", freq)
+}
+
+// Ceil returns the slowest operating point with Freq >= freq, or the
+// fastest point if none is fast enough.
+func (m *Model) Ceil(freq float64) OperatingPoint {
+	for _, p := range m.points {
+		if p.Freq >= freq {
+			return p
+		}
+	}
+	return m.Max()
+}
+
+// SwitchCost returns the dead-time in cycles charged per speed change.
+func (m *Model) SwitchCost() float64 { return m.switchCost }
+
+// Meter accumulates energy over the segments of one task execution on a
+// redundancy group. Cycles are physical clock cycles of each replica (a
+// segment of wall-time t at speed f is f·t cycles per replica).
+type Meter struct {
+	replicas  int
+	energy    float64
+	cycles    float64
+	wallTime  float64
+	switches  int
+	lastPoint OperatingPoint
+	started   bool
+}
+
+// NewMeter returns a Meter for a redundancy group of the given size
+// (2 for DMR). replicas must be >= 1.
+func NewMeter(replicas int) *Meter {
+	if replicas < 1 {
+		panic("cpu: replicas < 1")
+	}
+	return &Meter{replicas: replicas}
+}
+
+// Segment charges wall-clock duration t executed at operating point p:
+// every replica burns f·t cycles at V². Durations must be non-negative;
+// NaN durations panic (they indicate a simulator bug upstream).
+func (mt *Meter) Segment(p OperatingPoint, t float64) {
+	if t < 0 || math.IsNaN(t) {
+		panic(fmt.Sprintf("cpu: bad segment duration %v", t))
+	}
+	if mt.started && p != mt.lastPoint {
+		mt.switches++
+	}
+	mt.started = true
+	mt.lastPoint = p
+	cycles := p.Freq * t * float64(mt.replicas)
+	mt.cycles += cycles
+	mt.energy += cycles * p.EnergyPerCycle()
+	mt.wallTime += t
+}
+
+// Energy returns the accumulated V²·cycles total across replicas.
+func (mt *Meter) Energy() float64 { return mt.energy }
+
+// Cycles returns the total clock cycles burned across replicas.
+func (mt *Meter) Cycles() float64 { return mt.cycles }
+
+// WallTime returns the summed wall-clock time of all segments.
+func (mt *Meter) WallTime() float64 { return mt.wallTime }
+
+// Switches returns how many speed changes the execution made.
+func (mt *Meter) Switches() int { return mt.switches }
+
+// Reset clears the meter for reuse.
+func (mt *Meter) Reset() {
+	mt.energy, mt.cycles, mt.wallTime = 0, 0, 0
+	mt.switches = 0
+	mt.started = false
+}

@@ -1,0 +1,231 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoSpeedShape(t *testing.T) {
+	m := TwoSpeed()
+	if got := m.Min().Freq; got != 1 {
+		t.Fatalf("min freq = %v, want 1", got)
+	}
+	if got := m.Max().Freq; got != 2 {
+		t.Fatalf("max freq = %v, want 2", got)
+	}
+	if math.Abs(m.Max().Voltage-math.Sqrt2*m.Min().Voltage) > 1e-12 {
+		t.Fatalf("voltage scaling broken: %v vs %v", m.Max().Voltage, m.Min().Voltage)
+	}
+}
+
+func TestEnergyPerCycleCalibration(t *testing.T) {
+	// The paper's table magnitudes imply energy-per-cycle 2 at f1 and
+	// 4 at f2 (V ∝ √f); these constants anchor the absolute scale of
+	// every E column we reproduce.
+	m := TwoSpeed()
+	if got := m.Min().EnergyPerCycle(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("E/cycle at f1 = %v, want 2", got)
+	}
+	if got := m.Max().EnergyPerCycle(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("E/cycle at f2 = %v, want 4", got)
+	}
+}
+
+func TestNewModelSortsPoints(t *testing.T) {
+	m, err := NewModel([]OperatingPoint{
+		{Freq: 2, Voltage: 3.2},
+		{Freq: 1, Voltage: 1.6},
+		{Freq: 1.5, Voltage: 2.4},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := m.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Freq <= pts[i-1].Freq {
+			t.Fatal("points not sorted ascending")
+		}
+	}
+}
+
+func TestNewModelRejections(t *testing.T) {
+	cases := []struct {
+		name       string
+		pts        []OperatingPoint
+		switchCost float64
+	}{
+		{"empty", nil, 0},
+		{"zero freq", []OperatingPoint{{0, 1}}, 0},
+		{"zero voltage", []OperatingPoint{{1, 0}}, 0},
+		{"duplicate freq", []OperatingPoint{{1, 1}, {1, 2}}, 0},
+		{"voltage decreasing", []OperatingPoint{{1, 2}, {2, 1}}, 0},
+		{"negative switch", []OperatingPoint{{1, 1}}, -1},
+	}
+	for _, c := range cases {
+		if _, err := NewModel(c.pts, c.switchCost); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestAtFreq(t *testing.T) {
+	m := TwoSpeed()
+	p, err := m.AtFreq(2)
+	if err != nil || p.Freq != 2 {
+		t.Fatalf("AtFreq(2) = %v, %v", p, err)
+	}
+	if _, err := m.AtFreq(3); err == nil {
+		t.Fatal("AtFreq(3) found a phantom point")
+	}
+}
+
+func TestCeil(t *testing.T) {
+	m, err := NewModel([]OperatingPoint{
+		{Freq: 1, Voltage: 1.6}, {Freq: 1.5, Voltage: 2.4}, {Freq: 2, Voltage: 3.2},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Ceil(1.2).Freq; got != 1.5 {
+		t.Fatalf("Ceil(1.2) = %v, want 1.5", got)
+	}
+	if got := m.Ceil(0.5).Freq; got != 1 {
+		t.Fatalf("Ceil(0.5) = %v, want 1", got)
+	}
+	if got := m.Ceil(9).Freq; got != 2 {
+		t.Fatalf("Ceil(9) = %v, want max 2", got)
+	}
+}
+
+func TestMeterSingleSegment(t *testing.T) {
+	m := TwoSpeed()
+	mt := NewMeter(2)
+	mt.Segment(m.Min(), 100) // 100 time units at f1
+	// 2 replicas × 1 cycle/unit × 100 units = 200 cycles at V1².
+	wantCycles := 200.0
+	if got := mt.Cycles(); math.Abs(got-wantCycles) > 1e-9 {
+		t.Fatalf("cycles = %v, want %v", got, wantCycles)
+	}
+	wantE := wantCycles * m.Min().EnergyPerCycle()
+	if got := mt.Energy(); math.Abs(got-wantE) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", got, wantE)
+	}
+}
+
+func TestMeterFastSegmentCostsQuadruple(t *testing.T) {
+	m := TwoSpeed()
+	slow, fast := NewMeter(1), NewMeter(1)
+	// Same work: 100 cycles. Slow takes 100 units, fast takes 50 units.
+	slow.Segment(m.Min(), 100)
+	fast.Segment(m.Max(), 50)
+	if slow.Cycles() != fast.Cycles() {
+		t.Fatalf("cycle counts differ: %v vs %v", slow.Cycles(), fast.Cycles())
+	}
+	ratio := fast.Energy() / slow.Energy()
+	if math.Abs(ratio-2) > 1e-12 {
+		t.Fatalf("fast/slow energy ratio = %v, want 2 (V ∝ √f)", ratio)
+	}
+	if fast.WallTime() >= slow.WallTime() {
+		t.Fatal("fast execution not faster")
+	}
+}
+
+func TestMeterSwitchCounting(t *testing.T) {
+	m := TwoSpeed()
+	mt := NewMeter(2)
+	mt.Segment(m.Min(), 10)
+	mt.Segment(m.Min(), 10)
+	mt.Segment(m.Max(), 10)
+	mt.Segment(m.Min(), 10)
+	if got := mt.Switches(); got != 2 {
+		t.Fatalf("switches = %d, want 2", got)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := TwoSpeed()
+	mt := NewMeter(2)
+	mt.Segment(m.Max(), 5)
+	mt.Reset()
+	if mt.Energy() != 0 || mt.Cycles() != 0 || mt.WallTime() != 0 || mt.Switches() != 0 {
+		t.Fatal("Reset left residue")
+	}
+	mt.Segment(m.Min(), 5)
+	if mt.Switches() != 0 {
+		t.Fatal("Reset did not clear last operating point")
+	}
+}
+
+func TestMeterZeroDuration(t *testing.T) {
+	mt := NewMeter(1)
+	mt.Segment(TwoSpeed().Min(), 0)
+	if mt.Energy() != 0 {
+		t.Fatal("zero-duration segment charged energy")
+	}
+}
+
+func TestMeterPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative duration")
+		}
+	}()
+	NewMeter(1).Segment(TwoSpeed().Min(), -1)
+}
+
+func TestMeterPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on NaN duration")
+		}
+	}()
+	NewMeter(1).Segment(TwoSpeed().Min(), math.NaN())
+}
+
+func TestPropertyEnergyAdditive(t *testing.T) {
+	m := TwoSpeed()
+	f := func(a, b uint16) bool {
+		ta, tb := float64(a%1000), float64(b%1000)
+		one := NewMeter(2)
+		one.Segment(m.Min(), ta+tb)
+		two := NewMeter(2)
+		two.Segment(m.Min(), ta)
+		two.Segment(m.Min(), tb)
+		return math.Abs(one.Energy()-two.Energy()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEnergyMonotonicInTime(t *testing.T) {
+	m := TwoSpeed()
+	f := func(a, b uint16) bool {
+		ta := float64(a % 5000)
+		tb := ta + float64(b%5000) + 1
+		ma, mb := NewMeter(2), NewMeter(2)
+		ma.Segment(m.Max(), ta)
+		mb.Segment(m.Max(), tb)
+		return mb.Energy() > ma.Energy() || ta == 0 && mb.Energy() >= ma.Energy()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultVoltageAnchors(t *testing.T) {
+	if got := DefaultVoltage(1); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Fatalf("V(1) = %v, want √2", got)
+	}
+	if got := DefaultVoltage(2); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("V(2) = %v, want 2", got)
+	}
+	// Energy per cycle = V² = 2f exactly.
+	for _, f := range []float64{1, 1.5, 2, 3} {
+		p := OperatingPoint{Freq: f, Voltage: DefaultVoltage(f)}
+		if got := p.EnergyPerCycle(); math.Abs(got-2*f) > 1e-12 {
+			t.Fatalf("E/cycle at f=%v is %v, want %v", f, got, 2*f)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package dmr executes a real program (internal/isa) on a
+// double-modular-redundancy pair under the paper's checkpointing
+// mechanics: both replicas run in lockstep, transient faults flip actual
+// bits in one replica's architectural state, compare checkpoints (CCPs)
+// and compare-and-store checkpoints (CSCPs) detect divergence by state
+// digest, store checkpoints (SCPs and CSCPs) snapshot both replicas, and
+// rollback restores the newest snapshot pair whose digests agree.
+//
+// Where internal/sim costs this machinery out stochastically for the
+// statistical tables, this package demonstrates it on genuine machine
+// state — it is the executable meaning of paper Figs. 1 and 5.
+package dmr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// Pair is a DMR replica pair executing the same program.
+type Pair struct {
+	A, B *isa.Machine
+}
+
+// NewPair builds two identical machines for the program.
+func NewPair(prog []isa.Instr, memWords int) (*Pair, error) {
+	a, err := isa.New(prog, memWords)
+	if err != nil {
+		return nil, err
+	}
+	b, err := isa.New(prog, memWords)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{A: a, B: b}, nil
+}
+
+// step advances both replicas by up to n instructions each (lockstep).
+// Traps are tolerated: a trapped replica halts and will be caught as a
+// divergence at the next comparison.
+func (p *Pair) step(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		if p.A.Halted() && p.B.Halted() {
+			return
+		}
+		_ = p.A.Step() //nolint:errcheck // traps surface as divergence
+		_ = p.B.Step()
+	}
+}
+
+// Agree reports whether the replicas' state digests match.
+func (p *Pair) Agree() bool { return p.A.Digest() == p.B.Digest() }
+
+// Done reports whether both replicas have halted.
+func (p *Pair) Done() bool { return p.A.Halted() && p.B.Halted() }
+
+// snapshotPair is one stored checkpoint of both replicas.
+type snapshotPair struct {
+	a, b   isa.Snapshot
+	da, db uint64
+	// work is the useful-instruction progress at the store point.
+	work uint64
+}
+
+func (s snapshotPair) consistent() bool { return s.da == s.db }
+
+// Config parameterises one DMR execution under checkpointing.
+type Config struct {
+	// Prog is the assembled program; MemWords sizes data memory.
+	Prog     []isa.Instr
+	MemWords int
+	// DeadlineCycles bounds the wall-clock cycles (work + checkpoint
+	// overhead) the execution may take. Zero means unbounded.
+	DeadlineCycles uint64
+	// IntervalCycles is the CSCP interval in instructions; SubCount
+	// sub-divides it with checkpoints of kind Sub (SCP or CCP).
+	IntervalCycles uint64
+	SubCount       int
+	Sub            checkpoint.Kind
+	// Costs gives checkpoint costs in cycles (Store, Compare, Rollback).
+	Costs checkpoint.Costs
+	// Lambda is the fault rate per useful instruction; each fault flips
+	// one uniformly chosen bit (register or memory word) in one replica.
+	Lambda float64
+	// MaxInstructions caps useful execution (guards broken programs
+	// whose corrupted control flow never halts). Zero means 16× the
+	// deadline or 1e7, whichever is larger.
+	MaxInstructions uint64
+	// Incremental makes store checkpoints persist only the words written
+	// since the previous store (plus the register file), scaling the
+	// store cost by the dirty fraction. Comparison costs are unaffected:
+	// divergence detection must digest the full state, because silent
+	// bit upsets are exactly the changes a write-set tracker misses.
+	Incremental bool
+}
+
+func (c Config) validate() error {
+	if len(c.Prog) == 0 {
+		return errors.New("dmr: empty program")
+	}
+	if c.IntervalCycles == 0 {
+		return errors.New("dmr: zero checkpoint interval")
+	}
+	if c.SubCount < 1 {
+		return errors.New("dmr: sub-interval count must be >= 1")
+	}
+	if c.Sub != checkpoint.SCP && c.Sub != checkpoint.CCP {
+		return fmt.Errorf("dmr: sub-checkpoint kind must be SCP or CCP, got %v", c.Sub)
+	}
+	if err := c.Costs.Validate(); err != nil {
+		return err
+	}
+	if c.Lambda < 0 {
+		return errors.New("dmr: negative fault rate")
+	}
+	return nil
+}
+
+func (c Config) maxInstructions() uint64 {
+	if c.MaxInstructions > 0 {
+		return c.MaxInstructions
+	}
+	if m := 16 * c.DeadlineCycles; m > 1e7 {
+		return m
+	}
+	return 1e7
+}
+
+// Report is the outcome of one DMR execution.
+type Report struct {
+	// Completed: both replicas halted in agreement, validated by a final
+	// CSCP, within the deadline.
+	Completed bool
+	// WallCycles counts useful instructions plus checkpoint/rollback
+	// overhead cycles.
+	WallCycles uint64
+	// ExecutedInstructions counts instructions each replica executed,
+	// including work later rolled back (the max over the two replicas).
+	ExecutedInstructions uint64
+	// FaultsInjected, Detections, Rollbacks count fault events.
+	FaultsInjected int
+	Detections     int
+	// SCPs, CCPs, CSCPs count checkpoint operations.
+	SCPs, CCPs, CSCPs int
+	// FinalDigest is the agreed state digest on completion.
+	FinalDigest uint64
+}
+
+// executor carries the mutable state of one Execute call.
+type executor struct {
+	cfg   Config
+	src   *rng.Source
+	pair  *Pair
+	rep   Report
+	store []snapshotPair
+	// nextFault is the useful-instruction index of the next fault.
+	nextFault float64
+	executed  uint64 // useful instructions executed (monotonic)
+}
+
+// Execute runs the program on a DMR pair under the configured
+// checkpointing scheme.
+func Execute(cfg Config, src *rng.Source) (Report, error) {
+	if err := cfg.validate(); err != nil {
+		return Report{}, err
+	}
+	if src == nil {
+		return Report{}, errors.New("dmr: nil rng source")
+	}
+	pair, err := NewPair(cfg.Prog, cfg.MemWords)
+	if err != nil {
+		return Report{}, err
+	}
+	ex := &executor{cfg: cfg, src: src, pair: pair}
+	ex.drawFault(0)
+	// The interval-leading state is checkpoint zero.
+	ex.snapshot(0)
+	ex.run()
+	return ex.rep, nil
+}
+
+func (ex *executor) drawFault(from float64) {
+	if ex.cfg.Lambda <= 0 {
+		ex.nextFault = -1
+		return
+	}
+	ex.nextFault = from + ex.src.Exp(ex.cfg.Lambda)
+}
+
+// snapshot stores both replicas' states (an SCP or the store half of a
+// CSCP) and, in incremental mode, clears their write sets (the stored
+// image is now the persistence baseline).
+func (ex *executor) snapshot(work uint64) {
+	ex.store = append(ex.store, snapshotPair{
+		a: ex.pair.A.Snapshot(), b: ex.pair.B.Snapshot(),
+		da: ex.pair.A.Digest(), db: ex.pair.B.Digest(),
+		work: work,
+	})
+	if ex.cfg.Incremental {
+		ex.pair.A.ResetDirty()
+		ex.pair.B.ResetDirty()
+	}
+}
+
+// storeScale returns the fraction of the full image an incremental store
+// must persist: (dirty words + register file) over (memory + register
+// file), using the larger of the two replicas' write sets.
+func (ex *executor) storeScale() float64 {
+	if !ex.cfg.Incremental {
+		return 1
+	}
+	dirty := ex.pair.A.DirtyWords()
+	if b := ex.pair.B.DirtyWords(); b > dirty {
+		dirty = b
+	}
+	total := float64(ex.cfg.MemWords + isa.NumRegs)
+	return (float64(dirty) + isa.NumRegs) / total
+}
+
+// inject flips one uniformly chosen bit in one replica.
+func (ex *executor) inject() {
+	m := ex.pair.A
+	if ex.src.Intn(2) == 1 {
+		m = ex.pair.B
+	}
+	ex.rep.FaultsInjected++
+	memBits := len(m.Mem) * 32
+	regBits := isa.NumRegs * 32
+	i := ex.src.Intn(regBits + memBits)
+	if i < regBits {
+		m.FlipRegisterBit(i/32, i%32)
+		return
+	}
+	i -= regBits
+	m.FlipMemoryBit(i/32, i%32)
+}
+
+// execSpan runs up to n useful instructions, injecting scheduled faults
+// at their exact positions.
+func (ex *executor) execSpan(n uint64) {
+	remaining := n
+	for remaining > 0 {
+		if ex.nextFault >= 0 && ex.nextFault < float64(ex.executed)+float64(remaining) {
+			chunk := uint64(ex.nextFault) - ex.executed
+			if chunk > remaining {
+				chunk = remaining
+			}
+			ex.pair.step(chunk)
+			ex.executed += chunk
+			remaining -= chunk
+			ex.inject()
+			ex.drawFault(ex.nextFault)
+			continue
+		}
+		ex.pair.step(remaining)
+		ex.executed += remaining
+		remaining = 0
+	}
+	ex.rep.WallCycles += n
+}
+
+// chargeCheckpoint adds the overhead cycles of one checkpoint op,
+// scaling the store component by the dirty fraction in incremental mode.
+// It must be called before the matching snapshot (which resets the write
+// set).
+func (ex *executor) chargeCheckpoint(k checkpoint.Kind) {
+	var cost float64
+	switch k {
+	case checkpoint.SCP:
+		cost = ex.cfg.Costs.Store * ex.storeScale()
+		ex.rep.SCPs++
+	case checkpoint.CCP:
+		cost = ex.cfg.Costs.Compare
+		ex.rep.CCPs++
+	default:
+		cost = ex.cfg.Costs.Store*ex.storeScale() + ex.cfg.Costs.Compare
+		ex.rep.CSCPs++
+	}
+	ex.rep.WallCycles += uint64(cost)
+}
+
+// rollback restores the newest consistent snapshot pair and truncates the
+// store past it. It returns the work position rolled back to.
+func (ex *executor) rollback() uint64 {
+	ex.rep.Detections++
+	ex.rep.WallCycles += uint64(ex.cfg.Costs.Rollback)
+	for i := len(ex.store) - 1; i >= 0; i-- {
+		if ex.store[i].consistent() {
+			ex.pair.A.Restore(ex.store[i].a)
+			ex.pair.B.Restore(ex.store[i].b)
+			if ex.cfg.Incremental {
+				// The restored image equals the persisted baseline.
+				ex.pair.A.ResetDirty()
+				ex.pair.B.ResetDirty()
+			}
+			ex.store = ex.store[:i+1]
+			return ex.store[i].work
+		}
+	}
+	// Unreachable: checkpoint zero (pristine state) is always consistent.
+	panic("dmr: no consistent snapshot to roll back to")
+}
+
+func (ex *executor) deadlineExceeded() bool {
+	return ex.cfg.DeadlineCycles > 0 && ex.rep.WallCycles > ex.cfg.DeadlineCycles
+}
+
+func (ex *executor) run() {
+	subLen := ex.cfg.IntervalCycles / uint64(ex.cfg.SubCount)
+	if subLen == 0 {
+		subLen = 1
+	}
+	work := uint64(0) // committed progress
+
+	for {
+		if ex.executed >= ex.cfg.maxInstructions() || ex.deadlineExceeded() {
+			return
+		}
+		// One CSCP interval.
+		intervalStartWork := work
+		detected := false
+		faultSeen := false
+		for s := 0; s < ex.cfg.SubCount; s++ {
+			before := ex.rep.FaultsInjected
+			ex.execSpan(subLen)
+			faultSeen = faultSeen || ex.rep.FaultsInjected > before
+
+			last := s == ex.cfg.SubCount-1
+			switch {
+			case last:
+				// CSCP: compare, then store if agreeing.
+				ex.chargeCheckpoint(checkpoint.CSCP)
+				if !ex.pair.Agree() {
+					detected = true
+				} else {
+					work = intervalStartWork + uint64(s+1)*subLen
+					ex.snapshot(work)
+				}
+			case ex.cfg.Sub == checkpoint.SCP:
+				ex.chargeCheckpoint(checkpoint.SCP)
+				ex.snapshot(intervalStartWork + uint64(s+1)*subLen)
+			default: // CCP
+				ex.chargeCheckpoint(checkpoint.CCP)
+				if !ex.pair.Agree() {
+					detected = true
+				}
+			}
+			if detected {
+				break
+			}
+			if ex.pair.Done() && ex.pair.Agree() {
+				// Program finished inside the interval: validate with a
+				// closing CSCP and stop.
+				ex.chargeCheckpoint(checkpoint.CSCP)
+				ex.rep.ExecutedInstructions = maxU64(ex.pair.A.Cycles(), ex.pair.B.Cycles())
+				ex.rep.Completed = !ex.deadlineExceeded()
+				ex.rep.FinalDigest = ex.pair.A.Digest()
+				return
+			}
+		}
+		if detected {
+			work = ex.rollback()
+			continue
+		}
+		_ = faultSeen // informational only; undetected faults surface later
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,292 @@
+package dmr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/checkpoint"
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// workload multiplies two numbers by repeated addition and stores partial
+// sums in memory: long enough to span several checkpoints, stateful
+// enough that a bit flip almost always matters.
+const workload = `
+    ldi  r1, 200     ; outer counter
+    ldi  r2, 0       ; accumulator
+    ldi  r3, 7
+    ldi  r5, 0       ; memory cursor
+outer:
+    add  r2, r2, r3
+    and  r6, r1, r3
+    st   r2, 0(r5)
+    addi r5, r5, 1
+    ldi  r7, 15
+    blt  r5, r7, keep
+    ldi  r5, 0
+keep:
+    addi r1, r1, -1
+    bne  r1, r0, outer
+    halt
+`
+
+func cfg(lambda float64, sub checkpoint.Kind, m int) Config {
+	return Config{
+		Prog:           isa.MustAssemble(workload),
+		MemWords:       16,
+		IntervalCycles: 200,
+		SubCount:       m,
+		Sub:            sub,
+		Costs:          checkpoint.Costs{Store: 4, Compare: 2, Rollback: 1},
+		Lambda:         lambda,
+	}
+}
+
+func TestFaultFreeCompletes(t *testing.T) {
+	for _, sub := range []checkpoint.Kind{checkpoint.SCP, checkpoint.CCP} {
+		r, err := Execute(cfg(0, sub, 4), rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Completed {
+			t.Fatalf("%v: fault-free run did not complete", sub)
+		}
+		if r.FaultsInjected != 0 || r.Detections != 0 {
+			t.Fatalf("%v: phantom faults", sub)
+		}
+		if r.CSCPs == 0 {
+			t.Fatalf("%v: no CSCPs taken", sub)
+		}
+	}
+}
+
+func TestFaultFreeDigestsAgreeAcrossSchemes(t *testing.T) {
+	// The final state must be program-determined, identical whichever
+	// checkpointing scheme ran it.
+	a, _ := Execute(cfg(0, checkpoint.SCP, 4), rng.New(1))
+	b, _ := Execute(cfg(0, checkpoint.CCP, 5), rng.New(2))
+	if a.FinalDigest != b.FinalDigest {
+		t.Fatal("final digest depends on checkpointing scheme")
+	}
+}
+
+func TestFaultyRunStillProducesCorrectResult(t *testing.T) {
+	// The whole point of DMR + checkpointing: despite injected bit
+	// flips, the committed result equals the fault-free digest.
+	clean, _ := Execute(cfg(0, checkpoint.SCP, 4), rng.New(1))
+	faultyRuns := 0
+	for seed := uint64(0); seed < 30; seed++ {
+		r, err := Execute(cfg(0.004, checkpoint.SCP, 4), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Completed {
+			continue
+		}
+		if r.FaultsInjected > 0 {
+			faultyRuns++
+		}
+		if r.FinalDigest != clean.FinalDigest {
+			t.Fatalf("seed %d: corrupted result committed (faults=%d detections=%d)",
+				seed, r.FaultsInjected, r.Detections)
+		}
+	}
+	if faultyRuns == 0 {
+		t.Fatal("no run saw faults; λ too low for the test to mean anything")
+	}
+}
+
+func TestCCPVariantAlsoMasksFaults(t *testing.T) {
+	clean, _ := Execute(cfg(0, checkpoint.CCP, 4), rng.New(1))
+	for seed := uint64(0); seed < 30; seed++ {
+		r, err := Execute(cfg(0.004, checkpoint.CCP, 4), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Completed && r.FinalDigest != clean.FinalDigest {
+			t.Fatalf("seed %d: corrupted result committed", seed)
+		}
+	}
+}
+
+func TestDetectionsFollowFaults(t *testing.T) {
+	sawDetection := false
+	for seed := uint64(0); seed < 20; seed++ {
+		r, _ := Execute(cfg(0.01, checkpoint.SCP, 4), rng.New(seed))
+		if r.Detections > 0 {
+			sawDetection = true
+		}
+		if r.Detections > 0 && r.FaultsInjected == 0 {
+			t.Fatal("detection without any fault")
+		}
+	}
+	if !sawDetection {
+		t.Fatal("no detections at λ=0.01")
+	}
+}
+
+func TestDeadlineEnforced(t *testing.T) {
+	c := cfg(0, checkpoint.SCP, 4)
+	c.DeadlineCycles = 100 // program needs ~1400 instructions
+	r, err := Execute(c, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed {
+		t.Fatal("completed past an impossible deadline")
+	}
+}
+
+func TestCheckpointAccounting(t *testing.T) {
+	r, _ := Execute(cfg(0, checkpoint.SCP, 4), rng.New(1))
+	if r.SCPs == 0 {
+		t.Fatal("SCP scheme took no SCPs")
+	}
+	if r.CCPs != 0 {
+		t.Fatal("SCP scheme took CCPs")
+	}
+	r2, _ := Execute(cfg(0, checkpoint.CCP, 4), rng.New(1))
+	if r2.CCPs == 0 {
+		t.Fatal("CCP scheme took no CCPs")
+	}
+	if r2.SCPs != 0 {
+		t.Fatal("CCP scheme took SCPs")
+	}
+	// Wall cycles must exceed useful instructions by the overhead.
+	if r.WallCycles <= r.ExecutedInstructions {
+		t.Fatalf("wall %d should exceed executed %d", r.WallCycles, r.ExecutedInstructions)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := cfg(0.001, checkpoint.SCP, 4)
+	bad := []func(*Config){
+		func(c *Config) { c.Prog = nil },
+		func(c *Config) { c.IntervalCycles = 0 },
+		func(c *Config) { c.SubCount = 0 },
+		func(c *Config) { c.Sub = checkpoint.CSCP },
+		func(c *Config) { c.Lambda = -1 },
+		func(c *Config) { c.Costs = checkpoint.Costs{Store: -1} },
+	}
+	for i, mutate := range bad {
+		c := good
+		mutate(&c)
+		if _, err := Execute(c, rng.New(1)); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := Execute(good, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestTrapCausesRollbackNotCorruption(t *testing.T) {
+	// Program whose memory cursor, if corrupted upward, traps on store.
+	// Traps must be recovered exactly like divergences.
+	src := `
+    ldi  r1, 120
+    ldi  r5, 0
+loop:
+    st   r1, 0(r5)
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+`
+	c := Config{
+		Prog:           isa.MustAssemble(src),
+		MemWords:       2,
+		IntervalCycles: 64,
+		SubCount:       4,
+		Sub:            checkpoint.SCP,
+		Costs:          checkpoint.Costs{Store: 2, Compare: 1},
+		Lambda:         0.01,
+	}
+	clean := c
+	clean.Lambda = 0
+	want, _ := Execute(clean, rng.New(1))
+	if !want.Completed {
+		t.Fatal("clean run failed")
+	}
+	for seed := uint64(0); seed < 25; seed++ {
+		r, err := Execute(c, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Completed && r.FinalDigest != want.FinalDigest {
+			t.Fatalf("seed %d: trap path committed corrupt state", seed)
+		}
+	}
+}
+
+func TestPropertyMaskingHolds(t *testing.T) {
+	clean, _ := Execute(cfg(0, checkpoint.SCP, 4), rng.New(1))
+	f := func(seed uint64, mRaw, subRaw uint8) bool {
+		m := int(mRaw%6) + 1
+		sub := checkpoint.SCP
+		if subRaw%2 == 1 {
+			sub = checkpoint.CCP
+		}
+		r, err := Execute(cfg(0.003, sub, m), rng.New(seed))
+		if err != nil {
+			return false
+		}
+		return !r.Completed || r.FinalDigest == clean.FinalDigest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalStoreCheaper(t *testing.T) {
+	// The workload touches a rotating 15-word window of a large memory;
+	// incremental stores persist only the write set and must cut the
+	// checkpoint overhead while committing the identical result.
+	full := cfg(0, checkpoint.SCP, 4)
+	full.MemWords = 512
+	full.Costs = checkpoint.Costs{Store: 64, Compare: 2, Rollback: 1}
+	inc := full
+	inc.Incremental = true
+
+	rFull, err := Execute(full, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rInc, err := Execute(inc, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rFull.Completed || !rInc.Completed {
+		t.Fatal("runs did not complete")
+	}
+	if rInc.FinalDigest != rFull.FinalDigest {
+		t.Fatal("incremental mode changed the committed result")
+	}
+	if !(rInc.WallCycles < rFull.WallCycles) {
+		t.Fatalf("incremental (%d) not cheaper than full (%d)",
+			rInc.WallCycles, rFull.WallCycles)
+	}
+}
+
+func TestIncrementalStillMasksFaults(t *testing.T) {
+	base := cfg(0, checkpoint.SCP, 4)
+	base.MemWords = 128
+	base.Incremental = true
+	clean, _ := Execute(base, rng.New(1))
+	faulty := base
+	faulty.Lambda = 0.004
+	sawFault := false
+	for seed := uint64(0); seed < 25; seed++ {
+		r, err := Execute(faulty, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawFault = sawFault || r.FaultsInjected > 0
+		if r.Completed && r.FinalDigest != clean.FinalDigest {
+			t.Fatalf("seed %d: incremental mode committed corrupt state", seed)
+		}
+	}
+	if !sawFault {
+		t.Fatal("no faults observed")
+	}
+}

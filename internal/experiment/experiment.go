@@ -1,0 +1,311 @@
+// Package experiment defines and runs the paper's evaluation grid:
+// Tables 1–4, each with sub-tables (a) k=5 and (b) k=1, reporting the
+// probability of timely completion P and the energy E for four schemes
+// per cell, over repeated Monte-Carlo executions.
+//
+// The published values are embedded (paperdata.go) so every run can print
+// paper-vs-measured deltas, which is what EXPERIMENTS.md records.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// Deadline is D, fixed to 10000 minimum-speed cycles across the paper's
+// evaluation.
+const Deadline = 10000
+
+// DefaultReps is the paper's repetition count per cell.
+const DefaultReps = 10000
+
+// Spec describes one sub-table of the evaluation.
+type Spec struct {
+	// ID is the paper's label, e.g. "1a".
+	ID string
+	// Title is a human-readable description.
+	Title string
+	// Costs is the checkpoint cost model (SCP or CCP setting).
+	Costs checkpoint.Costs
+	// K is the fault budget (5 for (a) sub-tables, 1 for (b)).
+	K int
+	// BaselineFreq is the fixed speed of the Poisson / k-f-t baselines;
+	// task utilisation is computed against it (U = N/(BaselineFreq·D)).
+	BaselineFreq float64
+	// Us and Lambdas span the grid.
+	Us      []float64
+	Lambdas []float64
+	// AdaptiveSub is the flavour of the paper scheme's additional
+	// checkpoints: SCP for Tables 1–2, CCP for Tables 3–4.
+	AdaptiveSub checkpoint.Kind
+}
+
+// Schemes instantiates the four columns of the sub-table, in the paper's
+// order: Poisson, k-f-t, A_D, and A_D_S or A_D_C.
+func (s Spec) Schemes() []sim.Scheme {
+	var paper sim.Scheme
+	if s.AdaptiveSub == checkpoint.SCP {
+		paper = core.NewAdaptDVSSCP()
+	} else {
+		paper = core.NewAdaptDVSCCP()
+	}
+	return []sim.Scheme{
+		core.NewPoissonScheme(s.BaselineFreq),
+		core.NewKFTScheme(s.BaselineFreq),
+		core.NewADTDVS(),
+		paper,
+	}
+}
+
+// CellParams builds the simulation parameters for one grid point.
+func (s Spec) CellParams(u, lambda float64) (sim.Params, error) {
+	tk, err := task.FromUtilization(
+		fmt.Sprintf("tbl%s-U%.2f", s.ID, u), u, s.BaselineFreq, Deadline, s.K)
+	if err != nil {
+		return sim.Params{}, err
+	}
+	return sim.Params{Task: tk, Costs: s.Costs, Lambda: lambda}, nil
+}
+
+// Tables returns the specs of all eight sub-tables, in paper order.
+func Tables() []Spec {
+	scp, ccp := checkpoint.SCPSetting(), checkpoint.CCPSetting()
+	kA, kB := 5, 1
+	uA := []float64{0.76, 0.78, 0.80, 0.82}
+	lamA := []float64{0.0014, 0.0016}
+	uB1 := []float64{0.92, 0.95, 1.00} // f1 sub-tables (b)
+	uB2 := []float64{0.92, 0.95}       // f2 sub-tables (b)
+	lamB := []float64{1e-4, 2e-4}
+	return []Spec{
+		{ID: "1a", Title: "SCP setting, k=5, baselines at f1", Costs: scp, K: kA, BaselineFreq: 1, Us: uA, Lambdas: lamA, AdaptiveSub: checkpoint.SCP},
+		{ID: "1b", Title: "SCP setting, k=1, baselines at f1", Costs: scp, K: kB, BaselineFreq: 1, Us: uB1, Lambdas: lamB, AdaptiveSub: checkpoint.SCP},
+		{ID: "2a", Title: "SCP setting, k=5, baselines at f2", Costs: scp, K: kA, BaselineFreq: 2, Us: uA, Lambdas: lamA, AdaptiveSub: checkpoint.SCP},
+		{ID: "2b", Title: "SCP setting, k=1, baselines at f2", Costs: scp, K: kB, BaselineFreq: 2, Us: uB2, Lambdas: lamB, AdaptiveSub: checkpoint.SCP},
+		{ID: "3a", Title: "CCP setting, k=5, baselines at f1", Costs: ccp, K: kA, BaselineFreq: 1, Us: uA, Lambdas: lamA, AdaptiveSub: checkpoint.CCP},
+		{ID: "3b", Title: "CCP setting, k=1, baselines at f1", Costs: ccp, K: kB, BaselineFreq: 1, Us: uB1, Lambdas: lamB, AdaptiveSub: checkpoint.CCP},
+		{ID: "4a", Title: "CCP setting, k=5, baselines at f2", Costs: ccp, K: kA, BaselineFreq: 2, Us: uA, Lambdas: lamA, AdaptiveSub: checkpoint.CCP},
+		{ID: "4b", Title: "CCP setting, k=1, baselines at f2", Costs: ccp, K: kB, BaselineFreq: 2, Us: uB2, Lambdas: lamB, AdaptiveSub: checkpoint.CCP},
+	}
+}
+
+// TableByID looks a spec up by its paper label.
+func TableByID(id string) (Spec, error) {
+	for _, s := range Tables() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("experiment: no table %q (want 1a..4b)", id)
+}
+
+// CellResult is one (scheme × grid point) outcome.
+type CellResult struct {
+	Scheme string
+	stats.Summary
+}
+
+// Row is one grid point with all scheme columns.
+type Row struct {
+	U      float64
+	Lambda float64
+	Cells  []CellResult
+}
+
+// Table is a completed sub-table run.
+type Table struct {
+	Spec Spec
+	Reps int
+	Rows []Row
+}
+
+// Runner executes specs with deterministic seeding.
+type Runner struct {
+	// Reps per cell; zero means DefaultReps.
+	Reps int
+	// Seed is the base seed; runs are reproducible for a fixed Seed
+	// independent of worker count.
+	Seed uint64
+	// Workers caps the parallel goroutines; zero means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives a line per completed cell.
+	Progress func(format string, args ...any)
+}
+
+func (r Runner) reps() int {
+	if r.Reps <= 0 {
+		return DefaultReps
+	}
+	return r.Reps
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mix derives a per-repetition seed from the cell seed, using the
+// SplitMix64 finaliser so that neighbouring reps get unrelated streams.
+func mix(cell uint64, rep int) uint64 {
+	z := cell + 0x9e3779b97f4a7c15*uint64(rep+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// cellSeed derives a deterministic seed for a (table, U, λ, scheme) cell.
+func (r Runner) cellSeed(id string, u, lambda float64, scheme string) uint64 {
+	// FNV-1a over the textual key keeps seeds stable across refactors.
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range []byte(fmt.Sprintf("%s|%.6f|%.8f|%s|%d", id, u, lambda, scheme, r.Seed)) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// RunCell simulates one cell to a Summary.
+func (r Runner) RunCell(spec Spec, scheme sim.Scheme, u, lambda float64) (stats.Summary, error) {
+	p, err := spec.CellParams(u, lambda)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	seed := r.cellSeed(spec.ID, u, lambda, scheme.Name())
+	var cell stats.Cell
+	for rep := 0; rep < r.reps(); rep++ {
+		res := scheme.Run(p, rng.New(mix(seed, rep)))
+		cell.Observe(res.Completed, res.Energy, res.Time, float64(res.Faults), float64(res.Switches))
+	}
+	return cell.Summary(), nil
+}
+
+// RunTable runs every cell of a spec, parallelising across cells.
+func (r Runner) RunTable(spec Spec) (Table, error) {
+	type job struct {
+		rowIdx, colIdx int
+		u, lambda      float64
+		scheme         sim.Scheme
+	}
+	schemes := spec.Schemes()
+	rows := make([]Row, 0, len(spec.Us)*len(spec.Lambdas))
+	var jobs []job
+	for _, u := range spec.Us {
+		for _, lam := range spec.Lambdas {
+			rowIdx := len(rows)
+			row := Row{U: u, Lambda: lam, Cells: make([]CellResult, len(schemes))}
+			for c, s := range schemes {
+				row.Cells[c] = CellResult{Scheme: s.Name()}
+				jobs = append(jobs, job{rowIdx, c, u, lam, s})
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, r.workers())
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sum, err := r.RunCell(spec, j.scheme, j.u, j.lambda)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			rows[j.rowIdx].Cells[j.colIdx].Summary = sum
+			if r.Progress != nil {
+				r.Progress("table %s U=%.2f λ=%g %-14s P=%.4f E=%.0f",
+					spec.ID, j.u, j.lambda, j.scheme.Name(), sum.P, sum.E)
+			}
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Table{}, firstErr
+	}
+	return Table{Spec: spec, Reps: r.reps(), Rows: rows}, nil
+}
+
+// RunAll runs every sub-table.
+func (r Runner) RunAll() ([]Table, error) {
+	var out []Table
+	for _, spec := range Tables() {
+		t, err := r.RunTable(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// sameCell reports float equality tolerant of map-key rounding.
+func sameCell(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// NewSpec builds a custom (non-paper) sub-table spec with validation, so
+// library users can grid their own environments with the same runner and
+// renderers.
+func NewSpec(id, title string, costs checkpoint.Costs, k int, baselineFreq float64, us, lambdas []float64, sub checkpoint.Kind) (Spec, error) {
+	s := Spec{
+		ID: id, Title: title, Costs: costs, K: k,
+		BaselineFreq: baselineFreq, Us: us, Lambdas: lambdas, AdaptiveSub: sub,
+	}
+	return s, s.Validate()
+}
+
+// Validate reports whether the spec is runnable.
+func (s Spec) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("experiment: empty spec id")
+	}
+	if err := s.Costs.Validate(); err != nil {
+		return err
+	}
+	if s.K < 0 {
+		return fmt.Errorf("experiment: negative fault budget %d", s.K)
+	}
+	if s.BaselineFreq <= 0 {
+		return fmt.Errorf("experiment: non-positive baseline frequency %v", s.BaselineFreq)
+	}
+	if len(s.Us) == 0 || len(s.Lambdas) == 0 {
+		return fmt.Errorf("experiment: empty grid")
+	}
+	for _, u := range s.Us {
+		if u <= 0 {
+			return fmt.Errorf("experiment: non-positive utilisation %v", u)
+		}
+	}
+	for _, lam := range s.Lambdas {
+		if lam < 0 || math.IsNaN(lam) {
+			return fmt.Errorf("experiment: bad λ %v", lam)
+		}
+	}
+	if s.AdaptiveSub != checkpoint.SCP && s.AdaptiveSub != checkpoint.CCP {
+		return fmt.Errorf("experiment: adaptive sub-checkpoint must be SCP or CCP")
+	}
+	return nil
+}

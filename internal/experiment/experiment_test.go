@@ -1,0 +1,300 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+func TestTablesComplete(t *testing.T) {
+	specs := Tables()
+	if len(specs) != 8 {
+		t.Fatalf("want 8 sub-tables, got %d", len(specs))
+	}
+	ids := map[string]bool{}
+	for _, s := range specs {
+		ids[s.ID] = true
+		if len(s.Us) == 0 || len(s.Lambdas) == 0 {
+			t.Errorf("table %s has an empty grid", s.ID)
+		}
+		if s.K != 5 && s.K != 1 {
+			t.Errorf("table %s has unexpected k=%d", s.ID, s.K)
+		}
+	}
+	for _, want := range []string{"1a", "1b", "2a", "2b", "3a", "3b", "4a", "4b"} {
+		if !ids[want] {
+			t.Errorf("missing table %s", want)
+		}
+	}
+}
+
+func TestTableByID(t *testing.T) {
+	s, err := TableByID("3b")
+	if err != nil || s.ID != "3b" {
+		t.Fatalf("TableByID(3b) = %+v, %v", s, err)
+	}
+	if s.Costs != checkpoint.CCPSetting() {
+		t.Fatal("table 3b should use the CCP cost setting")
+	}
+	if _, err := TableByID("9z"); err == nil {
+		t.Fatal("bogus table id accepted")
+	}
+}
+
+func TestSchemesColumnOrder(t *testing.T) {
+	s, _ := TableByID("1a")
+	schemes := s.Schemes()
+	names := make([]string, len(schemes))
+	for i, sc := range schemes {
+		names[i] = sc.Name()
+	}
+	want := []string{"Poisson(f=1)", "k-f-t(f=1)", "A_D", "A_D_S"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("column %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+	s4, _ := TableByID("4a")
+	if got := s4.Schemes()[3].Name(); got != "A_D_C" {
+		t.Fatalf("table 4a paper column = %s, want A_D_C", got)
+	}
+	if got := s4.Schemes()[0].Name(); got != "Poisson(f=2)" {
+		t.Fatalf("table 4a baseline = %s, want Poisson(f=2)", got)
+	}
+}
+
+func TestCellParamsUtilisation(t *testing.T) {
+	s, _ := TableByID("2a")
+	p, err := s.CellParams(0.76, 0.0014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// U at f2: N = 0.76·2·10000.
+	if got := p.Task.Cycles; math.Abs(got-15200) > 1e-9 {
+		t.Fatalf("N = %v, want 15200", got)
+	}
+	if p.Task.FaultBudget != 5 {
+		t.Fatalf("k = %d", p.Task.FaultBudget)
+	}
+}
+
+func TestPaperReferenceLookups(t *testing.T) {
+	r, ok := PaperReference("1a", 0.76, 0.0014)
+	if !ok {
+		t.Fatal("missing reference for table 1a anchor cell")
+	}
+	if r[0].P != 0.1185 || r[3].E != 52863 {
+		t.Fatalf("wrong reference row: %+v", r)
+	}
+	r, ok = PaperReference("1b", 1.00, 1e-4)
+	if !ok {
+		t.Fatal("missing U=1.00 row")
+	}
+	if !math.IsNaN(r[0].E) {
+		t.Fatal("U=1.00 Poisson energy should be NaN")
+	}
+	if _, ok := PaperReference("1a", 0.55, 0.0014); ok {
+		t.Fatal("phantom reference row")
+	}
+}
+
+func TestPaperDataCoversEveryGridPoint(t *testing.T) {
+	for _, spec := range Tables() {
+		for _, u := range spec.Us {
+			for _, lam := range spec.Lambdas {
+				if _, ok := PaperReference(spec.ID, u, lam); !ok {
+					t.Errorf("table %s: no published row for U=%.2f λ=%g", spec.ID, u, lam)
+				}
+			}
+		}
+	}
+}
+
+func TestRunCellDeterministic(t *testing.T) {
+	spec, _ := TableByID("1a")
+	r := Runner{Reps: 50, Seed: 7}
+	s := spec.Schemes()[3]
+	a, err := r.RunCell(spec, s, 0.76, 0.0014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunCell(spec, s, 0.76, 0.0014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("non-deterministic cell: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunCellSeedSensitivity(t *testing.T) {
+	spec, _ := TableByID("1a")
+	s := spec.Schemes()[0]
+	a, _ := Runner{Reps: 200, Seed: 1}.RunCell(spec, s, 0.76, 0.0014)
+	b, _ := Runner{Reps: 200, Seed: 2}.RunCell(spec, s, 0.76, 0.0014)
+	if a.P == b.P && a.E == b.E && a.MeanFaults == b.MeanFaults {
+		t.Fatal("different seeds produced identical summaries (suspicious)")
+	}
+}
+
+func TestRunTableSmall(t *testing.T) {
+	spec, _ := TableByID("1a")
+	spec.Us = spec.Us[:1]
+	spec.Lambdas = spec.Lambdas[:1]
+	tbl, err := Runner{Reps: 100, Seed: 3, Workers: 2}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0].Cells) != 4 {
+		t.Fatalf("table shape wrong: %d rows", len(tbl.Rows))
+	}
+	for _, c := range tbl.Rows[0].Cells {
+		if c.Trials != 100 {
+			t.Fatalf("cell %s trials = %d", c.Scheme, c.Trials)
+		}
+	}
+	// The adaptive DVS cell at U=0.76, λ=0.0014 should complete almost
+	// always; the f1 baselines almost never.
+	row := tbl.Rows[0]
+	if row.Cells[3].P < 0.95 {
+		t.Fatalf("A_D_S P = %v", row.Cells[3].P)
+	}
+	if row.Cells[0].P > 0.3 {
+		t.Fatalf("Poisson P = %v", row.Cells[0].P)
+	}
+}
+
+func TestRunTableParallelMatchesSerial(t *testing.T) {
+	spec, _ := TableByID("3a")
+	spec.Us = spec.Us[:2]
+	spec.Lambdas = spec.Lambdas[:1]
+	serial, err := Runner{Reps: 60, Seed: 11, Workers: 1}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Reps: 60, Seed: 11, Workers: 8}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Rows {
+		for j := range serial.Rows[i].Cells {
+			if serial.Rows[i].Cells[j] != parallel.Rows[i].Cells[j] {
+				t.Fatalf("row %d cell %d differs across worker counts", i, j)
+			}
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	spec, _ := TableByID("1a")
+	spec.Us = spec.Us[:1]
+	spec.Lambdas = spec.Lambdas[:1]
+	tbl, err := Runner{Reps: 30, Seed: 5}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"Table 1a", "| U | λ |", "A_D_S", "0.76"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "table,u,lambda,scheme") || !strings.Contains(csv, "time_p95") {
+		t.Error("CSV header wrong")
+	}
+	if got := strings.Count(csv, "\n"); got != 1+4 {
+		t.Errorf("CSV line count = %d, want 5", got)
+	}
+	cmp := tbl.Comparison()
+	if !strings.Contains(cmp, "0.1185") {
+		t.Errorf("comparison missing paper value:\n%s", cmp)
+	}
+}
+
+func TestShapeReportPasses(t *testing.T) {
+	// A modest-rep run of table 1a row 1 must pass every shape claim.
+	spec, _ := TableByID("1a")
+	spec.Us = spec.Us[:1]
+	spec.Lambdas = spec.Lambdas[:1]
+	tbl, err := Runner{Reps: 400, Seed: 9}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range tbl.ShapeReport() {
+		if strings.HasPrefix(line, "[FAIL]") {
+			t.Error(line)
+		}
+	}
+}
+
+func TestNaNEnergyConvention(t *testing.T) {
+	// U = 1.00 at f1: baselines never complete; E must be NaN.
+	spec, _ := TableByID("1b")
+	r := Runner{Reps: 100, Seed: 13}
+	sum, err := r.RunCell(spec, spec.Schemes()[0], 1.00, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.P != 0 {
+		t.Fatalf("P = %v, want 0", sum.P)
+	}
+	if !math.IsNaN(sum.E) {
+		t.Fatalf("E = %v, want NaN", sum.E)
+	}
+}
+
+func TestMixSpreadsSeeds(t *testing.T) {
+	seen := map[uint64]bool{}
+	for rep := 0; rep < 1000; rep++ {
+		s := mix(12345, rep)
+		if seen[s] {
+			t.Fatalf("duplicate per-rep seed at rep %d", rep)
+		}
+		seen[s] = true
+	}
+}
+
+func TestNewSpecValidation(t *testing.T) {
+	good, err := NewSpec("x1", "custom", checkpoint.SCPSetting(), 3, 1,
+		[]float64{0.7}, []float64{1e-3}, checkpoint.SCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Runner{Reps: 20, Seed: 1}).RunTable(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func() (Spec, error){
+		func() (Spec, error) {
+			return NewSpec("", "t", checkpoint.SCPSetting(), 3, 1, []float64{0.7}, []float64{1e-3}, checkpoint.SCP)
+		},
+		func() (Spec, error) {
+			return NewSpec("x", "t", checkpoint.Costs{}, 3, 1, []float64{0.7}, []float64{1e-3}, checkpoint.SCP)
+		},
+		func() (Spec, error) {
+			return NewSpec("x", "t", checkpoint.SCPSetting(), -1, 1, []float64{0.7}, []float64{1e-3}, checkpoint.SCP)
+		},
+		func() (Spec, error) {
+			return NewSpec("x", "t", checkpoint.SCPSetting(), 3, 0, []float64{0.7}, []float64{1e-3}, checkpoint.SCP)
+		},
+		func() (Spec, error) {
+			return NewSpec("x", "t", checkpoint.SCPSetting(), 3, 1, nil, []float64{1e-3}, checkpoint.SCP)
+		},
+		func() (Spec, error) {
+			return NewSpec("x", "t", checkpoint.SCPSetting(), 3, 1, []float64{-0.5}, []float64{1e-3}, checkpoint.SCP)
+		},
+		func() (Spec, error) {
+			return NewSpec("x", "t", checkpoint.SCPSetting(), 3, 1, []float64{0.7}, []float64{-1}, checkpoint.SCP)
+		},
+		func() (Spec, error) {
+			return NewSpec("x", "t", checkpoint.SCPSetting(), 3, 1, []float64{0.7}, []float64{1e-3}, checkpoint.CSCP)
+		},
+	}
+	for i, mk := range bad {
+		if _, err := mk(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/tmr"
+)
+
+// ExtensionTables returns sub-tables whose columns go beyond the paper,
+// run on the Table 1(a) grid so the extensions sit on the same axes as
+// the reproduction. They have no published reference values (Score
+// returns ok=false).
+//
+//   - "E1": redundancy ablation — the DATE'03 comparator, the paper
+//     scheme, and adaptive TMR with voting (×1.5 energy, single faults
+//     masked).
+//   - "E2": λ-knowledge ablation — the paper scheme planning with the
+//     true λ, with a 10× underestimate, and with the online estimator
+//     recovering from that same bad prior; the fault process always runs
+//     at the grid's true λ.
+func ExtensionTables() []Spec {
+	base, _ := TableByID("1a")
+	e1 := base
+	e1.ID, e1.Title = "E1", "extension: redundancy ablation (DMR vs TMR voting), SCP setting, k=5"
+	e2 := base
+	e2.ID, e2.Title = "E2", "extension: λ-knowledge ablation (true vs wrong vs estimated), SCP setting, k=5"
+	return []Spec{e1, e2}
+}
+
+// ExtensionSchemes returns the columns of an extension table by id.
+func ExtensionSchemes(id string) ([]sim.Scheme, error) {
+	switch id {
+	case "E1":
+		return []sim.Scheme{
+			core.NewADTDVS(),
+			core.NewAdaptDVSSCP(),
+			tmr.NewAdaptive(),
+		}, nil
+	case "E2":
+		return []sim.Scheme{
+			core.NewAdaptDVSSCP(),
+			misbelievingScheme{factor: 0.1},
+			misbelievingScheme{factor: 0.1, online: true},
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown extension table %q", id)
+	}
+}
+
+// misbelievingScheme runs the paper scheme with the planner's λ scaled
+// by factor while the fault process keeps the grid's true rate — the
+// wrong-belief harness of the λ-knowledge ablation. With online set, the
+// scaled value only seeds the estimator's prior.
+type misbelievingScheme struct {
+	factor float64
+	online bool
+}
+
+// Name implements sim.Scheme.
+func (m misbelievingScheme) Name() string {
+	if m.online {
+		return fmt.Sprintf("A_D_S+est(prior×%g)", m.factor)
+	}
+	return fmt.Sprintf("A_D_S(λ-belief×%g)", m.factor)
+}
+
+// Run implements sim.Scheme.
+func (m misbelievingScheme) Run(p sim.Params, src *rng.Source) sim.Result {
+	truth := p.Lambda
+	p.FaultProcess = func(s *rng.Source) fault.Process {
+		return fault.NewPoisson(truth, s)
+	}
+	s := core.NewAdaptDVSSCP()
+	if m.online {
+		s = s.WithOnlineLambda(truth * m.factor)
+	}
+	p.Lambda = truth * m.factor
+	return s.Run(p, src)
+}
+
+// RunExtensionTable runs one extension spec with the runner.
+func (r Runner) RunExtensionTable(spec Spec) (Table, error) {
+	schemes, err := ExtensionSchemes(spec.ID)
+	if err != nil {
+		return Table{}, err
+	}
+	rows := make([]Row, 0, len(spec.Us)*len(spec.Lambdas))
+	for _, u := range spec.Us {
+		for _, lam := range spec.Lambdas {
+			row := Row{U: u, Lambda: lam, Cells: make([]CellResult, len(schemes))}
+			for c, s := range schemes {
+				sum, err := r.RunCell(spec, s, u, lam)
+				if err != nil {
+					return Table{}, err
+				}
+				row.Cells[c] = CellResult{Scheme: s.Name(), Summary: sum}
+				if r.Progress != nil {
+					r.Progress("table %s U=%.2f λ=%g %-24s P=%.4f E=%.0f",
+						spec.ID, u, lam, s.Name(), sum.P, sum.E)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return Table{Spec: spec, Reps: r.reps(), Rows: rows}, nil
+}

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionTablesDefined(t *testing.T) {
+	specs := ExtensionTables()
+	if len(specs) != 2 {
+		t.Fatalf("extension tables = %d", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %s invalid: %v", s.ID, err)
+		}
+		if _, err := ExtensionSchemes(s.ID); err != nil {
+			t.Errorf("no schemes for %s: %v", s.ID, err)
+		}
+	}
+	if _, err := ExtensionSchemes("E9"); err == nil {
+		t.Error("unknown extension id accepted")
+	}
+}
+
+func TestExtensionE1TMRColumn(t *testing.T) {
+	specs := ExtensionTables()
+	spec := specs[0]
+	spec.Us = spec.Us[:1]
+	spec.Lambdas = spec.Lambdas[:1]
+	tbl, err := (Runner{Reps: 300, Seed: 31}).RunExtensionTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	if row.Cells[2].Scheme != "TMR_DVS" {
+		t.Fatalf("column 2 = %s", row.Cells[2].Scheme)
+	}
+	ads, tmrCol := row.Cells[1], row.Cells[2]
+	// TMR masks single faults: completion at least as good as A_D_S, at
+	// a clear energy premium.
+	if tmrCol.P < ads.P-0.02 {
+		t.Fatalf("TMR_DVS P %v below A_D_S %v", tmrCol.P, ads.P)
+	}
+	if !(tmrCol.E > 1.2*ads.E) {
+		t.Fatalf("TMR_DVS E %v should carry the third-replica premium over %v", tmrCol.E, ads.E)
+	}
+}
+
+func TestExtensionE2OnlineRecovers(t *testing.T) {
+	specs := ExtensionTables()
+	spec := specs[1]
+	spec.Us = spec.Us[:1]
+	spec.Lambdas = spec.Lambdas[:1]
+	tbl, err := (Runner{Reps: 300, Seed: 32}).RunExtensionTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	informed, wrong, online := row.Cells[0], row.Cells[1], row.Cells[2]
+	if !strings.Contains(wrong.Scheme, "λ-belief") || !strings.Contains(online.Scheme, "est") {
+		t.Fatalf("column names: %q %q", wrong.Scheme, online.Scheme)
+	}
+	if !(wrong.P < informed.P-0.05) {
+		t.Fatalf("10× underestimate should hurt: wrong=%v informed=%v", wrong.P, informed.P)
+	}
+	if !(online.P > wrong.P+0.05) {
+		t.Fatalf("online estimator should recover: online=%v wrong=%v", online.P, wrong.P)
+	}
+	// Extension tables carry no published references.
+	if _, ok := tbl.Score(); ok {
+		t.Fatal("extension table claims paper references")
+	}
+}

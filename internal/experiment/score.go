@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Score aggregates measured-vs-published agreement over a table.
+type Score struct {
+	// Cells is the number of (grid point × scheme) cells with published
+	// references; PCells/ECells those contributing to the P/E deltas.
+	Cells, PCells, ECells int
+	// MeanAbsDeltaP and MaxAbsDeltaP summarise |P_meas − P_paper|.
+	MeanAbsDeltaP, MaxAbsDeltaP float64
+	// MeanRelDeltaE and MaxRelDeltaE summarise |E_meas − E_paper|/E_paper
+	// over cells where both are finite.
+	MeanRelDeltaE, MaxRelDeltaE float64
+	// NaNMismatches counts cells where exactly one side is NaN (the
+	// paper's "no timely completion" marker) — must be zero for a
+	// faithful reproduction.
+	NaNMismatches int
+}
+
+// String renders the score.
+func (s Score) String() string {
+	return fmt.Sprintf("%d cells: |ΔP| mean %.4f max %.4f; |ΔE|/E mean %.3f max %.3f; NaN mismatches %d",
+		s.Cells, s.MeanAbsDeltaP, s.MaxAbsDeltaP, s.MeanRelDeltaE, s.MaxRelDeltaE, s.NaNMismatches)
+}
+
+// Score compares every measured cell with the published value. The
+// second return is false when the paper has no reference rows for the
+// table's grid (custom grids).
+func (t Table) Score() (Score, bool) {
+	var sc Score
+	var sumP, sumE float64
+	for _, r := range t.Rows {
+		ref, ok := PaperReference(t.Spec.ID, r.U, r.Lambda)
+		if !ok {
+			continue
+		}
+		for i, c := range r.Cells {
+			if i >= len(ref) {
+				break
+			}
+			sc.Cells++
+			dp := math.Abs(c.P - ref[i].P)
+			sumP += dp
+			sc.PCells++
+			if dp > sc.MaxAbsDeltaP {
+				sc.MaxAbsDeltaP = dp
+			}
+			paperNaN, measNaN := math.IsNaN(ref[i].E), math.IsNaN(c.E)
+			switch {
+			case paperNaN != measNaN:
+				// A NaN on one side only is a real disagreement only when
+				// the other side completes non-negligibly often: a cell
+				// with paper P = 0.0003 can legitimately yield zero
+				// completions (hence NaN energy) at moderate repetition
+				// counts.
+				if (paperNaN && c.P > 0.01) || (measNaN && ref[i].P > 0.01) {
+					sc.NaNMismatches++
+				}
+			case !paperNaN:
+				de := math.Abs(c.E-ref[i].E) / ref[i].E
+				sumE += de
+				sc.ECells++
+				if de > sc.MaxRelDeltaE {
+					sc.MaxRelDeltaE = de
+				}
+			}
+		}
+	}
+	if sc.Cells == 0 {
+		return sc, false
+	}
+	if sc.PCells > 0 {
+		sc.MeanAbsDeltaP = sumP / float64(sc.PCells)
+	}
+	if sc.ECells > 0 {
+		sc.MeanRelDeltaE = sumE / float64(sc.ECells)
+	}
+	return sc, true
+}
+
+// BaselineScore scores only the first two columns (the Poisson-arrival
+// and k-fault-tolerant comparators), whose behaviour is pinned by
+// closed-form physics and must reproduce tightly; the adaptive columns
+// carry the documented DVS-semantics deviations.
+func (t Table) BaselineScore() (Score, bool) {
+	trimmed := Table{Spec: t.Spec, Reps: t.Reps}
+	for _, r := range t.Rows {
+		if len(r.Cells) < 2 {
+			return Score{}, false
+		}
+		trimmed.Rows = append(trimmed.Rows, Row{U: r.U, Lambda: r.Lambda, Cells: r.Cells[:2]})
+	}
+	return trimmed.Score()
+}

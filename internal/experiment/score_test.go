@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScoreAgainstPaperTable1a(t *testing.T) {
+	// Regression gate: baselines on table 1a must track the published
+	// values tightly even at reduced repetitions.
+	spec, _ := TableByID("1a")
+	tbl, err := Runner{Reps: 1500, Seed: 21}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ok := tbl.BaselineScore()
+	if !ok {
+		t.Fatal("no references found")
+	}
+	if base.MeanAbsDeltaP > 0.02 {
+		t.Fatalf("baseline P drift too large: %s", base)
+	}
+	if base.MeanRelDeltaE > 0.02 {
+		t.Fatalf("baseline E drift too large: %s", base)
+	}
+	if base.NaNMismatches != 0 {
+		t.Fatalf("NaN convention broken: %s", base)
+	}
+	full, ok := tbl.Score()
+	if !ok {
+		t.Fatal("no full score")
+	}
+	// Adaptive columns: energy within 5% on this table.
+	if full.MeanRelDeltaE > 0.05 {
+		t.Fatalf("overall E drift too large: %s", full)
+	}
+}
+
+func TestScoreNaNConventionTable1b(t *testing.T) {
+	// The U = 1.00 rows must agree on NaN exactly.
+	spec, _ := TableByID("1b")
+	spec.Us = []float64{1.00}
+	tbl, err := Runner{Reps: 300, Seed: 23}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, ok := tbl.Score()
+	if !ok {
+		t.Fatal("no references")
+	}
+	if sc.NaNMismatches != 0 {
+		t.Fatalf("NaN mismatches: %s", sc)
+	}
+}
+
+func TestScoreDetectsMismatches(t *testing.T) {
+	// Hand-build a table with a deliberate NaN mismatch.
+	spec, _ := TableByID("1a")
+	tbl := Table{Spec: spec, Reps: 1}
+	ref, _ := PaperReference("1a", 0.76, 0.0014)
+	row := Row{U: 0.76, Lambda: 0.0014, Cells: make([]CellResult, 4)}
+	for i := range row.Cells {
+		row.Cells[i].P = ref[i].P
+		row.Cells[i].E = ref[i].E
+	}
+	row.Cells[0].E = math.NaN() // paper has a finite value here
+	tbl.Rows = []Row{row}
+	sc, ok := tbl.Score()
+	if !ok {
+		t.Fatal("no score")
+	}
+	if sc.NaNMismatches != 1 {
+		t.Fatalf("NaN mismatch not detected: %s", sc)
+	}
+	if sc.MaxAbsDeltaP != 0 {
+		t.Fatalf("P deltas should be zero: %s", sc)
+	}
+}
+
+func TestScoreStringHasMetrics(t *testing.T) {
+	s := Score{Cells: 4, MeanAbsDeltaP: 0.01, MaxAbsDeltaP: 0.02, MeanRelDeltaE: 0.03, MaxRelDeltaE: 0.04}
+	out := s.String()
+	for _, want := range []string{"4 cells", "0.0100", "0.030"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("score string %q missing %q", out, want)
+		}
+	}
+}
+
+func TestScoreEmptyGrid(t *testing.T) {
+	spec, _ := TableByID("1a")
+	spec.Us = []float64{0.55} // not a published row
+	tbl, err := Runner{Reps: 20, Seed: 1}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Score(); ok {
+		t.Fatal("score claimed references for an unpublished grid")
+	}
+}

@@ -1,0 +1,244 @@
+// Package fault models the transient-fault environment a checkpointed
+// real-time system runs in.
+//
+// The paper assumes faults arrive as a homogeneous Poisson process with
+// rate λ (per unit of wall-clock time, where one unit is one CPU cycle at
+// the minimum processor speed). PoissonProcess implements exactly that.
+// MMPPProcess (two-state Markov-modulated Poisson, i.e. bursty radiation
+// environments) and WeibullProcess (aging hardware) are provided for the
+// extension experiments; all three satisfy Process.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Replica identifies which half of a redundant pair (or which member of a
+// larger redundancy group) a fault strikes.
+type Replica int
+
+// Fault records a single transient fault.
+type Fault struct {
+	// Time is the absolute wall-clock arrival time.
+	Time float64
+	// Replica is the processor the fault corrupts.
+	Replica Replica
+}
+
+// Process generates successive fault arrival times. Implementations are
+// stateful: Next returns strictly increasing times.
+type Process interface {
+	// Next returns the arrival time of the next fault strictly after the
+	// current internal clock, advancing the clock to it.
+	Next() float64
+	// Rate returns the long-run average arrival rate, used by policies
+	// that need a scalar λ estimate.
+	Rate() float64
+	// Reset rewinds the process to time zero with a fresh random stream.
+	Reset(src *rng.Source)
+}
+
+// PoissonProcess is a homogeneous Poisson process with rate Lambda.
+type PoissonProcess struct {
+	Lambda float64
+	now    float64
+	src    *rng.Source
+}
+
+// NewPoisson returns a Poisson process with the given rate, drawing from
+// src. It panics if lambda < 0 or src is nil.
+func NewPoisson(lambda float64, src *rng.Source) *PoissonProcess {
+	if lambda < 0 || math.IsNaN(lambda) {
+		panic(fmt.Sprintf("fault: negative Poisson rate %v", lambda))
+	}
+	if src == nil {
+		panic("fault: nil rng source")
+	}
+	return &PoissonProcess{Lambda: lambda, src: src}
+}
+
+// Next implements Process. A zero-rate process never fires (returns +Inf).
+func (p *PoissonProcess) Next() float64 {
+	if p.Lambda == 0 {
+		return math.Inf(1)
+	}
+	p.now += p.src.Exp(p.Lambda)
+	return p.now
+}
+
+// Rate implements Process.
+func (p *PoissonProcess) Rate() float64 { return p.Lambda }
+
+// Reset implements Process.
+func (p *PoissonProcess) Reset(src *rng.Source) {
+	p.now = 0
+	p.src = src
+}
+
+// MMPPProcess is a two-state Markov-modulated Poisson process: the
+// environment alternates between a quiet state (rate LambdaQuiet) and a
+// burst state (rate LambdaBurst), with exponentially distributed
+// residence times. It models, e.g., solar-particle events striking a
+// satellite.
+type MMPPProcess struct {
+	LambdaQuiet float64 // fault rate in the quiet state
+	LambdaBurst float64 // fault rate in the burst state
+	MeanQuiet   float64 // mean residence time in the quiet state
+	MeanBurst   float64 // mean residence time in the burst state
+
+	now       float64
+	stateEnd  float64
+	inBurst   bool
+	src       *rng.Source
+	initDone  bool
+	stateRate float64
+}
+
+// NewMMPP returns a two-state MMPP. All rates and residence means must be
+// non-negative, and residence means positive.
+func NewMMPP(lambdaQuiet, lambdaBurst, meanQuiet, meanBurst float64, src *rng.Source) *MMPPProcess {
+	if lambdaQuiet < 0 || lambdaBurst < 0 {
+		panic("fault: negative MMPP rate")
+	}
+	if meanQuiet <= 0 || meanBurst <= 0 {
+		panic("fault: non-positive MMPP residence mean")
+	}
+	if src == nil {
+		panic("fault: nil rng source")
+	}
+	m := &MMPPProcess{
+		LambdaQuiet: lambdaQuiet,
+		LambdaBurst: lambdaBurst,
+		MeanQuiet:   meanQuiet,
+		MeanBurst:   meanBurst,
+		src:         src,
+	}
+	m.enterState(false)
+	return m
+}
+
+func (m *MMPPProcess) enterState(burst bool) {
+	m.inBurst = burst
+	mean := m.MeanQuiet
+	m.stateRate = m.LambdaQuiet
+	if burst {
+		mean = m.MeanBurst
+		m.stateRate = m.LambdaBurst
+	}
+	m.stateEnd = m.now + m.src.Exp(1/mean)
+	m.initDone = true
+}
+
+// Next implements Process by thinning across state changes.
+func (m *MMPPProcess) Next() float64 {
+	for {
+		if m.stateRate == 0 {
+			// No faults until the state flips.
+			m.now = m.stateEnd
+			m.enterState(!m.inBurst)
+			continue
+		}
+		candidate := m.now + m.src.Exp(m.stateRate)
+		if candidate <= m.stateEnd {
+			m.now = candidate
+			return m.now
+		}
+		m.now = m.stateEnd
+		m.enterState(!m.inBurst)
+	}
+}
+
+// Rate implements Process: the stationary average rate, weighting each
+// state's rate by its mean residence time.
+func (m *MMPPProcess) Rate() float64 {
+	total := m.MeanQuiet + m.MeanBurst
+	return (m.LambdaQuiet*m.MeanQuiet + m.LambdaBurst*m.MeanBurst) / total
+}
+
+// Reset implements Process.
+func (m *MMPPProcess) Reset(src *rng.Source) {
+	m.now = 0
+	m.src = src
+	m.enterState(false)
+}
+
+// InBurst reports whether the process is currently in the burst state
+// (diagnostic, used by trace-producing examples).
+func (m *MMPPProcess) InBurst() bool { return m.inBurst }
+
+// WeibullProcess draws inter-arrival times from a Weibull distribution
+// with the given Shape and Scale. Shape > 1 models aging hardware
+// (increasing hazard); Shape < 1 models infant mortality; Shape = 1
+// degenerates to Poisson with rate 1/Scale.
+type WeibullProcess struct {
+	Shape float64
+	Scale float64
+	now   float64
+	src   *rng.Source
+}
+
+// NewWeibull returns a Weibull renewal process. Shape and Scale must be
+// positive.
+func NewWeibull(shape, scale float64, src *rng.Source) *WeibullProcess {
+	if shape <= 0 || scale <= 0 {
+		panic("fault: non-positive Weibull parameter")
+	}
+	if src == nil {
+		panic("fault: nil rng source")
+	}
+	return &WeibullProcess{Shape: shape, Scale: scale, src: src}
+}
+
+// Next implements Process via inverse-CDF sampling.
+func (w *WeibullProcess) Next() float64 {
+	u := w.src.Float64()
+	// Inverse CDF: scale * (-ln(1-u))^(1/shape).
+	w.now += w.Scale * math.Pow(-math.Log(1-u), 1/w.Shape)
+	return w.now
+}
+
+// Rate implements Process: reciprocal of the mean inter-arrival time
+// scale * Γ(1 + 1/shape).
+func (w *WeibullProcess) Rate() float64 {
+	return 1 / (w.Scale * math.Gamma(1+1/w.Shape))
+}
+
+// Reset implements Process.
+func (w *WeibullProcess) Reset(src *rng.Source) {
+	w.now = 0
+	w.src = src
+}
+
+// Injector assigns each arrival from a Process to a replica uniformly at
+// random, producing Fault records for a redundancy group of size Replicas.
+type Injector struct {
+	Process  Process
+	Replicas int
+	src      *rng.Source
+}
+
+// NewInjector wires a Process to a redundancy group of the given size
+// (2 for DMR, 3 for TMR). replicas must be >= 1.
+func NewInjector(p Process, replicas int, src *rng.Source) *Injector {
+	if p == nil {
+		panic("fault: nil process")
+	}
+	if replicas < 1 {
+		panic("fault: replicas < 1")
+	}
+	if src == nil {
+		panic("fault: nil rng source")
+	}
+	return &Injector{Process: p, Replicas: replicas, src: src}
+}
+
+// Next returns the next fault, with its target replica.
+func (in *Injector) Next() Fault {
+	return Fault{
+		Time:    in.Process.Next(),
+		Replica: Replica(in.src.Intn(in.Replicas)),
+	}
+}

@@ -1,0 +1,285 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPoissonIncreasing(t *testing.T) {
+	p := NewPoisson(0.01, rng.New(1))
+	prev := 0.0
+	for i := 0; i < 1000; i++ {
+		next := p.Next()
+		if next <= prev {
+			t.Fatalf("arrival %d not increasing: %v <= %v", i, next, prev)
+		}
+		prev = next
+	}
+}
+
+func TestPoissonEmpiricalRate(t *testing.T) {
+	const lambda = 0.002
+	p := NewPoisson(lambda, rng.New(2))
+	const n = 100000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = p.Next()
+	}
+	got := n / last
+	if math.Abs(got-lambda)/lambda > 0.02 {
+		t.Fatalf("empirical rate = %v, want ~%v", got, lambda)
+	}
+}
+
+func TestPoissonZeroRateNeverFires(t *testing.T) {
+	p := NewPoisson(0, rng.New(3))
+	if !math.IsInf(p.Next(), 1) {
+		t.Fatal("zero-rate Poisson fired")
+	}
+}
+
+func TestPoissonCountDistribution(t *testing.T) {
+	// Count arrivals in [0, T]; should be ~Poisson(lambda*T).
+	const lambda, horizon = 0.001, 10000.0
+	src := rng.New(4)
+	const reps = 20000
+	sum := 0.0
+	for r := 0; r < reps; r++ {
+		p := NewPoisson(lambda, src.Split())
+		count := 0
+		for p.Next() <= horizon {
+			count++
+		}
+		sum += float64(count)
+	}
+	mean := sum / reps
+	want := lambda * horizon
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Fatalf("mean count = %v, want ~%v", mean, want)
+	}
+}
+
+func TestPoissonReset(t *testing.T) {
+	p := NewPoisson(0.1, rng.New(5))
+	first := p.Next()
+	p.Next()
+	p.Reset(rng.New(5))
+	if got := p.Next(); got != first {
+		t.Fatalf("Reset did not restart: %v vs %v", got, first)
+	}
+}
+
+func TestPoissonPanicsOnNegativeRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative rate")
+		}
+	}()
+	NewPoisson(-1, rng.New(1))
+}
+
+func TestMMPPIncreasing(t *testing.T) {
+	m := NewMMPP(0.0001, 0.01, 5000, 500, rng.New(6))
+	prev := 0.0
+	for i := 0; i < 1000; i++ {
+		next := m.Next()
+		if next <= prev {
+			t.Fatalf("MMPP arrival %d not increasing", i)
+		}
+		prev = next
+	}
+}
+
+func TestMMPPStationaryRate(t *testing.T) {
+	m := NewMMPP(0.0001, 0.01, 5000, 500, rng.New(7))
+	want := m.Rate()
+	const n = 200000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = m.Next()
+	}
+	got := n / last
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("MMPP empirical rate %v, stationary %v", got, want)
+	}
+}
+
+func TestMMPPRateFormula(t *testing.T) {
+	m := NewMMPP(0.1, 0.3, 10, 30, rng.New(8))
+	want := (0.1*10 + 0.3*30) / 40
+	if math.Abs(m.Rate()-want) > 1e-12 {
+		t.Fatalf("Rate() = %v, want %v", m.Rate(), want)
+	}
+}
+
+func TestMMPPZeroQuietRate(t *testing.T) {
+	// All faults must land in burst windows; process must not hang.
+	m := NewMMPP(0, 0.05, 100, 100, rng.New(9))
+	for i := 0; i < 100; i++ {
+		v := m.Next()
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("bad arrival %v", v)
+		}
+	}
+}
+
+func TestWeibullShapeOneMatchesPoisson(t *testing.T) {
+	// Shape 1 Weibull == exponential inter-arrivals with rate 1/scale.
+	const scale = 500.0
+	w := NewWeibull(1, scale, rng.New(10))
+	const n = 100000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = w.Next()
+	}
+	got := last / n
+	if math.Abs(got-scale)/scale > 0.02 {
+		t.Fatalf("mean inter-arrival %v, want ~%v", got, scale)
+	}
+}
+
+func TestWeibullRate(t *testing.T) {
+	w := NewWeibull(2, 100, rng.New(11))
+	want := 1 / (100 * math.Gamma(1.5))
+	if math.Abs(w.Rate()-want)/want > 1e-12 {
+		t.Fatalf("Rate() = %v, want %v", w.Rate(), want)
+	}
+}
+
+func TestWeibullIncreasing(t *testing.T) {
+	w := NewWeibull(0.7, 50, rng.New(12))
+	prev := 0.0
+	for i := 0; i < 1000; i++ {
+		next := w.Next()
+		if next <= prev {
+			t.Fatalf("Weibull arrival %d not increasing", i)
+		}
+		prev = next
+	}
+}
+
+func TestInjectorReplicaCoverage(t *testing.T) {
+	in := NewInjector(NewPoisson(0.01, rng.New(13)), 2, rng.New(14))
+	counts := map[Replica]int{}
+	for i := 0; i < 10000; i++ {
+		f := in.Next()
+		if f.Replica < 0 || int(f.Replica) >= 2 {
+			t.Fatalf("replica out of range: %d", f.Replica)
+		}
+		counts[f.Replica]++
+	}
+	for r, c := range counts {
+		if c < 4500 || c > 5500 {
+			t.Fatalf("replica %d got %d/10000 faults, want ~5000", r, c)
+		}
+	}
+}
+
+func TestInjectorTimesMatchProcess(t *testing.T) {
+	p1 := NewPoisson(0.01, rng.New(15))
+	p2 := NewPoisson(0.01, rng.New(15))
+	in := NewInjector(p2, 3, rng.New(16))
+	for i := 0; i < 100; i++ {
+		want := p1.Next()
+		if got := in.Next().Time; got != want {
+			t.Fatalf("injector altered arrival times: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestPropertyPoissonStrictlyIncreasing(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := NewPoisson(0.05, rng.New(seed))
+		prev := 0.0
+		for i := 0; i < 64; i++ {
+			next := p.Next()
+			if next <= prev || math.IsNaN(next) {
+				return false
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMMPPStrictlyIncreasing(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := NewMMPP(0.001, 0.02, 300, 50, rng.New(seed))
+		prev := 0.0
+		for i := 0; i < 64; i++ {
+			next := m.Next()
+			if next <= prev || math.IsNaN(next) {
+				return false
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonRateAccessor(t *testing.T) {
+	if got := NewPoisson(0.0042, rng.New(1)).Rate(); got != 0.0042 {
+		t.Fatalf("Rate() = %v", got)
+	}
+}
+
+func TestMMPPResetAndInBurst(t *testing.T) {
+	m := NewMMPP(0.001, 0.05, 100, 50, rng.New(5))
+	if m.InBurst() {
+		t.Fatal("MMPP must start in the quiet state")
+	}
+	first := m.Next()
+	m.Next()
+	m.Reset(rng.New(5))
+	if m.InBurst() {
+		t.Fatal("Reset should return to the quiet state")
+	}
+	if got := m.Next(); got != first {
+		t.Fatalf("Reset did not restart the stream: %v vs %v", got, first)
+	}
+}
+
+func TestWeibullReset(t *testing.T) {
+	w := NewWeibull(1.5, 200, rng.New(6))
+	first := w.Next()
+	w.Next()
+	w.Reset(rng.New(6))
+	if got := w.Next(); got != first {
+		t.Fatalf("Weibull Reset did not restart: %v vs %v", got, first)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewPoisson(0.1, nil) },
+		func() { NewPoisson(math.NaN(), rng.New(1)) },
+		func() { NewMMPP(-1, 0.1, 10, 10, rng.New(1)) },
+		func() { NewMMPP(0.1, 0.1, 0, 10, rng.New(1)) },
+		func() { NewMMPP(0.1, 0.1, 10, 10, nil) },
+		func() { NewWeibull(0, 10, rng.New(1)) },
+		func() { NewWeibull(1, 0, rng.New(1)) },
+		func() { NewWeibull(1, 10, nil) },
+		func() { NewInjector(nil, 2, rng.New(1)) },
+		func() { NewInjector(NewPoisson(0.1, rng.New(1)), 0, rng.New(1)) },
+		func() { NewInjector(NewPoisson(0.1, rng.New(1)), 2, nil) },
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			c()
+		}()
+	}
+}

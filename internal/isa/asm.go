@@ -1,0 +1,269 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembler text into a program.
+//
+// Syntax, one instruction per line:
+//
+//	; comment (also #)
+//	label:
+//	ldi  r1, 100        ; rd, imm
+//	addi r1, r1, -1     ; rd, ra, imm
+//	add  r3, r1, r2     ; rd, ra, rb (also sub/mul/and/or/xor/shl/shr)
+//	ld   r2, 4(r5)      ; rd, offset(ra)
+//	st   r2, 4(r5)      ; rb, offset(ra)
+//	beq  r1, r0, done   ; ra, rb, label-or-index (also bne/blt)
+//	jmp  loop
+//	halt
+//	nop
+//
+// Branch and jump targets may be labels or absolute instruction indices.
+func Assemble(src string) ([]Instr, error) {
+	type pending struct {
+		line  int
+		instr Instr
+		// labelRef holds an unresolved target symbol, if any.
+		labelRef string
+	}
+
+	labels := map[string]int{}
+	var items []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = len(items)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		in, ref, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+		}
+		items = append(items, pending{line: lineNo + 1, instr: in, labelRef: ref})
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("isa: empty program")
+	}
+
+	prog := make([]Instr, len(items))
+	for i, it := range items {
+		in := it.instr
+		if it.labelRef != "" {
+			target, ok := labels[it.labelRef]
+			if !ok {
+				return nil, fmt.Errorf("isa: line %d: undefined label %q", it.line, it.labelRef)
+			}
+			in.Imm = int32(target)
+		}
+		prog[i] = in
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble that panics on error, for static programs.
+func MustAssemble(src string) []Instr {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseInstr(line string) (Instr, string, error) {
+	fields := strings.Fields(line)
+	mnem := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	args := splitArgs(rest)
+
+	reg := func(s string) (uint8, error) {
+		s = strings.ToLower(strings.TrimSpace(s))
+		if !strings.HasPrefix(s, "r") {
+			return 0, fmt.Errorf("expected register, got %q", s)
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= NumRegs {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return uint8(n), nil
+	}
+	imm := func(s string) (int32, error) {
+		n, err := strconv.ParseInt(strings.TrimSpace(s), 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int32(n), nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+
+	threeReg := map[string]Op{
+		"add": OpAdd, "sub": OpSub, "mul": OpMul, "and": OpAnd,
+		"or": OpOr, "xor": OpXor, "shl": OpShl, "shr": OpShr,
+	}
+	branch := map[string]Op{"beq": OpBeq, "bne": OpBne, "blt": OpBlt}
+
+	switch {
+	case mnem == "nop":
+		return Instr{Op: OpNop}, "", need(0)
+	case mnem == "halt":
+		return Instr{Op: OpHalt}, "", need(0)
+	case threeReg[mnem] != 0:
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := reg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rb, err := reg(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: threeReg[mnem], Rd: rd, Ra: ra, Rb: rb}, "", nil
+	case mnem == "addi":
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := reg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		v, err := imm(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpAddi, Rd: rd, Ra: ra, Imm: v}, "", nil
+	case mnem == "ldi":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		v, err := imm(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpLdi, Rd: rd, Imm: v}, "", nil
+	case mnem == "ld" || mnem == "st":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		r1, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		off, base, err := parseMem(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := reg(base)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if mnem == "ld" {
+			return Instr{Op: OpLd, Rd: r1, Ra: ra, Imm: off}, "", nil
+		}
+		return Instr{Op: OpSt, Rb: r1, Ra: ra, Imm: off}, "", nil
+	case branch[mnem] != 0:
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := reg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rb, err := reg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := Instr{Op: branch[mnem], Ra: ra, Rb: rb}
+		if v, err := imm(args[2]); err == nil {
+			in.Imm = v
+			return in, "", nil
+		}
+		return in, strings.TrimSpace(args[2]), nil
+	case mnem == "jmp":
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		in := Instr{Op: OpJmp}
+		if v, err := imm(args[0]); err == nil {
+			in.Imm = v
+			return in, "", nil
+		}
+		return in, strings.TrimSpace(args[0]), nil
+	default:
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+}
+
+// parseMem splits "off(rN)" into offset and base register text.
+func parseMem(s string) (int32, string, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, "", fmt.Errorf("expected off(reg), got %q", s)
+	}
+	offText := strings.TrimSpace(s[:open])
+	if offText == "" {
+		offText = "0"
+	}
+	off, err := strconv.ParseInt(offText, 0, 32)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad offset %q", offText)
+	}
+	return int32(off), s[open+1 : len(s)-1], nil
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -1,0 +1,75 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble hardens the assembler against hostile/garbled input: it
+// must either return an error or produce a program whose disassembly
+// re-assembles to the identical instruction stream (a round-trip
+// invariant), and must never panic.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		sumProgram,
+		"ldi r1, 5\nhalt",
+		"loop: jmp loop",
+		"add r1, r2, r3 ; comment",
+		"st r2, 4(r5)\nld r2, 4(r5)\nhalt",
+		"beq r1, r0, 0",
+		"a:b:c: halt",
+		"ldi r1, -2147483648\nhalt",
+		"; only comments\n# more",
+		"addi r1, r1, 0x10\nhalt",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if len(prog) == 0 {
+			t.Fatal("Assemble returned empty program without error")
+		}
+		// Round-trip: disassemble and re-assemble. Branch targets print
+		// as absolute indices, which the assembler accepts.
+		var b strings.Builder
+		for _, in := range prog {
+			b.WriteString(in.String())
+			b.WriteString("\n")
+		}
+		again, err := Assemble(b.String())
+		if err != nil {
+			t.Fatalf("disassembly did not re-assemble: %v\n%s", err, b.String())
+		}
+		if len(again) != len(prog) {
+			t.Fatalf("round-trip length %d != %d", len(again), len(prog))
+		}
+		for i := range prog {
+			if again[i] != prog[i] {
+				t.Fatalf("instr %d round-trip mismatch: %v vs %v", i, prog[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzMachineStep ensures arbitrary programs cannot crash the
+// interpreter: any instruction stream either executes, traps cleanly or
+// halts within the step budget.
+func FuzzMachineStep(f *testing.F) {
+	f.Add(uint8(2), uint8(1), uint8(2), uint8(3), int32(7))
+	f.Add(uint8(13), uint8(0), uint8(15), uint8(9), int32(-4))
+	f.Fuzz(func(t *testing.T, op, rd, ra, rb uint8, imm int32) {
+		prog := []Instr{
+			{Op: Op(op % 18), Rd: rd % NumRegs, Ra: ra % NumRegs, Rb: rb % NumRegs, Imm: imm},
+			{Op: OpHalt},
+		}
+		m, err := New(prog, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = m.Run(64) // traps are fine; panics are not
+	})
+}

@@ -1,0 +1,352 @@
+// Package isa implements a small RISC-style instruction set with an
+// assembler and a cycle-counted interpreter. It is the "embedded
+// processor" substrate of the reproduction: where the Monte-Carlo engine
+// (internal/sim) costs checkpoints out analytically, this package gives
+// them a real meaning — a checkpoint snapshots architectural state
+// (registers, PC, memory), a comparison hashes it, a rollback restores
+// it, and an injected fault flips an actual bit.
+//
+// The machine is deliberately simple: 16 general 32-bit registers (r0
+// hardwired to zero), word-addressed memory, and a compact two-operand /
+// three-operand instruction set sufficient for control loops of the kind
+// embedded real-time tasks run (see examples/abs).
+package isa
+
+import (
+	"fmt"
+)
+
+// Op enumerates opcodes.
+type Op uint8
+
+// Opcodes.
+const (
+	// OpNop does nothing for one cycle.
+	OpNop Op = iota
+	// OpHalt stops the machine.
+	OpHalt
+	// OpAdd: rd = ra + rb.
+	OpAdd
+	// OpSub: rd = ra - rb.
+	OpSub
+	// OpMul: rd = ra * rb (low 32 bits).
+	OpMul
+	// OpAnd, OpOr, OpXor: bitwise rd = ra ∘ rb.
+	OpAnd
+	OpOr
+	OpXor
+	// OpShl, OpShr: rd = ra shifted by rb&31.
+	OpShl
+	OpShr
+	// OpAddi: rd = ra + imm.
+	OpAddi
+	// OpLdi: rd = imm.
+	OpLdi
+	// OpLd: rd = mem[ra + imm].
+	OpLd
+	// OpSt: mem[ra + imm] = rb.
+	OpSt
+	// OpBeq: if ra == rb jump to imm (absolute instruction index).
+	OpBeq
+	// OpBne: if ra != rb jump to imm.
+	OpBne
+	// OpBlt: if ra < rb (signed) jump to imm.
+	OpBlt
+	// OpJmp: jump to imm.
+	OpJmp
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpHalt: "halt", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpAddi: "addi", OpLdi: "ldi", OpLd: "ld", OpSt: "st",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpJmp: "jmp",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op         Op
+	Rd, Ra, Rb uint8
+	Imm        int32
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpHalt:
+		return in.Op.String()
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Ra, in.Rb)
+	case OpAddi:
+		return fmt.Sprintf("addi r%d, r%d, %d", in.Rd, in.Ra, in.Imm)
+	case OpLdi:
+		return fmt.Sprintf("ldi r%d, %d", in.Rd, in.Imm)
+	case OpLd:
+		return fmt.Sprintf("ld r%d, %d(r%d)", in.Rd, in.Imm, in.Ra)
+	case OpSt:
+		return fmt.Sprintf("st r%d, %d(r%d)", in.Rb, in.Imm, in.Ra)
+	case OpBeq, OpBne, OpBlt:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Ra, in.Rb, in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", in.Imm)
+	default:
+		return fmt.Sprintf("%v rd=%d ra=%d rb=%d imm=%d", in.Op, in.Rd, in.Ra, in.Rb, in.Imm)
+	}
+}
+
+// NumRegs is the architectural register count; register 0 reads as zero.
+const NumRegs = 16
+
+// Machine is one processor core: registers, program counter, data memory
+// and a cycle counter. Program memory is immutable (Harvard-style), so
+// transient faults affect only architectural data state.
+type Machine struct {
+	Regs [NumRegs]uint32
+	PC   uint32
+	Mem  []uint32
+
+	prog   []Instr
+	halted bool
+	cycles uint64
+
+	// dirty tracks memory words written since the last ResetDirty —
+	// the write set an incremental checkpoint must persist.
+	dirty      []bool
+	dirtyCount int
+}
+
+// New builds a machine for a program with memWords words of data memory.
+func New(prog []Instr, memWords int) (*Machine, error) {
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("isa: empty program")
+	}
+	if memWords < 0 {
+		return nil, fmt.Errorf("isa: negative memory size")
+	}
+	return &Machine{
+		prog:  prog,
+		Mem:   make([]uint32, memWords),
+		dirty: make([]bool, memWords),
+	}, nil
+}
+
+// Halted reports whether the machine has executed halt.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Cycles returns the executed instruction count.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// Program returns the immutable program.
+func (m *Machine) Program() []Instr { return m.prog }
+
+// FaultError describes an execution trap (out-of-range access or PC).
+// Traps are detectable errors — in a DMR pair they surface like a state
+// divergence.
+type FaultError struct {
+	PC     uint32
+	Reason string
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("isa: trap at pc=%d: %s", e.PC, e.Reason)
+}
+
+func (m *Machine) trap(reason string) error {
+	m.halted = true
+	return &FaultError{PC: m.PC, Reason: reason}
+}
+
+// Step executes one instruction. A halted machine stays halted (and
+// returns nil).
+func (m *Machine) Step() error {
+	if m.halted {
+		return nil
+	}
+	if int(m.PC) >= len(m.prog) {
+		return m.trap("PC outside program")
+	}
+	in := m.prog[m.PC]
+	next := m.PC + 1
+	m.cycles++
+
+	reg := func(i uint8) uint32 {
+		if i == 0 {
+			return 0
+		}
+		return m.Regs[i%NumRegs]
+	}
+	set := func(i uint8, v uint32) {
+		if i%NumRegs != 0 {
+			m.Regs[i%NumRegs] = v
+		}
+	}
+
+	switch in.Op {
+	case OpNop:
+	case OpHalt:
+		m.halted = true
+	case OpAdd:
+		set(in.Rd, reg(in.Ra)+reg(in.Rb))
+	case OpSub:
+		set(in.Rd, reg(in.Ra)-reg(in.Rb))
+	case OpMul:
+		set(in.Rd, reg(in.Ra)*reg(in.Rb))
+	case OpAnd:
+		set(in.Rd, reg(in.Ra)&reg(in.Rb))
+	case OpOr:
+		set(in.Rd, reg(in.Ra)|reg(in.Rb))
+	case OpXor:
+		set(in.Rd, reg(in.Ra)^reg(in.Rb))
+	case OpShl:
+		set(in.Rd, reg(in.Ra)<<(reg(in.Rb)&31))
+	case OpShr:
+		set(in.Rd, reg(in.Ra)>>(reg(in.Rb)&31))
+	case OpAddi:
+		set(in.Rd, reg(in.Ra)+uint32(in.Imm))
+	case OpLdi:
+		set(in.Rd, uint32(in.Imm))
+	case OpLd:
+		addr := int64(int32(reg(in.Ra))) + int64(in.Imm)
+		if addr < 0 || addr >= int64(len(m.Mem)) {
+			return m.trap(fmt.Sprintf("load outside memory: %d", addr))
+		}
+		set(in.Rd, m.Mem[addr])
+	case OpSt:
+		addr := int64(int32(reg(in.Ra))) + int64(in.Imm)
+		if addr < 0 || addr >= int64(len(m.Mem)) {
+			return m.trap(fmt.Sprintf("store outside memory: %d", addr))
+		}
+		m.Mem[addr] = reg(in.Rb)
+		if !m.dirty[addr] {
+			m.dirty[addr] = true
+			m.dirtyCount++
+		}
+	case OpBeq:
+		if reg(in.Ra) == reg(in.Rb) {
+			next = uint32(in.Imm)
+		}
+	case OpBne:
+		if reg(in.Ra) != reg(in.Rb) {
+			next = uint32(in.Imm)
+		}
+	case OpBlt:
+		if int32(reg(in.Ra)) < int32(reg(in.Rb)) {
+			next = uint32(in.Imm)
+		}
+	case OpJmp:
+		next = uint32(in.Imm)
+	default:
+		return m.trap(fmt.Sprintf("illegal opcode %d", in.Op))
+	}
+	m.PC = next
+	return nil
+}
+
+// Run executes up to maxSteps instructions or until halt/trap.
+// It returns the number of instructions executed.
+func (m *Machine) Run(maxSteps uint64) (uint64, error) {
+	start := m.cycles
+	for !m.halted && m.cycles-start < maxSteps {
+		if err := m.Step(); err != nil {
+			return m.cycles - start, err
+		}
+	}
+	return m.cycles - start, nil
+}
+
+// Snapshot is a copy of the architectural state (a stored checkpoint).
+type Snapshot struct {
+	Regs   [NumRegs]uint32
+	PC     uint32
+	Mem    []uint32
+	Halted bool
+	Cycles uint64
+}
+
+// Snapshot captures the architectural state.
+func (m *Machine) Snapshot() Snapshot {
+	mem := make([]uint32, len(m.Mem))
+	copy(mem, m.Mem)
+	return Snapshot{Regs: m.Regs, PC: m.PC, Mem: mem, Halted: m.halted, Cycles: m.cycles}
+}
+
+// Restore rewinds the machine to a snapshot (a rollback). The cycle
+// counter is NOT restored: executed cycles are spent wall-clock work.
+func (m *Machine) Restore(s Snapshot) {
+	m.Regs = s.Regs
+	m.PC = s.PC
+	copy(m.Mem, s.Mem)
+	if len(s.Mem) != len(m.Mem) {
+		m.Mem = append(m.Mem[:0], s.Mem...)
+	}
+	m.halted = s.Halted
+}
+
+// Digest hashes the architectural state with FNV-1a. Two replicas in
+// agreement have equal digests; a comparison checkpoint compares digests.
+func (m *Machine) Digest() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint32) {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(v>>shift) & 0xff
+			h *= prime
+		}
+	}
+	for _, r := range m.Regs {
+		mix(r)
+	}
+	mix(m.PC)
+	for _, w := range m.Mem {
+		mix(w)
+	}
+	if m.halted {
+		h ^= 1
+		h *= prime
+	}
+	return h
+}
+
+// FlipRegisterBit injects a transient fault into register reg, bit bit.
+// Flipping r0 is a no-op architecturally (reads stay zero) but still
+// mutates stored state so the divergence is observable, matching real
+// register-file upsets.
+func (m *Machine) FlipRegisterBit(reg, bit int) {
+	m.Regs[((reg%NumRegs)+NumRegs)%NumRegs] ^= 1 << (uint(bit) % 32)
+}
+
+// FlipMemoryBit injects a transient fault into data memory. Fault flips
+// do not mark the word dirty: silent upsets are precisely the writes an
+// incremental checkpoint would miss, which is why the comparison half of
+// the protocol digests the full state.
+func (m *Machine) FlipMemoryBit(word, bit int) {
+	if len(m.Mem) == 0 {
+		return
+	}
+	m.Mem[((word%len(m.Mem))+len(m.Mem))%len(m.Mem)] ^= 1 << (uint(bit) % 32)
+}
+
+// DirtyWords returns how many memory words were written since the last
+// ResetDirty.
+func (m *Machine) DirtyWords() int { return m.dirtyCount }
+
+// ResetDirty clears the write set (called after a store checkpoint has
+// persisted it).
+func (m *Machine) ResetDirty() {
+	for i := range m.dirty {
+		m.dirty[i] = false
+	}
+	m.dirtyCount = 0
+}

@@ -1,0 +1,387 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sumProgram = `
+    ; sum 1..10 into r2, store at mem[0]
+    ldi  r1, 10
+    ldi  r2, 0
+loop:
+    add  r2, r2, r1
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    ldi  r4, 0
+    st   r2, 0(r4)
+    halt
+`
+
+func mustRun(t *testing.T, src string, mem int, max uint64) *Machine {
+	t.Helper()
+	m, err := New(MustAssemble(src), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(max); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+func TestSumProgram(t *testing.T) {
+	m := mustRun(t, sumProgram, 4, 1000)
+	if m.Regs[2] != 55 {
+		t.Fatalf("sum = %d, want 55", m.Regs[2])
+	}
+	if m.Mem[0] != 55 {
+		t.Fatalf("mem[0] = %d, want 55", m.Mem[0])
+	}
+}
+
+func TestFibonacci(t *testing.T) {
+	src := `
+    ldi  r1, 0      ; fib(0)
+    ldi  r2, 1      ; fib(1)
+    ldi  r3, 12     ; count
+loop:
+    add  r4, r1, r2
+    add  r1, r2, r0
+    add  r2, r4, r0
+    addi r3, r3, -1
+    bne  r3, r0, loop
+    halt
+`
+	m := mustRun(t, src, 0, 1000)
+	if m.Regs[1] != 144 {
+		t.Fatalf("fib(12) = %d, want 144", m.Regs[1])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	src := `
+    ldi r1, 3
+    ldi r2, 42
+    st  r2, 1(r1)   ; mem[4] = 42
+    ld  r3, 1(r1)
+    halt
+`
+	m := mustRun(t, src, 8, 100)
+	if m.Mem[4] != 42 || m.Regs[3] != 42 {
+		t.Fatalf("mem/load wrong: %d %d", m.Mem[4], m.Regs[3])
+	}
+}
+
+func TestR0HardwiredZero(t *testing.T) {
+	src := `
+    ldi r0, 99
+    add r1, r0, r0
+    halt
+`
+	m := mustRun(t, src, 0, 100)
+	if m.Regs[1] != 0 {
+		t.Fatalf("r0 writes must not be readable: r1=%d", m.Regs[1])
+	}
+}
+
+func TestArithmeticAndLogic(t *testing.T) {
+	src := `
+    ldi r1, 12
+    ldi r2, 10
+    sub r3, r1, r2  ; 2
+    mul r4, r1, r2  ; 120
+    and r5, r1, r2  ; 8
+    or  r6, r1, r2  ; 14
+    xor r7, r1, r2  ; 6
+    ldi r8, 2
+    shl r9, r1, r8  ; 48
+    shr r10, r1, r8 ; 3
+    halt
+`
+	m := mustRun(t, src, 0, 100)
+	want := map[int]uint32{3: 2, 4: 120, 5: 8, 6: 14, 7: 6, 9: 48, 10: 3}
+	for r, v := range want {
+		if m.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, m.Regs[r], v)
+		}
+	}
+}
+
+func TestBranchTakenAndNot(t *testing.T) {
+	src := `
+    ldi r1, 5
+    ldi r2, 5
+    beq r1, r2, equal
+    ldi r3, 111
+    halt
+equal:
+    ldi r3, 222
+    blt r0, r1, done
+    ldi r3, 0
+done:
+    halt
+`
+	m := mustRun(t, src, 0, 100)
+	if m.Regs[3] != 222 {
+		t.Fatalf("r3 = %d, want 222", m.Regs[3])
+	}
+}
+
+func TestTrapOnBadLoad(t *testing.T) {
+	src := `
+    ldi r1, 100
+    ld  r2, 0(r1)
+    halt
+`
+	m, _ := New(MustAssemble(src), 4)
+	if _, err := m.Run(100); err == nil {
+		t.Fatal("out-of-range load did not trap")
+	}
+	if !m.Halted() {
+		t.Fatal("trap should halt the machine")
+	}
+}
+
+func TestTrapOnPCOverrun(t *testing.T) {
+	// Branch past the end.
+	m, _ := New([]Instr{{Op: OpJmp, Imm: 99}}, 0)
+	m.Step()
+	if err := m.Step(); err == nil {
+		t.Fatal("PC overrun did not trap")
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	src := `
+loop:
+    jmp loop
+`
+	m, _ := New(MustAssemble(src), 0)
+	n, err := m.Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("executed %d steps, want 500", n)
+	}
+	if m.Halted() {
+		t.Fatal("infinite loop halted")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m, _ := New(MustAssemble(sumProgram), 4)
+	m.Run(5)
+	snap := m.Snapshot()
+	digestAt := m.Digest()
+	m.Run(100)
+	if m.Digest() == digestAt {
+		t.Fatal("state did not evolve")
+	}
+	m.Restore(snap)
+	if m.Digest() != digestAt {
+		t.Fatal("restore did not reproduce digest")
+	}
+	// Re-running from the snapshot reaches the same final answer.
+	m.Run(1000)
+	if m.Regs[2] != 55 {
+		t.Fatalf("post-rollback sum = %d", m.Regs[2])
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	m, _ := New(MustAssemble(sumProgram), 4)
+	snap := m.Snapshot()
+	m.Mem[0] = 999
+	if snap.Mem[0] == 999 {
+		t.Fatal("snapshot aliases machine memory")
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	a, _ := New(MustAssemble(sumProgram), 4)
+	b, _ := New(MustAssemble(sumProgram), 4)
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical machines differ")
+	}
+	b.FlipRegisterBit(3, 7)
+	if a.Digest() == b.Digest() {
+		t.Fatal("register bit flip invisible to digest")
+	}
+	b.FlipRegisterBit(3, 7) // undo
+	b.FlipMemoryBit(2, 31)
+	if a.Digest() == b.Digest() {
+		t.Fatal("memory bit flip invisible to digest")
+	}
+}
+
+func TestLockstepDivergenceAfterFault(t *testing.T) {
+	// Two replicas executing the same program stay digest-equal until a
+	// bit flip, after which they diverge — the DMR detection premise.
+	a, _ := New(MustAssemble(sumProgram), 4)
+	b, _ := New(MustAssemble(sumProgram), 4)
+	for i := 0; i < 3; i++ {
+		a.Step()
+		b.Step()
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("replicas diverged without a fault")
+	}
+	b.FlipRegisterBit(2, 0) // corrupt the accumulator
+	a.Run(1000)
+	b.Run(1000)
+	if a.Digest() == b.Digest() {
+		t.Fatal("fault did not cause a divergence")
+	}
+	if a.Regs[2] == b.Regs[2] {
+		t.Fatal("corrupted accumulator produced the same sum")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "   \n ; nothing\n",
+		"unknown op":      "frob r1, r2",
+		"bad register":    "ldi r99, 1",
+		"missing label":   "jmp nowhere",
+		"dup label":       "a:\na:\nhalt",
+		"operand count":   "add r1, r2",
+		"bad immediate":   "ldi r1, xyz",
+		"bad mem operand": "ld r1, r2",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled without error", name)
+		}
+	}
+}
+
+func TestAssemblerRoundTripStrings(t *testing.T) {
+	prog := MustAssemble(sumProgram)
+	for _, in := range prog {
+		if s := in.String(); s == "" || strings.Contains(s, "op(") {
+			t.Errorf("bad disassembly %q", s)
+		}
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	src := "start: ldi r1, 1\n jmp start"
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[1].Imm != 0 {
+		t.Fatalf("label resolved to %d, want 0", prog[1].Imm)
+	}
+}
+
+func TestPropertyDigestDeterministic(t *testing.T) {
+	f := func(steps uint8) bool {
+		a, _ := New(MustAssemble(sumProgram), 4)
+		b, _ := New(MustAssemble(sumProgram), 4)
+		a.Run(uint64(steps))
+		b.Run(uint64(steps))
+		return a.Digest() == b.Digest()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRestoreIdempotent(t *testing.T) {
+	f := func(steps uint8, extra uint8) bool {
+		m, _ := New(MustAssemble(sumProgram), 4)
+		m.Run(uint64(steps))
+		snap := m.Snapshot()
+		d := m.Digest()
+		m.Run(uint64(extra))
+		m.Restore(snap)
+		m.Restore(snap)
+		return m.Digest() == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessorsAndErrors(t *testing.T) {
+	prog := MustAssemble(sumProgram)
+	m, _ := New(prog, 4)
+	if m.Cycles() != 0 {
+		t.Fatal("fresh machine has cycles")
+	}
+	if len(m.Program()) != len(prog) {
+		t.Fatal("Program() length wrong")
+	}
+	m.Run(5)
+	if m.Cycles() != 5 {
+		t.Fatalf("Cycles = %d", m.Cycles())
+	}
+	err := &FaultError{PC: 7, Reason: "boom"}
+	if !strings.Contains(err.Error(), "pc=7") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("FaultError = %q", err.Error())
+	}
+	if _, err := New(nil, 4); err == nil {
+		t.Fatal("empty program accepted")
+	}
+	if _, err := New(prog, -1); err == nil {
+		t.Fatal("negative memory accepted")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustAssemble("frob r1")
+}
+
+func TestDirtyTracking(t *testing.T) {
+	src := `
+    ldi r1, 2
+    ldi r2, 9
+    st  r2, 0(r1)   ; dirty word 2
+    st  r2, 1(r1)   ; dirty word 3
+    st  r2, 0(r1)   ; word 2 again: no new dirty
+    halt
+`
+	m, _ := New(MustAssemble(src), 8)
+	m.Run(100)
+	if got := m.DirtyWords(); got != 2 {
+		t.Fatalf("DirtyWords = %d, want 2", got)
+	}
+	m.ResetDirty()
+	if m.DirtyWords() != 0 {
+		t.Fatal("ResetDirty left residue")
+	}
+	// Fault flips do not dirty (silent upsets are invisible to the
+	// write-set tracker; that is the documented semantics).
+	m.FlipMemoryBit(5, 3)
+	if m.DirtyWords() != 0 {
+		t.Fatal("bit flip marked dirty")
+	}
+}
+
+func TestFlipMemoryBitEmptyMemory(t *testing.T) {
+	m, _ := New(MustAssemble("halt"), 0)
+	m.FlipMemoryBit(3, 5) // must not panic
+}
+
+func TestOpStringAll(t *testing.T) {
+	for op := OpNop; op <= OpJmp; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Fatalf("Op %d has no name", op)
+		}
+	}
+	if Op(200).String() != "op(200)" {
+		t.Fatal("unknown op string wrong")
+	}
+}

@@ -1,0 +1,380 @@
+// Package programs is a library of canned embedded kernels for the
+// bundled ISA: realistic workloads (sorting, filtering, checksumming,
+// linear algebra) used by the DMR executor's tests and examples. Each
+// kernel carries its assembler source, the memory image it expects, and
+// a pure-Go reference implementation the tests check the machine
+// against.
+package programs
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Kernel is one canned workload.
+type Kernel struct {
+	// Name identifies the kernel.
+	Name string
+	// Source is the assembler text.
+	Source string
+	// MemWords is the data-memory size the kernel needs.
+	MemWords int
+	// Init seeds data memory before execution (may be nil).
+	Init func(mem []uint32)
+	// Reference computes the expected memory image from the initial one.
+	Reference func(mem []uint32)
+	// MaxSteps bounds execution.
+	MaxSteps uint64
+}
+
+// Build assembles the kernel and returns a machine with initialised
+// memory.
+func (k Kernel) Build() (*isa.Machine, error) {
+	prog, err := isa.Assemble(k.Source)
+	if err != nil {
+		return nil, fmt.Errorf("programs: %s: %w", k.Name, err)
+	}
+	m, err := isa.New(prog, k.MemWords)
+	if err != nil {
+		return nil, fmt.Errorf("programs: %s: %w", k.Name, err)
+	}
+	if k.Init != nil {
+		k.Init(m.Mem)
+	}
+	return m, nil
+}
+
+// Expected returns the memory image the kernel must produce.
+func (k Kernel) Expected() []uint32 {
+	mem := make([]uint32, k.MemWords)
+	if k.Init != nil {
+		k.Init(mem)
+	}
+	if k.Reference != nil {
+		k.Reference(mem)
+	}
+	return mem
+}
+
+// All returns every canned kernel.
+func All() []Kernel {
+	return []Kernel{BubbleSort(), InsertionSort(), DotProduct(), Checksum(), MovingAverage(), MatVec3(), PIDController()}
+}
+
+// ByName returns a kernel by name.
+func ByName(name string) (Kernel, error) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("programs: unknown kernel %q", name)
+}
+
+// BubbleSort sorts 16 words in-place at mem[0..15].
+func BubbleSort() Kernel {
+	const n = 16
+	return Kernel{
+		Name:     "bubblesort",
+		MemWords: n,
+		MaxSteps: 20000,
+		Init: func(mem []uint32) {
+			for i := 0; i < n; i++ {
+				mem[i] = uint32((i*37 + 11) % 97)
+			}
+		},
+		Reference: func(mem []uint32) {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n-1-i; j++ {
+					if mem[j] > mem[j+1] {
+						mem[j], mem[j+1] = mem[j+1], mem[j]
+					}
+				}
+			}
+		},
+		Source: `
+    ; bubble sort mem[0..15]
+    ldi  r1, 15        ; outer remaining
+outer:
+    ldi  r2, 0         ; j
+    ldi  r10, 0        ; swapped flag (unused, kept simple)
+inner:
+    ld   r3, 0(r2)
+    ld   r4, 1(r2)
+    blt  r3, r4, noswap
+    beq  r3, r4, noswap
+    st   r4, 0(r2)
+    st   r3, 1(r2)
+noswap:
+    addi r2, r2, 1
+    blt  r2, r1, inner
+    addi r1, r1, -1
+    bne  r1, r0, outer
+    halt
+`,
+	}
+}
+
+// DotProduct computes dot(a, b) of two 12-vectors at mem[0..11] and
+// mem[12..23], storing the result at mem[24].
+func DotProduct() Kernel {
+	const n = 12
+	return Kernel{
+		Name:     "dotproduct",
+		MemWords: 2*n + 1,
+		MaxSteps: 5000,
+		Init: func(mem []uint32) {
+			for i := 0; i < n; i++ {
+				mem[i] = uint32(i + 1)
+				mem[n+i] = uint32(2*i + 3)
+			}
+		},
+		Reference: func(mem []uint32) {
+			var acc uint32
+			for i := 0; i < n; i++ {
+				acc += mem[i] * mem[n+i]
+			}
+			mem[2*n] = acc
+		},
+		Source: `
+    ldi  r1, 0         ; i
+    ldi  r2, 12        ; n
+    ldi  r3, 0         ; acc
+loop:
+    ld   r4, 0(r1)
+    ld   r5, 12(r1)
+    mul  r6, r4, r5
+    add  r3, r3, r6
+    addi r1, r1, 1
+    bne  r1, r2, loop
+    ldi  r7, 24
+    st   r3, 0(r7)
+    halt
+`,
+	}
+}
+
+// Checksum computes a rotating XOR checksum of 24 words at mem[0..23]
+// into mem[24] — a stand-in for frame CRC in embedded links.
+func Checksum() Kernel {
+	const n = 24
+	return Kernel{
+		Name:     "checksum",
+		MemWords: n + 1,
+		MaxSteps: 5000,
+		Init: func(mem []uint32) {
+			for i := 0; i < n; i++ {
+				mem[i] = uint32(i*2654435761 + 12345)
+			}
+		},
+		Reference: func(mem []uint32) {
+			var acc uint32
+			for i := 0; i < n; i++ {
+				acc = acc<<5 | acc>>27
+				acc ^= mem[i]
+			}
+			mem[n] = acc
+		},
+		Source: `
+    ldi  r1, 0        ; i
+    ldi  r2, 24       ; n
+    ldi  r3, 0        ; acc
+    ldi  r8, 5
+    ldi  r9, 27
+loop:
+    shl  r4, r3, r8
+    shr  r5, r3, r9
+    or   r3, r4, r5
+    ld   r6, 0(r1)
+    xor  r3, r3, r6
+    addi r1, r1, 1
+    bne  r1, r2, loop
+    ldi  r7, 24
+    st   r3, 0(r7)
+    halt
+`,
+	}
+}
+
+// MovingAverage computes a width-4 moving sum over 20 samples at
+// mem[0..19], writing 17 outputs at mem[20..36] — a classic sensor
+// filter.
+func MovingAverage() Kernel {
+	const n, w = 20, 4
+	return Kernel{
+		Name:     "movingavg",
+		MemWords: n + (n - w + 1),
+		MaxSteps: 8000,
+		Init: func(mem []uint32) {
+			for i := 0; i < n; i++ {
+				mem[i] = uint32((i*i + 5) % 251)
+			}
+		},
+		Reference: func(mem []uint32) {
+			for i := 0; i+w <= n; i++ {
+				var s uint32
+				for j := 0; j < w; j++ {
+					s += mem[i+j]
+				}
+				mem[n+i] = s
+			}
+		},
+		Source: `
+    ldi  r1, 0        ; i
+    ldi  r2, 17       ; outputs = n-w+1
+outer:
+    ldi  r3, 0        ; sum
+    ldi  r4, 0        ; j
+    ldi  r5, 4        ; w
+window:
+    add  r6, r1, r4
+    ld   r7, 0(r6)
+    add  r3, r3, r7
+    addi r4, r4, 1
+    bne  r4, r5, window
+    st   r3, 20(r1)
+    addi r1, r1, 1
+    bne  r1, r2, outer
+    halt
+`,
+	}
+}
+
+// MatVec3 multiplies a 3×3 matrix (row-major at mem[0..8]) by a vector
+// (mem[9..11]), writing the result at mem[12..14] — the attitude-update
+// core of small flight controllers.
+func MatVec3() Kernel {
+	return Kernel{
+		Name:     "matvec3",
+		MemWords: 15,
+		MaxSteps: 5000,
+		Init: func(mem []uint32) {
+			vals := []uint32{2, 0, 1, 1, 3, 2, 0, 1, 4, 5, 6, 7}
+			copy(mem, vals)
+		},
+		Reference: func(mem []uint32) {
+			for r := 0; r < 3; r++ {
+				var s uint32
+				for c := 0; c < 3; c++ {
+					s += mem[3*r+c] * mem[9+c]
+				}
+				mem[12+r] = s
+			}
+		},
+		Source: `
+    ldi  r1, 0        ; row
+    ldi  r2, 3
+rowloop:
+    ldi  r3, 0        ; sum
+    ldi  r4, 0        ; col
+    mul  r8, r1, r2   ; row*3
+colloop:
+    add  r5, r8, r4
+    ld   r6, 0(r5)    ; A[row][col]
+    ld   r7, 9(r4)    ; x[col]
+    mul  r9, r6, r7
+    add  r3, r3, r9
+    addi r4, r4, 1
+    bne  r4, r2, colloop
+    st   r3, 12(r1)
+    addi r1, r1, 1
+    bne  r1, r2, rowloop
+    halt
+`,
+	}
+}
+
+// InsertionSort sorts 20 words in-place at mem[0..19] — the branchy
+// control-flow counterpart of BubbleSort.
+func InsertionSort() Kernel {
+	const n = 20
+	return Kernel{
+		Name:     "insertionsort",
+		MemWords: n,
+		MaxSteps: 30000,
+		Init: func(mem []uint32) {
+			for i := 0; i < n; i++ {
+				mem[i] = uint32((i*73 + 19) % 127)
+			}
+		},
+		Reference: func(mem []uint32) {
+			for i := 1; i < n; i++ {
+				for j := i; j > 0 && mem[j-1] > mem[j]; j-- {
+					mem[j-1], mem[j] = mem[j], mem[j-1]
+				}
+			}
+		},
+		Source: `
+    ldi  r1, 1         ; i
+    ldi  r2, 20        ; n
+outer:
+    add  r3, r1, r0    ; j = i
+inner:
+    beq  r3, r0, next  ; j == 0 → done
+    addi r4, r3, -1
+    ld   r5, 0(r4)     ; mem[j-1]
+    ld   r6, 0(r3)     ; mem[j]
+    blt  r6, r5, swap
+    jmp  next
+swap:
+    st   r6, 0(r4)
+    st   r5, 0(r3)
+    add  r3, r4, r0    ; j--
+    jmp  inner
+next:
+    addi r1, r1, 1
+    bne  r1, r2, outer
+    halt
+`,
+	}
+}
+
+// PIDController runs a discretised PID loop over 32 setpoint-error
+// samples, journalling the actuation outputs — the archetypal hard
+// real-time control task.
+func PIDController() Kernel {
+	const n = 32
+	return Kernel{
+		Name:     "pid",
+		MemWords: 2 * n,
+		MaxSteps: 20000,
+		Init: func(mem []uint32) {
+			for i := 0; i < n; i++ {
+				mem[i] = uint32((i*29 + 3) % 61)
+			}
+		},
+		Reference: func(mem []uint32) {
+			const kp, ki, kd = 3, 1, 2
+			var integral, prev uint32
+			for i := 0; i < n; i++ {
+				e := mem[i]
+				integral += e
+				deriv := e - prev
+				prev = e
+				mem[n+i] = kp*e + ki*integral + kd*deriv
+			}
+		},
+		Source: `
+    ldi  r1, 0         ; i
+    ldi  r2, 32        ; n
+    ldi  r3, 0         ; integral
+    ldi  r4, 0         ; prev error
+loop:
+    ld   r5, 0(r1)     ; e
+    add  r3, r3, r5    ; integral += e
+    sub  r6, r5, r4    ; deriv
+    add  r4, r5, r0    ; prev = e
+    ldi  r7, 3
+    mul  r8, r7, r5    ; kp*e
+    add  r8, r8, r3    ; + ki*integral (ki=1)
+    ldi  r7, 2
+    mul  r9, r7, r6    ; kd*deriv
+    add  r8, r8, r9
+    st   r8, 32(r1)
+    addi r1, r1, 1
+    bne  r1, r2, loop
+    halt
+`,
+	}
+}

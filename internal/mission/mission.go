@@ -1,0 +1,142 @@
+// Package mission integrates the per-frame simulator with the energy
+// substrate: a mission is a long sequence of identical real-time frames
+// (control-loop iterations), each executed by a checkpointing scheme
+// under fault injection, drawing its measured energy from a battery that
+// an optional duty-cycled source recharges. The mission report couples
+// the paper's two metrics over system lifetime: deadline misses cost
+// availability, energy draw costs endurance, and the scheme choice
+// trades one against the other.
+package mission
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/battery"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config describes a mission.
+type Config struct {
+	// Frame is the per-frame simulation setup (task, costs, λ, CPU).
+	Frame sim.Params
+	// Scheme executes each frame.
+	Scheme sim.Scheme
+	// Battery capacity in V²·cycles; the pack starts full.
+	BatteryCapacity float64
+	// Harvest recharges between frames (zero value = none).
+	Harvest battery.Source
+	// MaxFrames bounds the mission.
+	MaxFrames int
+	// AbortOnMiss ends the mission at the first deadline miss (hard
+	// real-time); otherwise misses are counted and the mission continues
+	// with the next frame.
+	AbortOnMiss bool
+}
+
+func (c Config) validate() error {
+	if c.Scheme == nil {
+		return errors.New("mission: nil scheme")
+	}
+	if err := c.Frame.Validate(); err != nil {
+		return err
+	}
+	if c.BatteryCapacity <= 0 {
+		return fmt.Errorf("mission: bad battery capacity %v", c.BatteryCapacity)
+	}
+	if c.MaxFrames <= 0 {
+		return errors.New("mission: non-positive frame budget")
+	}
+	return nil
+}
+
+// EndReason explains why a mission ended.
+type EndReason string
+
+// Mission end reasons.
+const (
+	// EndHorizon: the frame budget was exhausted (mission success).
+	EndHorizon EndReason = "horizon"
+	// EndBatteryFlat: the pack could not power the next frame.
+	EndBatteryFlat EndReason = "battery-flat"
+	// EndDeadlineMiss: a frame missed its deadline with AbortOnMiss set.
+	EndDeadlineMiss EndReason = "deadline-miss"
+)
+
+// Report summarises a mission.
+type Report struct {
+	Reason EndReason
+	// Frames executed (including the final failed one, if any).
+	Frames int
+	// Misses counts frames that failed their deadline.
+	Misses int
+	// EnergyUsed is the total V²·cycles drawn from the pack.
+	EnergyUsed float64
+	// FinalCharge is the pack charge at mission end.
+	FinalCharge float64
+	// Faults counts injected faults across all frames.
+	Faults int
+	// FrameEnergy summarises per-frame energy (all frames).
+	FrameEnergy stats.Summary
+}
+
+// Run executes the mission, seeded deterministically.
+func Run(cfg Config, seed uint64) (Report, error) {
+	if err := cfg.validate(); err != nil {
+		return Report{}, err
+	}
+	pack, err := battery.New(cfg.BatteryCapacity)
+	if err != nil {
+		return Report{}, err
+	}
+	src := rng.New(seed)
+	var cell stats.Cell
+	rep := Report{Reason: EndHorizon}
+
+	for f := 0; f < cfg.MaxFrames; f++ {
+		pack.Recharge(cfg.Harvest.Available(f))
+
+		res := cfg.Scheme.Run(cfg.Frame, src.Split())
+		rep.Frames++
+		rep.Faults += res.Faults
+		cell.Observe(res.Completed, res.Energy, res.Time, float64(res.Faults), float64(res.Switches))
+
+		if !pack.Draw(res.Energy) {
+			rep.EnergyUsed += math.Min(res.Energy, cfg.BatteryCapacity)
+			rep.Reason = EndBatteryFlat
+			break
+		}
+		rep.EnergyUsed += res.Energy
+
+		if !res.Completed {
+			rep.Misses++
+			if cfg.AbortOnMiss {
+				rep.Reason = EndDeadlineMiss
+				break
+			}
+		}
+	}
+	rep.FinalCharge = pack.Charge()
+	rep.FrameEnergy = cell.Summary()
+	return rep, nil
+}
+
+// Compare runs the same mission under several schemes and returns the
+// reports in order — the scheme-selection view the paper's platforms
+// care about.
+func Compare(cfg Config, schemes []sim.Scheme, seed uint64) ([]Report, error) {
+	out := make([]Report, 0, len(schemes))
+	for i, s := range schemes {
+		c := cfg
+		c.Scheme = s
+		r, err := Run(c, seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

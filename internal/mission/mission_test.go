@@ -1,0 +1,189 @@
+package mission
+
+import (
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func frame(t *testing.T, u, lambda float64) sim.Params {
+	t.Helper()
+	tk, err := task.FromUtilization("frame", u, 1, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Params{Task: tk, Costs: checkpoint.SCPSetting(), Lambda: lambda}
+}
+
+func TestMissionRunsToHorizon(t *testing.T) {
+	cfg := Config{
+		Frame:           frame(t, 0.78, 0.0005),
+		Scheme:          core.NewAdaptDVSSCP(),
+		BatteryCapacity: 1e9,
+		MaxFrames:       50,
+	}
+	rep, err := Run(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reason != EndHorizon || rep.Frames != 50 {
+		t.Fatalf("mission = %+v", rep)
+	}
+	if rep.EnergyUsed <= 0 || rep.FinalCharge >= 1e9 {
+		t.Fatalf("energy accounting wrong: %+v", rep)
+	}
+	if rep.FrameEnergy.Trials != 50 {
+		t.Fatalf("frame stats trials = %d", rep.FrameEnergy.Trials)
+	}
+}
+
+func TestMissionBatteryFlat(t *testing.T) {
+	cfg := Config{
+		Frame:           frame(t, 0.78, 0.0005),
+		Scheme:          core.NewAdaptDVSSCP(),
+		BatteryCapacity: 2e5, // a handful of frames at ~5e4 each
+		MaxFrames:       1000,
+	}
+	rep, err := Run(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reason != EndBatteryFlat {
+		t.Fatalf("reason = %q, want battery-flat", rep.Reason)
+	}
+	if rep.Frames >= 1000 || rep.Frames < 2 {
+		t.Fatalf("frames = %d", rep.Frames)
+	}
+}
+
+func TestMissionHarvestExtendsLife(t *testing.T) {
+	base := Config{
+		Frame:           frame(t, 0.78, 0.0005),
+		Scheme:          core.NewAdaptDVSSCP(),
+		BatteryCapacity: 5e5,
+		MaxFrames:       500,
+	}
+	dark, err := Run(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := base
+	lit.Harvest = battery.Source{PerFrame: 4e4, DutyCycle: 1}
+	sunny, err := Run(lit, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sunny.Frames > dark.Frames) {
+		t.Fatalf("harvest did not extend mission: %d vs %d", sunny.Frames, dark.Frames)
+	}
+}
+
+func TestMissionAbortOnMiss(t *testing.T) {
+	// A fixed-speed baseline at high λ misses quickly.
+	cfg := Config{
+		Frame:           frame(t, 0.80, 0.0014),
+		Scheme:          core.NewPoissonScheme(1),
+		BatteryCapacity: 1e9,
+		MaxFrames:       500,
+		AbortOnMiss:     true,
+	}
+	rep, err := Run(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reason != EndDeadlineMiss {
+		t.Fatalf("reason = %q, want deadline-miss", rep.Reason)
+	}
+	if rep.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (aborted at first)", rep.Misses)
+	}
+}
+
+func TestMissionSoftMissesCounted(t *testing.T) {
+	cfg := Config{
+		Frame:           frame(t, 0.80, 0.0014),
+		Scheme:          core.NewPoissonScheme(1),
+		BatteryCapacity: 1e10,
+		MaxFrames:       100,
+	}
+	rep, err := Run(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reason != EndHorizon {
+		t.Fatalf("reason = %q", rep.Reason)
+	}
+	if rep.Misses < 50 {
+		t.Fatalf("misses = %d, expected most frames to miss at U=0.80/λ=0.0014", rep.Misses)
+	}
+}
+
+func TestMissionDeterministic(t *testing.T) {
+	cfg := Config{
+		Frame:           frame(t, 0.78, 0.001),
+		Scheme:          core.NewAdaptDVSSCP(),
+		BatteryCapacity: 1e8,
+		MaxFrames:       100,
+	}
+	a, _ := Run(cfg, 9)
+	b, _ := Run(cfg, 9)
+	if a != b {
+		t.Fatal("mission not deterministic")
+	}
+}
+
+func TestCompareOrdersSchemes(t *testing.T) {
+	cfg := Config{
+		Frame:           frame(t, 0.78, 0.0014),
+		BatteryCapacity: 5e6,
+		MaxFrames:       10000,
+	}
+	reports, err := Compare(cfg, []sim.Scheme{
+		core.NewPoissonScheme(2), // always fast: hungry
+		core.NewAdaptDVSSCP(),    // paper scheme: frugal
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	// Both end battery-flat, but the paper scheme flies more frames.
+	if !(reports[1].Frames > reports[0].Frames) {
+		t.Fatalf("A_D_S (%d frames) should outlast always-fast (%d)",
+			reports[1].Frames, reports[0].Frames)
+	}
+}
+
+func TestMissionValidation(t *testing.T) {
+	good := Config{
+		Frame:           frame(t, 0.78, 0.001),
+		Scheme:          core.NewAdaptDVSSCP(),
+		BatteryCapacity: 1e8,
+		MaxFrames:       10,
+	}
+	bad := good
+	bad.Scheme = nil
+	if _, err := Run(bad, 1); err == nil {
+		t.Error("nil scheme accepted")
+	}
+	bad = good
+	bad.BatteryCapacity = 0
+	if _, err := Run(bad, 1); err == nil {
+		t.Error("zero battery accepted")
+	}
+	bad = good
+	bad.MaxFrames = 0
+	if _, err := Run(bad, 1); err == nil {
+		t.Error("zero frames accepted")
+	}
+	bad = good
+	bad.Frame.Lambda = -1
+	if _, err := Run(bad, 1); err == nil {
+		t.Error("bad frame params accepted")
+	}
+}

@@ -1,0 +1,202 @@
+// Package policy implements the checkpoint-interval selection rules the
+// paper builds on: the Poisson-arrival rule I1 (Duda [8]), the
+// k-fault-tolerant rule I2 (Lee/Shin/Min [9]), the slack-rich rule I3,
+// the two switching thresholds Thλ and Th, and the adaptive interval()
+// procedure of Zhang & Chakrabarty (DATE'03, ref [3]; paper Fig. 4).
+//
+// All quantities are in wall-clock time units at the current speed: the
+// caller passes the remaining execution time Rt = Rc/f, the checkpoint
+// overhead C = c/f, the remaining deadline Rd, the remaining fault budget
+// Rf and the fault rate λ, and gets back the CSCP interval to use.
+//
+// Several of the paper's printed formulas are OCR-damaged; the
+// reconstructions used here are derived in DESIGN.md §3 and pinned by the
+// boundary behaviour the paper states.
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// I1 returns the Poisson-arrival interval sqrt(2C/λ), which minimises the
+// expected execution time when faults arrive with rate λ and checkpoints
+// cost C (Duda). λ and C must be positive.
+func I1(c, lambda float64) float64 {
+	if c <= 0 || lambda <= 0 {
+		panic(fmt.Sprintf("policy: I1 requires positive C and λ, got C=%v λ=%v", c, lambda))
+	}
+	return math.Sqrt(2 * c / lambda)
+}
+
+// I2 returns the k-fault-tolerant interval sqrt(N·C/k), which minimises
+// the worst-case execution time of a task of length n under up to k
+// faults (Lee/Shin/Min). n and C must be positive; k must be >= 1.
+func I2(n float64, k float64, c float64) float64 {
+	if n <= 0 || c <= 0 || k < 1 {
+		panic(fmt.Sprintf("policy: I2 requires n,C>0 and k>=1, got n=%v k=%v C=%v", n, k, c))
+	}
+	return math.Sqrt(n * c / k)
+}
+
+// I3 returns the slack-rich interval 2·Rt·C/(Rd + C − Rt), used when the
+// remaining work is small relative to the remaining deadline: the longer
+// the slack, the longer (cheaper) the interval. Requires Rd + C > Rt.
+func I3(rt, rd, c float64) float64 {
+	if rt <= 0 || c <= 0 {
+		panic(fmt.Sprintf("policy: I3 requires Rt,C>0, got Rt=%v C=%v", rt, c))
+	}
+	denom := rd + c - rt
+	if denom <= 0 {
+		panic(fmt.Sprintf("policy: I3 requires Rd+C>Rt, got Rd=%v C=%v Rt=%v", rd, c, rt))
+	}
+	return 2 * rt * c / denom
+}
+
+// ThLambda returns the Poisson-feasibility threshold
+// (Rd + C)/(1 + sqrt(λC/2)): the largest remaining work for which the
+// Poisson-arrival scheme's fault-free completion time, Rt·(1+sqrt(λC/2)),
+// still fits inside the remaining deadline.
+func ThLambda(rd, lambda, c float64) float64 {
+	if c <= 0 || lambda <= 0 {
+		panic(fmt.Sprintf("policy: ThLambda requires positive C and λ, got C=%v λ=%v", c, lambda))
+	}
+	return (rd + c) / (1 + math.Sqrt(lambda*c/2))
+}
+
+// Th returns the k-fault-tolerance feasibility threshold
+// Rd + Rf·C − 2·sqrt(Rf·C·Rd): the largest remaining work Rt for which the
+// k-fault-tolerant worst case Rt + 2·sqrt(Rf·Rt·C) + Rf·C fits inside Rd
+// (solve (sqrt(Rt) + sqrt(RfC))² ≤ Rd). Rf=0 degenerates to Th = Rd.
+func Th(rd, rf, c float64) float64 {
+	if c <= 0 || rf < 0 {
+		panic(fmt.Sprintf("policy: Th requires C>0 and Rf>=0, got C=%v Rf=%v", c, rf))
+	}
+	if rd <= 0 {
+		return 0
+	}
+	return rd + rf*c - 2*math.Sqrt(rf*c*rd)
+}
+
+// WorstCaseKFT returns the k-fault-tolerant worst-case completion time of
+// remaining work rt under up to k faults with checkpoint cost c, when the
+// optimal interval I2 is used: Rt + 2·sqrt(k·Rt·C) + k·C. It is the
+// inverse of Th and exported for the feasibility tests in sched.
+func WorstCaseKFT(rt, k, c float64) float64 {
+	if rt <= 0 || c <= 0 || k < 0 {
+		panic(fmt.Sprintf("policy: WorstCaseKFT requires rt,C>0 and k>=0, got rt=%v k=%v C=%v", rt, k, c))
+	}
+	return rt + 2*math.Sqrt(k*rt*c) + k*c
+}
+
+// Decision records which branch of the adaptive interval() procedure
+// fired, for tests and traces.
+type Decision int
+
+// Branches of Interval, in the order of paper Fig. 4.
+const (
+	// BranchSlackRich: k-fault requirement stringent, plentiful slack → I3.
+	BranchSlackRich Decision = iota
+	// BranchExpected: k-fault requirement stringent, moderate slack →
+	// I2 with the expected fault count.
+	BranchExpected
+	// BranchBudget: k-fault requirement stringent, tight slack → I2 with
+	// the full fault budget.
+	BranchBudget
+	// BranchSlackRichPoisson: Poisson criterion stringent, plentiful
+	// slack → I3.
+	BranchSlackRichPoisson
+	// BranchPoisson: Poisson criterion stringent, tight slack → I1.
+	BranchPoisson
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case BranchSlackRich:
+		return "slack-rich(I3)"
+	case BranchExpected:
+		return "expected-faults(I2)"
+	case BranchBudget:
+		return "fault-budget(I2)"
+	case BranchSlackRichPoisson:
+		return "slack-rich-poisson(I3)"
+	case BranchPoisson:
+		return "poisson(I1)"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Interval is the DATE'03 adaptive checkpoint-interval procedure
+// (paper Fig. 4). Given the remaining deadline rd, remaining execution
+// time rt (both wall-clock at the current speed), checkpoint cost c,
+// remaining fault budget rf and fault rate λ, it returns the CSCP
+// interval and the branch that selected it.
+//
+// The returned interval is always clamped to (0, rt]: an interval longer
+// than the remaining work degenerates to a single final checkpoint.
+func Interval(rd, rt, c float64, rf int, lambda float64) (float64, Decision) {
+	if rt <= 0 || c <= 0 {
+		panic(fmt.Sprintf("policy: Interval requires rt,C>0, got rt=%v C=%v", rt, c))
+	}
+	if lambda < 0 {
+		panic(fmt.Sprintf("policy: negative λ %v", lambda))
+	}
+	if rf < 0 {
+		rf = 0
+	}
+
+	expFaults := lambda * rt
+
+	var itv float64
+	var branch Decision
+	switch {
+	case expFaults <= float64(rf):
+		// The k-fault-tolerant requirement is the stringent one.
+		switch {
+		case lambda > 0 && rt > ThLambda(rd, lambda, c) && rd+c > rt:
+			itv, branch = I3(rt, rd, c), BranchSlackRich
+		case rt > Th(rd, float64(rf), c) && expFaults >= 1:
+			itv, branch = I2(rt, math.Ceil(expFaults), c), BranchExpected
+		default:
+			k := float64(rf)
+			if k < 1 {
+				k = 1
+			}
+			itv, branch = I2(rt, k, c), BranchBudget
+		}
+	default:
+		// Poisson-arrival criterion is the stringent one.
+		if rt > ThLambda(rd, lambda, c) && rd+c > rt {
+			itv, branch = I3(rt, rd, c), BranchSlackRichPoisson
+		} else {
+			itv, branch = I1(c, lambda), BranchPoisson
+		}
+	}
+
+	if itv > rt {
+		itv = rt
+	}
+	if itv <= 0 || math.IsNaN(itv) {
+		// Degenerate corner (e.g. Rf=0 and λ=0): fall back to a single
+		// interval covering the remaining work.
+		itv = rt
+	}
+	return itv, branch
+}
+
+// PoissonArrival returns the static Poisson-arrival interval for the whole
+// task (the paper's "Poisson" comparator): constant I1(C, λ).
+func PoissonArrival(c, lambda float64) float64 { return I1(c, lambda) }
+
+// KFaultTolerant returns the static k-fault-tolerant interval for a task
+// of fault-free length n (the paper's "k-f-t" comparator): constant
+// I2(N, k, C). k below 1 is clamped to 1.
+func KFaultTolerant(n float64, k int, c float64) float64 {
+	kk := float64(k)
+	if kk < 1 {
+		kk = 1
+	}
+	return I2(n, kk, c)
+}

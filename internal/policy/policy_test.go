@@ -1,0 +1,289 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestI1KnownValue(t *testing.T) {
+	// sqrt(2*22/0.0014) ≈ 177.28
+	got := I1(22, 0.0014)
+	want := math.Sqrt(2 * 22 / 0.0014)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("I1 = %v, want %v", got, want)
+	}
+}
+
+func TestI1Monotonicity(t *testing.T) {
+	// Higher fault rate → shorter interval; costlier checkpoints → longer.
+	if I1(22, 0.002) >= I1(22, 0.001) {
+		t.Fatal("I1 not decreasing in λ")
+	}
+	if I1(44, 0.001) <= I1(22, 0.001) {
+		t.Fatal("I1 not increasing in C")
+	}
+}
+
+func TestI2KnownValue(t *testing.T) {
+	got := I2(7600, 5, 22)
+	want := math.Sqrt(7600 * 22 / 5)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("I2 = %v, want %v", got, want)
+	}
+}
+
+func TestI2Monotonicity(t *testing.T) {
+	if I2(7600, 10, 22) >= I2(7600, 5, 22) {
+		t.Fatal("I2 not decreasing in k")
+	}
+	if I2(15200, 5, 22) <= I2(7600, 5, 22) {
+		t.Fatal("I2 not increasing in N")
+	}
+}
+
+func TestI3SlackBehaviour(t *testing.T) {
+	// More slack (larger Rd) → longer interval is NOT the relation; I3
+	// grows as slack shrinks toward zero denominator, and for huge slack
+	// the interval tightens toward 2C·Rt/Rd.
+	tight := I3(9000, 10000, 22)
+	loose := I3(9000, 100000, 22)
+	if loose >= tight {
+		t.Fatalf("I3 should shrink with more slack: tight=%v loose=%v", tight, loose)
+	}
+}
+
+func TestI3PanicsWhenInfeasible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for Rd+C<=Rt")
+		}
+	}()
+	I3(10000, 9000, 22)
+}
+
+func TestThLambdaMeaning(t *testing.T) {
+	// At Rt = ThLambda, the Poisson scheme's fault-free completion time
+	// Rt(1+sqrt(λC/2)) equals Rd + C.
+	rd, lambda, c := 10000.0, 0.0014, 22.0
+	th := ThLambda(rd, lambda, c)
+	completion := th * (1 + math.Sqrt(lambda*c/2))
+	if math.Abs(completion-(rd+c)) > 1e-6 {
+		t.Fatalf("threshold inconsistent: completion %v vs Rd+C %v", completion, rd+c)
+	}
+}
+
+func TestThInvertsWorstCase(t *testing.T) {
+	rd, c := 10000.0, 22.0
+	for _, rf := range []float64{1, 5, 10} {
+		th := Th(rd, rf, c)
+		if th <= 0 {
+			t.Fatalf("Th = %v for rf=%v", th, rf)
+		}
+		w := WorstCaseKFT(th, rf, c)
+		if math.Abs(w-rd) > 1e-6 {
+			t.Fatalf("rf=%v: worst case at threshold = %v, want Rd=%v", rf, w, rd)
+		}
+	}
+}
+
+func TestThZeroBudget(t *testing.T) {
+	if got := Th(10000, 0, 22); got != 10000 {
+		t.Fatalf("Th with Rf=0 = %v, want Rd", got)
+	}
+}
+
+func TestThNonPositiveDeadline(t *testing.T) {
+	if got := Th(0, 5, 22); got != 0 {
+		t.Fatalf("Th with Rd=0 = %v, want 0", got)
+	}
+}
+
+func TestWorstCaseKFTMonotone(t *testing.T) {
+	if WorstCaseKFT(5000, 5, 22) <= WorstCaseKFT(5000, 1, 22) {
+		t.Fatal("worst case not increasing in k")
+	}
+	if WorstCaseKFT(6000, 5, 22) <= WorstCaseKFT(5000, 5, 22) {
+		t.Fatal("worst case not increasing in Rt")
+	}
+}
+
+func TestIntervalBranchSlackRich(t *testing.T) {
+	// Tiny remaining work, huge deadline, enough budget: expect the
+	// k-fault side and... rt must exceed ThLambda for slack-rich. With
+	// rd huge, ThLambda is huge, so this lands in BranchBudget instead.
+	_, branch := Interval(1e6, 100, 22, 5, 1e-5)
+	if branch != BranchBudget {
+		t.Fatalf("branch = %v, want fault-budget", branch)
+	}
+}
+
+func TestIntervalBranchSlackRichFires(t *testing.T) {
+	// Rt just above ThLambda with expected faults below budget.
+	rd, lambda, c := 10000.0, 1e-4, 22.0
+	th := ThLambda(rd, lambda, c)
+	rt := th * 1.01
+	if rt >= rd+c {
+		t.Skip("cannot construct feasible slack-rich case")
+	}
+	_, branch := Interval(rd, rt, c, 5, lambda)
+	if branch != BranchSlackRich {
+		t.Fatalf("branch = %v, want slack-rich", branch)
+	}
+}
+
+func TestIntervalBranchPoisson(t *testing.T) {
+	// Expected faults far exceed budget and Rt below ThLambda.
+	itv, branch := Interval(10000, 5000, 22, 1, 0.0014)
+	if branch != BranchPoisson {
+		t.Fatalf("branch = %v, want poisson", branch)
+	}
+	want := I1(22, 0.0014)
+	if math.Abs(itv-want) > 1e-9 {
+		t.Fatalf("interval = %v, want I1 = %v", itv, want)
+	}
+}
+
+func TestIntervalBranchSlackRichPoisson(t *testing.T) {
+	// Expected faults exceed budget but slack is plentiful.
+	rd, lambda, c := 10000.0, 0.0014, 22.0
+	th := ThLambda(rd, lambda, c)
+	rt := th * 1.05
+	if rt >= rd+c {
+		t.Fatalf("bad construction: rt=%v rd=%v", rt, rd)
+	}
+	_, branch := Interval(rd, rt, c, 0, lambda)
+	if branch != BranchSlackRichPoisson {
+		t.Fatalf("branch = %v, want slack-rich-poisson", branch)
+	}
+}
+
+func TestIntervalBranchExpected(t *testing.T) {
+	// Stringent k-fault requirement, Rt above Th but below ThLambda,
+	// with at least one expected fault.
+	rd, c := 10000.0, 22.0
+	rf := 20
+	lambda := 0.0005
+	rt := 9500.0 // Th(10000,20,22)≈10000+440-2*sqrt(20*22*10000)=10440-4195≈6245; ThLambda≈(10022)/(1+0.074)≈9330 → rt must be ≤ThLambda; pick 9000
+	rt = 9000
+	expected := lambda * rt // 4.5 ≤ 20 → k-fault side
+	if expected > float64(rf) {
+		t.Fatal("bad construction")
+	}
+	thL := ThLambda(rd, lambda, c)
+	th := Th(rd, float64(rf), c)
+	if !(rt <= thL && rt > th) {
+		t.Fatalf("bad construction: rt=%v th=%v thL=%v", rt, th, thL)
+	}
+	itv, branch := Interval(rd, rt, c, rf, lambda)
+	if branch != BranchExpected {
+		t.Fatalf("branch = %v, want expected-faults", branch)
+	}
+	want := I2(rt, math.Ceil(expected), c)
+	if math.Abs(itv-want) > 1e-9 {
+		t.Fatalf("interval = %v, want %v", itv, want)
+	}
+}
+
+func TestIntervalClampedToRemainingWork(t *testing.T) {
+	itv, _ := Interval(1e9, 10, 22, 5, 1e-6)
+	if itv > 10 {
+		t.Fatalf("interval %v exceeds remaining work 10", itv)
+	}
+}
+
+func TestIntervalZeroLambdaZeroBudget(t *testing.T) {
+	itv, _ := Interval(10000, 5000, 22, 0, 0)
+	if itv <= 0 || itv > 5000 {
+		t.Fatalf("degenerate interval = %v", itv)
+	}
+}
+
+func TestIntervalPanicsOnBadArgs(t *testing.T) {
+	for _, c := range []struct{ rd, rt, cost float64 }{
+		{10000, 0, 22}, {10000, -5, 22}, {10000, 100, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for rt=%v cost=%v", c.rt, c.cost)
+				}
+			}()
+			Interval(c.rd, c.rt, c.cost, 5, 0.001)
+		}()
+	}
+}
+
+func TestStaticComparators(t *testing.T) {
+	if got, want := PoissonArrival(22, 0.0014), I1(22, 0.0014); got != want {
+		t.Fatalf("PoissonArrival = %v, want %v", got, want)
+	}
+	if got, want := KFaultTolerant(7600, 5, 22), I2(7600, 5, 22); got != want {
+		t.Fatalf("KFaultTolerant = %v, want %v", got, want)
+	}
+	// Zero budget clamps to 1.
+	if got, want := KFaultTolerant(7600, 0, 22), I2(7600, 1, 22); got != want {
+		t.Fatalf("KFaultTolerant(k=0) = %v, want %v", got, want)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	for d := BranchSlackRich; d <= BranchPoisson; d++ {
+		if d.String() == "" {
+			t.Fatalf("empty string for decision %d", int(d))
+		}
+	}
+	if Decision(99).String() != "Decision(99)" {
+		t.Fatal("unknown decision string wrong")
+	}
+}
+
+func TestPropertyIntervalAlwaysUsable(t *testing.T) {
+	f := func(rdRaw, rtRaw, rfRaw, lamRaw uint16) bool {
+		rd := 100 + float64(rdRaw%20000)
+		rt := 1 + float64(rtRaw%15000)
+		rf := int(rfRaw % 10)
+		lambda := float64(lamRaw%200) / 100000 // 0..2e-3
+		itv, _ := Interval(rd, rt, 22, rf, lambda)
+		return itv > 0 && itv <= rt && !math.IsNaN(itv) && !math.IsInf(itv, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyThBelowDeadline(t *testing.T) {
+	f := func(rdRaw, rfRaw uint16) bool {
+		rd := 100 + float64(rdRaw)*2
+		rf := float64(rfRaw % 20)
+		return Th(rd, rf, 22) <= rd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardPanics(t *testing.T) {
+	cases := []func(){
+		func() { I1(0, 0.001) },
+		func() { I1(22, 0) },
+		func() { I2(0, 5, 22) },
+		func() { I2(100, 0.5, 22) },
+		func() { ThLambda(100, 0, 22) },
+		func() { ThLambda(100, 0.001, 0) },
+		func() { WorstCaseKFT(0, 5, 22) },
+		func() { WorstCaseKFT(100, -1, 22) },
+		func() { Th(100, -1, 22) },
+		func() { Interval(100, 50, 22, 5, -1) },
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			c()
+		}()
+	}
+}

@@ -1,0 +1,340 @@
+// Package sched extends the single-task model of the paper to periodic
+// task sets scheduled by preemptive EDF with per-task checkpointing —
+// the territory of the paper's ref [2] (Zhang & Chakrabarty, DATE'04,
+// "Task feasibility analysis and dynamic voltage scaling in
+// fault-tolerant real-time embedded systems") and its stated future
+// work.
+//
+// Two pieces are provided: a closed-form feasibility test based on the
+// k-fault-tolerant worst case (Feasible/MinSpeed — the energy-aware
+// speed assignment picks the slowest operating point that stays
+// feasible), and a Monte-Carlo EDF simulator with fault injection and
+// per-job rollback (Simulate).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cpu"
+	"repro/internal/policy"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// EffectiveDemand returns the fault-tolerant worst-case execution time of
+// one job of tk at speed f: the k-fault-tolerant completion bound
+// C/f + 2·sqrt(k·(C/f)·(c/f)) + k·(c/f) of Lee/Shin/Min, i.e. the demand
+// EDF must budget for.
+func EffectiveDemand(tk task.Task, costs checkpoint.Costs, f float64) float64 {
+	k := float64(tk.FaultBudget)
+	c := costs.CSCPCycles() / f
+	rt := tk.Cycles / f
+	if k == 0 {
+		return rt + c // a single closing checkpoint
+	}
+	return policy.WorstCaseKFT(rt, k, c)
+}
+
+// Feasible reports whether the task set is EDF-schedulable at speed f
+// with every job budgeted for its fault-tolerant worst case, and returns
+// the effective utilisation ΣW_i/T_i.
+func Feasible(set task.Set, costs checkpoint.Costs, f float64) (bool, float64, error) {
+	if err := set.Validate(); err != nil {
+		return false, 0, err
+	}
+	if err := costs.Validate(); err != nil {
+		return false, 0, err
+	}
+	if f <= 0 {
+		return false, 0, errors.New("sched: non-positive speed")
+	}
+	u := 0.0
+	for _, tk := range set {
+		w := EffectiveDemand(tk, costs, f)
+		if w > tk.Deadline {
+			return false, math.Inf(1), nil // a single job already misses
+		}
+		u += w / tk.Period
+	}
+	return u <= 1, u, nil
+}
+
+// MinSpeed returns the slowest operating point of the model at which the
+// set remains feasible — the energy-aware static speed assignment.
+func MinSpeed(set task.Set, costs checkpoint.Costs, model *cpu.Model) (cpu.OperatingPoint, error) {
+	if model == nil {
+		model = cpu.TwoSpeed()
+	}
+	for _, pt := range model.Points() {
+		ok, _, err := Feasible(set, costs, pt.Freq)
+		if err != nil {
+			return cpu.OperatingPoint{}, err
+		}
+		if ok {
+			return pt, nil
+		}
+	}
+	return cpu.OperatingPoint{}, errors.New("sched: no operating point keeps the set feasible")
+}
+
+// Config parameterises an EDF simulation.
+type Config struct {
+	Set   task.Set
+	Costs checkpoint.Costs
+	// Lambda is the fault rate per unit of execution time; a fault
+	// corrupts the running job, rolling it back to its last checkpoint.
+	Lambda float64
+	// Freq is the fixed processor speed; zero means MinSpeed.
+	Freq float64
+	// CPU is the processor model (nil = paper's two-speed part).
+	CPU *cpu.Model
+	// Horizon is the simulated wall time; zero means one hyperperiod.
+	Horizon float64
+}
+
+// Report is the outcome of one EDF simulation.
+type Report struct {
+	// Jobs released, completed on time, and missed.
+	Jobs, OnTime, Misses int
+	// Energy is the V²·cycles total across the DMR pair.
+	Energy float64
+	// Faults injected and rollbacks performed.
+	Faults, Rollbacks int
+	// MeanResponse is the average response time of on-time jobs.
+	MeanResponse float64
+	// Freq is the speed the simulation ran at.
+	Freq float64
+}
+
+// jobState is one released job.
+type jobState struct {
+	taskIdx   int
+	release   float64
+	deadline  float64
+	remaining float64 // cycles
+	progress  float64 // cycles since last checkpoint (lost on fault)
+	interval  float64 // checkpoint interval in cycles
+}
+
+// Simulate runs preemptive EDF with per-job k-fault-tolerant
+// checkpointing over the horizon. Jobs that reach their deadline
+// unfinished are aborted and counted as misses; faults roll the running
+// job back to its most recent checkpoint.
+func Simulate(cfg Config, src *rng.Source) (Report, error) {
+	if err := cfg.Set.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := cfg.Costs.Validate(); err != nil {
+		return Report{}, err
+	}
+	if cfg.Lambda < 0 {
+		return Report{}, errors.New("sched: negative fault rate")
+	}
+	if src == nil {
+		return Report{}, errors.New("sched: nil rng source")
+	}
+	model := cfg.CPU
+	if model == nil {
+		model = cpu.TwoSpeed()
+	}
+	var pt cpu.OperatingPoint
+	if cfg.Freq > 0 {
+		var err error
+		if pt, err = model.AtFreq(cfg.Freq); err != nil {
+			return Report{}, err
+		}
+	} else {
+		var err error
+		if pt, err = MinSpeed(cfg.Set, cfg.Costs, model); err != nil {
+			return Report{}, err
+		}
+	}
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = cfg.Set.Hyperperiod()
+	}
+
+	meter := cpu.NewMeter(2)
+	f := pt.Freq
+	ckptWall := cfg.Costs.CSCPCycles() / f
+	rollWall := cfg.Costs.Rollback / f
+
+	rep := Report{Freq: f}
+	var respSum float64
+
+	nextFault := math.Inf(1)
+	if cfg.Lambda > 0 {
+		nextFault = src.Exp(cfg.Lambda)
+	}
+
+	// Release schedule.
+	type release struct {
+		at      float64
+		taskIdx int
+	}
+	var releases []release
+	for i, tk := range cfg.Set {
+		for at := 0.0; at < horizon; at += tk.Period {
+			releases = append(releases, release{at, i})
+		}
+	}
+	sort.Slice(releases, func(i, j int) bool { return releases[i].at < releases[j].at })
+
+	newJob := func(i int, at float64) *jobState {
+		tk := cfg.Set[i]
+		// k-fault-tolerant interval in cycles; a zero budget means no
+		// faults need tolerating, so the job takes only the single
+		// closing checkpoint — exactly what EffectiveDemand budgets.
+		interval := tk.Cycles
+		if tk.FaultBudget >= 1 {
+			interval = policy.I2(tk.Cycles, float64(tk.FaultBudget), cfg.Costs.CSCPCycles())
+		}
+		return &jobState{
+			taskIdx:   i,
+			release:   at,
+			deadline:  at + tk.Deadline,
+			interval:  interval,
+			remaining: tk.Cycles,
+		}
+	}
+
+	var ready []*jobState
+	relIdx := 0
+	t := 0.0
+
+	admit := func() {
+		for relIdx < len(releases) && releases[relIdx].at <= t+1e-12 {
+			ready = append(ready, newJob(releases[relIdx].taskIdx, releases[relIdx].at))
+			rep.Jobs++
+			relIdx++
+		}
+	}
+	dropMissed := func() {
+		kept := ready[:0]
+		for _, j := range ready {
+			if t >= j.deadline {
+				rep.Misses++
+				continue
+			}
+			kept = append(kept, j)
+		}
+		ready = kept
+	}
+	earliest := func() *jobState {
+		var best *jobState
+		for _, j := range ready {
+			if best == nil || j.deadline < best.deadline {
+				best = j
+			}
+		}
+		return best
+	}
+	removeJob := func(target *jobState) {
+		for i, j := range ready {
+			if j == target {
+				ready = append(ready[:i], ready[i+1:]...)
+				return
+			}
+		}
+	}
+
+	const maxSteps = 10_000_000
+	for step := 0; t < horizon && step < maxSteps; step++ {
+		admit()
+		dropMissed()
+		j := earliest()
+		if j == nil {
+			if relIdx >= len(releases) {
+				break
+			}
+			t = releases[relIdx].at
+			continue
+		}
+
+		// Next scheduling boundary: job completion, next checkpoint,
+		// next release, the job's own deadline, or the horizon.
+		toCkpt := (j.interval - j.progress) / f
+		toDone := j.remaining / f
+		bound := math.Min(toCkpt, toDone)
+		if relIdx < len(releases) {
+			bound = math.Min(bound, releases[relIdx].at-t)
+		}
+		bound = math.Min(bound, j.deadline-t)
+		bound = math.Min(bound, horizon-t)
+		if bound < 0 {
+			bound = 0
+		}
+
+		// Execute; a fault inside the span truncates it.
+		span := bound
+		faulted := false
+		if nextFault < t+span {
+			span = nextFault - t
+			faulted = true
+			nextFault += src.Exp(cfg.Lambda)
+		}
+		if span > 0 {
+			meter.Segment(pt, span)
+			t += span
+			j.remaining -= span * f
+			j.progress += span * f
+		}
+		rep.Faults += boolToInt(faulted)
+
+		switch {
+		case faulted:
+			// Roll the running job back to its last checkpoint.
+			j.remaining += j.progress
+			j.progress = 0
+			meter.Segment(pt, rollWall)
+			t += rollWall
+			rep.Rollbacks++
+		case j.remaining <= 1e-9:
+			// Closing checkpoint, then retire the job.
+			meter.Segment(pt, ckptWall)
+			t += ckptWall
+			if t <= j.deadline {
+				rep.OnTime++
+				respSum += t - j.release
+			} else {
+				rep.Misses++
+			}
+			removeJob(j)
+		case j.progress >= j.interval-1e-9:
+			meter.Segment(pt, ckptWall)
+			t += ckptWall
+			j.progress = 0
+		}
+	}
+	// Jobs still pending at the horizon with deadlines inside it missed.
+	for _, j := range ready {
+		if j.deadline <= horizon {
+			rep.Misses++
+		}
+	}
+
+	rep.Energy = meter.Energy()
+	if rep.OnTime > 0 {
+		rep.MeanResponse = respSum / float64(rep.OnTime)
+	} else {
+		rep.MeanResponse = math.NaN()
+	}
+	return rep, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// String summarises a report for CLI output.
+func (r Report) String() string {
+	return fmt.Sprintf("f=%g jobs=%d on-time=%d misses=%d faults=%d rollbacks=%d energy=%.0f meanResp=%.1f",
+		r.Freq, r.Jobs, r.OnTime, r.Misses, r.Faults, r.Rollbacks, r.Energy, r.MeanResponse)
+}

@@ -1,0 +1,301 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cpu"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+func lightSet() task.Set {
+	return task.Set{
+		{Name: "ctl", Cycles: 800, Deadline: 4000, Period: 4000, FaultBudget: 2},
+		{Name: "io", Cycles: 1200, Deadline: 6000, Period: 6000, FaultBudget: 2},
+	}
+}
+
+func heavySet() task.Set {
+	return task.Set{
+		{Name: "a", Cycles: 3000, Deadline: 5000, Period: 5000, FaultBudget: 3},
+		{Name: "b", Cycles: 4000, Deadline: 8000, Period: 8000, FaultBudget: 3},
+		{Name: "c", Cycles: 2000, Deadline: 10000, Period: 10000, FaultBudget: 3},
+	}
+}
+
+func TestEffectiveDemandExceedsRaw(t *testing.T) {
+	tk := task.Task{Cycles: 1000, Deadline: 5000, Period: 5000, FaultBudget: 3}
+	w := EffectiveDemand(tk, checkpoint.SCPSetting(), 1)
+	if w <= 1000 {
+		t.Fatalf("effective demand %v should exceed raw cycles", w)
+	}
+	w2 := EffectiveDemand(tk, checkpoint.SCPSetting(), 2)
+	if w2 >= w {
+		t.Fatalf("faster speed should shrink demand: %v vs %v", w2, w)
+	}
+	tk.FaultBudget = 0
+	if w0 := EffectiveDemand(tk, checkpoint.SCPSetting(), 1); w0 != 1000+22 {
+		t.Fatalf("k=0 demand = %v, want raw+one checkpoint", w0)
+	}
+}
+
+func TestFeasibleLightSet(t *testing.T) {
+	ok, u, err := Feasible(lightSet(), checkpoint.SCPSetting(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("light set infeasible at f1 (u=%v)", u)
+	}
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilisation %v out of range", u)
+	}
+}
+
+func TestHeavySetNeedsFastSpeed(t *testing.T) {
+	ok1, _, err := Feasible(heavySet(), checkpoint.SCPSetting(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok1 {
+		t.Fatal("heavy set should be infeasible at f1")
+	}
+	ok2, _, err := Feasible(heavySet(), checkpoint.SCPSetting(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok2 {
+		t.Fatal("heavy set should be feasible at f2")
+	}
+	pt, err := MinSpeed(heavySet(), checkpoint.SCPSetting(), cpu.TwoSpeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Freq != 2 {
+		t.Fatalf("MinSpeed = %v, want 2", pt.Freq)
+	}
+}
+
+func TestMinSpeedPrefersSlow(t *testing.T) {
+	pt, err := MinSpeed(lightSet(), checkpoint.SCPSetting(), cpu.TwoSpeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Freq != 1 {
+		t.Fatalf("MinSpeed = %v, want 1 (energy-aware)", pt.Freq)
+	}
+}
+
+func TestMinSpeedErrorWhenHopeless(t *testing.T) {
+	impossible := task.Set{{Name: "x", Cycles: 30000, Deadline: 5000, Period: 5000, FaultBudget: 1}}
+	if _, err := MinSpeed(impossible, checkpoint.SCPSetting(), cpu.TwoSpeed()); err == nil {
+		t.Fatal("hopeless set got a speed")
+	}
+}
+
+func TestSimulateFaultFree(t *testing.T) {
+	rep, err := Simulate(Config{Set: lightSet(), Costs: checkpoint.SCPSetting()}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hyperperiod 12000: task ctl releases 3 jobs, io 2.
+	if rep.Jobs != 5 {
+		t.Fatalf("jobs = %d, want 5", rep.Jobs)
+	}
+	if rep.Misses != 0 {
+		t.Fatalf("misses = %d, want 0 (feasible, fault-free)", rep.Misses)
+	}
+	if rep.OnTime != rep.Jobs {
+		t.Fatalf("on-time %d != jobs %d", rep.OnTime, rep.Jobs)
+	}
+	if rep.Energy <= 0 {
+		t.Fatalf("energy = %v", rep.Energy)
+	}
+	if math.IsNaN(rep.MeanResponse) || rep.MeanResponse <= 0 {
+		t.Fatalf("mean response = %v", rep.MeanResponse)
+	}
+}
+
+func TestSimulatePicksMinSpeedByDefault(t *testing.T) {
+	rep, err := Simulate(Config{Set: heavySet(), Costs: checkpoint.SCPSetting()}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Freq != 2 {
+		t.Fatalf("freq = %v, want MinSpeed 2", rep.Freq)
+	}
+	if rep.Misses != 0 {
+		t.Fatalf("feasible set missed %d jobs fault-free", rep.Misses)
+	}
+}
+
+func TestSimulateWithFaultsStillMostlyOnTime(t *testing.T) {
+	cfg := Config{Set: lightSet(), Costs: checkpoint.SCPSetting(), Lambda: 5e-4, Horizon: 120000}
+	rep, err := Simulate(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults == 0 {
+		t.Fatal("no faults injected over a long horizon at λ=5e-4")
+	}
+	if rep.Rollbacks == 0 {
+		t.Fatal("faults caused no rollbacks")
+	}
+	onTimeFrac := float64(rep.OnTime) / float64(rep.Jobs)
+	if onTimeFrac < 0.9 {
+		t.Fatalf("on-time fraction %v too low for a lightly loaded set", onTimeFrac)
+	}
+}
+
+func TestSimulateOverloadMisses(t *testing.T) {
+	overload := task.Set{
+		{Name: "x", Cycles: 9000, Deadline: 10000, Period: 10000, FaultBudget: 1},
+		{Name: "y", Cycles: 9000, Deadline: 10000, Period: 10000, FaultBudget: 1},
+	}
+	rep, err := Simulate(Config{Set: overload, Costs: checkpoint.SCPSetting(), Freq: 1}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Misses == 0 {
+		t.Fatal("overloaded set missed nothing")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := Config{Set: lightSet(), Costs: checkpoint.SCPSetting(), Lambda: 1e-3}
+	a, _ := Simulate(cfg, rng.New(7))
+	b, _ := Simulate(cfg, rng.New(7))
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	good := Config{Set: lightSet(), Costs: checkpoint.SCPSetting()}
+	if _, err := Simulate(good, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	bad := good
+	bad.Lambda = -1
+	if _, err := Simulate(bad, rng.New(1)); err == nil {
+		t.Error("negative λ accepted")
+	}
+	bad = good
+	bad.Set = task.Set{}
+	if _, err := Simulate(bad, rng.New(1)); err == nil {
+		t.Error("empty set accepted")
+	}
+	bad = good
+	bad.Freq = 3
+	if _, err := Simulate(bad, rng.New(1)); err == nil {
+		t.Error("unknown frequency accepted")
+	}
+}
+
+func TestEnergyScalesWithSpeed(t *testing.T) {
+	slow, _ := Simulate(Config{Set: lightSet(), Costs: checkpoint.SCPSetting(), Freq: 1}, rng.New(5))
+	fast, _ := Simulate(Config{Set: lightSet(), Costs: checkpoint.SCPSetting(), Freq: 2}, rng.New(5))
+	if !(fast.Energy > 1.5*slow.Energy) {
+		t.Fatalf("f2 energy %v should be ≈2× f1 energy %v", fast.Energy, slow.Energy)
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	set, err := ParseSet("800:4000:2, 1500:10000:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("len = %d", len(set))
+	}
+	if set[0].Cycles != 800 || set[0].Period != 4000 || set[0].FaultBudget != 2 {
+		t.Fatalf("task 0 = %+v", set[0])
+	}
+	if set[1].Deadline != set[1].Period {
+		t.Fatal("implicit deadline not applied")
+	}
+	for _, bad := range []string{
+		"", "800:4000", "x:4000:2", "800:y:2", "800:4000:z", "0:4000:2",
+	} {
+		if _, err := ParseSet(bad); err == nil {
+			t.Errorf("ParseSet(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFeasibleRMStricterThanEDF(t *testing.T) {
+	// A set with effective utilisation between the RM bound and 1 is
+	// EDF-feasible but fails the RM sufficient test.
+	set := task.Set{
+		{Name: "a", Cycles: 2600, Deadline: 10000, Period: 10000, FaultBudget: 2},
+		{Name: "b", Cycles: 2600, Deadline: 11000, Period: 11000, FaultBudget: 2},
+		{Name: "c", Cycles: 2600, Deadline: 12000, Period: 12000, FaultBudget: 2},
+	}
+	edfOK, u, err := Feasible(set, checkpoint.SCPSetting(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmOK, uRM, bound, err := FeasibleRM(set, checkpoint.SCPSetting(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != uRM {
+		t.Fatalf("utilisations differ: %v vs %v", u, uRM)
+	}
+	if bound >= 1 || bound < 0.7 {
+		t.Fatalf("RM bound = %v, want ≈0.78 for n=3", bound)
+	}
+	if !(edfOK && !rmOK && u > bound && u <= 1) {
+		t.Fatalf("expected EDF-yes/RM-no: edf=%v rm=%v u=%v bound=%v", edfOK, rmOK, u, bound)
+	}
+	// A light set passes both.
+	light := lightSet()
+	rmOK2, _, _, err := FeasibleRM(light, checkpoint.SCPSetting(), 1)
+	if err != nil || !rmOK2 {
+		t.Fatalf("light set should pass RM: %v %v", rmOK2, err)
+	}
+}
+
+func TestPropertyFeasibleImpliesNoFaultFreeMisses(t *testing.T) {
+	// Cross-module invariant: if the k-fault-tolerant EDF test accepts a
+	// random task set at speed f, the fault-free simulation over one
+	// hyperperiod must meet every deadline (the analysis budgets *more*
+	// than the fault-free demand).
+	f := func(seed uint64, n uint8, cRaw, pRaw [4]uint16) bool {
+		count := int(n%3) + 2
+		var set task.Set
+		for i := 0; i < count; i++ {
+			period := 2000 + float64(pRaw[i%4]%6)*1000 // 2000..7000 step 1000
+			cycles := 100 + float64(cRaw[i%4]%900)
+			set = append(set, task.Task{
+				Name:   "p",
+				Cycles: cycles, Deadline: period, Period: period,
+				FaultBudget: int(seed % 4),
+			})
+		}
+		for _, freq := range []float64{1, 2} {
+			ok, _, err := Feasible(set, checkpoint.SCPSetting(), freq)
+			if err != nil {
+				return false
+			}
+			if !ok {
+				continue
+			}
+			rep, err := Simulate(Config{Set: set, Costs: checkpoint.SCPSetting(), Freq: freq}, rng.New(seed))
+			if err != nil {
+				return false
+			}
+			if rep.Misses != 0 {
+				t.Logf("feasible set missed %d jobs at f=%v: %+v", rep.Misses, freq, set)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

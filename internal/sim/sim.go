@@ -1,0 +1,381 @@
+// Package sim is the Monte-Carlo execution engine of the reproduction:
+// it simulates one DMR (double-modular-redundancy) task execution under a
+// checkpointing scheme, with Poisson fault injection, rollback recovery,
+// deadline accounting and V²-per-cycle energy metering.
+//
+// The engine works at interval granularity, which is exactly the
+// resolution of the paper's model: useful execution advances in spans
+// separated by checkpoint operations; faults arrive per unit of useful
+// execution time (checkpoint operations are assumed fault-protected, as
+// in the paper's renewal analysis); a fault is detected at the next
+// *comparison* point (CCP or CSCP) and repaired by rolling back to the
+// newest *stored* state whose two replica copies agree (SCP or CSCP).
+//
+// Five schemes from the paper's §4 are provided in schemes.go:
+// Poisson-arrival, k-fault-tolerant, ADT_DVS (A_D), adapchp_dvs_SCP
+// (A_D_S) and adapchp_dvs_CCP (A_D_C), plus the fixed-speed adaptive
+// variants of Figs. 3.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// Replicas is the redundancy degree of the paper's platform (DMR).
+const Replicas = 2
+
+// epsilon below which remaining work counts as finished (guards float
+// accumulation noise when subtracting interval work from the budget).
+const epsWork = 1e-6
+
+// EpsWork is the work epsilon exported for scheme implementations.
+const EpsWork = epsWork
+
+// Params bundles everything a scheme needs to simulate one execution.
+type Params struct {
+	// Task is the workload: Cycles (N, at minimum speed), Deadline (D)
+	// and FaultBudget (k).
+	Task task.Task
+	// Costs is the checkpoint cost model (ts, tcp, tr) in minimum-speed
+	// cycles.
+	Costs checkpoint.Costs
+	// Lambda is the fault arrival rate per unit of useful execution time.
+	Lambda float64
+	// CPU is the DVS processor model. Nil defaults to cpu.TwoSpeed().
+	CPU *cpu.Model
+	// MaxIntervals guards against pathological non-termination; zero
+	// means the default (1e7). The engine provably advances wall time
+	// every interval, so the guard only fires on internal bugs.
+	MaxIntervals int
+	// Trace, when non-nil, records the execution timeline (checkpoint,
+	// fault, detection, rollback and speed events) for inspection.
+	Trace *Trace
+	// Replicas overrides the redundancy degree (energy is metered across
+	// all replicas). Zero means the paper's DMR pair; the TMR extension
+	// passes 3.
+	Replicas int
+	// FaultProcess, when non-nil, replaces the homogeneous Poisson fault
+	// process with a custom arrival process (e.g. fault.MMPPProcess for
+	// burst environments) constructed per run from the run's random
+	// stream. Lambda is still consulted by the *policies* as the scalar
+	// rate estimate — set it to the process's stationary Rate() for a
+	// fair comparison.
+	FaultProcess func(src *rng.Source) fault.Process
+}
+
+// ReplicaCount returns the redundancy degree (default DMR).
+func (p Params) ReplicaCount() int {
+	if p.Replicas <= 0 {
+		return Replicas
+	}
+	return p.Replicas
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if err := p.Task.Validate(); err != nil {
+		return err
+	}
+	if err := p.Costs.Validate(); err != nil {
+		return err
+	}
+	if p.Lambda < 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
+		return fmt.Errorf("sim: invalid λ %v", p.Lambda)
+	}
+	return nil
+}
+
+// CPUModel returns the processor model, defaulting to the paper's
+// two-speed part.
+func (p Params) CPUModel() *cpu.Model {
+	if p.CPU == nil {
+		return cpu.TwoSpeed()
+	}
+	return p.CPU
+}
+
+// MaxIntervalBudget returns the interval-count guard.
+func (p Params) MaxIntervalBudget() int {
+	if p.MaxIntervals <= 0 {
+		return 1e7
+	}
+	return p.MaxIntervals
+}
+
+// FailReason explains why a run did not complete on time.
+type FailReason string
+
+// Failure reasons.
+const (
+	// FailNone marks a completed run.
+	FailNone FailReason = ""
+	// FailInfeasible: the remaining work could not fit in the remaining
+	// deadline even fault-free at the current speed (the pseudocode's
+	// "break with task failure").
+	FailInfeasible FailReason = "infeasible"
+	// FailDeadline: the task finished its work after the deadline.
+	FailDeadline FailReason = "deadline"
+	// FailGuard: the interval-count guard fired (indicates a bug).
+	FailGuard FailReason = "interval-guard"
+)
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	// Completed reports on-time completion (the paper's P numerator).
+	Completed bool
+	// Reason explains a failure; empty on completion.
+	Reason FailReason
+	// Time is the wall-clock time at completion or failure.
+	Time float64
+	// Energy is the V²·cycles total across both replicas (the paper's E).
+	Energy float64
+	// Cycles is the total clock cycles burned across both replicas.
+	Cycles float64
+	// Faults is the number of transient faults injected.
+	Faults int
+	// Detections is the number of error detections (= rollbacks).
+	Detections int
+	// CSCPs and SubCheckpoints count checkpoint operations taken.
+	CSCPs, SubCheckpoints int
+	// Switches is the number of processor speed changes.
+	Switches int
+}
+
+// Scheme is a checkpointing algorithm under test.
+type Scheme interface {
+	// Name returns the scheme's report label (e.g. "A_D_S").
+	Name() string
+	// Run simulates one task execution, drawing randomness from src.
+	Run(p Params, src *rng.Source) Result
+}
+
+// Engine holds the mutable state of one simulated execution. Schemes
+// (package core) drive it through NewEngine, SetSpeed, RunInterval and
+// Finish.
+type Engine struct {
+	p   Params
+	src *rng.Source
+
+	t    float64 // wall clock
+	x    float64 // useful-execution clock (fault process runs on this)
+	next float64 // next fault arrival on the x clock (+Inf if no faults)
+	proc fault.Process
+
+	cur   cpu.OperatingPoint
+	meter *cpu.Meter
+
+	faults     int
+	detections int
+	cscps      int
+	subs       int
+}
+
+// NewEngine prepares a fresh execution: clocks at zero, the processor at
+// its slowest operating point, and the first fault arrival drawn.
+func NewEngine(p Params, src *rng.Source) *Engine {
+	e := &Engine{
+		p:     p,
+		src:   src,
+		meter: cpu.NewMeter(p.ReplicaCount()),
+		cur:   p.CPUModel().Min(),
+	}
+	e.next = math.Inf(1)
+	switch {
+	case p.FaultProcess != nil:
+		e.proc = p.FaultProcess(src)
+	case p.Lambda > 0:
+		e.proc = fault.NewPoisson(p.Lambda, src)
+	}
+	if e.proc != nil {
+		e.next = e.proc.Next()
+	}
+	return e
+}
+
+// SetSpeed switches the processor operating point.
+func (e *Engine) SetSpeed(pt cpu.OperatingPoint) {
+	if pt != e.cur && e.p.Trace != nil {
+		e.p.Trace.add(Event{Kind: EvSpeed, Time: e.t, Value: pt.Freq})
+	}
+	e.cur = pt
+}
+
+// execSpan executes useful work for wall duration d at the current speed.
+// It returns the offset (on the span, in wall time) of the first fault
+// striking during the span, or -1 if the span is fault-free. All faults
+// inside the span are consumed (counted) even when several arrive.
+func (e *Engine) execSpan(d float64) float64 {
+	off, _ := e.ExecSpan(d)
+	return off
+}
+
+// ExecSpan executes useful work for wall duration d at the current
+// speed, returning the offset of the first fault within the span (or -1)
+// and the total number of faults that struck during it.
+func (e *Engine) ExecSpan(d float64) (float64, int) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative span %v", d))
+	}
+	start, end := e.x, e.x+d
+	first := -1.0
+	n := 0
+	for e.next < end {
+		n++
+		if first < 0 {
+			first = e.next - start
+			if e.p.Trace != nil {
+				e.p.Trace.add(Event{Kind: EvFault, Time: e.t + first})
+			}
+		} else if e.p.Trace != nil {
+			e.p.Trace.add(Event{Kind: EvFault, Time: e.t + (e.next - start)})
+		}
+		e.faults++
+		e.next = e.proc.Next()
+	}
+	e.meter.Segment(e.cur, d)
+	e.t += d
+	e.x = end
+	return first, n
+}
+
+// Spend charges non-execution overhead (checkpoint or rollback work):
+// wall time and energy advance, the useful-execution clock (and thus the
+// fault process) does not.
+func (e *Engine) Spend(d float64) {
+	e.meter.Segment(e.cur, d)
+	e.t += d
+}
+
+// CheckpointOp charges one checkpoint of the given kind at the current
+// speed and records it.
+func (e *Engine) CheckpointOp(k checkpoint.Kind) {
+	e.Spend(e.p.Costs.AtSpeed(k, e.cur.Freq))
+	switch k {
+	case checkpoint.CSCP:
+		e.cscps++
+	default:
+		e.subs++
+	}
+	if e.p.Trace != nil {
+		e.p.Trace.add(Event{Kind: EvCheckpoint, Time: e.t, Checkpoint: k})
+	}
+}
+
+// Rollback charges the rollback cost, counts a detection and records the
+// event. toWork is the task progress (cycles) restored to.
+func (e *Engine) Rollback(toWork float64) {
+	e.Spend(e.p.Costs.Rollback / e.cur.Freq)
+	e.detections++
+	if e.p.Trace != nil {
+		e.p.Trace.add(Event{Kind: EvRollback, Time: e.t, Value: toWork})
+	}
+}
+
+// RunInterval executes one CSCP interval of wall length itv at the
+// current speed, subdivided into m equal sub-intervals with
+// sub-checkpoints of flavour sub between them (m = 1 means CSCP-only).
+// doneWork is the task progress (cycles) at the interval start, used only
+// for trace annotations.
+//
+// It returns the work retained (in cycles) and whether an error was
+// detected. SCP flavour: detection is deferred to the closing CSCP and
+// rollback returns to the newest consistent store, so a prefix of the
+// interval's work survives. CCP flavour: detection happens at the next
+// comparison but rollback returns to the interval-leading CSCP, so no
+// work survives a fault.
+func (e *Engine) RunInterval(itv float64, m int, sub checkpoint.Kind, doneWork float64) (kept float64, detected bool) {
+	if itv <= 0 {
+		panic(fmt.Sprintf("sim: non-positive interval %v", itv))
+	}
+	if m < 1 {
+		panic(fmt.Sprintf("sim: non-positive sub-interval count %d", m))
+	}
+	span := itv / float64(m)
+	f := e.cur.Freq
+
+	switch sub {
+	case checkpoint.SCP:
+		firstOffset := -1.0 // offset of earliest fault from interval start, wall
+		for j := 0; j < m; j++ {
+			off := e.execSpan(span)
+			if off >= 0 && firstOffset < 0 {
+				firstOffset = float64(j)*span + off
+			}
+			if j < m-1 {
+				e.CheckpointOp(checkpoint.SCP)
+			}
+		}
+		e.CheckpointOp(checkpoint.CSCP)
+		if firstOffset < 0 {
+			return itv * f, false
+		}
+		// Detection at the CSCP: roll back to the newest store at or
+		// before the earliest fault (stores after it hold diverged
+		// state).
+		goodBoundary := math.Floor(firstOffset / span)
+		kept = goodBoundary * span * f
+		e.Rollback(doneWork + kept)
+		return kept, true
+
+	case checkpoint.CCP:
+		for j := 0; j < m; j++ {
+			off := e.execSpan(span)
+			boundary := checkpoint.CCP
+			if j == m-1 {
+				boundary = checkpoint.CSCP
+			}
+			e.CheckpointOp(boundary)
+			if off >= 0 {
+				// Detected at this comparison; the only stored state is
+				// the interval-leading CSCP.
+				e.Rollback(doneWork)
+				return 0, true
+			}
+		}
+		return itv * f, false
+
+	default:
+		panic(fmt.Sprintf("sim: sub-checkpoint flavour must be SCP or CCP, got %v", sub))
+	}
+}
+
+// Now returns the current wall-clock time.
+func (e *Engine) Now() float64 { return e.t }
+
+// ExecClock returns the accumulated useful-execution time — the clock
+// the fault process runs on. Schemes that estimate the fault rate online
+// divide observed detections by this exposure.
+func (e *Engine) ExecClock() float64 { return e.x }
+
+// Speed returns the current operating point.
+func (e *Engine) Speed() cpu.OperatingPoint { return e.cur }
+
+// Finish assembles the Result for a finished or failed run.
+func (e *Engine) Finish(completed bool, reason FailReason) Result {
+	if e.p.Trace != nil {
+		k := EvFail
+		if completed {
+			k = EvComplete
+		}
+		e.p.Trace.add(Event{Kind: k, Time: e.t})
+	}
+	return Result{
+		Completed:      completed,
+		Reason:         reason,
+		Time:           e.t,
+		Energy:         e.meter.Energy(),
+		Cycles:         e.meter.Cycles(),
+		Faults:         e.faults,
+		Detections:     e.detections,
+		CSCPs:          e.cscps,
+		SubCheckpoints: e.subs,
+		Switches:       e.meter.Switches(),
+	}
+}

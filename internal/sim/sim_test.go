@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+func params(u, baselineFreq, lambda float64, k int, costs checkpoint.Costs) Params {
+	tk, err := task.FromUtilization("t", u, baselineFreq, 10000, k)
+	if err != nil {
+		panic(err)
+	}
+	return Params{Task: tk, Costs: costs, Lambda: lambda}
+}
+
+// runMany returns (P, mean E over completions) for a scheme.
+func runMany(t *testing.T, s Scheme, p Params, reps int, seed uint64) (float64, float64) {
+	t.Helper()
+	src := rng.New(seed)
+	done := 0
+	var esum float64
+	for i := 0; i < reps; i++ {
+		r := s.Run(p, src.Split())
+		if r.Completed {
+			done++
+			esum += r.Energy
+		}
+	}
+	if done == 0 {
+		return 0, math.NaN()
+	}
+	return float64(done) / float64(reps), esum / float64(done)
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := params(0.76, 1, 0.0014, 5, checkpoint.SCPSetting())
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Lambda = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative λ accepted")
+	}
+	bad = good
+	bad.Task.Cycles = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-cycle task accepted")
+	}
+	bad = good
+	bad.Costs = checkpoint.Costs{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero costs accepted")
+	}
+}
+
+func TestEngineSpanFaultOffsets(t *testing.T) {
+	p := params(0.76, 1, 0.01, 5, checkpoint.SCPSetting())
+	e := NewEngine(p, rng.New(20))
+	off := e.execSpan(1000)
+	if off < 0 {
+		t.Fatal("expected a fault in a 1000-unit span at λ=0.01")
+	}
+	if off >= 1000 {
+		t.Fatalf("fault offset %v outside span", off)
+	}
+	if e.t != 1000 || e.x != 1000 {
+		t.Fatalf("clocks wrong: t=%v x=%v", e.t, e.x)
+	}
+}
+
+func TestEngineSpendDoesNotAdvanceFaultClock(t *testing.T) {
+	p := params(0.76, 1, 0.01, 5, checkpoint.SCPSetting())
+	e := NewEngine(p, rng.New(21))
+	e.Spend(500)
+	if e.t != 500 {
+		t.Fatalf("wall clock %v", e.t)
+	}
+	if e.x != 0 {
+		t.Fatalf("execution clock advanced by spend: %v", e.x)
+	}
+	if e.faults != 0 {
+		t.Fatal("spend consumed faults")
+	}
+}
+
+func TestRunIntervalSCPKeepsPrefix(t *testing.T) {
+	// Force a fault mid-interval and verify partial progress survives.
+	p := params(0.76, 1, 0.002, 5, checkpoint.SCPSetting())
+	found := false
+	for seed := uint64(0); seed < 200 && !found; seed++ {
+		e := NewEngine(p, rng.New(seed))
+		kept, detected := e.RunInterval(1000, 10, checkpoint.SCP, 0)
+		if detected && kept > 0 {
+			found = true
+			if kept >= 1000 {
+				t.Fatalf("kept %v should be a strict prefix", kept)
+			}
+			if math.Mod(kept, 100) > 1e-9 && math.Mod(kept, 100) < 100-1e-9 {
+				t.Fatalf("kept %v not aligned to a sub-interval boundary", kept)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no mid-interval fault with partial progress found in 200 seeds")
+	}
+}
+
+func TestRunIntervalCCPLosesAll(t *testing.T) {
+	p := params(0.76, 1, 0.002, 5, checkpoint.CCPSetting())
+	for seed := uint64(0); seed < 100; seed++ {
+		e := NewEngine(p, rng.New(seed))
+		kept, detected := e.RunInterval(1000, 10, checkpoint.CCP, 0)
+		if detected && kept != 0 {
+			t.Fatalf("CCP rollback kept %v, want 0", kept)
+		}
+		if !detected && kept != 1000 {
+			t.Fatalf("clean interval kept %v, want 1000", kept)
+		}
+	}
+}
+
+func TestRunIntervalCCPDetectionLatency(t *testing.T) {
+	// With CCPs, a fault early in the interval must be detected well
+	// before the interval end: wall time spent ≈ one sub-interval, not m.
+	p := params(0.76, 1, 0.05, 5, checkpoint.CCPSetting())
+	e := NewEngine(p, rng.New(5)) // high λ: fault almost surely in first sub
+	_, detected := e.RunInterval(1000, 10, checkpoint.CCP, 0)
+	if !detected {
+		t.Skip("no fault at λ=0.05 (vanishingly unlikely)")
+	}
+	// 1000-unit interval, 10 subs → detection should land far below the
+	// full interval + checkpoint cost.
+	if e.t > 700 {
+		t.Fatalf("CCP detection too late: t=%v", e.t)
+	}
+}
+
+func TestRunIntervalSCPDetectionAtEnd(t *testing.T) {
+	// SCP flavour defers detection to the closing CSCP: the full interval
+	// must elapse even when the fault hits early.
+	p := params(0.76, 1, 0.05, 5, checkpoint.SCPSetting())
+	e := NewEngine(p, rng.New(5))
+	_, detected := e.RunInterval(1000, 10, checkpoint.SCP, 0)
+	if !detected {
+		t.Skip("no fault at λ=0.05 (vanishingly unlikely)")
+	}
+	if e.t < 1000 {
+		t.Fatalf("SCP detection before interval end: t=%v", e.t)
+	}
+}
+
+func TestCheckpointCountsAndCosts(t *testing.T) {
+	p := params(0.76, 1, 0, 5, checkpoint.SCPSetting())
+	e := NewEngine(p, rng.New(1))
+	e.RunInterval(1000, 4, checkpoint.SCP, 0)
+	if e.subs != 3 {
+		t.Fatalf("sub-checkpoints = %d, want 3", e.subs)
+	}
+	if e.cscps != 1 {
+		t.Fatalf("CSCPs = %d, want 1", e.cscps)
+	}
+	// Wall time: 1000 work + 3·ts + (ts+tcp) = 1000 + 6 + 22.
+	if math.Abs(e.t-1028) > 1e-9 {
+		t.Fatalf("wall = %v, want 1028", e.t)
+	}
+}
+
+func TestCustomFaultProcess(t *testing.T) {
+	// Plugging an MMPP process in must drive fault arrivals through it.
+	p := params(0.76, 1, 0.0005, 5, checkpoint.SCPSetting())
+	p.FaultProcess = func(src *rng.Source) fault.Process {
+		return fault.NewMMPP(0, 0.02, 2000, 500, src)
+	}
+	e := NewEngine(p, rng.New(42))
+	_, n := e.ExecSpan(20000)
+	if n == 0 {
+		t.Fatal("MMPP process injected no faults over a long span")
+	}
+	// A quiet-only MMPP (both rates zero are invalid; use tiny horizon
+	// instead): zero-lambda default must stay fault-free.
+	p2 := params(0.76, 1, 0, 5, checkpoint.SCPSetting())
+	e2 := NewEngine(p2, rng.New(42))
+	if _, n := e2.ExecSpan(20000); n != 0 {
+		t.Fatalf("phantom faults with no process: %d", n)
+	}
+}
+
+func TestParamAccessors(t *testing.T) {
+	p := params(0.76, 1, 0.001, 5, checkpoint.SCPSetting())
+	if p.ReplicaCount() != 2 {
+		t.Fatalf("default replicas = %d", p.ReplicaCount())
+	}
+	p.Replicas = 3
+	if p.ReplicaCount() != 3 {
+		t.Fatal("override ignored")
+	}
+	if p.CPUModel() == nil || p.CPUModel().Min().Freq != 1 {
+		t.Fatal("default CPU model wrong")
+	}
+	if p.MaxIntervalBudget() != 1e7 {
+		t.Fatalf("default interval budget = %d", p.MaxIntervalBudget())
+	}
+	p.MaxIntervals = 5
+	if p.MaxIntervalBudget() != 5 {
+		t.Fatal("override budget ignored")
+	}
+}
+
+func TestEngineClockAccessors(t *testing.T) {
+	p := params(0.76, 1, 0, 5, checkpoint.SCPSetting())
+	e := NewEngine(p, rng.New(1))
+	if e.Now() != 0 || e.ExecClock() != 0 {
+		t.Fatal("fresh engine clocks non-zero")
+	}
+	if e.Speed().Freq != 1 {
+		t.Fatalf("initial speed %v", e.Speed().Freq)
+	}
+	e.ExecSpan(100)
+	e.Spend(10)
+	if e.Now() != 110 || e.ExecClock() != 100 {
+		t.Fatalf("clocks: now=%v exec=%v", e.Now(), e.ExecClock())
+	}
+}
+
+func TestRunIntervalGuards(t *testing.T) {
+	p := params(0.76, 1, 0.001, 5, checkpoint.SCPSetting())
+	cases := []func(e *Engine){
+		func(e *Engine) { e.RunInterval(0, 1, checkpoint.SCP, 0) },
+		func(e *Engine) { e.RunInterval(100, 0, checkpoint.SCP, 0) },
+		func(e *Engine) { e.RunInterval(100, 2, checkpoint.CSCP, 0) },
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			c(NewEngine(p, rng.New(1)))
+		}()
+	}
+}
+
+func TestExecSpanNegativePanics(t *testing.T) {
+	p := params(0.76, 1, 0.001, 5, checkpoint.SCPSetting())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewEngine(p, rng.New(1)).ExecSpan(-1)
+}

@@ -1,0 +1,209 @@
+package sim
+
+// Trace tests validating the execution semantics of paper Fig. 1 (SCP
+// scheme: detection deferred to the CSCP, rollback to the newest
+// consistent store) and Fig. 5 (CCP scheme: detection at the next
+// comparison, rollback to the interval-leading CSCP), in
+// machine-checkable form.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/rng"
+)
+
+// tracedInterval runs one interval under a trace and returns it.
+func tracedInterval(t *testing.T, costs checkpoint.Costs, sub checkpoint.Kind, lambda float64, seed uint64) (*Trace, float64, bool) {
+	t.Helper()
+	p := params(0.76, 1, lambda, 5, costs)
+	tr := &Trace{}
+	p.Trace = tr
+	e := NewEngine(p, rng.New(seed))
+	kept, detected := e.RunInterval(1000, 10, sub, 0)
+	return tr, kept, detected
+}
+
+// findSeed locates a seed whose first interval contains exactly the
+// fault pattern the predicate wants.
+func findSeed(t *testing.T, costs checkpoint.Costs, sub checkpoint.Kind, pred func(tr *Trace, kept float64, detected bool) bool) (*Trace, float64, bool) {
+	t.Helper()
+	for seed := uint64(0); seed < 500; seed++ {
+		tr, kept, detected := tracedInterval(t, costs, sub, 0.002, seed)
+		if pred(tr, kept, detected) {
+			return tr, kept, detected
+		}
+	}
+	t.Fatal("no seed produced the wanted fault pattern")
+	return nil, 0, false
+}
+
+// TestFig1SCPSemantics: in the SCP scheme, the fault event precedes a
+// full run of SCPs, the detection rollback happens only after the
+// closing CSCP, and the rollback target is the newest SCP boundary
+// before the fault.
+func TestFig1SCPSemantics(t *testing.T) {
+	tr, kept, _ := findSeed(t, checkpoint.SCPSetting(), checkpoint.SCP,
+		func(tr *Trace, kept float64, detected bool) bool {
+			return detected && kept > 0 && tr.Count(EvFault) == 1
+		})
+
+	var faultTime, rollbackTime float64
+	cscpSeen := false
+	cscpBeforeRollback := false
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case EvFault:
+			faultTime = ev.Time
+		case EvCheckpoint:
+			if ev.Checkpoint == checkpoint.CSCP {
+				cscpSeen = true
+			}
+		case EvRollback:
+			rollbackTime = ev.Time
+			cscpBeforeRollback = cscpSeen
+		}
+	}
+	if !cscpBeforeRollback {
+		t.Fatal("Fig. 1: rollback happened before the CSCP comparison")
+	}
+	if rollbackTime <= faultTime {
+		t.Fatal("Fig. 1: detection not after the fault")
+	}
+	// All 9 SCPs are taken even though the fault struck mid-interval:
+	// SCPs store without comparing, so execution runs to the CSCP.
+	if got := tr.CheckpointCount(checkpoint.SCP); got != 9 {
+		t.Fatalf("Fig. 1: SCP count = %d, want 9 (detection deferred)", got)
+	}
+	// Rollback target: kept work must be a multiple of the sub-interval
+	// (100 cycles) and strictly before the fault position.
+	if kept >= faultTime {
+		t.Fatalf("Fig. 1: rollback target %v not before fault at %v", kept, faultTime)
+	}
+	if kept != float64(int(kept/100))*100 {
+		t.Fatalf("Fig. 1: rollback target %v not on an SCP boundary", kept)
+	}
+}
+
+// TestFig5CCPSemantics: in the CCP scheme, the detection rollback comes
+// at the first comparison after the fault — not at the interval end —
+// and all progress is lost.
+func TestFig5CCPSemantics(t *testing.T) {
+	tr, kept, _ := findSeed(t, checkpoint.CCPSetting(), checkpoint.CCP,
+		func(tr *Trace, kept float64, detected bool) bool {
+			if !detected || tr.Count(EvFault) != 1 {
+				return false
+			}
+			// Want a fault strictly inside the first half so early
+			// detection is observable.
+			for _, ev := range tr.Events {
+				if ev.Kind == EvFault {
+					return ev.Time < 400
+				}
+			}
+			return false
+		})
+
+	if kept != 0 {
+		t.Fatalf("Fig. 5: CCP rollback kept %v, want 0", kept)
+	}
+	var faultTime, rollbackTime float64
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case EvFault:
+			faultTime = ev.Time
+		case EvRollback:
+			rollbackTime = ev.Time
+		}
+	}
+	// Detection latency bounded by one sub-interval (100 cycles) plus
+	// checkpoint costs (m·tcp at most) — far below the interval length.
+	if rollbackTime-faultTime > 150 {
+		t.Fatalf("Fig. 5: detection latency %v too large (fault %v, rollback %v)",
+			rollbackTime-faultTime, faultTime, rollbackTime)
+	}
+	// Execution stops at detection: fewer than the full 9 CCPs ran.
+	if got := tr.CheckpointCount(checkpoint.CCP); got >= 9 {
+		t.Fatalf("Fig. 5: %d CCPs despite early detection", got)
+	}
+}
+
+func TestTraceStringRendersAllKinds(t *testing.T) {
+	p := params(0.9, 1, 0.002, 5, checkpoint.SCPSetting())
+	tr := &Trace{}
+	p.Trace = tr
+	e := NewEngine(p, rng.New(3))
+	e.SetSpeed(p.CPUModel().Max())
+	e.RunInterval(500, 5, checkpoint.SCP, 0)
+	e.Finish(false, FailDeadline)
+	out := tr.String()
+	for _, want := range []string{"checkpoint SCP", "checkpoint CSCP", "speed", "FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace rendering missing %q:\n%s", want, out)
+		}
+	}
+	tr.Reset()
+	if len(tr.Events) != 0 {
+		t.Fatal("Reset left events")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvCheckpoint: "checkpoint", EvFault: "fault", EvRollback: "rollback",
+		EvSpeed: "speed", EvComplete: "complete", EvFail: "fail",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("EventKind %d = %q, want %q", int(k), got, want)
+		}
+	}
+	if EventKind(99).String() != "EventKind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestTraceCompleteEvent(t *testing.T) {
+	p := params(0.5, 1, 0, 5, checkpoint.SCPSetting())
+	tr := &Trace{}
+	p.Trace = tr
+	e := NewEngine(p, rng.New(1))
+	e.RunInterval(p.Task.Cycles, 1, checkpoint.SCP, 0)
+	e.Finish(true, FailNone)
+	if tr.Count(EvComplete) != 1 {
+		t.Fatal("no complete event recorded")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	p := params(0.80, 1, 0.0014, 5, checkpoint.SCPSetting())
+	tr := &Trace{}
+	p.Trace = tr
+	e := NewEngine(p, rng.New(44))
+	e.SetSpeed(p.CPUModel().Max())
+	for i := 0; i < 6; i++ {
+		e.RunInterval(500, 5, checkpoint.SCP, 0)
+	}
+	e.Finish(true, FailNone)
+	band := tr.Timeline(80)
+	if len(band) != 80 {
+		t.Fatalf("band width %d", len(band))
+	}
+	for _, want := range []string{"s", "C", "$"} {
+		if !strings.Contains(band, want) {
+			t.Errorf("timeline missing %q: %s", want, band)
+		}
+	}
+	// Completion is the final event, so '$' must be the last column.
+	if band[len(band)-1] != '$' {
+		t.Errorf("timeline does not end at completion: %s", band)
+	}
+	// Degenerate widths clamp.
+	if got := tr.Timeline(3); len(got) != 10 {
+		t.Fatalf("narrow band width %d, want clamped 10", len(got))
+	}
+	empty := &Trace{}
+	if got := empty.Timeline(20); got != strings.Repeat("-", 20) {
+		t.Fatalf("empty trace band %q", got)
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// reservoirCap bounds the memory a Reservoir uses; beyond it, uniform
+// reservoir sampling keeps an unbiased subset.
+const reservoirCap = 4096
+
+// Reservoir keeps a bounded uniform sample of a stream for quantile
+// estimation. Sampling randomness comes from an internal SplitMix64
+// stream with a fixed seed, so identical observation sequences yield
+// identical quantiles — the property the experiment harness's
+// reproducibility tests rely on.
+type Reservoir struct {
+	values []float64
+	seen   int
+	state  uint64
+}
+
+func (r *Reservoir) next() uint64 {
+	if r.state == 0 {
+		r.state = 0x9e3779b97f4a7c15
+	}
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Add folds one observation in.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.values) < reservoirCap {
+		r.values = append(r.values, x)
+		return
+	}
+	// Replace a uniformly chosen element with probability cap/seen.
+	if idx := int(r.next() % uint64(r.seen)); idx < reservoirCap {
+		r.values[idx] = x
+	}
+}
+
+// N returns how many observations were seen (not kept).
+func (r *Reservoir) N() int { return r.seen }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the kept sample by
+// nearest-rank on a sorted copy; NaN when empty or q out of range.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.values) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(r.values))
+	copy(sorted, r.values)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Quantiles returns several quantiles in one sort pass.
+func (r *Reservoir) Quantiles(qs ...float64) []float64 {
+	if len(r.values) == 0 {
+		out := make([]float64, len(qs))
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := make([]float64, len(r.values))
+	copy(sorted, r.values)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			out[i] = math.NaN()
+			continue
+		}
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+// Package stats provides the streaming estimators the experiment harness
+// aggregates Monte-Carlo results with: Welford mean/variance
+// accumulators, binomial proportions with normal-approximation confidence
+// intervals, and NaN-conventions matching the paper's tables (energy is
+// averaged over timely completions and reported as NaN when no run
+// completes).
+package stats
+
+import "math"
+
+// Accumulator is a numerically stable (Welford) streaming mean/variance
+// estimator. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or NaN when empty (the paper's convention
+// for energy columns with no completed run).
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.mean
+}
+
+// Variance returns the unbiased sample variance (NaN for fewer than two
+// observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return math.NaN()
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min and Max return the observed extremes (NaN when empty).
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max returns the largest observation (NaN when empty).
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n < 2 {
+		return math.NaN()
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval on the mean.
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Proportion estimates a binomial success probability.
+type Proportion struct {
+	successes, trials int
+}
+
+// Observe records one trial.
+func (p *Proportion) Observe(success bool) {
+	p.trials++
+	if success {
+		p.successes++
+	}
+}
+
+// Trials returns the number of observations.
+func (p *Proportion) Trials() int { return p.trials }
+
+// Successes returns the number of positive observations.
+func (p *Proportion) Successes() int { return p.successes }
+
+// Value returns the estimated probability (NaN when no trials).
+func (p *Proportion) Value() float64 {
+	if p.trials == 0 {
+		return math.NaN()
+	}
+	return float64(p.successes) / float64(p.trials)
+}
+
+// CI95 returns the half-width of the 95% normal-approximation interval.
+func (p *Proportion) CI95() float64 {
+	if p.trials == 0 {
+		return math.NaN()
+	}
+	v := p.Value()
+	return 1.96 * math.Sqrt(v*(1-v)/float64(p.trials))
+}
+
+// Summary is a frozen snapshot of a Monte-Carlo cell: the paper's (P, E)
+// pair plus dispersion diagnostics.
+type Summary struct {
+	// Trials is the repetition count of the cell.
+	Trials int
+	// P is the probability of timely completion.
+	P float64
+	// PCI is the 95% half-width on P.
+	PCI float64
+	// E is the mean energy over timely completions (NaN if none).
+	E float64
+	// ECI is the 95% half-width on E.
+	ECI float64
+	// MeanFaults is the average number of injected faults per run.
+	MeanFaults float64
+	// MeanTime is the average completion time over timely completions.
+	MeanTime float64
+	// MeanSwitches is the average number of speed switches per run.
+	MeanSwitches float64
+	// TimeP50 and TimeP95 are completion-time quantiles over timely
+	// completions (NaN if none) — the tail the deadline race is about.
+	TimeP50, TimeP95 float64
+}
+
+// Cell accumulates per-run results into a Summary.
+type Cell struct {
+	p        Proportion
+	e        Accumulator
+	faults   Accumulator
+	time     Accumulator
+	timeDist Reservoir
+	switches Accumulator
+}
+
+// Observe folds one run in. energy and timeToDone are consulted only for
+// completed runs, matching the paper's conditional energy average.
+func (c *Cell) Observe(completed bool, energy, timeToDone, faults, switches float64) {
+	c.p.Observe(completed)
+	c.faults.Add(faults)
+	c.switches.Add(switches)
+	if completed {
+		c.e.Add(energy)
+		c.time.Add(timeToDone)
+		c.timeDist.Add(timeToDone)
+	}
+}
+
+// Summary freezes the cell.
+func (c *Cell) Summary() Summary {
+	qs := c.timeDist.Quantiles(0.5, 0.95)
+	return Summary{
+		Trials:       c.p.Trials(),
+		P:            c.p.Value(),
+		PCI:          c.p.CI95(),
+		E:            c.e.Mean(),
+		ECI:          c.e.CI95(),
+		MeanFaults:   c.faults.Mean(),
+		MeanTime:     c.time.Mean(),
+		MeanSwitches: c.switches.Mean(),
+		TimeP50:      qs[0],
+		TimeP95:      qs[1],
+	}
+}

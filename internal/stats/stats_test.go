@@ -1,0 +1,292 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) {
+		t.Fatal("empty mean should be NaN")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if got := a.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	// Population stddev of this classic set is 2; sample variance = 32/7.
+	if got := a.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", got, 32.0/7)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.Mean() != 3 {
+		t.Fatalf("mean = %v", a.Mean())
+	}
+	if !math.IsNaN(a.Variance()) {
+		t.Fatal("variance of one sample should be NaN")
+	}
+}
+
+func TestAccumulatorStability(t *testing.T) {
+	// Large offset: naive sum-of-squares would lose precision.
+	var a Accumulator
+	const off = 1e9
+	for _, x := range []float64{off + 1, off + 2, off + 3} {
+		a.Add(x)
+	}
+	if got := a.Variance(); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("variance = %v, want 1", got)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Accumulator
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 3))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 3))
+	}
+	if !(large.CI95() < small.CI95()) {
+		t.Fatalf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestProportion(t *testing.T) {
+	var p Proportion
+	if !math.IsNaN(p.Value()) {
+		t.Fatal("empty proportion should be NaN")
+	}
+	for i := 0; i < 100; i++ {
+		p.Observe(i < 25)
+	}
+	if got := p.Value(); got != 0.25 {
+		t.Fatalf("P = %v", got)
+	}
+	if p.Successes() != 25 || p.Trials() != 100 {
+		t.Fatalf("counts %d/%d", p.Successes(), p.Trials())
+	}
+	want := 1.96 * math.Sqrt(0.25*0.75/100)
+	if got := p.CI95(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI = %v, want %v", got, want)
+	}
+}
+
+func TestCellNaNEnergyWhenNothingCompletes(t *testing.T) {
+	var c Cell
+	for i := 0; i < 50; i++ {
+		c.Observe(false, 123, 456, 2, 0)
+	}
+	s := c.Summary()
+	if s.P != 0 {
+		t.Fatalf("P = %v", s.P)
+	}
+	if !math.IsNaN(s.E) {
+		t.Fatalf("E = %v, want NaN (paper convention)", s.E)
+	}
+	if math.Abs(s.MeanFaults-2) > 1e-12 {
+		t.Fatalf("mean faults = %v", s.MeanFaults)
+	}
+}
+
+func TestCellConditionalEnergy(t *testing.T) {
+	var c Cell
+	c.Observe(true, 100, 10, 0, 1)
+	c.Observe(false, 999999, 0, 5, 2) // failed: energy excluded
+	c.Observe(true, 300, 30, 1, 1)
+	s := c.Summary()
+	if s.P != 2.0/3 {
+		t.Fatalf("P = %v", s.P)
+	}
+	if s.E != 200 {
+		t.Fatalf("E = %v, want 200 (failed run excluded)", s.E)
+	}
+	if s.MeanTime != 20 {
+		t.Fatalf("mean time = %v", s.MeanTime)
+	}
+	if math.Abs(s.MeanSwitches-4.0/3) > 1e-12 {
+		t.Fatalf("mean switches = %v", s.MeanSwitches)
+	}
+}
+
+func TestPropertyMeanWithinRange(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Clamp to a physical range: delta arithmetic on values near
+			// ±MaxFloat64 overflows by design.
+			x = math.Mod(x, 1e12)
+			a.Add(x)
+			n++
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if n == 0 {
+			return math.IsNaN(a.Mean())
+		}
+		m := a.Mean()
+		return m >= lo-1e-9 && m <= hi+1e-9 && a.Min() == lo && a.Max() == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyVarianceNonNegative(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			a.Add(math.Mod(x, 1e6))
+		}
+		v := a.Variance()
+		return math.IsNaN(v) || v >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyProportionBounds(t *testing.T) {
+	f := func(bits []bool) bool {
+		var p Proportion
+		for _, b := range bits {
+			p.Observe(b)
+		}
+		if len(bits) == 0 {
+			return math.IsNaN(p.Value())
+		}
+		v := p.Value()
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservoirSmallSampleExact(t *testing.T) {
+	var r Reservoir
+	for _, x := range []float64{5, 1, 3, 2, 4} {
+		r.Add(x)
+	}
+	if got := r.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	if got := r.Quantile(1.0); got != 5 {
+		t.Fatalf("max quantile = %v, want 5", got)
+	}
+	if got := r.Quantile(0.0); got != 1 {
+		t.Fatalf("min quantile = %v, want 1", got)
+	}
+	if r.N() != 5 {
+		t.Fatalf("N = %d", r.N())
+	}
+}
+
+func TestReservoirEmptyAndBadQ(t *testing.T) {
+	var r Reservoir
+	if !math.IsNaN(r.Quantile(0.5)) {
+		t.Fatal("empty reservoir quantile not NaN")
+	}
+	r.Add(1)
+	if !math.IsNaN(r.Quantile(1.5)) || !math.IsNaN(r.Quantile(-0.1)) {
+		t.Fatal("out-of-range q not NaN")
+	}
+}
+
+func TestReservoirLargeStreamApproximation(t *testing.T) {
+	// 100k uniform values: quantiles of the kept sample must approximate
+	// the true ones.
+	var r Reservoir
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r.Add(float64(i))
+	}
+	if r.N() != n {
+		t.Fatalf("N = %d", r.N())
+	}
+	med := r.Quantile(0.5)
+	if math.Abs(med-n/2)/(n/2) > 0.1 {
+		t.Fatalf("median %v too far from %v", med, n/2)
+	}
+	p95 := r.Quantile(0.95)
+	if math.Abs(p95-0.95*n)/(0.95*n) > 0.1 {
+		t.Fatalf("p95 %v too far from %v", p95, 0.95*n)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	feed := func() *Reservoir {
+		var r Reservoir
+		for i := 0; i < 20000; i++ {
+			r.Add(float64(i * 7 % 1000))
+		}
+		return &r
+	}
+	a, b := feed(), feed()
+	if a.Quantile(0.5) != b.Quantile(0.5) || a.Quantile(0.9) != b.Quantile(0.9) {
+		t.Fatal("reservoir sampling not deterministic")
+	}
+}
+
+func TestCellTimeQuantiles(t *testing.T) {
+	var c Cell
+	for i := 1; i <= 100; i++ {
+		c.Observe(true, 1, float64(i), 0, 0)
+	}
+	s := c.Summary()
+	if s.TimeP50 != 50 {
+		t.Fatalf("TimeP50 = %v, want 50", s.TimeP50)
+	}
+	if s.TimeP95 != 95 {
+		t.Fatalf("TimeP95 = %v, want 95", s.TimeP95)
+	}
+	var empty Cell
+	empty.Observe(false, 1, 1, 0, 0)
+	es := empty.Summary()
+	if !math.IsNaN(es.TimeP50) {
+		t.Fatalf("TimeP50 with no completions = %v, want NaN", es.TimeP50)
+	}
+}
+
+func TestPropertyQuantilesOrdered(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Reservoir
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			r.Add(math.Mod(x, 1e9))
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		qs := r.Quantiles(0.1, 0.5, 0.9)
+		return qs[0] <= qs[1] && qs[1] <= qs[2]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

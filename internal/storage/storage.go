@@ -1,0 +1,190 @@
+// Package storage models the stable-storage and inter-processor
+// comparison hardware behind the paper's abstract checkpoint costs, so
+// that ts (store time) and tcp (compare time) are *derived* rather than
+// postulated: a store checkpoint writes the task state image to a
+// non-volatile device; a compare checkpoint exchanges a state digest (or
+// the full image) between the two DMR processors over a link and
+// compares.
+//
+// The two cost regimes of the paper's evaluation fall out naturally:
+//
+//   - fast NVRAM + slow serial link  → ts ≪ tcp (the §4.1 SCP setting);
+//   - slow flash + fast parallel bus → ts ≫ tcp (the §4.2 CCP setting).
+//
+// Latencies are expressed in CPU cycles at the minimum speed, matching
+// the unit system of the rest of the library.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/checkpoint"
+)
+
+// Device is a stable storage target for checkpoint images.
+type Device interface {
+	// Name identifies the device model.
+	Name() string
+	// WriteCycles returns the cycles to persist an image of the given
+	// size.
+	WriteCycles(bytes int) float64
+	// ReadCycles returns the cycles to load an image back (rollback).
+	ReadCycles(bytes int) float64
+}
+
+// NVRAM is word-granular non-volatile memory (FRAM/MRAM class): flat
+// per-byte cost, no erase, effectively unlimited endurance.
+type NVRAM struct {
+	// CyclesPerByte for writes; reads assumed symmetric.
+	CyclesPerByte float64
+	// Setup is the fixed per-operation overhead.
+	Setup float64
+}
+
+// Name implements Device.
+func (d NVRAM) Name() string { return "nvram" }
+
+// WriteCycles implements Device.
+func (d NVRAM) WriteCycles(bytes int) float64 {
+	return d.Setup + d.CyclesPerByte*float64(bytes)
+}
+
+// ReadCycles implements Device.
+func (d NVRAM) ReadCycles(bytes int) float64 {
+	return d.Setup + d.CyclesPerByte*float64(bytes)
+}
+
+// Flash is page-granular NOR/NAND storage: writes round up to whole
+// pages and pay a per-page programming cost; endurance is finite.
+type Flash struct {
+	// PageBytes is the programming granularity.
+	PageBytes int
+	// ProgramCycles is the cost to program one page.
+	ProgramCycles float64
+	// ReadCyclesPerByte covers rollback loads.
+	ReadCyclesPerByte float64
+	// EnduranceCycles is the program/erase endurance of a page.
+	EnduranceCycles int
+}
+
+// Name implements Device.
+func (d Flash) Name() string { return "flash" }
+
+// Pages returns how many pages an image occupies.
+func (d Flash) Pages(bytes int) int {
+	if d.PageBytes <= 0 {
+		return 0
+	}
+	return (bytes + d.PageBytes - 1) / d.PageBytes
+}
+
+// WriteCycles implements Device.
+func (d Flash) WriteCycles(bytes int) float64 {
+	return float64(d.Pages(bytes)) * d.ProgramCycles
+}
+
+// ReadCycles implements Device.
+func (d Flash) ReadCycles(bytes int) float64 {
+	return d.ReadCyclesPerByte * float64(bytes)
+}
+
+// Link is the inter-processor channel a comparison checkpoint uses.
+type Link struct {
+	// Name identifies the link.
+	LinkName string
+	// CyclesPerByte is the transfer cost; Setup the fixed handshake.
+	CyclesPerByte float64
+	Setup         float64
+	// DigestBytes, when positive, means the processors exchange a state
+	// digest of this size instead of the full image (the digest
+	// computation itself is CompareComputePerByte over the state).
+	DigestBytes int
+	// CompareComputePerByte is the per-byte cost of digesting/comparing.
+	CompareComputePerByte float64
+}
+
+// CompareCycles returns the cycles one comparison checkpoint costs for a
+// state image of the given size.
+func (l Link) CompareCycles(stateBytes int) float64 {
+	transfer := stateBytes
+	if l.DigestBytes > 0 {
+		transfer = l.DigestBytes
+	}
+	return l.Setup + l.CyclesPerByte*float64(transfer) +
+		l.CompareComputePerByte*float64(stateBytes)
+}
+
+// Platform bundles the hardware a checkpoint cost model derives from.
+type Platform struct {
+	Device     Device
+	Link       Link
+	StateBytes int
+	// RollbackFixed is the control overhead of a rollback beyond
+	// re-loading the image.
+	RollbackFixed float64
+}
+
+// Costs derives the checkpoint cost model of this platform.
+func (pf Platform) Costs() (checkpoint.Costs, error) {
+	if pf.Device == nil {
+		return checkpoint.Costs{}, errors.New("storage: nil device")
+	}
+	if pf.StateBytes <= 0 {
+		return checkpoint.Costs{}, fmt.Errorf("storage: non-positive state size %d", pf.StateBytes)
+	}
+	c := checkpoint.Costs{
+		Store:    pf.Device.WriteCycles(pf.StateBytes),
+		Compare:  pf.Link.CompareCycles(pf.StateBytes),
+		Rollback: pf.RollbackFixed + pf.Device.ReadCycles(pf.StateBytes),
+	}
+	return c, c.Validate()
+}
+
+// SCPPlatform returns a platform whose derived costs reproduce the
+// paper's §4.1 regime (ts = 2, tcp = 20): a small state image in fast
+// NVRAM compared over a slow serial inter-processor link.
+func SCPPlatform() Platform {
+	return Platform{
+		Device:     NVRAM{CyclesPerByte: 0.05, Setup: 0.4},
+		Link:       Link{LinkName: "serial", CyclesPerByte: 0.6, Setup: 0.8, CompareComputePerByte: 0},
+		StateBytes: 32,
+	}
+}
+
+// CCPPlatform returns a platform whose derived costs reproduce the
+// paper's §4.2 regime (ts = 20, tcp = 2): the same state image in
+// page-granular flash compared as a digest over a fast parallel bus.
+func CCPPlatform() Platform {
+	return Platform{
+		Device:     Flash{PageBytes: 64, ProgramCycles: 20, ReadCyclesPerByte: 0.02},
+		Link:       Link{LinkName: "bus", CyclesPerByte: 0.05, Setup: 1.2, DigestBytes: 8, CompareComputePerByte: 0.0125},
+		StateBytes: 32,
+	}
+}
+
+// FlashLifetime estimates how many checkpoint stores a flash device
+// survives per page region, given the image size and endurance, and
+// converts a store cadence into mission lifetime: storesPerSecond > 0
+// yields seconds until wear-out assuming perfect wear levelling across
+// totalPages.
+func FlashLifetime(d Flash, stateBytes int, totalPages int, storesPerSecond float64) (float64, error) {
+	if d.EnduranceCycles <= 0 {
+		return math.Inf(1), nil
+	}
+	if totalPages <= 0 {
+		return 0, errors.New("storage: non-positive page count")
+	}
+	if storesPerSecond <= 0 {
+		return 0, errors.New("storage: non-positive store rate")
+	}
+	pagesPerStore := d.Pages(stateBytes)
+	if pagesPerStore == 0 {
+		return 0, errors.New("storage: zero-page image")
+	}
+	// Total page-programs available, spread across stores.
+	totalPrograms := float64(totalPages) * float64(d.EnduranceCycles)
+	stores := totalPrograms / float64(pagesPerStore)
+	return stores / storesPerSecond, nil
+}

@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+func TestSCPPlatformReproducesPaperCosts(t *testing.T) {
+	c, err := SCPPlatform().Costs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := checkpoint.SCPSetting()
+	if math.Abs(c.Store-want.Store) > 1e-9 {
+		t.Fatalf("derived ts = %v, want %v", c.Store, want.Store)
+	}
+	if math.Abs(c.Compare-want.Compare) > 1e-9 {
+		t.Fatalf("derived tcp = %v, want %v", c.Compare, want.Compare)
+	}
+}
+
+func TestCCPPlatformReproducesPaperCosts(t *testing.T) {
+	c, err := CCPPlatform().Costs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := checkpoint.CCPSetting()
+	if math.Abs(c.Store-want.Store) > 1e-9 {
+		t.Fatalf("derived ts = %v, want %v", c.Store, want.Store)
+	}
+	if math.Abs(c.Compare-want.Compare) > 1e-9 {
+		t.Fatalf("derived tcp = %v, want %v", c.Compare, want.Compare)
+	}
+}
+
+func TestNVRAMLinearInSize(t *testing.T) {
+	d := NVRAM{CyclesPerByte: 0.1, Setup: 1}
+	small, large := d.WriteCycles(100), d.WriteCycles(200)
+	if math.Abs((large-1)-2*(small-1)) > 1e-9 {
+		t.Fatalf("NVRAM not linear: %v vs %v", small, large)
+	}
+	if d.ReadCycles(100) != small {
+		t.Fatal("NVRAM read/write asymmetric")
+	}
+}
+
+func TestFlashPageRounding(t *testing.T) {
+	d := Flash{PageBytes: 64, ProgramCycles: 10}
+	if d.Pages(1) != 1 || d.Pages(64) != 1 || d.Pages(65) != 2 {
+		t.Fatalf("page rounding wrong: %d %d %d", d.Pages(1), d.Pages(64), d.Pages(65))
+	}
+	if d.WriteCycles(65) != 20 {
+		t.Fatalf("write cycles = %v, want 20", d.WriteCycles(65))
+	}
+}
+
+func TestLinkDigestVsFullImage(t *testing.T) {
+	full := Link{CyclesPerByte: 1, Setup: 0}
+	digest := Link{CyclesPerByte: 1, Setup: 0, DigestBytes: 8, CompareComputePerByte: 0.01}
+	if !(digest.CompareCycles(4096) < full.CompareCycles(4096)) {
+		t.Fatal("digest exchange should beat full-image exchange for large state")
+	}
+}
+
+func TestPlatformCostsValidation(t *testing.T) {
+	bad := Platform{Device: nil, StateBytes: 32}
+	if _, err := bad.Costs(); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	bad = SCPPlatform()
+	bad.StateBytes = 0
+	if _, err := bad.Costs(); err == nil {
+		t.Fatal("zero state accepted")
+	}
+}
+
+func TestRollbackIncludesReadBack(t *testing.T) {
+	pf := SCPPlatform()
+	pf.RollbackFixed = 5
+	c, err := pf.Costs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rollback <= 5 {
+		t.Fatalf("rollback %v should include the image read-back", c.Rollback)
+	}
+}
+
+func TestFlashLifetime(t *testing.T) {
+	d := Flash{PageBytes: 64, ProgramCycles: 20, EnduranceCycles: 100000}
+	// 32-byte image → 1 page per store; 1000 pages × 100k endurance =
+	// 1e8 stores; at 10 stores/s → 1e7 seconds.
+	life, err := FlashLifetime(d, 32, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(life-1e7) > 1 {
+		t.Fatalf("lifetime = %v, want 1e7", life)
+	}
+	// Unlimited endurance → infinite life.
+	d.EnduranceCycles = 0
+	life, err = FlashLifetime(d, 32, 1000, 10)
+	if err != nil || !math.IsInf(life, 1) {
+		t.Fatalf("unlimited endurance: %v %v", life, err)
+	}
+}
+
+func TestFlashLifetimeValidation(t *testing.T) {
+	d := Flash{PageBytes: 64, ProgramCycles: 20, EnduranceCycles: 1000}
+	if _, err := FlashLifetime(d, 32, 0, 10); err == nil {
+		t.Error("zero pages accepted")
+	}
+	if _, err := FlashLifetime(d, 32, 100, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := FlashLifetime(Flash{EnduranceCycles: 1000}, 32, 100, 1); err == nil {
+		t.Error("zero-page image accepted")
+	}
+}
+
+func TestDeviceNames(t *testing.T) {
+	if (NVRAM{}).Name() != "nvram" || (Flash{}).Name() != "flash" {
+		t.Fatal("device names wrong")
+	}
+}

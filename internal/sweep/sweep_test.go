@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func baseConfig() Config {
+	return Config{
+		U: 0.78, UFreq: 1, Deadline: 10000, K: 5,
+		Costs: checkpoint.SCPSetting(), Lambda: 0.0014,
+		Reps: 300, Seed: 1,
+	}
+}
+
+func twoSchemes() []sim.Scheme {
+	return []sim.Scheme{core.NewADTDVS(), core.NewAdaptDVSSCP()}
+}
+
+func TestLambdaSweepShape(t *testing.T) {
+	ser, err := Lambda(baseConfig(), []sim.Scheme{core.NewPoissonScheme(1)},
+		[]float64{2e-4, 6e-4, 1e-3, 1.4e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ser.Points) != 4 {
+		t.Fatalf("points = %d", len(ser.Points))
+	}
+	// Fixed-speed baseline P must fall monotonically (within noise) as λ
+	// grows.
+	first := ser.Points[0].Results[0].P
+	last := ser.Points[len(ser.Points)-1].Results[0].P
+	if !(last < first) {
+		t.Fatalf("P did not fall with λ: %v -> %v", first, last)
+	}
+}
+
+func TestUtilizationSweepShape(t *testing.T) {
+	ser, err := Utilization(baseConfig(), []sim.Scheme{core.NewPoissonScheme(1)},
+		[]float64{0.60, 0.72, 0.80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := ser.Points[0].Results[0].P
+	last := ser.Points[2].Results[0].P
+	if !(last < first) {
+		t.Fatalf("P did not fall with U: %v -> %v", first, last)
+	}
+}
+
+func TestCostRatioCrossover(t *testing.T) {
+	// Sweep the store share: A_D_S should dominate at low store share
+	// (cheap stores), A_D_C at high store share. Their P curves are both
+	// ≈1 at these settings; use energy instead to find the flip.
+	cfg := baseConfig()
+	cfg.Reps = 400
+	schemes := []sim.Scheme{core.NewAdaptDVSSCP(), core.NewAdaptDVSCCP()}
+	ser, err := CostRatio(cfg, schemes, []float64{0.1, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At share 0.1 (≈ the paper's SCP setting) A_D_S must use less
+	// energy; at 0.9 (≈ CCP setting) A_D_C must.
+	low, high := ser.Points[0], ser.Points[2]
+	if !(low.Results[0].E < low.Results[1].E) {
+		t.Fatalf("store share 0.1: A_D_S E %v should beat A_D_C %v",
+			low.Results[0].E, low.Results[1].E)
+	}
+	if !(high.Results[1].E < high.Results[0].E) {
+		t.Fatalf("store share 0.9: A_D_C E %v should beat A_D_S %v",
+			high.Results[1].E, high.Results[0].E)
+	}
+}
+
+func TestCostRatioPreservesTotal(t *testing.T) {
+	cfg := baseConfig()
+	ser, err := CostRatio(cfg, []sim.Scheme{core.NewADTDVS()}, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ser
+	// Validation of bad shares.
+	if _, err := CostRatio(cfg, twoSchemes(), []float64{1.5}); err == nil {
+		t.Fatal("share > 1 accepted")
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	ser, err := Lambda(baseConfig(), twoSchemes(), []float64{1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := ser.CSV()
+	if !strings.HasPrefix(csv, "lambda,A_D_P,A_D_E,A_D_S_P,A_D_S_E") {
+		t.Fatalf("CSV header wrong: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if strings.Count(csv, "\n") != 2 {
+		t.Fatalf("CSV should have header + 1 row:\n%s", csv)
+	}
+}
+
+func TestCrossoverLookup(t *testing.T) {
+	mk := func(x, pa, pb float64) Point {
+		return Point{X: x, Results: []stats.Summary{{P: pa}, {P: pb}}}
+	}
+	ser := Series{
+		Schemes: []string{"a", "b"},
+		Points:  []Point{mk(1, 0.9, 0.5), mk(2, 0.7, 0.6), mk(3, 0.4, 0.6)},
+	}
+	if got := ser.Crossover("a", "b"); got != 3 {
+		t.Fatalf("crossover = %v, want 3", got)
+	}
+	neverCross := Series{
+		Schemes: []string{"a", "b"},
+		Points:  []Point{mk(1, 0.9, 0.5)},
+	}
+	if got := neverCross.Crossover("a", "b"); !math.IsNaN(got) {
+		t.Fatalf("no-cross = %v, want NaN", got)
+	}
+	if got := ser.Crossover("a", "zz"); !math.IsNaN(got) {
+		t.Fatalf("unknown scheme = %v, want NaN", got)
+	}
+}

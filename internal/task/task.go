@@ -1,0 +1,144 @@
+// Package task defines the real-time task model of the paper.
+//
+// A task τ is characterised by a fixed worst-case computation demand N,
+// expressed in CPU cycles at the minimum processor speed (which the paper
+// normalises to Smin = 1 cycle per time unit), a relative deadline D and a
+// period T, both also expressed in minimum-speed cycles. Task utilisation
+// U = N/(f·D) depends on the speed f the comparison baselines run at.
+package task
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Task is a single fault-tolerant real-time task.
+type Task struct {
+	// Name is an optional human-readable label used in reports.
+	Name string
+	// Cycles is N: the worst-case fault-free computation demand in
+	// minimum-speed cycles.
+	Cycles float64
+	// Deadline is D, in minimum-speed cycles.
+	Deadline float64
+	// Period is T, in minimum-speed cycles. Zero means aperiodic /
+	// single-shot (the paper's experiments are single-shot; the sched
+	// extension uses periods).
+	Period float64
+	// FaultBudget is k: the number of fault occurrences the task must
+	// tolerate (the k-fault-tolerant requirement).
+	FaultBudget int
+}
+
+// Validate reports whether the task parameters are self-consistent.
+func (t Task) Validate() error {
+	switch {
+	case t.Cycles <= 0:
+		return fmt.Errorf("task %q: cycles must be positive, got %v", t.Name, t.Cycles)
+	case t.Deadline <= 0:
+		return fmt.Errorf("task %q: deadline must be positive, got %v", t.Name, t.Deadline)
+	case t.Period < 0:
+		return fmt.Errorf("task %q: period must be non-negative, got %v", t.Name, t.Period)
+	case t.Period > 0 && t.Deadline > t.Period:
+		return fmt.Errorf("task %q: deadline %v exceeds period %v (constrained-deadline model)", t.Name, t.Deadline, t.Period)
+	case t.FaultBudget < 0:
+		return fmt.Errorf("task %q: fault budget must be non-negative, got %d", t.Name, t.FaultBudget)
+	}
+	return nil
+}
+
+// Utilization returns U = N/(f·D): the fraction of the deadline window the
+// task's fault-free execution occupies when run at speed f. It panics if
+// f <= 0.
+func (t Task) Utilization(f float64) float64 {
+	if f <= 0 {
+		panic(fmt.Sprintf("task: non-positive speed %v", f))
+	}
+	return t.Cycles / (f * t.Deadline)
+}
+
+// FromUtilization constructs a task whose cycle demand yields the given
+// utilisation at speed f with deadline d: N = U·f·D. This mirrors how the
+// paper's tables are parameterised (U and D given, N derived).
+func FromUtilization(name string, u, f, d float64, faultBudget int) (Task, error) {
+	if u <= 0 {
+		return Task{}, errors.New("task: utilisation must be positive")
+	}
+	if f <= 0 {
+		return Task{}, errors.New("task: speed must be positive")
+	}
+	if d <= 0 {
+		return Task{}, errors.New("task: deadline must be positive")
+	}
+	t := Task{
+		Name:        name,
+		Cycles:      u * f * d,
+		Deadline:    d,
+		FaultBudget: faultBudget,
+	}
+	return t, t.Validate()
+}
+
+// Set is an ordered collection of periodic tasks (used by the sched
+// extension).
+type Set []Task
+
+// Validate checks every member and requires periodic tasks throughout.
+func (s Set) Validate() error {
+	if len(s) == 0 {
+		return errors.New("task: empty task set")
+	}
+	for i, t := range s {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("task set member %d: %w", i, err)
+		}
+		if t.Period == 0 {
+			return fmt.Errorf("task set member %d (%q): periodic task required", i, t.Name)
+		}
+	}
+	return nil
+}
+
+// TotalUtilization returns ΣN_i/(f·T_i), the classical processor demand of
+// the set at speed f.
+func (s Set) TotalUtilization(f float64) float64 {
+	sum := 0.0
+	for _, t := range s {
+		sum += t.Cycles / (f * t.Period)
+	}
+	return sum
+}
+
+// Hyperperiod returns the least common multiple of the members' periods,
+// assuming integral periods. Non-integral periods fall back to the product.
+func (s Set) Hyperperiod() float64 {
+	lcm := 1.0
+	for _, t := range s {
+		p := t.Period
+		if p != float64(int64(p)) {
+			// Non-integral: give up on exact LCM.
+			prod := 1.0
+			for _, u := range s {
+				prod *= u.Period
+			}
+			return prod
+		}
+		lcm = lcmFloat(lcm, p)
+	}
+	return lcm
+}
+
+func lcmFloat(a, b float64) float64 {
+	x, y := int64(a), int64(b)
+	if x == 0 || y == 0 {
+		return 0
+	}
+	return float64(x / gcd(x, y) * y)
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,141 @@
+package task
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateGood(t *testing.T) {
+	tk := Task{Name: "t", Cycles: 7600, Deadline: 10000, FaultBudget: 5}
+	if err := tk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		tk   Task
+	}{
+		{"zero cycles", Task{Cycles: 0, Deadline: 1}},
+		{"negative cycles", Task{Cycles: -1, Deadline: 1}},
+		{"zero deadline", Task{Cycles: 1, Deadline: 0}},
+		{"negative period", Task{Cycles: 1, Deadline: 1, Period: -5}},
+		{"deadline beyond period", Task{Cycles: 1, Deadline: 10, Period: 5}},
+		{"negative fault budget", Task{Cycles: 1, Deadline: 1, FaultBudget: -1}},
+	}
+	for _, c := range cases {
+		if err := c.tk.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tk := Task{Cycles: 7600, Deadline: 10000}
+	if got := tk.Utilization(1); math.Abs(got-0.76) > 1e-12 {
+		t.Fatalf("U at f1 = %v, want 0.76", got)
+	}
+	if got := tk.Utilization(2); math.Abs(got-0.38) > 1e-12 {
+		t.Fatalf("U at f2 = %v, want 0.38", got)
+	}
+}
+
+func TestUtilizationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero speed")
+		}
+	}()
+	Task{Cycles: 1, Deadline: 1}.Utilization(0)
+}
+
+func TestFromUtilizationRoundTrip(t *testing.T) {
+	tk, err := FromUtilization("x", 0.76, 2, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tk.Cycles-15200) > 1e-9 {
+		t.Fatalf("cycles = %v, want 15200", tk.Cycles)
+	}
+	if got := tk.Utilization(2); math.Abs(got-0.76) > 1e-12 {
+		t.Fatalf("round-trip U = %v", got)
+	}
+}
+
+func TestFromUtilizationRejects(t *testing.T) {
+	for _, c := range []struct{ u, f, d float64 }{
+		{0, 1, 1}, {-1, 1, 1}, {0.5, 0, 1}, {0.5, 1, 0},
+	} {
+		if _, err := FromUtilization("x", c.u, c.f, c.d, 0); err == nil {
+			t.Errorf("FromUtilization(%v,%v,%v) accepted", c.u, c.f, c.d)
+		}
+	}
+}
+
+func TestPropertyFromUtilization(t *testing.T) {
+	f := func(uRaw, dRaw uint16) bool {
+		u := 0.01 + float64(uRaw%100)/100
+		d := 100 + float64(dRaw%10000)
+		tk, err := FromUtilization("p", u, 1, d, 1)
+		if err != nil {
+			return false
+		}
+		return math.Abs(tk.Utilization(1)-u) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	good := Set{
+		{Name: "a", Cycles: 10, Deadline: 100, Period: 100},
+		{Name: "b", Cycles: 20, Deadline: 150, Period: 200},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Set{}).Validate(); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	aperiodic := Set{{Name: "c", Cycles: 10, Deadline: 100}}
+	if err := aperiodic.Validate(); err == nil {
+		t.Fatal("aperiodic member accepted")
+	}
+}
+
+func TestTotalUtilization(t *testing.T) {
+	s := Set{
+		{Cycles: 10, Deadline: 100, Period: 100},
+		{Cycles: 50, Deadline: 200, Period: 200},
+	}
+	want := 10.0/100 + 50.0/200
+	if got := s.TotalUtilization(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("U = %v, want %v", got, want)
+	}
+	if got := s.TotalUtilization(2); math.Abs(got-want/2) > 1e-12 {
+		t.Fatalf("U at f2 = %v, want %v", got, want/2)
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	s := Set{
+		{Cycles: 1, Deadline: 4, Period: 4},
+		{Cycles: 1, Deadline: 6, Period: 6},
+	}
+	if got := s.Hyperperiod(); got != 12 {
+		t.Fatalf("hyperperiod = %v, want 12", got)
+	}
+}
+
+func TestHyperperiodNonIntegral(t *testing.T) {
+	s := Set{
+		{Cycles: 1, Deadline: 2.5, Period: 2.5},
+		{Cycles: 1, Deadline: 4, Period: 4},
+	}
+	if got := s.Hyperperiod(); got != 10 {
+		t.Fatalf("hyperperiod = %v, want product fallback 10", got)
+	}
+}

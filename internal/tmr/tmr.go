@@ -1,0 +1,189 @@
+// Package tmr implements triple modular redundancy with majority voting
+// as an extension comparator (the paper's ref [5], Nakagawa, Fukumoto &
+// Ishii, analyses exactly this trade-off against DMR).
+//
+// A TMR triple votes at every checkpoint: when at most one replica has
+// been corrupted since the last vote, the majority state wins and
+// execution continues without any rollback (the fault is *masked*, and
+// the outvoted replica is repaired from the majority at the checkpoint).
+// Only when two or more replicas diverge — two faults hitting different
+// replicas within one interval — is there no majority, forcing a
+// rollback to the previous checkpoint.
+//
+// The price is a third replica's energy (×1.5 vs DMR) and three-way
+// comparison at every checkpoint; the benefit is that single faults cost
+// no re-execution. BenchmarkAblationTMR quantifies the crossover.
+package tmr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/checkpoint"
+	"repro/internal/cpu"
+	"repro/internal/policy"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Replicas is the redundancy degree of a TMR triple.
+const Replicas = 3
+
+// Scheme is a fixed-speed TMR checkpointing scheme with a constant
+// voting-checkpoint interval.
+type Scheme struct {
+	// Freq is the operating frequency.
+	Freq float64
+	// Interval overrides the voting interval in wall time at Freq; zero
+	// derives the k-fault-tolerant interval sqrt(N·C/k) like the DMR
+	// baseline, keeping comparisons apples-to-apples.
+	Interval float64
+}
+
+// New returns a TMR scheme at the given frequency with the derived
+// k-fault-tolerant interval.
+func New(freq float64) *Scheme { return &Scheme{Freq: freq} }
+
+// Name implements sim.Scheme.
+func (s *Scheme) Name() string { return fmt.Sprintf("TMR(f=%g)", s.Freq) }
+
+// voteCost is the three-way comparison overhead: with three states, a
+// majority vote needs up to three pairwise comparisons but two suffice
+// when the first two agree; we charge two pairwise compares plus one
+// store, the optimistic-path cost mirroring the DMR CSCP convention.
+func voteCost(c checkpoint.Costs) float64 { return c.Store + 2*c.Compare }
+
+// Run implements sim.Scheme.
+//
+// Faults strike one of the three replicas uniformly. At the closing vote
+// of every interval:
+//   - zero corrupted replicas: commit;
+//   - one corrupted replica: commit (masked by majority) and repair;
+//   - two or more corrupted replicas: no majority, roll back the interval.
+func (s *Scheme) Run(p sim.Params, src *rng.Source) sim.Result {
+	p.Replicas = Replicas
+	e := sim.NewEngine(p, src)
+	pt, err := p.CPUModel().AtFreq(s.Freq)
+	if err != nil {
+		panic(err)
+	}
+	e.SetSpeed(pt)
+
+	itv := s.Interval
+	if itv == 0 {
+		k := p.Task.FaultBudget
+		if k < 1 {
+			k = 1
+		}
+		itv = policy.I2(p.Task.Cycles/pt.Freq, float64(k), voteCost(p.Costs)/pt.Freq)
+	}
+
+	rc := p.Task.Cycles
+	for i := 0; i < p.MaxIntervalBudget(); i++ {
+		rd := p.Task.Deadline - e.Now()
+		if rc/pt.Freq > rd {
+			return e.Finish(false, sim.FailInfeasible)
+		}
+		cur := math.Min(itv, rc/pt.Freq)
+
+		// Execute the interval and assign each fault a victim replica.
+		_, faults := e.ExecSpan(cur)
+		corrupted := map[int]bool{}
+		for f := 0; f < faults; f++ {
+			corrupted[src.Intn(Replicas)] = true
+		}
+		// Vote: a CSCP-grade store+compare plus the second pairwise
+		// comparison (counted so Result.CSCPs reflects voting points).
+		e.CheckpointOp(checkpoint.CSCP)
+		e.Spend(p.Costs.Compare / pt.Freq)
+
+		if len(corrupted) >= 2 {
+			// No majority: lose the interval.
+			e.Rollback(p.Task.Cycles - rc)
+		} else {
+			rc -= cur * pt.Freq
+		}
+		if rc <= sim.EpsWork {
+			if e.Now() <= p.Task.Deadline {
+				return e.Finish(true, sim.FailNone)
+			}
+			return e.Finish(false, sim.FailDeadline)
+		}
+	}
+	return e.Finish(false, sim.FailGuard)
+}
+
+var _ sim.Scheme = (*Scheme)(nil)
+
+// AdaptiveScheme is TMR with the DATE'03 adaptive voting interval and
+// two-speed DVS — the apples-to-apples counterpart of the paper's DMR
+// schemes for the ablation. Voting masks single-fault intervals (no
+// rollback); only no-majority intervals (two or more corrupted replicas)
+// are lost. The third replica's energy is the constant price.
+type AdaptiveScheme struct{}
+
+// NewAdaptive returns the adaptive TMR scheme.
+func NewAdaptive() *AdaptiveScheme { return &AdaptiveScheme{} }
+
+// Name implements sim.Scheme.
+func (s *AdaptiveScheme) Name() string { return "TMR_DVS" }
+
+// Run implements sim.Scheme.
+func (s *AdaptiveScheme) Run(p sim.Params, src *rng.Source) sim.Result {
+	p.Replicas = Replicas
+	e := sim.NewEngine(p, src)
+	model := p.CPUModel()
+	c := voteCost(p.Costs)
+
+	pickSpeed := func(rc, rd float64) cpu.OperatingPoint {
+		for _, pt := range model.Points() {
+			if analysis.TEst(rc, pt.Freq, c, p.Lambda) <= rd {
+				return pt
+			}
+		}
+		return model.Max()
+	}
+
+	rc := p.Task.Cycles
+	rf := p.Task.FaultBudget
+	e.SetSpeed(pickSpeed(rc, p.Task.Deadline))
+	itv, _ := policy.Interval(p.Task.Deadline, rc/e.Speed().Freq, c/e.Speed().Freq, rf, p.Lambda)
+
+	for i := 0; i < p.MaxIntervalBudget(); i++ {
+		f := e.Speed().Freq
+		rd := p.Task.Deadline - e.Now()
+		if rc/f > rd {
+			return e.Finish(false, sim.FailInfeasible)
+		}
+		cur := math.Min(itv, rc/f)
+
+		_, faults := e.ExecSpan(cur)
+		corrupted := map[int]bool{}
+		for n := 0; n < faults; n++ {
+			corrupted[src.Intn(Replicas)] = true
+		}
+		e.CheckpointOp(checkpoint.CSCP)
+		e.Spend(p.Costs.Compare / f)
+
+		if len(corrupted) >= 2 {
+			e.Rollback(p.Task.Cycles - rc)
+			if rf > 0 {
+				rf--
+			}
+			e.SetSpeed(pickSpeed(rc, p.Task.Deadline-e.Now()))
+			itv, _ = policy.Interval(p.Task.Deadline-e.Now(), rc/e.Speed().Freq, c/e.Speed().Freq, rf, p.Lambda)
+		} else {
+			rc -= cur * f
+		}
+		if rc <= sim.EpsWork {
+			if e.Now() <= p.Task.Deadline {
+				return e.Finish(true, sim.FailNone)
+			}
+			return e.Finish(false, sim.FailDeadline)
+		}
+	}
+	return e.Finish(false, sim.FailGuard)
+}
+
+var _ sim.Scheme = (*AdaptiveScheme)(nil)

@@ -1,0 +1,165 @@
+package tmr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func params(u, lambda float64, k int) sim.Params {
+	tk, err := task.FromUtilization("t", u, 1, 10000, k)
+	if err != nil {
+		panic(err)
+	}
+	return sim.Params{Task: tk, Costs: checkpoint.SCPSetting(), Lambda: lambda}
+}
+
+func mc(s sim.Scheme, p sim.Params, reps int, seed uint64) (pp, ee float64) {
+	src := rng.New(seed)
+	done := 0
+	var esum float64
+	for i := 0; i < reps; i++ {
+		r := s.Run(p, src.Split())
+		if r.Completed {
+			done++
+			esum += r.Energy
+		}
+	}
+	if done == 0 {
+		return 0, math.NaN()
+	}
+	return float64(done) / float64(reps), esum / float64(done)
+}
+
+func TestFaultFreeCompletes(t *testing.T) {
+	r := New(1).Run(params(0.76, 0, 5), rng.New(1))
+	if !r.Completed {
+		t.Fatalf("fault-free TMR failed: %s", r.Reason)
+	}
+	if r.CSCPs == 0 {
+		t.Fatal("no voting checkpoints recorded")
+	}
+}
+
+func TestEnergyIsFiftyPercentOverDMR(t *testing.T) {
+	// Fault-free, same interval: TMR burns exactly 1.5× a DMR pair on
+	// useful work; overhead differs slightly by vote cost, so compare
+	// with tolerance.
+	p := params(0.76, 0, 5)
+	tmrE := New(1).Run(p, rng.New(1)).Energy
+	dmrE := core.NewKFTScheme(1).Run(p, rng.New(1)).Energy
+	ratio := tmrE / dmrE
+	if ratio < 1.45 || ratio > 1.6 {
+		t.Fatalf("TMR/DMR energy ratio = %v, want ≈1.5", ratio)
+	}
+}
+
+func TestSingleFaultsAreMasked(t *testing.T) {
+	// At moderate λ and k=5, TMR should complete essentially always at
+	// f1 where the DMR k-f-t baseline collapses: single faults cost no
+	// re-execution.
+	p := params(0.78, 0.0014, 5)
+	tmrP, _ := mc(New(1), p, 500, 2)
+	dmrP, _ := mc(core.NewKFTScheme(1), p, 500, 3)
+	if tmrP < 0.9 {
+		t.Fatalf("TMR P = %v, want ≳0.9 (masking)", tmrP)
+	}
+	if !(tmrP > dmrP+0.3) {
+		t.Fatalf("TMR (%v) should dominate DMR k-f-t (%v) at f1/high λ", tmrP, dmrP)
+	}
+}
+
+func TestDoubleFaultsForceRollback(t *testing.T) {
+	// With a very high fault rate, some intervals see two corrupted
+	// replicas; detections must then be non-zero across seeds.
+	p := params(0.5, 0.01, 50)
+	sawRollback := false
+	for seed := uint64(0); seed < 40; seed++ {
+		r := New(1).Run(p, rng.New(seed))
+		if r.Detections > 0 {
+			sawRollback = true
+			break
+		}
+	}
+	if !sawRollback {
+		t.Fatal("no no-majority rollback observed at λ=0.01")
+	}
+}
+
+func TestInfeasibleFails(t *testing.T) {
+	r := New(1).Run(params(1.05, 0.0001, 5), rng.New(1))
+	if r.Completed || r.Reason != sim.FailInfeasible {
+		t.Fatalf("infeasible TMR run: %+v", r)
+	}
+}
+
+func TestExplicitInterval(t *testing.T) {
+	s := &Scheme{Freq: 1, Interval: 500}
+	r := s.Run(params(0.76, 0, 5), rng.New(1))
+	if !r.Completed {
+		t.Fatal(r.Reason)
+	}
+	// 7600 cycles / 500 per interval → 16 voting checkpoints.
+	if r.CSCPs != 16 {
+		t.Fatalf("CSCPs = %d, want 16", r.CSCPs)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := params(0.8, 0.002, 5)
+	a := New(1).Run(p, rng.New(9))
+	b := New(1).Run(p, rng.New(9))
+	if a != b {
+		t.Fatal("TMR run not deterministic")
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := New(2).Name(); got != "TMR(f=2)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestUnknownFrequencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(3).Run(params(0.5, 0.001, 5), rng.New(1))
+}
+
+func TestAdaptiveTMRRescuesHighUtilisation(t *testing.T) {
+	// At U=1.0 the fixed-speed TMR is infeasible; the DVS variant
+	// escalates to f2 and completes.
+	p := params(1.0, 1e-4, 1)
+	if r := New(1).Run(p, rng.New(1)); r.Completed {
+		t.Fatal("fixed TMR should be infeasible at U=1.0/f1")
+	}
+	pp, _ := mc(NewAdaptive(), p, 300, 2)
+	if pp < 0.97 {
+		t.Fatalf("TMR_DVS P = %v at U=1.0", pp)
+	}
+}
+
+func TestAdaptiveTMRMasksAtF1(t *testing.T) {
+	p := params(0.78, 0.0014, 5)
+	pp, ee := mc(NewAdaptive(), p, 400, 3)
+	if pp < 0.95 {
+		t.Fatalf("TMR_DVS P = %v", pp)
+	}
+	// Masking keeps it mostly at the slow speed; energy should be ≈1.5×
+	// the DMR A_D_S level (which is ≈56k here), well below 3-replica
+	// always-fast.
+	if ee > 120000 {
+		t.Fatalf("TMR_DVS E = %v, suspiciously high", ee)
+	}
+	if NewAdaptive().Name() != "TMR_DVS" {
+		t.Fatal("name wrong")
+	}
+}

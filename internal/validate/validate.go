@@ -1,0 +1,132 @@
+// Package validate cross-checks the paper's analytic renewal models
+// (internal/analysis) against the Monte-Carlo engine (internal/sim):
+// for a fixed CSCP interval and sub-interval count, the expected
+// execution time predicted by R1/R2 must agree with the simulated mean
+// over many runs. This is the model-vs-simulation experiment that
+// justifies using the closed forms inside num_SCP / num_CCP.
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/checkpoint"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// Comparison is one model-vs-simulation data point, at three layers:
+// the paper's closed form (R1/R2, what Fig. 2 optimises), the exact
+// expected-time recursion (analysis.ExactTime), and the Monte-Carlo
+// engine.
+type Comparison struct {
+	Kind     checkpoint.Kind
+	Interval float64
+	M        int
+	// PaperForm is R1 or R2; Exact the recursion; Simulated the
+	// Monte-Carlo mean with its 95% half-width.
+	PaperForm float64
+	Exact     float64
+	Simulated float64
+	CI95      float64
+	// PaperRelErr and ExactRelErr are relative errors against the
+	// simulated mean. The exact recursion must track the engine tightly
+	// everywhere; the paper's closed form is accurate for λT ≲ 0.5 and
+	// overestimates the SCP scheme beyond (its renewal factor ignores
+	// retained progress).
+	PaperRelErr, ExactRelErr float64
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%v T=%.0f m=%d: paper=%.1f exact=%.1f simulated=%.1f±%.1f (rel err %.1f%% / %.1f%%)",
+		c.Kind, c.Interval, c.M, c.PaperForm, c.Exact, c.Simulated, c.CI95,
+		100*c.PaperRelErr, 100*c.ExactRelErr)
+}
+
+// IntervalTime simulates the expected wall-clock time to *commit* one
+// CSCP interval of the given length and sub-division under the engine's
+// exact semantics, and compares it with the renewal model.
+func IntervalTime(p analysis.Params, kind checkpoint.Kind, interval float64, m int, reps int, seed uint64) (Comparison, error) {
+	if err := p.Validate(); err != nil {
+		return Comparison{}, err
+	}
+	if interval <= 0 || m < 1 || reps < 1 {
+		return Comparison{}, fmt.Errorf("validate: bad arguments interval=%v m=%d reps=%d", interval, m, reps)
+	}
+
+	// A giant deadline so the interval always commits; the task is a
+	// single interval.
+	tk := task.Task{Name: "validate", Cycles: interval, Deadline: math.MaxFloat64 / 4, FaultBudget: 1 << 20}
+	sp := sim.Params{Task: tk, Costs: p.Costs, Lambda: p.Lambda}
+
+	src := rng.New(seed)
+	var acc stats.Accumulator
+	for i := 0; i < reps; i++ {
+		e := sim.NewEngine(sp, src.Split())
+		// Repeat the interval until it commits, exactly the renewal
+		// experiment R models.
+		remaining := interval
+		for remaining > 1e-9 {
+			kept, _ := e.RunInterval(remaining, m, kind, interval-remaining)
+			remaining -= kept
+		}
+		acc.Add(e.Now())
+	}
+
+	paper := analyticTime(p, kind, interval, m)
+	exact := analysis.ExactTime(p, kind, interval, m)
+	simulated := acc.Mean()
+	return Comparison{
+		Kind:        kind,
+		Interval:    interval,
+		M:           m,
+		PaperForm:   paper,
+		Exact:       exact,
+		Simulated:   simulated,
+		CI95:        acc.CI95(),
+		PaperRelErr: math.Abs(paper-simulated) / simulated,
+		ExactRelErr: math.Abs(exact-simulated) / simulated,
+	}, nil
+}
+
+func analyticTime(p analysis.Params, kind checkpoint.Kind, interval float64, m int) float64 {
+	sub := interval / float64(m)
+	switch kind {
+	case checkpoint.SCP:
+		return analysis.R1(p, interval, sub)
+	case checkpoint.CCP:
+		return analysis.R2(p, interval, sub)
+	default:
+		panic("validate: kind must be SCP or CCP")
+	}
+}
+
+// Grid runs IntervalTime over a (interval × m) grid and returns the
+// comparisons, worst relative error first.
+func Grid(p analysis.Params, kind checkpoint.Kind, intervals []float64, ms []int, reps int, seed uint64) ([]Comparison, error) {
+	var out []Comparison
+	for _, t := range intervals {
+		for _, m := range ms {
+			c, err := IntervalTime(p, kind, t, m, reps, seed+uint64(len(out)))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, c)
+		}
+	}
+	// Simple selection sort by descending paper-form error (tiny n).
+	for i := range out {
+		worst := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].PaperRelErr > out[worst].PaperRelErr {
+				worst = j
+			}
+		}
+		out[i], out[worst] = out[worst], out[i]
+	}
+	return out, nil
+}

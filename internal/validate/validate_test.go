@@ -1,0 +1,129 @@
+package validate
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/checkpoint"
+)
+
+func TestExactSCPMatchesSimulationEverywhere(t *testing.T) {
+	// The exact recursion and the engine implement the same semantics;
+	// they must agree within Monte-Carlo noise across the whole range,
+	// including the high-λT corner where the paper's form diverges.
+	p := analysis.Params{Costs: checkpoint.SCPSetting(), Lambda: 0.0014}
+	for _, tc := range []struct {
+		interval float64
+		m        int
+	}{
+		{200, 1}, {200, 4}, {500, 1}, {500, 5}, {1000, 10},
+	} {
+		c, err := IntervalTime(p, checkpoint.SCP, tc.interval, tc.m, 4000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.ExactRelErr > 0.03 {
+			t.Errorf("exact SCP model vs sim diverges: %s", c)
+		}
+	}
+}
+
+func TestExactCCPMatchesSimulationEverywhere(t *testing.T) {
+	p := analysis.Params{Costs: checkpoint.CCPSetting(), Lambda: 0.0014}
+	for _, tc := range []struct {
+		interval float64
+		m        int
+	}{
+		{200, 1}, {200, 4}, {500, 5}, {1000, 10},
+	} {
+		c, err := IntervalTime(p, checkpoint.CCP, tc.interval, tc.m, 4000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.ExactRelErr > 0.03 {
+			t.Errorf("exact CCP model vs sim diverges: %s", c)
+		}
+	}
+}
+
+func TestPaperFormAccurateAtModerateLambdaT(t *testing.T) {
+	// The paper's R1/R2 are good approximations in the regime its
+	// adaptive schemes actually plan in (λT ≲ 0.5).
+	for _, kind := range []checkpoint.Kind{checkpoint.SCP, checkpoint.CCP} {
+		costs := checkpoint.SCPSetting()
+		if kind == checkpoint.CCP {
+			costs = checkpoint.CCPSetting()
+		}
+		p := analysis.Params{Costs: costs, Lambda: 0.0014}
+		c, err := IntervalTime(p, kind, 300, 3, 4000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.PaperRelErr > 0.08 {
+			t.Errorf("paper form inaccurate in its own regime: %s", c)
+		}
+	}
+}
+
+func TestPaperFormOverestimatesSCPAtHighLambdaT(t *testing.T) {
+	// Documented model gap: with retained progress, the paper's
+	// (e^{λT}−1) compounding overestimates the SCP interval time at
+	// λT ≈ 1.4.
+	p := analysis.Params{Costs: checkpoint.SCPSetting(), Lambda: 0.0014}
+	c, err := IntervalTime(p, checkpoint.SCP, 1000, 10, 2000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c.PaperForm > c.Simulated) {
+		t.Fatalf("expected overestimation at high λT: %s", c)
+	}
+	if c.ExactRelErr > 0.03 {
+		t.Fatalf("exact model should still track: %s", c)
+	}
+}
+
+func TestFaultFreeExact(t *testing.T) {
+	// With λ=0 the analytic and simulated times must agree exactly.
+	p := analysis.Params{Costs: checkpoint.SCPSetting(), Lambda: 0}
+	c, err := IntervalTime(p, checkpoint.SCP, 800, 4, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PaperRelErr > 1e-9 || c.ExactRelErr > 1e-9 {
+		t.Fatalf("fault-free mismatch: %s", c)
+	}
+}
+
+func TestGridSortsByError(t *testing.T) {
+	p := analysis.Params{Costs: checkpoint.SCPSetting(), Lambda: 0.001}
+	grid, err := Grid(p, checkpoint.SCP, []float64{300, 600}, []int{1, 3}, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 4 {
+		t.Fatalf("grid size %d", len(grid))
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i].PaperRelErr > grid[i-1].PaperRelErr {
+			t.Fatal("grid not sorted by descending error")
+		}
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	p := analysis.Params{Costs: checkpoint.SCPSetting(), Lambda: 0.001}
+	for _, tc := range []struct {
+		interval float64
+		m, reps  int
+	}{
+		{0, 1, 10}, {100, 0, 10}, {100, 1, 0},
+	} {
+		if _, err := IntervalTime(p, checkpoint.SCP, tc.interval, tc.m, tc.reps, 1); err == nil {
+			t.Errorf("accepted interval=%v m=%d reps=%d", tc.interval, tc.m, tc.reps)
+		}
+	}
+	bad := analysis.Params{Costs: checkpoint.Costs{Store: -1, Compare: 1}, Lambda: 0.001}
+	if _, err := IntervalTime(bad, checkpoint.SCP, 100, 1, 10, 1); err == nil {
+		t.Error("accepted invalid costs")
+	}
+}

@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"repro/internal/battery"
+	"repro/internal/storage"
+)
+
+// This file exposes the platform-modelling substrates: the stable
+// storage and inter-processor links that checkpoint costs derive from,
+// and the battery/energy-source models that make the paper's platforms
+// "energy-constrained".
+
+// StorageDevice is a stable-storage target for checkpoint images.
+type StorageDevice = storage.Device
+
+// NVRAM is word-granular non-volatile memory (FRAM/MRAM class).
+type NVRAM = storage.NVRAM
+
+// Flash is page-granular storage with finite endurance.
+type Flash = storage.Flash
+
+// Link is the inter-processor channel a comparison checkpoint uses.
+type Link = storage.Link
+
+// Platform bundles the hardware a checkpoint cost model derives from.
+type Platform = storage.Platform
+
+// SCPPlatform returns hardware whose derived costs reproduce the paper's
+// §4.1 regime (fast NVRAM, slow serial link → ts=2, tcp=20).
+func SCPPlatform() Platform { return storage.SCPPlatform() }
+
+// CCPPlatform returns hardware whose derived costs reproduce the paper's
+// §4.2 regime (page flash, fast digest bus → ts=20, tcp=2).
+func CCPPlatform() Platform { return storage.CCPPlatform() }
+
+// FlashLifetime estimates mission seconds until flash wear-out for a
+// checkpoint cadence; see storage.FlashLifetime.
+func FlashLifetime(d Flash, stateBytes, totalPages int, storesPerSecond float64) (float64, error) {
+	return storage.FlashLifetime(d, stateBytes, totalPages, storesPerSecond)
+}
+
+// BatteryPack is a finite energy store in the simulator's normalised
+// V²·cycles units.
+type BatteryPack = battery.Pack
+
+// EnergySource is a recharging profile (e.g. duty-cycled solar).
+type EnergySource = battery.Source
+
+// NewBattery returns a full pack of the given capacity.
+func NewBattery(capacity float64) (*BatteryPack, error) { return battery.New(capacity) }
+
+// Mission simulates frames drawing perFrame energy against the pack with
+// the source recharging; it returns the frames completed before the pack
+// runs flat (== maxFrames means sustainable over the horizon).
+func Mission(p *BatteryPack, s EnergySource, perFrame float64, maxFrames int) (int, error) {
+	return battery.Mission(p, s, perFrame, maxFrames)
+}

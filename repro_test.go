@@ -1,0 +1,107 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	tk, err := TaskFromUtilization("demo", 0.78, 1, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Task: tk, Costs: SCPCosts(), Lambda: 0.0014}
+	res := Run(AdaptiveSCP(), p, 42)
+	if res.Energy <= 0 {
+		t.Fatalf("energy = %v", res.Energy)
+	}
+	if Run(AdaptiveSCP(), p, 42) != res {
+		t.Fatal("Run not deterministic for equal seeds")
+	}
+}
+
+func TestMonteCarloSummary(t *testing.T) {
+	tk, _ := TaskFromUtilization("demo", 0.78, 1, 10000, 5)
+	p := Params{Task: tk, Costs: SCPCosts(), Lambda: 0.0014}
+	s := MonteCarlo(AdaptiveSCP(), p, 300, 7)
+	if s.Trials != 300 {
+		t.Fatalf("trials = %d", s.Trials)
+	}
+	if s.P < 0.95 {
+		t.Fatalf("P = %v, expected near-certain completion", s.P)
+	}
+	if math.IsNaN(s.E) || s.E <= 0 {
+		t.Fatalf("E = %v", s.E)
+	}
+}
+
+func TestSchemeConstructors(t *testing.T) {
+	for _, c := range []struct {
+		s    Scheme
+		name string
+	}{
+		{AdaptiveSCP(), "A_D_S"},
+		{AdaptiveCCP(), "A_D_C"},
+		{ADTDVS(), "A_D"},
+		{Poisson(1), "Poisson(f=1)"},
+		{KFaultTolerant(2), "k-f-t(f=2)"},
+		{AdaptiveSCPFixedSpeed(1), "adapchp-SCP(f=1)"},
+		{AdaptiveCCPFixedSpeed(2), "adapchp-CCP(f=2)"},
+	} {
+		if got := c.s.Name(); got != c.name {
+			t.Errorf("Name = %q, want %q", got, c.name)
+		}
+	}
+}
+
+func TestOptimalCountsMatchCostRegimes(t *testing.T) {
+	// In the SCP setting (cheap stores) the optimal SCP count for a long
+	// interval at high λ exceeds 1; symmetrically for CCP.
+	if m := OptimalSCPCount(SCPCosts(), 0.0014, 1500); m < 2 {
+		t.Fatalf("OptimalSCPCount = %d, want >= 2", m)
+	}
+	if m := OptimalCCPCount(CCPCosts(), 0.0014, 1500); m < 2 {
+		t.Fatalf("OptimalCCPCount = %d, want >= 2", m)
+	}
+	// Fault-free: never subdivide.
+	if m := OptimalSCPCount(SCPCosts(), 0, 1500); m != 1 {
+		t.Fatalf("fault-free OptimalSCPCount = %d", m)
+	}
+}
+
+func TestExpectedIntervalTimeDispatch(t *testing.T) {
+	r1 := ExpectedIntervalTime(SCPCosts(), 0.001, SCP, 1000, 250)
+	r2 := ExpectedIntervalTime(CCPCosts(), 0.001, CCP, 1000, 250)
+	if r1 <= 1000 || r2 <= 1000 {
+		t.Fatalf("renewal times below fault-free work: %v %v", r1, r2)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CSCP kind should panic")
+		}
+	}()
+	ExpectedIntervalTime(SCPCosts(), 0.001, CSCP, 1000, 250)
+}
+
+func TestTablesFacade(t *testing.T) {
+	if got := len(Tables()); got != 8 {
+		t.Fatalf("Tables() = %d specs", got)
+	}
+	spec, err := TableByID("2a")
+	if err != nil || spec.ID != "2a" {
+		t.Fatalf("TableByID: %v %v", spec.ID, err)
+	}
+	if _, err := TableByID("nope"); err == nil {
+		t.Fatal("bad id accepted")
+	}
+}
+
+func TestRunTableFacade(t *testing.T) {
+	tbl, err := RunTable("1a", 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tbl.Rows))
+	}
+}
