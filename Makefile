@@ -1,0 +1,27 @@
+# Development targets. `make check` is the full local gate: build, vet,
+# the test suite, and the race detector over the parallel experiment
+# runner and everything else.
+
+GO ?= go
+
+.PHONY: build test vet race check golden
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+# Regenerate the golden seed-equivalence trajectories (testdata/
+# golden_sim.json). Only run after an intentional engine change, and
+# re-review the diff: the file pins bit-for-bit behaviour.
+golden:
+	$(GO) test -run TestGoldenEquivalence -update .

@@ -1,0 +1,122 @@
+// Command degrade compares the paper's checkpointing schemes over a
+// long-horizon mission when fault tolerance is itself imperfect: error
+// detection has coverage below one, stored checkpoints can be latently
+// corrupted (discovered only when a rollback cascades through them),
+// checkpoint operations are exposed to fault arrivals, and permanent
+// faults degrade the platform from DMR to simplex — then kill it.
+//
+// For every point of the coverage × permanent-rate sweep it prints one
+// table with frames flown, deadline misses, silently wrong frames,
+// degraded (simplex) frames, energy per frame and the end condition per
+// scheme. Under ideal knobs (-coverage 1 -corrupt 0 -vulnerable=false
+// -permanent 0) the engine follows the paper's model exactly.
+//
+// Usage:
+//
+//	degrade                                     # defaults: mild imperfection sweep
+//	degrade -coverage 1,0.98,0.9 -corrupt 0.08
+//	degrade -permanent 0,2e-7 -frames 20000
+//	degrade -vulnerable=false -corrupt 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mission"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// parseList splits a comma-separated flag into floats.
+func parseList(name, s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			log.Fatalf("bad -%s entry %q: %v", name, part, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("degrade: ")
+
+	var (
+		u          = flag.Float64("u", 0.78, "frame utilisation U = N/(f1·D)")
+		lambda     = flag.Float64("lambda", 0.0014, "transient fault rate")
+		k          = flag.Int("k", 5, "fault budget per frame")
+		setting    = flag.String("setting", "scp", "cost setting: scp or ccp")
+		capacity   = flag.Float64("battery", 3e8, "battery capacity (V²·cycles)")
+		frames     = flag.Int("frames", 10000, "frame budget")
+		coverages  = flag.String("coverage", "1,0.95", "comma-separated detection coverage values")
+		corrupt    = flag.Float64("corrupt", 0.08, "probability a stored checkpoint is latently corrupted")
+		vulnerable = flag.Bool("vulnerable", true, "expose checkpoint operations to fault arrivals")
+		budget     = flag.Int("cascade", 0, "rollback cascade budget (0 = default)")
+		permanents = flag.String("permanent", "0,2e-7", "comma-separated permanent-fault rates (per cycle)")
+		seed       = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	costs := checkpoint.SCPSetting()
+	if *setting == "ccp" {
+		costs = checkpoint.CCPSetting()
+	} else if *setting != "scp" {
+		log.Fatalf("unknown -setting %q", *setting)
+	}
+
+	tk, err := task.FromUtilization("frame", *u, 1, 10000, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schemes := []sim.Scheme{
+		core.NewPoissonScheme(1),
+		core.NewKFTScheme(1),
+		core.NewADTDVS(),
+		core.NewAdaptDVSSCP(),
+		core.NewAdaptDVSCCP(),
+	}
+
+	fmt.Printf("frame: N=%.0f D=%.0f k=%d λ=%g (%s setting)\n", tk.Cycles, tk.Deadline, *k, *lambda, *setting)
+	fmt.Printf("imperfection: corrupt=%.3g vulnerable=%v; battery %.3g, budget %d frames\n",
+		*corrupt, *vulnerable, *capacity, *frames)
+
+	for _, cov := range parseList("coverage", *coverages) {
+		for _, perm := range parseList("permanent", *permanents) {
+			im := fault.Imperfection{
+				Coverage:             cov,
+				StoreCorruption:      *corrupt,
+				CheckpointVulnerable: *vulnerable,
+				CascadeBudget:        *budget,
+			}
+			frame := sim.Params{Task: tk, Costs: costs, Lambda: *lambda, Imperfect: &im}
+			cfg := mission.Config{
+				Frame:           frame,
+				BatteryCapacity: *capacity,
+				MaxFrames:       *frames,
+				PermanentLambda: perm,
+			}
+			fmt.Printf("\n--- coverage=%g permanent=%g ---\n", cov, perm)
+			fmt.Println("scheme            frames   misses    wrong degraded  E/frame   end")
+			reports, err := mission.Compare(cfg, schemes, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i, r := range reports {
+				fmt.Printf("%-16s  %6d   %6d   %6d   %6d  %8.0f  %s\n",
+					schemes[i].Name(), r.Frames, r.Misses, r.WrongFrames,
+					r.DegradedFrames, r.FrameEnergy.E, r.Reason)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"repro/internal/dmr"
+	"repro/internal/experiment"
 	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/mission"
@@ -118,4 +119,22 @@ func RunMission(cfg MissionConfig, seed uint64) (MissionReport, error) {
 // CompareMissions runs the same mission under several schemes.
 func CompareMissions(cfg MissionConfig, schemes []Scheme, seed uint64) ([]MissionReport, error) {
 	return mission.Compare(cfg, schemes, seed)
+}
+
+// Imperfection relaxes the paper's perfect-fault-tolerance assumptions:
+// detection coverage below one, latently corrupted checkpoint stores
+// (discovered only on restore, driving rollback cascades) and fault
+// arrivals during checkpoint operations. Assign it to Params.Imperfect;
+// nil or IdealFT reproduces the paper exactly.
+type Imperfection = fault.Imperfection
+
+// IdealFT returns the paper's assumptions: perfect detection, sound
+// stores, atomic checkpoint operations.
+func IdealFT() Imperfection { return fault.IdealFT() }
+
+// ImperfectScheme wraps a scheme so every run uses the given
+// imperfect-FT model while the scheme keeps planning as if fault
+// tolerance were perfect.
+func ImperfectScheme(inner Scheme, im Imperfection) Scheme {
+	return experiment.ImperfectScheme(inner, im)
 }

@@ -1,0 +1,203 @@
+package repro
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_sim.json from the current engine")
+
+// goldenCase pins one (scheme, grid point, seed) trajectory of the
+// simulation engine: the full Result plus a hash of the exact trace event
+// sequence. The reference file was generated from the seed engine before
+// the imperfect-fault-tolerance layer was added; the test guards that the
+// extended engine reproduces the seed trajectories bit-for-bit when every
+// imperfection knob sits at its ideal default.
+type goldenCase struct {
+	Scheme string  `json:"scheme"`
+	U      float64 `json:"u"`
+	Lambda float64 `json:"lambda"`
+	Seed   uint64  `json:"seed"`
+
+	Completed  bool   `json:"completed"`
+	Reason     string `json:"reason"`
+	TimeBits   uint64 `json:"time_bits"`
+	EnergyBits uint64 `json:"energy_bits"`
+	CyclesBits uint64 `json:"cycles_bits"`
+	Faults     int    `json:"faults"`
+	Detections int    `json:"detections"`
+	CSCPs      int    `json:"cscps"`
+	Subs       int    `json:"subs"`
+	Switches   int    `json:"switches"`
+	TraceHash  uint64 `json:"trace_hash"`
+	TraceLen   int    `json:"trace_len"`
+}
+
+func goldenSchemes() []sim.Scheme {
+	return []sim.Scheme{
+		core.NewPoissonScheme(1),
+		core.NewKFTScheme(1),
+		core.NewADTDVS(),
+		core.NewAdaptDVSSCP(),
+		core.NewAdaptDVSCCP(),
+	}
+}
+
+// traceHash digests the trace event sequence exactly: kind, float bits of
+// time and value, and checkpoint flavour all participate.
+func traceHash(tr *sim.Trace) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	for _, ev := range tr.Events {
+		mix(uint64(ev.Kind))
+		mix(math.Float64bits(ev.Time))
+		mix(uint64(ev.Checkpoint))
+		mix(math.Float64bits(ev.Value))
+	}
+	return h
+}
+
+// goldenGrid spans both cost settings and a fault-free point so every
+// engine path (SCP flavour, CCP flavour, DVS recovery, zero-λ) is pinned.
+func goldenGrid() []struct{ U, Lambda float64 } {
+	return []struct{ U, Lambda float64 }{
+		{0.78, 0.0014},
+		{0.82, 0.0016},
+		{0.78, 0},
+	}
+}
+
+func runGoldenCase(t *testing.T, s sim.Scheme, u, lambda float64, seed uint64, imp *fault.Imperfection) goldenCase {
+	t.Helper()
+	tk, err := TaskFromUtilization("golden", u, 1, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := SCPCosts()
+	if s.Name() == "A_D_C" {
+		costs = CCPCosts()
+	}
+	tr := &sim.Trace{}
+	p := sim.Params{Task: tk, Costs: costs, Lambda: lambda, Trace: tr, Imperfect: imp}
+	res := s.Run(p, rng.New(seed))
+	return goldenCase{
+		Scheme: s.Name(), U: u, Lambda: lambda, Seed: seed,
+		Completed: res.Completed, Reason: string(res.Reason),
+		TimeBits:   math.Float64bits(res.Time),
+		EnergyBits: math.Float64bits(res.Energy),
+		CyclesBits: math.Float64bits(res.Cycles),
+		Faults:     res.Faults, Detections: res.Detections,
+		CSCPs: res.CSCPs, Subs: res.SubCheckpoints, Switches: res.Switches,
+		TraceHash: traceHash(tr), TraceLen: len(tr.Events),
+	}
+}
+
+const goldenPath = "testdata/golden_sim.json"
+
+// TestGoldenEquivalence replays the recorded seed-engine trajectories and
+// demands bit-identical results from the current engine, both with the
+// imperfection layer absent (nil) and with every knob explicitly at its
+// ideal value — the default-equivalence guarantee of the imperfect-FT
+// extension.
+func TestGoldenEquivalence(t *testing.T) {
+	var cases []goldenCase
+	for _, s := range goldenSchemes() {
+		for _, g := range goldenGrid() {
+			for seed := uint64(1); seed <= 4; seed++ {
+				cases = append(cases, runGoldenCase(t, s, g.U, g.Lambda, seed, nil))
+			}
+		}
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(cases, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden cases to %s", len(cases), goldenPath)
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to regenerate): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(cases) {
+		t.Fatalf("golden file has %d cases, engine produced %d", len(want), len(cases))
+	}
+	for i, w := range want {
+		if cases[i] != w {
+			t.Errorf("nil-imperfection trajectory diverged from seed engine:\n got %+v\nwant %+v", cases[i], w)
+		}
+	}
+
+	// Explicit ideal knobs must follow the identical code path: same
+	// trajectories, same trace hashes, zero extra randomness consumed.
+	ideal := fault.IdealFT()
+	i := 0
+	for _, s := range goldenSchemes() {
+		for _, g := range goldenGrid() {
+			for seed := uint64(1); seed <= 4; seed++ {
+				got := runGoldenCase(t, s, g.U, g.Lambda, seed, &ideal)
+				if got != want[i] {
+					t.Errorf("explicit-ideal trajectory diverged from seed engine:\n got %+v\nwant %+v", got, want[i])
+				}
+				i++
+			}
+		}
+	}
+}
+
+// TestGoldenFileFresh fails loudly if the golden file predates a grid or
+// scheme-set change, rather than silently comparing misaligned cases.
+func TestGoldenFileFresh(t *testing.T) {
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Skip("golden file not generated yet")
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantN := len(goldenSchemes()) * len(goldenGrid()) * 4
+	if len(want) != wantN {
+		t.Fatalf("golden file holds %d cases, current grid needs %d — regenerate with -update", len(want), wantN)
+	}
+	seen := map[string]bool{}
+	for _, w := range want {
+		seen[w.Scheme] = true
+	}
+	for _, s := range goldenSchemes() {
+		if !seen[s.Name()] {
+			t.Errorf("golden file missing scheme %s", s.Name())
+		}
+	}
+}

@@ -131,6 +131,13 @@ type Record struct {
 	Kind Kind
 	// Digests hold one state digest per replica.
 	Digests [2]uint64
+	// Corrupted marks a record whose stable-storage copy was damaged
+	// after the digests were written (the imperfect-fault-tolerance
+	// extension's per-store corruption). A corrupted record passes the
+	// cheap consistency check — the damage is discovered only when a
+	// recovery attempts the restore, which is what makes rollback
+	// cascade through older stores.
+	Corrupted bool
 }
 
 // Consistent reports whether the two replicas' stored states agree —
@@ -173,6 +180,11 @@ func (s *Store) LatestConsistent() (Record, bool) {
 	}
 	return Record{}, false
 }
+
+// Records returns the stored records oldest-first. The slice is the
+// store's backing array — callers must treat it as read-only; it is
+// invalidated by the next Push, TruncateAfter or Reset.
+func (s *Store) Records() []Record { return s.records }
 
 // TruncateAfter discards records with Time > limit (used when rollback
 // rewinds task progress: stale stores of corrupted state are dropped).

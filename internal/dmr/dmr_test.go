@@ -31,9 +31,19 @@ keep:
     halt
 `
 
+// asm assembles a static test program; the sources are fixtures, so an
+// assembly error is a broken test file and panics at init.
+func asm(src string) []isa.Instr {
+	p, err := isa.Assemble(src)
+	if err != nil {
+		panic("dmr test fixture: " + err.Error())
+	}
+	return p
+}
+
 func cfg(lambda float64, sub checkpoint.Kind, m int) Config {
 	return Config{
-		Prog:           isa.MustAssemble(workload),
+		Prog:           asm(workload),
 		MemWords:       16,
 		IntervalCycles: 200,
 		SubCount:       m,
@@ -194,7 +204,7 @@ loop:
     halt
 `
 	c := Config{
-		Prog:           isa.MustAssemble(src),
+		Prog:           asm(src),
 		MemWords:       2,
 		IntervalCycles: 64,
 		SubCount:       4,

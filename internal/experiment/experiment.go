@@ -8,6 +8,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -180,6 +181,12 @@ func (r Runner) cellSeed(id string, u, lambda float64, scheme string) uint64 {
 
 // RunCell simulates one cell to a Summary.
 func (r Runner) RunCell(spec Spec, scheme sim.Scheme, u, lambda float64) (stats.Summary, error) {
+	return r.RunCellCtx(context.Background(), spec, scheme, u, lambda)
+}
+
+// RunCellCtx is RunCell with cancellation: the repetition loop polls ctx
+// periodically and returns ctx.Err() once it fires.
+func (r Runner) RunCellCtx(ctx context.Context, spec Spec, scheme sim.Scheme, u, lambda float64) (stats.Summary, error) {
 	p, err := spec.CellParams(u, lambda)
 	if err != nil {
 		return stats.Summary{}, err
@@ -187,14 +194,38 @@ func (r Runner) RunCell(spec Spec, scheme sim.Scheme, u, lambda float64) (stats.
 	seed := r.cellSeed(spec.ID, u, lambda, scheme.Name())
 	var cell stats.Cell
 	for rep := 0; rep < r.reps(); rep++ {
+		if rep&0xff == 0 && ctx.Err() != nil {
+			return stats.Summary{}, ctx.Err()
+		}
 		res := scheme.Run(p, rng.New(mix(seed, rep)))
-		cell.Observe(res.Completed, res.Energy, res.Time, float64(res.Faults), float64(res.Switches))
+		cell.ObserveRun(res.Completed, res.SilentCorruption,
+			res.Energy, res.Time, float64(res.Faults), float64(res.Switches))
 	}
 	return cell.Summary(), nil
 }
 
+// safeCell runs one cell, converting a panicking scheme into an error so
+// a single bad cell cannot take the whole table's worker pool down.
+func (r Runner) safeCell(ctx context.Context, spec Spec, scheme sim.Scheme, u, lambda float64) (sum stats.Summary, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiment: cell %s U=%.2f λ=%g %s panicked: %v",
+				spec.ID, u, lambda, scheme.Name(), p)
+		}
+	}()
+	return r.RunCellCtx(ctx, spec, scheme, u, lambda)
+}
+
 // RunTable runs every cell of a spec, parallelising across cells.
 func (r Runner) RunTable(spec Spec) (Table, error) {
+	return r.RunTableCtx(context.Background(), spec)
+}
+
+// RunTableCtx is RunTable with cancellation. On error — a panicking cell
+// or a fired context — the remaining cells still drain, and the partial
+// table is returned alongside the first error so completed cells are not
+// lost.
+func (r Runner) RunTableCtx(ctx context.Context, spec Spec) (Table, error) {
 	type job struct {
 		rowIdx, colIdx int
 		u, lambda      float64
@@ -227,7 +258,7 @@ func (r Runner) RunTable(spec Spec) (Table, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			sum, err := r.RunCell(spec, j.scheme, j.u, j.lambda)
+			sum, err := r.safeCell(ctx, spec, j.scheme, j.u, j.lambda)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -244,21 +275,29 @@ func (r Runner) RunTable(spec Spec) (Table, error) {
 		}(j)
 	}
 	wg.Wait()
+	partial := Table{Spec: spec, Reps: r.reps(), Rows: rows}
 	if firstErr != nil {
-		return Table{}, firstErr
+		return partial, firstErr
 	}
-	return Table{Spec: spec, Reps: r.reps(), Rows: rows}, nil
+	return partial, nil
 }
 
 // RunAll runs every sub-table.
 func (r Runner) RunAll() ([]Table, error) {
+	return r.RunAllCtx(context.Background())
+}
+
+// RunAllCtx runs every sub-table under a context. On error the tables
+// completed so far (plus the partial one that failed) are returned with
+// the error.
+func (r Runner) RunAllCtx(ctx context.Context) ([]Table, error) {
 	var out []Table
 	for _, spec := range Tables() {
-		t, err := r.RunTable(spec)
-		if err != nil {
-			return nil, err
-		}
+		t, err := r.RunTableCtx(ctx, spec)
 		out = append(out, t)
+		if err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

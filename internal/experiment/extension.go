@@ -22,13 +22,33 @@ import (
 //     true λ, with a 10× underestimate, and with the online estimator
 //     recovering from that same bad prior; the fault process always runs
 //     at the grid's true λ.
+//   - "E3": imperfect-FT ablation — the paper's schemes re-run with
+//     detection coverage below one, latent store corruption and
+//     fault-vulnerable checkpoint operations (DefaultImperfection), next
+//     to the ideal paper scheme as reference. Checkpoint-heavy schemes
+//     pay for their exposed checkpoint time and their larger corruptible
+//     store population, which reorders the columns relative to Table 1a.
 func ExtensionTables() []Spec {
 	base, _ := TableByID("1a")
 	e1 := base
 	e1.ID, e1.Title = "E1", "extension: redundancy ablation (DMR vs TMR voting), SCP setting, k=5"
 	e2 := base
 	e2.ID, e2.Title = "E2", "extension: λ-knowledge ablation (true vs wrong vs estimated), SCP setting, k=5"
-	return []Spec{e1, e2}
+	e3 := base
+	e3.ID, e3.Title = "E3", "extension: imperfect-FT ablation (coverage/corruption/vulnerable ops), SCP setting, k=5"
+	return []Spec{e1, e2, e3}
+}
+
+// DefaultImperfection is the knob setting of the E3 ablation and the
+// degraded-mode CLI default: 2% of divergent comparisons slip through,
+// 8% of stored checkpoints are latently corrupted, and checkpoint
+// operations are themselves exposed to fault arrivals.
+func DefaultImperfection() fault.Imperfection {
+	return fault.Imperfection{
+		Coverage:             0.98,
+		StoreCorruption:      0.08,
+		CheckpointVulnerable: true,
+	}
 }
 
 // ExtensionSchemes returns the columns of an extension table by id.
@@ -45,6 +65,15 @@ func ExtensionSchemes(id string) ([]sim.Scheme, error) {
 			core.NewAdaptDVSSCP(),
 			misbelievingScheme{factor: 0.1},
 			misbelievingScheme{factor: 0.1, online: true},
+		}, nil
+	case "E3":
+		im := DefaultImperfection()
+		return []sim.Scheme{
+			core.NewAdaptDVSSCP(), // ideal reference
+			ImperfectScheme(core.NewPoissonScheme(1), im),
+			ImperfectScheme(core.NewKFTScheme(1), im),
+			ImperfectScheme(core.NewADTDVS(), im),
+			ImperfectScheme(core.NewAdaptDVSSCP(), im),
 		}, nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown extension table %q", id)
@@ -80,6 +109,29 @@ func (m misbelievingScheme) Run(p sim.Params, src *rng.Source) sim.Result {
 	}
 	p.Lambda = truth * m.factor
 	return s.Run(p, src)
+}
+
+// ImperfectScheme wraps a scheme so every run executes under the given
+// imperfect-FT model, overriding whatever the cell parameters say. The
+// scheme's own planning is untouched — it still believes in perfect
+// detection and sound stores, which is exactly the ablation.
+func ImperfectScheme(inner sim.Scheme, im fault.Imperfection) sim.Scheme {
+	return imperfectScheme{inner: inner, im: im}
+}
+
+type imperfectScheme struct {
+	inner sim.Scheme
+	im    fault.Imperfection
+}
+
+// Name implements sim.Scheme.
+func (s imperfectScheme) Name() string { return s.inner.Name() + "+imp" }
+
+// Run implements sim.Scheme.
+func (s imperfectScheme) Run(p sim.Params, src *rng.Source) sim.Result {
+	im := s.im
+	p.Imperfect = &im
+	return s.inner.Run(p, src)
 }
 
 // RunExtensionTable runs one extension spec with the runner.

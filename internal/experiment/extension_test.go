@@ -7,7 +7,7 @@ import (
 
 func TestExtensionTablesDefined(t *testing.T) {
 	specs := ExtensionTables()
-	if len(specs) != 2 {
+	if len(specs) != 3 {
 		t.Fatalf("extension tables = %d", len(specs))
 	}
 	for _, s := range specs {
@@ -70,5 +70,52 @@ func TestExtensionE2OnlineRecovers(t *testing.T) {
 	// Extension tables carry no published references.
 	if _, ok := tbl.Score(); ok {
 		t.Fatal("extension table claims paper references")
+	}
+}
+
+func TestExtensionE3ImperfectFT(t *testing.T) {
+	specs := ExtensionTables()
+	spec := specs[2]
+	if spec.ID != "E3" {
+		t.Fatalf("third extension table = %s", spec.ID)
+	}
+	spec.Us = spec.Us[1:2] // U=0.78
+	spec.Lambdas = spec.Lambdas[:1]
+	tbl, err := (Runner{Reps: 400, Seed: 33}).RunExtensionTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	ideal, impADS := row.Cells[0], row.Cells[4]
+	if !strings.HasSuffix(impADS.Scheme, "+imp") {
+		t.Fatalf("column 4 = %s", impADS.Scheme)
+	}
+	// The ideal reference never corrupts silently; the imperfect columns
+	// must show non-zero SDC somewhere on this grid point.
+	if ideal.SDC != 0 {
+		t.Fatalf("ideal column SDC = %v", ideal.SDC)
+	}
+	sawSDC := false
+	for _, c := range row.Cells[1:] {
+		if c.SDC > 0 {
+			sawSDC = true
+		}
+	}
+	if !sawSDC {
+		t.Fatal("no imperfect column shows silent corruption")
+	}
+	// Imperfection costs completion probability: the imperfect paper
+	// scheme cannot beat its ideal self.
+	if impADS.P > ideal.P+0.02 {
+		t.Fatalf("imperfect A_D_S P %v above ideal %v", impADS.P, ideal.P)
+	}
+	// The Markdown rendering grows SDC columns exactly when they carry
+	// signal.
+	md := tbl.Markdown()
+	if !strings.Contains(md, "SDC") {
+		t.Fatal("E3 markdown lacks SDC columns")
+	}
+	if !strings.Contains(tbl.CSV(), ",sdc") {
+		t.Fatal("CSV header lacks sdc column")
 	}
 }

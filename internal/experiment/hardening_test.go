@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// panicScheme blows up on every run — a stand-in for a buggy scheme
+// implementation plugged into the harness.
+type panicScheme struct{}
+
+func (panicScheme) Name() string { return "boom" }
+
+func (panicScheme) Run(sim.Params, *rng.Source) sim.Result {
+	panic("scheme exploded")
+}
+
+func TestSafeCellRecoversPanic(t *testing.T) {
+	// safeCell is the worker-pool body of RunTableCtx: a panicking cell
+	// must come back as an error naming the cell, not tear the pool down.
+	spec, _ := TableByID("1a")
+	r := Runner{Reps: 10, Seed: 1}
+	_, err := r.safeCell(context.Background(), spec, panicScheme{}, 0.78, 0.0014)
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+	for _, want := range []string{"1a", "0.78", "boom", "scheme exploded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %q", err, want)
+		}
+	}
+}
+
+func TestRunCellCtxCancellation(t *testing.T) {
+	spec, _ := TableByID("1a")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Runner{Reps: 5000, Seed: 1}
+	_, err := r.RunCellCtx(ctx, spec, spec.Schemes()[0], 0.78, 0.0014)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunTableCtxCancelledReturnsPartial(t *testing.T) {
+	spec, _ := TableByID("1a")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tbl, err := Runner{Reps: 2000, Seed: 2, Workers: 2}.RunTableCtx(ctx, spec)
+	if err == nil {
+		t.Fatal("cancelled table run succeeded")
+	}
+	// The partial table keeps its shape so completed cells stay usable.
+	if len(tbl.Rows) != len(spec.Us)*len(spec.Lambdas) {
+		t.Fatalf("partial table has %d rows", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row.Cells) != len(spec.Schemes()) {
+			t.Fatalf("partial row has %d cells", len(row.Cells))
+		}
+	}
+}
+
+func TestRunTableCtxUncancelledMatchesRunTable(t *testing.T) {
+	spec, _ := TableByID("1a")
+	spec.Us = spec.Us[:1]
+	spec.Lambdas = spec.Lambdas[:1]
+	a, err := Runner{Reps: 50, Seed: 4, Workers: 4}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Runner{Reps: 50, Seed: 4, Workers: 4}.RunTableCtx(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i].Cells {
+			if a.Rows[i].Cells[j] != b.Rows[i].Cells[j] {
+				t.Fatalf("row %d cell %d differs between RunTable and RunTableCtx", i, j)
+			}
+		}
+	}
+}

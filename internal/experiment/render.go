@@ -14,22 +14,47 @@ func fmtE(e float64) string {
 	return fmt.Sprintf("%.0f", e)
 }
 
+// hasSDC reports whether any cell of the table observed silent data
+// corruption — only then does Markdown grow SDC columns, keeping the
+// paper tables in their published layout.
+func (t Table) hasSDC() bool {
+	for _, r := range t.Rows {
+		for _, c := range r.Cells {
+			if c.SDC > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Markdown renders the table in the paper's row layout (one row per
-// (U, λ), P and E per scheme column) as a GitHub-flavoured table.
+// (U, λ), P and E per scheme column) as a GitHub-flavoured table. Under
+// an imperfect-FT model a third column per scheme reports SDC, the
+// probability of completing on time with silently corrupted output.
 func (t Table) Markdown() string {
 	var b strings.Builder
+	sdc := t.hasSDC()
 	fmt.Fprintf(&b, "### Table %s — %s (%d reps/cell)\n\n", t.Spec.ID, t.Spec.Title, t.Reps)
 	b.WriteString("| U | λ |")
+	cols := 2
 	for _, c := range t.Rows[0].Cells {
 		fmt.Fprintf(&b, " %s P | %s E |", c.Scheme, c.Scheme)
+		if sdc {
+			fmt.Fprintf(&b, " %s SDC |", c.Scheme)
+			cols = 3
+		}
 	}
 	b.WriteString("\n|---|---|")
-	b.WriteString(strings.Repeat("---|---|", len(t.Rows[0].Cells)))
+	b.WriteString(strings.Repeat("---|", cols*len(t.Rows[0].Cells)))
 	b.WriteString("\n")
 	for _, r := range t.Rows {
 		fmt.Fprintf(&b, "| %.2f | %g |", r.U, r.Lambda)
 		for _, c := range r.Cells {
 			fmt.Fprintf(&b, " %.4f | %s |", c.P, fmtE(c.E))
+			if sdc {
+				fmt.Fprintf(&b, " %.4f |", c.SDC)
+			}
 		}
 		b.WriteString("\n")
 	}
@@ -40,13 +65,13 @@ func (t Table) Markdown() string {
 // (U, λ, scheme) cell, including dispersion diagnostics.
 func (t Table) CSV() string {
 	var b strings.Builder
-	b.WriteString("table,u,lambda,scheme,reps,p,p_ci95,e,e_ci95,mean_faults,mean_time,time_p50,time_p95,mean_switches\n")
+	b.WriteString("table,u,lambda,scheme,reps,p,p_ci95,e,e_ci95,mean_faults,mean_time,time_p50,time_p95,mean_switches,sdc\n")
 	for _, r := range t.Rows {
 		for _, c := range r.Cells {
-			fmt.Fprintf(&b, "%s,%.2f,%g,%s,%d,%.4f,%.4f,%s,%.1f,%.3f,%.1f,%s,%s,%.2f\n",
+			fmt.Fprintf(&b, "%s,%.2f,%g,%s,%d,%.4f,%.4f,%s,%.1f,%.3f,%.1f,%s,%s,%.2f,%.4f\n",
 				t.Spec.ID, r.U, r.Lambda, c.Scheme, c.Trials,
 				c.P, c.PCI, fmtE(c.E), c.ECI, c.MeanFaults, c.MeanTime,
-				fmtE(c.TimeP50), fmtE(c.TimeP95), c.MeanSwitches)
+				fmtE(c.TimeP50), fmtE(c.TimeP95), c.MeanSwitches, c.SDC)
 		}
 	}
 	return b.String()

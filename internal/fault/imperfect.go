@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// DefaultCascadeBudget is the number of failed restore attempts a single
+// recovery may spend walking back through corrupted stored checkpoints
+// before giving up and restarting the task from the beginning.
+const DefaultCascadeBudget = 4
+
+// Imperfection parameterises how fallible the fault-tolerance machinery
+// itself is. The paper's renewal analysis assumes the machinery is
+// perfect: every comparison detects divergence, every stored checkpoint
+// is restorable, and checkpoint operations are themselves fault-free.
+// Imperfection relaxes each assumption independently:
+//
+//   - Coverage c ∈ [0,1] is the probability that one comparison (CCP or
+//     CSCP) detects replica divergence when divergence is present. A miss
+//     leaves the corruption latent: execution continues, later
+//     comparisons get fresh chances, and a run that completes with the
+//     divergence still undetected ends in silent data corruption.
+//   - StoreCorruption ∈ [0,1] is the per-record probability that a stored
+//     checkpoint (SCP or CSCP) is unusable when a recovery tries to
+//     restore it — bit rot in stable storage, discovered only on the
+//     restore attempt. Recovery then cascades to the next older store.
+//   - CheckpointVulnerable exposes checkpoint operations to the fault
+//     process (the paper shields them). A fault arriving during a
+//     checkpoint corrupts the replica state mid-operation: the record
+//     being written (if any) is spoiled and divergence begins.
+//   - CascadeBudget bounds the failed restore attempts of one recovery;
+//     exhausting it (or running out of stored states) forces a restart
+//     from the very beginning of the task. Zero means
+//     DefaultCascadeBudget.
+//
+// The zero value is NOT ideal — it has Coverage 0, a detector that never
+// fires (exactly what a degraded simplex system has). Use IdealFT for the
+// paper's assumptions, which is also what a nil *Imperfection means to
+// the engine.
+type Imperfection struct {
+	Coverage             float64
+	StoreCorruption      float64
+	CheckpointVulnerable bool
+	CascadeBudget        int
+}
+
+// IdealFT returns the paper's assumptions in explicit form: full
+// detection coverage, incorruptible storage, shielded checkpoint
+// operations. The simulation engine follows the exact seed code path
+// (consuming no additional randomness) for this value.
+func IdealFT() Imperfection {
+	return Imperfection{Coverage: 1}
+}
+
+// IsIdeal reports whether every knob sits at its paper-ideal value, in
+// which case the engine's behaviour is bit-identical to the seed engine.
+func (im Imperfection) IsIdeal() bool {
+	return im.Coverage >= 1 && im.StoreCorruption == 0 && !im.CheckpointVulnerable
+}
+
+// Validate rejects out-of-range knobs with a clear error.
+func (im Imperfection) Validate() error {
+	if im.Coverage < 0 || im.Coverage > 1 || math.IsNaN(im.Coverage) {
+		return fmt.Errorf("fault: detection coverage %v outside [0,1]", im.Coverage)
+	}
+	if im.StoreCorruption < 0 || im.StoreCorruption > 1 || math.IsNaN(im.StoreCorruption) {
+		return fmt.Errorf("fault: store corruption probability %v outside [0,1]", im.StoreCorruption)
+	}
+	if im.CascadeBudget < 0 {
+		return fmt.Errorf("fault: negative cascade budget %d", im.CascadeBudget)
+	}
+	return nil
+}
+
+// Budget returns the effective cascade budget (the default when unset).
+func (im Imperfection) Budget() int {
+	if im.CascadeBudget <= 0 {
+		return DefaultCascadeBudget
+	}
+	return im.CascadeBudget
+}
+
+// DrawPermanent samples the arrival time of a permanent (hard) fault:
+// exponential with the given rate, +Inf when the rate is zero. It panics
+// on a negative rate or nil source.
+func DrawPermanent(rate float64, src *rng.Source) float64 {
+	if rate < 0 || math.IsNaN(rate) {
+		panic(fmt.Sprintf("fault: negative permanent-fault rate %v", rate))
+	}
+	if rate == 0 {
+		return math.Inf(1)
+	}
+	if src == nil {
+		panic("fault: nil rng source")
+	}
+	return src.Exp(rate)
+}
+
+// PermanentOverlay merges a transient fault Process with a single
+// permanent-fault arrival at time At. It implements Process: arrivals
+// come out in strictly increasing order, with the permanent arrival
+// spliced into the transient stream exactly once. IsPermanent reports,
+// for the time just returned by Next, whether it was the permanent
+// arrival — callers use that to switch a DMR pair into degraded simplex
+// operation.
+type PermanentOverlay struct {
+	// Transient generates the ordinary transient arrivals.
+	Transient Process
+	// At is the permanent-fault arrival time (+Inf: never).
+	At float64
+
+	now      float64
+	pending  float64 // next transient arrival, already drawn
+	havePend bool
+	fired    bool // permanent arrival delivered
+	lastPerm bool // the last Next() returned the permanent arrival
+}
+
+// NewPermanentOverlay wires a transient process to a permanent arrival
+// drawn with rate permRate from src (use DrawPermanent directly to
+// control the arrival time). transient must be non-nil.
+func NewPermanentOverlay(transient Process, permRate float64, src *rng.Source) *PermanentOverlay {
+	if transient == nil {
+		panic("fault: nil transient process")
+	}
+	return &PermanentOverlay{Transient: transient, At: DrawPermanent(permRate, src)}
+}
+
+// Next implements Process: the merged, strictly increasing arrival
+// stream.
+func (o *PermanentOverlay) Next() float64 {
+	if !o.havePend {
+		o.pending = o.monotone(o.Transient.Next())
+		o.havePend = true
+	}
+	if !o.fired && o.At <= o.pending {
+		o.fired = true
+		o.lastPerm = true
+		o.now = o.monotone(o.At)
+		return o.now
+	}
+	o.lastPerm = false
+	o.now = o.pending
+	o.havePend = false
+	return o.now
+}
+
+// monotone clamps t to be strictly after the last delivered arrival, so
+// the merged stream keeps the Process contract even when the permanent
+// arrival coincides with (or a misbehaving transient process repeats) a
+// previous time.
+func (o *PermanentOverlay) monotone(t float64) float64 {
+	if t <= o.now {
+		return math.Nextafter(o.now, math.Inf(1))
+	}
+	return t
+}
+
+// IsPermanent reports whether the most recent Next() delivered the
+// permanent arrival.
+func (o *PermanentOverlay) IsPermanent() bool { return o.lastPerm }
+
+// PermanentFired reports whether the permanent arrival has been
+// delivered.
+func (o *PermanentOverlay) PermanentFired() bool { return o.fired }
+
+// Rate implements Process: the transient long-run rate (the one-shot
+// permanent arrival does not contribute to the stationary rate).
+func (o *PermanentOverlay) Rate() float64 { return o.Transient.Rate() }
+
+// Reset implements Process. The permanent arrival time At is kept;
+// callers wanting a fresh draw should construct a new overlay.
+func (o *PermanentOverlay) Reset(src *rng.Source) {
+	o.Transient.Reset(src)
+	o.now = 0
+	o.havePend = false
+	o.fired = false
+	o.lastPerm = false
+}
+
+var _ Process = (*PermanentOverlay)(nil)

@@ -1,0 +1,213 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestImperfectionValidate(t *testing.T) {
+	cases := []struct {
+		im      Imperfection
+		wantErr string
+	}{
+		{Imperfection{Coverage: 1}, ""},
+		{Imperfection{Coverage: 0}, ""}, // degraded simplex: legal
+		{Imperfection{Coverage: 0.5, StoreCorruption: 0.5, CascadeBudget: 3}, ""},
+		{Imperfection{Coverage: -0.01}, "coverage"},
+		{Imperfection{Coverage: 1.01}, "coverage"},
+		{Imperfection{Coverage: math.NaN()}, "coverage"},
+		{Imperfection{Coverage: 1, StoreCorruption: -1}, "corruption"},
+		{Imperfection{Coverage: 1, StoreCorruption: 1.5}, "corruption"},
+		{Imperfection{Coverage: 1, CascadeBudget: -2}, "budget"},
+	}
+	for _, c := range cases {
+		err := c.im.Validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%+v rejected: %v", c.im, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%+v: error %v, want mention of %q", c.im, err, c.wantErr)
+		}
+	}
+}
+
+func TestIdealFT(t *testing.T) {
+	if !IdealFT().IsIdeal() {
+		t.Fatal("IdealFT not ideal")
+	}
+	if (Imperfection{}).IsIdeal() {
+		t.Fatal("zero value (coverage 0) must not count as ideal")
+	}
+	for _, im := range []Imperfection{
+		{Coverage: 0.999},
+		{Coverage: 1, StoreCorruption: 0.01},
+		{Coverage: 1, CheckpointVulnerable: true},
+	} {
+		if im.IsIdeal() {
+			t.Errorf("%+v should not be ideal", im)
+		}
+	}
+	// A non-default budget alone changes nothing observable: still ideal.
+	if !(Imperfection{Coverage: 1, CascadeBudget: 7}).IsIdeal() {
+		t.Fatal("budget with otherwise-ideal knobs should stay ideal")
+	}
+}
+
+func TestBudgetDefault(t *testing.T) {
+	if got := (Imperfection{}).Budget(); got != DefaultCascadeBudget {
+		t.Fatalf("default budget = %d", got)
+	}
+	if got := (Imperfection{CascadeBudget: 2}).Budget(); got != 2 {
+		t.Fatalf("explicit budget = %d", got)
+	}
+}
+
+func TestDrawPermanent(t *testing.T) {
+	if got := DrawPermanent(0, rng.New(1)); !math.IsInf(got, 1) {
+		t.Fatalf("zero rate should never fire, got %v", got)
+	}
+	src := rng.New(2)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := DrawPermanent(1e-3, src)
+		if v <= 0 {
+			t.Fatalf("non-positive arrival %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1000) > 50 {
+		t.Fatalf("mean arrival %v, want ≈1000", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative rate accepted")
+		}
+	}()
+	DrawPermanent(-1, src)
+}
+
+// checkIncreasing drains n arrivals and fails on any non-increasing step.
+func checkIncreasing(t *testing.T, p Process, n int) []float64 {
+	t.Helper()
+	out := make([]float64, 0, n)
+	last := 0.0
+	for i := 0; i < n; i++ {
+		v := p.Next()
+		if math.IsInf(v, 1) {
+			break
+		}
+		if v <= last {
+			t.Fatalf("arrival %d: %v not after %v", i, v, last)
+		}
+		last = v
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestPermanentOverlayDeliversOnce(t *testing.T) {
+	src := rng.New(3)
+	o := &PermanentOverlay{Transient: NewPoisson(0.01, src), At: 137.5}
+	permSeen := 0
+	last := 0.0
+	for i := 0; i < 200; i++ {
+		v := o.Next()
+		if v <= last {
+			t.Fatalf("non-increasing arrival %v after %v", v, last)
+		}
+		last = v
+		if o.IsPermanent() {
+			permSeen++
+			if v != 137.5 {
+				t.Fatalf("permanent arrival at %v, want 137.5", v)
+			}
+		}
+	}
+	if permSeen != 1 {
+		t.Fatalf("permanent arrival delivered %d times", permSeen)
+	}
+	if !o.PermanentFired() {
+		t.Fatal("PermanentFired false after delivery")
+	}
+}
+
+func TestPermanentOverlayNeverFires(t *testing.T) {
+	o := NewPermanentOverlay(NewPoisson(0.01, rng.New(4)), 0, rng.New(5))
+	checkIncreasing(t, o, 500)
+	if o.PermanentFired() {
+		t.Fatal("zero-rate permanent fault fired")
+	}
+}
+
+func TestPermanentOverlayOverWeibullAndMMPP(t *testing.T) {
+	// The satellite property, deterministically: Weibull and MMPP
+	// transients combined with a permanent arrival stay strictly
+	// increasing.
+	for seed := uint64(0); seed < 30; seed++ {
+		src := rng.New(seed)
+		w := &PermanentOverlay{
+			Transient: NewWeibull(2, 500, src),
+			At:        DrawPermanent(1e-3, src),
+		}
+		checkIncreasing(t, w, 300)
+
+		src2 := rng.New(seed + 1000)
+		m := &PermanentOverlay{
+			Transient: NewMMPP(1e-4, 5e-3, 8000, 800, src2),
+			At:        DrawPermanent(1e-4, src2),
+		}
+		checkIncreasing(t, m, 300)
+	}
+}
+
+// FuzzPermanentOverlay fuzzes the process parameters and the permanent
+// arrival and asserts the merged stream is strictly increasing with the
+// permanent arrival delivered at most once — the property rollback and
+// degradation logic depend on.
+func FuzzPermanentOverlay(f *testing.F) {
+	f.Add(uint64(1), 2.0, 500.0, 100.0, false)
+	f.Add(uint64(2), 0.5, 50.0, 0.0, false)
+	f.Add(uint64(3), 1.0, 700.0, 1e-9, true)
+	f.Add(uint64(42), 3.0, 1.0, 0.5, true)
+	f.Fuzz(func(t *testing.T, seed uint64, shape, scale, at float64, mmpp bool) {
+		if !(shape > 0.05 && shape < 20) || !(scale > 1e-6 && scale < 1e9) {
+			t.Skip()
+		}
+		if math.IsNaN(at) || at < 0 {
+			t.Skip()
+		}
+		src := rng.New(seed)
+		var transient Process
+		if mmpp {
+			transient = NewMMPP(1/scale/5, 5/scale, scale*10, scale*2, src)
+		} else {
+			transient = NewWeibull(shape, scale, src)
+		}
+		o := &PermanentOverlay{Transient: transient, At: at}
+		last := 0.0
+		perm := 0
+		for i := 0; i < 200; i++ {
+			v := o.Next()
+			if math.IsNaN(v) {
+				t.Fatalf("NaN arrival at step %d", i)
+			}
+			if v <= last {
+				t.Fatalf("step %d: arrival %v not after %v", i, v, last)
+			}
+			if o.IsPermanent() {
+				perm++
+			}
+			last = v
+		}
+		if perm > 1 {
+			t.Fatalf("permanent arrival delivered %d times", perm)
+		}
+	})
+}

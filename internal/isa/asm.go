@@ -87,15 +87,6 @@ func Assemble(src string) ([]Instr, error) {
 	return prog, nil
 }
 
-// MustAssemble is Assemble that panics on error, for static programs.
-func MustAssemble(src string) []Instr {
-	p, err := Assemble(src)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 func parseInstr(line string) (Instr, string, error) {
 	fields := strings.Fields(line)
 	mnem := strings.ToLower(fields[0])

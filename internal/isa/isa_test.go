@@ -19,9 +19,20 @@ loop:
     halt
 `
 
+// mustProg assembles a known-good test program, failing the test on
+// error.
+func mustProg(t testing.TB, src string) []Instr {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func mustRun(t *testing.T, src string, mem int, max uint64) *Machine {
 	t.Helper()
-	m, err := New(MustAssemble(src), mem)
+	m, err := New(mustProg(t, src), mem)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +149,7 @@ func TestTrapOnBadLoad(t *testing.T) {
     ld  r2, 0(r1)
     halt
 `
-	m, _ := New(MustAssemble(src), 4)
+	m, _ := New(mustProg(t, src), 4)
 	if _, err := m.Run(100); err == nil {
 		t.Fatal("out-of-range load did not trap")
 	}
@@ -161,7 +172,7 @@ func TestRunStepBudget(t *testing.T) {
 loop:
     jmp loop
 `
-	m, _ := New(MustAssemble(src), 0)
+	m, _ := New(mustProg(t, src), 0)
 	n, err := m.Run(500)
 	if err != nil {
 		t.Fatal(err)
@@ -175,7 +186,7 @@ loop:
 }
 
 func TestSnapshotRestoreRoundTrip(t *testing.T) {
-	m, _ := New(MustAssemble(sumProgram), 4)
+	m, _ := New(mustProg(t, sumProgram), 4)
 	m.Run(5)
 	snap := m.Snapshot()
 	digestAt := m.Digest()
@@ -195,7 +206,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 }
 
 func TestSnapshotIsDeepCopy(t *testing.T) {
-	m, _ := New(MustAssemble(sumProgram), 4)
+	m, _ := New(mustProg(t, sumProgram), 4)
 	snap := m.Snapshot()
 	m.Mem[0] = 999
 	if snap.Mem[0] == 999 {
@@ -204,8 +215,8 @@ func TestSnapshotIsDeepCopy(t *testing.T) {
 }
 
 func TestDigestSensitivity(t *testing.T) {
-	a, _ := New(MustAssemble(sumProgram), 4)
-	b, _ := New(MustAssemble(sumProgram), 4)
+	a, _ := New(mustProg(t, sumProgram), 4)
+	b, _ := New(mustProg(t, sumProgram), 4)
 	if a.Digest() != b.Digest() {
 		t.Fatal("identical machines differ")
 	}
@@ -223,8 +234,8 @@ func TestDigestSensitivity(t *testing.T) {
 func TestLockstepDivergenceAfterFault(t *testing.T) {
 	// Two replicas executing the same program stay digest-equal until a
 	// bit flip, after which they diverge — the DMR detection premise.
-	a, _ := New(MustAssemble(sumProgram), 4)
-	b, _ := New(MustAssemble(sumProgram), 4)
+	a, _ := New(mustProg(t, sumProgram), 4)
+	b, _ := New(mustProg(t, sumProgram), 4)
 	for i := 0; i < 3; i++ {
 		a.Step()
 		b.Step()
@@ -262,7 +273,7 @@ func TestAssembleErrors(t *testing.T) {
 }
 
 func TestAssemblerRoundTripStrings(t *testing.T) {
-	prog := MustAssemble(sumProgram)
+	prog := mustProg(t, sumProgram)
 	for _, in := range prog {
 		if s := in.String(); s == "" || strings.Contains(s, "op(") {
 			t.Errorf("bad disassembly %q", s)
@@ -283,8 +294,8 @@ func TestLabelOnSameLine(t *testing.T) {
 
 func TestPropertyDigestDeterministic(t *testing.T) {
 	f := func(steps uint8) bool {
-		a, _ := New(MustAssemble(sumProgram), 4)
-		b, _ := New(MustAssemble(sumProgram), 4)
+		a, _ := New(mustProg(t, sumProgram), 4)
+		b, _ := New(mustProg(t, sumProgram), 4)
 		a.Run(uint64(steps))
 		b.Run(uint64(steps))
 		return a.Digest() == b.Digest()
@@ -296,7 +307,7 @@ func TestPropertyDigestDeterministic(t *testing.T) {
 
 func TestPropertyRestoreIdempotent(t *testing.T) {
 	f := func(steps uint8, extra uint8) bool {
-		m, _ := New(MustAssemble(sumProgram), 4)
+		m, _ := New(mustProg(t, sumProgram), 4)
 		m.Run(uint64(steps))
 		snap := m.Snapshot()
 		d := m.Digest()
@@ -311,7 +322,7 @@ func TestPropertyRestoreIdempotent(t *testing.T) {
 }
 
 func TestAccessorsAndErrors(t *testing.T) {
-	prog := MustAssemble(sumProgram)
+	prog := mustProg(t, sumProgram)
 	m, _ := New(prog, 4)
 	if m.Cycles() != 0 {
 		t.Fatal("fresh machine has cycles")
@@ -335,13 +346,10 @@ func TestAccessorsAndErrors(t *testing.T) {
 	}
 }
 
-func TestMustAssemblePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	MustAssemble("frob r1")
+func TestAssembleUnknownMnemonic(t *testing.T) {
+	if _, err := Assemble("frob r1"); err == nil {
+		t.Fatal("unknown mnemonic assembled without error")
+	}
 }
 
 func TestDirtyTracking(t *testing.T) {
@@ -353,7 +361,7 @@ func TestDirtyTracking(t *testing.T) {
     st  r2, 0(r1)   ; word 2 again: no new dirty
     halt
 `
-	m, _ := New(MustAssemble(src), 8)
+	m, _ := New(mustProg(t, src), 8)
 	m.Run(100)
 	if got := m.DirtyWords(); got != 2 {
 		t.Fatalf("DirtyWords = %d, want 2", got)
@@ -371,7 +379,7 @@ func TestDirtyTracking(t *testing.T) {
 }
 
 func TestFlipMemoryBitEmptyMemory(t *testing.T) {
-	m, _ := New(MustAssemble("halt"), 0)
+	m, _ := New(mustProg(t, "halt"), 0)
 	m.FlipMemoryBit(3, 5) // must not panic
 }
 

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"repro/internal/battery"
+	"repro/internal/fault"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -35,6 +36,17 @@ type Config struct {
 	// real-time); otherwise misses are counted and the mission continues
 	// with the next frame.
 	AbortOnMiss bool
+	// PermanentLambda is the rate, per unit of mission wall-clock time,
+	// at which a replica suffers a permanent hard fault. The first
+	// arrival gracefully degrades the platform from DMR to simplex at
+	// the next frame boundary: comparison is impossible (faults go
+	// undetected and surface as WrongFrames), checkpoints become
+	// store-only, and only the surviving replica's energy is drawn. The
+	// second arrival kills the remaining replica and ends the mission
+	// (EndReplicasLost). Zero — the paper's setting — never fires.
+	// Imperfection of the *transient* machinery is configured per frame
+	// via Frame.Imperfect.
+	PermanentLambda float64
 }
 
 func (c Config) validate() error {
@@ -50,7 +62,34 @@ func (c Config) validate() error {
 	if c.MaxFrames <= 0 {
 		return errors.New("mission: non-positive frame budget")
 	}
+	if c.PermanentLambda < 0 || math.IsNaN(c.PermanentLambda) {
+		return fmt.Errorf("mission: bad permanent-fault rate %v", c.PermanentLambda)
+	}
 	return nil
+}
+
+// simplex degrades the frame parameters to a single surviving replica:
+// detection coverage drops to zero (no partner to compare against),
+// checkpoints become store-only, and energy is metered for one replica.
+// Store-corruption and checkpoint-vulnerability knobs of the original
+// imperfection model are retained — losing a replica does not heal the
+// stable storage.
+func simplex(p sim.Params) sim.Params {
+	q := p
+	q.Replicas = 1
+	if q.Costs.Store > 0 {
+		// The comparison phase of every checkpoint vanishes with the
+		// partner. (Kept when the store cost is zero: a cost model must
+		// stay positive for the interval policies.)
+		q.Costs.Compare = 0
+	}
+	var im fault.Imperfection
+	if p.Imperfect != nil {
+		im = *p.Imperfect
+	}
+	im.Coverage = 0
+	q.Imperfect = &im
+	return q
 }
 
 // EndReason explains why a mission ended.
@@ -64,6 +103,8 @@ const (
 	EndBatteryFlat EndReason = "battery-flat"
 	// EndDeadlineMiss: a frame missed its deadline with AbortOnMiss set.
 	EndDeadlineMiss EndReason = "deadline-miss"
+	// EndReplicasLost: permanent faults killed both replicas.
+	EndReplicasLost EndReason = "replicas-lost"
 )
 
 // Report summarises a mission.
@@ -81,6 +122,16 @@ type Report struct {
 	Faults int
 	// FrameEnergy summarises per-frame energy (all frames).
 	FrameEnergy stats.Summary
+
+	// PermanentFaults counts permanent replica losses (0, 1 or 2).
+	PermanentFaults int
+	// DegradedFrames counts frames flown in simplex mode after the
+	// first permanent fault.
+	DegradedFrames int
+	// WrongFrames counts frames that completed on time with silently
+	// corrupted output — service continued, correctness lost. They are
+	// NOT counted in Misses.
+	WrongFrames int
 }
 
 // Run executes the mission, seeded deterministically.
@@ -96,13 +147,44 @@ func Run(cfg Config, seed uint64) (Report, error) {
 	var cell stats.Cell
 	rep := Report{Reason: EndHorizon}
 
+	// Permanent-fault arrivals on the mission wall clock. Drawn only when
+	// the rate is positive so paper-setting missions consume exactly the
+	// seed's randomness.
+	perm1, perm2 := math.Inf(1), math.Inf(1)
+	if cfg.PermanentLambda > 0 {
+		perm1 = fault.DrawPermanent(cfg.PermanentLambda, src)
+		perm2 = perm1 + fault.DrawPermanent(cfg.PermanentLambda, src)
+	}
+	degradedFrame := simplex(cfg.Frame)
+	elapsed := 0.0
+	degraded := false
+
 	for f := 0; f < cfg.MaxFrames; f++ {
+		if !degraded && elapsed >= perm1 {
+			degraded = true
+			rep.PermanentFaults++
+		}
+		if degraded && elapsed >= perm2 {
+			rep.PermanentFaults++
+			rep.Reason = EndReplicasLost
+			break
+		}
 		pack.Recharge(cfg.Harvest.Available(f))
 
-		res := cfg.Scheme.Run(cfg.Frame, src.Split())
+		frame := cfg.Frame
+		if degraded {
+			frame = degradedFrame
+			rep.DegradedFrames++
+		}
+		res := cfg.Scheme.Run(frame, src.Split())
+		elapsed += res.Time
 		rep.Frames++
 		rep.Faults += res.Faults
-		cell.Observe(res.Completed, res.Energy, res.Time, float64(res.Faults), float64(res.Switches))
+		if res.Completed && res.SilentCorruption {
+			rep.WrongFrames++
+		}
+		cell.ObserveRun(res.Completed, res.SilentCorruption,
+			res.Energy, res.Time, float64(res.Faults), float64(res.Switches))
 
 		if !pack.Draw(res.Energy) {
 			rep.EnergyUsed += math.Min(res.Energy, cfg.BatteryCapacity)

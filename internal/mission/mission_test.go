@@ -1,11 +1,13 @@
 package mission
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/battery"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/task"
 )
@@ -185,5 +187,124 @@ func TestMissionValidation(t *testing.T) {
 	bad.Frame.Lambda = -1
 	if _, err := Run(bad, 1); err == nil {
 		t.Error("bad frame params accepted")
+	}
+	bad = good
+	bad.PermanentLambda = -0.1
+	if _, err := Run(bad, 1); err == nil {
+		t.Error("negative permanent rate accepted")
+	}
+	bad = good
+	bad.Frame.Imperfect = &fault.Imperfection{Coverage: 2}
+	if _, err := Run(bad, 1); err == nil {
+		t.Error("bad imperfection accepted")
+	}
+}
+
+func TestSimplexParams(t *testing.T) {
+	p := frame(t, 0.78, 0.001)
+	p.Imperfect = &fault.Imperfection{Coverage: 0.9, StoreCorruption: 0.2}
+	q := simplex(p)
+	if q.Replicas != 1 || q.Costs.Compare != 0 {
+		t.Fatalf("simplex frame = %+v", q)
+	}
+	if q.Imperfect.Coverage != 0 || q.Imperfect.StoreCorruption != 0.2 {
+		t.Fatalf("simplex imperfection = %+v", q.Imperfect)
+	}
+	// The original config must be untouched.
+	if p.Replicas == 1 || p.Imperfect.Coverage != 0.9 {
+		t.Fatalf("simplex mutated its input: %+v", p)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("degraded frame invalid: %v", err)
+	}
+}
+
+func TestMissionPermanentDegradation(t *testing.T) {
+	// A rate high enough that the first permanent fault lands early and
+	// the second ends the mission before the horizon.
+	cfg := Config{
+		Frame:           frame(t, 0.78, 0.0010),
+		Scheme:          core.NewAdaptDVSSCP(),
+		BatteryCapacity: 1e12,
+		MaxFrames:       4000,
+		PermanentLambda: 2e-7,
+	}
+	sawLost, sawDegraded := false, false
+	for seed := uint64(0); seed < 12; seed++ {
+		rep, err := Run(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.DegradedFrames > 0 {
+			sawDegraded = true
+			if rep.PermanentFaults == 0 {
+				t.Fatalf("seed %d: degraded frames without a permanent fault: %+v", seed, rep)
+			}
+		}
+		if rep.Reason == EndReplicasLost {
+			sawLost = true
+			if rep.PermanentFaults != 2 {
+				t.Fatalf("seed %d: replicas-lost with %d permanent faults", seed, rep.PermanentFaults)
+			}
+		}
+		if rep.PermanentFaults > 2 {
+			t.Fatalf("seed %d: %d permanent faults counted", seed, rep.PermanentFaults)
+		}
+	}
+	if !sawDegraded || !sawLost {
+		t.Fatalf("degradation unexercised: degraded=%v lost=%v", sawDegraded, sawLost)
+	}
+}
+
+func TestMissionSimplexFramesAreWrongSometimes(t *testing.T) {
+	// Once degraded, faults go undetected: frames complete on time but
+	// carry silent corruption, counted as WrongFrames (not Misses).
+	cfg := Config{
+		Frame:           frame(t, 0.70, 0.0012),
+		Scheme:          core.NewAdaptDVSSCP(),
+		BatteryCapacity: 1e12,
+		MaxFrames:       3000,
+		PermanentLambda: 1e-6, // degrade almost immediately
+	}
+	total := Report{}
+	for seed := uint64(0); seed < 8; seed++ {
+		rep, err := Run(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.WrongFrames += rep.WrongFrames
+		total.DegradedFrames += rep.DegradedFrames
+		total.Misses += rep.Misses
+	}
+	if total.DegradedFrames == 0 {
+		t.Fatal("no degraded frames at λ_perm=1e-6")
+	}
+	if total.WrongFrames == 0 {
+		t.Fatal("no wrong frames: simplex frames should suffer silent corruption")
+	}
+	if total.WrongFrames > total.DegradedFrames {
+		t.Fatalf("wrong frames (%d) exceed degraded frames (%d) in an otherwise-ideal DMR phase",
+			total.WrongFrames, total.DegradedFrames)
+	}
+}
+
+func TestMissionZeroPermanentRateIsSeedIdentical(t *testing.T) {
+	// PermanentLambda 0 must not perturb the random stream: the report of
+	// the extended mission equals the seed mission field-for-field.
+	cfg := Config{
+		Frame:           frame(t, 0.78, 0.001),
+		Scheme:          core.NewAdaptDVSSCP(),
+		BatteryCapacity: 1e8,
+		MaxFrames:       100,
+	}
+	a, err := Run(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PermanentFaults != 0 || a.DegradedFrames != 0 || a.WrongFrames != 0 {
+		t.Fatalf("ideal mission reports imperfection: %+v", a)
+	}
+	if math.IsInf(a.FrameEnergy.SDC, 0) || a.FrameEnergy.SDC != 0 {
+		t.Fatalf("ideal mission SDC = %v", a.FrameEnergy.SDC)
 	}
 }

@@ -68,6 +68,15 @@ type Params struct {
 	// rate estimate — set it to the process's stationary Rate() for a
 	// fair comparison.
 	FaultProcess func(src *rng.Source) fault.Process
+	// Imperfect, when non-nil, makes the fault-tolerance machinery itself
+	// fallible: comparisons may miss divergence (detection coverage < 1),
+	// stored checkpoints may be unusable at recovery time (rollback then
+	// cascades to older stores, restarting from the beginning as the last
+	// resort), and checkpoint operations may themselves be struck by
+	// faults. Nil — or any value whose IsIdeal() is true — reproduces the
+	// paper's ideal assumptions bit-for-bit (the seed code path, no
+	// additional randomness consumed). See internal/fault.Imperfection.
+	Imperfect *fault.Imperfection
 }
 
 // ReplicaCount returns the redundancy degree (default DMR).
@@ -88,6 +97,11 @@ func (p Params) Validate() error {
 	}
 	if p.Lambda < 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
 		return fmt.Errorf("sim: invalid λ %v", p.Lambda)
+	}
+	if p.Imperfect != nil {
+		if err := p.Imperfect.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -146,6 +160,26 @@ type Result struct {
 	CSCPs, SubCheckpoints int
 	// Switches is the number of processor speed changes.
 	Switches int
+
+	// The remaining fields are produced only under an imperfect
+	// fault-tolerance model (Params.Imperfect); they are zero in the
+	// paper's ideal setting.
+
+	// SilentCorruption reports that the run completed with replica
+	// divergence still undetected: the output is wrong even though the
+	// deadline was met. Counted separately from P (which keeps the
+	// paper's timely-completion meaning).
+	SilentCorruption bool
+	// MissedDetections counts comparisons that failed to flag present
+	// divergence (coverage misses).
+	MissedDetections int
+	// CorruptRestores counts restore attempts that found the stored
+	// checkpoint unusable, forcing the rollback cascade one store older.
+	CorruptRestores int
+	// Restarts counts recoveries that exhausted every usable stored
+	// state (or the cascade budget) and restarted the task from the
+	// beginning.
+	Restarts int
 }
 
 // Scheme is a checkpointing algorithm under test.
@@ -175,6 +209,16 @@ type Engine struct {
 	detections int
 	cscps      int
 	subs       int
+
+	// Imperfect-fault-tolerance state (imperfect.go). imp is nil on the
+	// ideal path; divergedAt is the absolute task progress at which the
+	// oldest currently-undetected divergence began (+Inf when clean).
+	imp             *fault.Imperfection
+	store           checkpoint.Store
+	divergedAt      float64
+	missed          int
+	corruptRestores int
+	restarts        int
 }
 
 // NewEngine prepares a fresh execution: clocks at zero, the processor at
@@ -185,6 +229,10 @@ func NewEngine(p Params, src *rng.Source) *Engine {
 		src:   src,
 		meter: cpu.NewMeter(p.ReplicaCount()),
 		cur:   p.CPUModel().Min(),
+	}
+	e.divergedAt = math.Inf(1)
+	if p.Imperfect != nil && !p.Imperfect.IsIdeal() {
+		e.imp = p.Imperfect
 	}
 	e.next = math.Inf(1)
 	switch {
@@ -297,6 +345,12 @@ func (e *Engine) RunInterval(itv float64, m int, sub checkpoint.Kind, doneWork f
 	if m < 1 {
 		panic(fmt.Sprintf("sim: non-positive sub-interval count %d", m))
 	}
+	if sub != checkpoint.SCP && sub != checkpoint.CCP {
+		panic(fmt.Sprintf("sim: sub-checkpoint flavour must be SCP or CCP, got %v", sub))
+	}
+	if e.imp != nil {
+		return e.runIntervalImperfect(itv, m, sub, doneWork)
+	}
 	span := itv / float64(m)
 	f := e.cur.Freq
 
@@ -377,5 +431,10 @@ func (e *Engine) Finish(completed bool, reason FailReason) Result {
 		CSCPs:          e.cscps,
 		SubCheckpoints: e.subs,
 		Switches:       e.meter.Switches(),
+
+		SilentCorruption: completed && !math.IsInf(e.divergedAt, 1),
+		MissedDetections: e.missed,
+		CorruptRestores:  e.corruptRestores,
+		Restarts:         e.restarts,
 	}
 }

@@ -27,6 +27,16 @@ const (
 	EvComplete
 	// EvFail: the run was abandoned (deadline/infeasibility).
 	EvFail
+	// EvMissedDetect: a comparison failed to flag present divergence
+	// (imperfect-FT detection coverage miss).
+	EvMissedDetect
+	// EvBadStore: a recovery attempted to restore a stored checkpoint
+	// and found it corrupted (Value holds the record's work position);
+	// the rollback cascade continues one store older.
+	EvBadStore
+	// EvRestart: a recovery ran out of usable stored states (or cascade
+	// budget) and restarted the task from the beginning.
+	EvRestart
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +54,12 @@ func (k EventKind) String() string {
 		return "complete"
 	case EvFail:
 		return "fail"
+	case EvMissedDetect:
+		return "missed-detect"
+	case EvBadStore:
+		return "bad-store"
+	case EvRestart:
+		return "restart"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -109,6 +125,12 @@ func (tr *Trace) String() string {
 			fmt.Fprintf(&b, "%12.2f  complete\n", ev.Time)
 		case EvFail:
 			fmt.Fprintf(&b, "%12.2f  FAIL\n", ev.Time)
+		case EvMissedDetect:
+			fmt.Fprintf(&b, "%12.2f  missed detection\n", ev.Time)
+		case EvBadStore:
+			fmt.Fprintf(&b, "%12.2f  corrupt store at work=%.2f\n", ev.Time, ev.Value)
+		case EvRestart:
+			fmt.Fprintf(&b, "%12.2f  RESTART from beginning\n", ev.Time)
 		}
 	}
 	return b.String()
@@ -117,9 +139,11 @@ func (tr *Trace) String() string {
 // Timeline renders the trace as an ASCII band of the given width — the
 // textual analogue of the paper's Fig. 1 / Fig. 5 execution diagrams.
 // Symbols: '-' execution, 's' SCP, 'c' CCP, 'C' CSCP, 'x' fault,
-// '<' rollback, '^' speed change, '!' failure, '$' completion. When
-// several events share a column, the most significant one wins
-// (failure > completion > rollback > fault > checkpoint > speed).
+// '<' rollback, '^' speed change, '!' failure, '$' completion,
+// '?' missed detection, '%' corrupt store found, '@' restart from
+// beginning. When several events share a column, the most significant
+// one wins (failure > completion > restart > rollback > corrupt store >
+// missed detection > fault > checkpoint > speed).
 func (tr *Trace) Timeline(width int) string {
 	if width < 10 {
 		width = 10
@@ -135,10 +159,16 @@ func (tr *Trace) Timeline(width int) string {
 	rank := func(b byte) int {
 		switch b {
 		case '!':
-			return 7
+			return 10
 		case '$':
-			return 6
+			return 9
+		case '@':
+			return 8
 		case '<':
+			return 7
+		case '%':
+			return 6
+		case '?':
 			return 5
 		case 'x':
 			return 4
@@ -185,6 +215,12 @@ func (tr *Trace) Timeline(width int) string {
 			put(ev.Time, '$')
 		case EvFail:
 			put(ev.Time, '!')
+		case EvMissedDetect:
+			put(ev.Time, '?')
+		case EvBadStore:
+			put(ev.Time, '%')
+		case EvRestart:
+			put(ev.Time, '@')
 		}
 	}
 	return string(band)

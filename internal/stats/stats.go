@@ -146,11 +146,19 @@ type Summary struct {
 	// TimeP50 and TimeP95 are completion-time quantiles over timely
 	// completions (NaN if none) — the tail the deadline race is about.
 	TimeP50, TimeP95 float64
+	// SDC is the probability a run completed on time with silently
+	// corrupted output (undetected divergence). Always zero under the
+	// paper's ideal fault-tolerance model; such runs still count toward
+	// P, which measures timeliness only.
+	SDC float64
+	// SDCCI is the 95% half-width on SDC.
+	SDCCI float64
 }
 
 // Cell accumulates per-run results into a Summary.
 type Cell struct {
 	p        Proportion
+	wrong    Proportion
 	e        Accumulator
 	faults   Accumulator
 	time     Accumulator
@@ -161,7 +169,14 @@ type Cell struct {
 // Observe folds one run in. energy and timeToDone are consulted only for
 // completed runs, matching the paper's conditional energy average.
 func (c *Cell) Observe(completed bool, energy, timeToDone, faults, switches float64) {
+	c.ObserveRun(completed, false, energy, timeToDone, faults, switches)
+}
+
+// ObserveRun is Observe with the imperfect-FT outcome: wrong marks a run
+// that completed with silently corrupted output.
+func (c *Cell) ObserveRun(completed, wrong bool, energy, timeToDone, faults, switches float64) {
 	c.p.Observe(completed)
+	c.wrong.Observe(completed && wrong)
 	c.faults.Add(faults)
 	c.switches.Add(switches)
 	if completed {
@@ -185,5 +200,7 @@ func (c *Cell) Summary() Summary {
 		MeanSwitches: c.switches.Mean(),
 		TimeP50:      qs[0],
 		TimeP95:      qs[1],
+		SDC:          c.wrong.Value(),
+		SDCCI:        c.wrong.CI95(),
 	}
 }

@@ -142,7 +142,8 @@ func MonteCarlo(s Scheme, p Params, reps int, seed uint64) Summary {
 	var cell stats.Cell
 	for i := 0; i < reps; i++ {
 		r := s.Run(p, src.Split())
-		cell.Observe(r.Completed, r.Energy, r.Time, float64(r.Faults), float64(r.Switches))
+		cell.ObserveRun(r.Completed, r.SilentCorruption,
+			r.Energy, r.Time, float64(r.Faults), float64(r.Switches))
 	}
 	return cell.Summary()
 }
