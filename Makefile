@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check golden
+.PHONY: build test vet race check golden bench
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,8 @@ check: build vet test race
 # re-review the diff: the file pins bit-for-bit behaviour.
 golden:
 	$(GO) test -run TestGoldenEquivalence -update .
+
+# Time the simulation stack (Table 1a/3a grids and the warm single-run
+# path) and record the numbers in BENCH_simstack.json.
+bench:
+	$(GO) run ./cmd/simbench -out BENCH_simstack.json

@@ -72,6 +72,21 @@ func BenchmarkSingleRun(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleRunCtx is BenchmarkSingleRun through a reused
+// RunContext — the warm path the experiment runner's workers take. The
+// delta against BenchmarkSingleRun is the price of fresh per-run
+// allocation the run-context architecture avoids.
+func BenchmarkSingleRunCtx(b *testing.B) {
+	tk, _ := task.FromUtilization("bench", 0.78, 1, 10000, 5)
+	p := sim.Params{Task: tk, Costs: checkpoint.SCPSetting(), Lambda: 0.0014}
+	s := core.NewAdaptDVSSCP()
+	rctx := sim.NewRunContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sim.RunScheme(rctx, s, p, rctx.Reseed(uint64(i)+1))
+	}
+}
+
 // --- Fig. 2 analytic curves ---
 
 func BenchmarkCurveR1(b *testing.B) {

@@ -97,10 +97,13 @@ func main() {
 		return
 	}
 
+	// One run context for the whole repetition loop: engine and plan
+	// caches are reused, per-rep seeds match what src.Split() drew.
 	src := rng.New(*seed)
+	rctx := sim.NewRunContext()
 	var cell stats.Cell
 	for i := 0; i < *reps; i++ {
-		r := scheme.Run(params, src.Split())
+		r := sim.RunScheme(rctx, scheme, params, rctx.Reseed(src.Uint64()))
 		cell.Observe(r.Completed, r.Energy, r.Time, float64(r.Faults), float64(r.Switches))
 	}
 	s := cell.Summary()

@@ -1,0 +1,170 @@
+// Command simbench times the Monte-Carlo simulation stack end to end
+// and writes the measurements to a JSON file (BENCH_simstack.json by
+// default), so performance changes to the sim → core → experiment stack
+// leave a comparable artefact in the repository history.
+//
+// Three workloads are timed:
+//
+//   - Table1a, Table3a: one full published sub-table grid through the
+//     experiment runner on a single worker — the run-context path with
+//     warm engines and plan caches, exactly what `make tables` pays per
+//     table. Reported per repetition (ns/rep, allocs/rep, reps/sec).
+//   - SingleRunCtx: one execution of the headline scheme (A_D_S at the
+//     paper's anchor cell) through a reused RunContext — the simulator's
+//     warm inner-loop cost.
+//
+// Usage:
+//
+//	go run ./cmd/simbench [-out BENCH_simstack.json] [-reps 50] [-short]
+//
+// -short cuts the per-benchmark measuring time for CI smoke runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// measurement is one timed workload, normalised per simulation rep.
+type measurement struct {
+	Name         string  `json:"name"`
+	RepsPerOp    int     `json:"reps_per_op"`
+	NsPerRep     float64 `json:"ns_per_rep"`
+	AllocsPerRep float64 `json:"allocs_per_rep"`
+	BytesPerRep  float64 `json:"bytes_per_rep"`
+	RepsPerSec   float64 `json:"reps_per_sec"`
+}
+
+// report is the file schema.
+type report struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	Reps        int           `json:"reps_per_cell"`
+	Short       bool          `json:"short"`
+	Benchmarks  []measurement `json:"benchmarks"`
+}
+
+func main() {
+	testing.Init() // registers -test.* flags so benchtime is settable
+	out := flag.String("out", "BENCH_simstack.json", "output file path")
+	reps := flag.Int("reps", 50, "Monte-Carlo repetitions per table cell")
+	short := flag.Bool("short", false, "cut measuring time (CI smoke)")
+	flag.Parse()
+
+	if *short {
+		// testing.Benchmark honours the -test.benchtime flag value.
+		if f := flag.Lookup("test.benchtime"); f != nil {
+			f.Value.Set("0.2s")
+		}
+	}
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Reps:        *reps,
+		Short:       *short,
+	}
+	for _, id := range []string{"1a", "3a"} {
+		m, err := benchTable(id, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: table %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, m)
+		fmt.Printf("%-12s %10.0f ns/rep %8.1f allocs/rep %12.0f reps/sec\n",
+			m.Name, m.NsPerRep, m.AllocsPerRep, m.RepsPerSec)
+	}
+	m := benchSingleRunCtx()
+	rep.Benchmarks = append(rep.Benchmarks, m)
+	fmt.Printf("%-12s %10.0f ns/rep %8.1f allocs/rep %12.0f reps/sec\n",
+		m.Name, m.NsPerRep, m.AllocsPerRep, m.RepsPerSec)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchTable times one full sub-table grid per op and normalises by the
+// total repetition count the grid runs.
+func benchTable(id string, reps int) (measurement, error) {
+	spec, err := experiment.TableByID(id)
+	if err != nil {
+		return measurement{}, err
+	}
+	runner := experiment.Runner{Reps: reps, Seed: 1, Workers: 1}
+
+	// One warm-up run, which also counts the trials per op.
+	tbl, err := runner.RunTable(spec)
+	if err != nil {
+		return measurement{}, err
+	}
+	total := 0
+	for _, row := range tbl.Rows {
+		for _, c := range row.Cells {
+			total += c.Summary.Trials
+		}
+	}
+
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := runner.RunTable(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return normalise("Table"+id, br, total), nil
+}
+
+// benchSingleRunCtx times the warm context path of one A_D_S execution
+// at the paper's anchor cell (U = 0.78, λ = 0.0014, k = 5).
+func benchSingleRunCtx() measurement {
+	tk, _ := task.FromUtilization("bench", 0.78, 1, 10000, 5)
+	p := sim.Params{Task: tk, Costs: checkpoint.SCPSetting(), Lambda: 0.0014}
+	s := core.NewAdaptDVSSCP()
+	rctx := sim.NewRunContext()
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = sim.RunScheme(rctx, s, p, rctx.Reseed(uint64(i)+1))
+		}
+	})
+	return normalise("SingleRunCtx", br, 1)
+}
+
+func normalise(name string, br testing.BenchmarkResult, repsPerOp int) measurement {
+	nsPerOp := float64(br.NsPerOp())
+	return measurement{
+		Name:         name,
+		RepsPerOp:    repsPerOp,
+		NsPerRep:     nsPerOp / float64(repsPerOp),
+		AllocsPerRep: float64(br.AllocsPerOp()) / float64(repsPerOp),
+		BytesPerRep:  float64(br.AllocedBytesPerOp()) / float64(repsPerOp),
+		RepsPerSec:   float64(repsPerOp) / (nsPerOp * 1e-9),
+	}
+}

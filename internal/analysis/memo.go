@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/checkpoint"
+)
+
+// subMemoCap bounds a SubMemo's table. Distinct interval lengths beyond
+// the cap are still computed, just not remembered — a safety valve for
+// callers whose plan inputs are continuous (e.g. online λ estimation)
+// rather than a working-set assumption.
+const subMemoCap = 1024
+
+// SubMemo memoises NumSub for one fixed environment (cost model, fault
+// rate and sub-checkpoint kind), keyed on the exact bit pattern of the
+// interval length. Because NumSub is a pure function, a hit returns a
+// value bit-identical to recomputation; the memo layer therefore lives
+// entirely above the math and cannot perturb it.
+//
+// A SubMemo is not safe for concurrent use; give each worker its own.
+type SubMemo struct {
+	p    Params
+	kind checkpoint.Kind
+	m    map[uint64]int
+}
+
+// NewSubMemo returns an empty memo over the given environment.
+func NewSubMemo(p Params, kind checkpoint.Kind) *SubMemo {
+	return &SubMemo{p: p, kind: kind, m: make(map[uint64]int, 8)}
+}
+
+// Env returns the environment the memo was built for. Callers that pool
+// memos use it to check they are asking the right one.
+func (sm *SubMemo) Env() (Params, checkpoint.Kind) { return sm.p, sm.kind }
+
+// Len returns the number of cached entries (for tests and diagnostics).
+func (sm *SubMemo) Len() int { return len(sm.m) }
+
+// NumSub returns NumSub(env, t), from cache when the exact t has been
+// seen before.
+func (sm *SubMemo) NumSub(t float64) int {
+	k := math.Float64bits(t)
+	if m, ok := sm.m[k]; ok {
+		return m
+	}
+	m := NumSub(sm.p, sm.kind, t)
+	if len(sm.m) < subMemoCap {
+		sm.m[k] = m
+	}
+	return m
+}

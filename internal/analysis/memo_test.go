@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// TestSubMemoMatchesNumSub pins the cacheable entry point's contract:
+// every memoised answer equals direct computation, hit or miss.
+func TestSubMemoMatchesNumSub(t *testing.T) {
+	for _, kind := range []checkpoint.Kind{checkpoint.SCP, checkpoint.CCP} {
+		for _, lam := range []float64{0, 1e-4, 0.0014, 0.01} {
+			p := Params{Costs: checkpoint.SCPSetting(), Lambda: lam}
+			sm := NewSubMemo(p, kind)
+			ts := []float64{1, 10, 119.5230481, 500, 1000, 5000, 10000}
+			// Two passes: the second is served from cache and must not
+			// drift from the pure function.
+			for pass := 0; pass < 2; pass++ {
+				for _, tv := range ts {
+					if got, want := sm.NumSub(tv), NumSub(p, kind, tv); got != want {
+						t.Errorf("kind=%v λ=%g t=%v pass %d: memo %d, direct %d",
+							kind, lam, tv, pass, got, want)
+					}
+				}
+			}
+			if sm.Len() != len(ts) {
+				t.Errorf("kind=%v λ=%g: memo holds %d entries, want %d", kind, lam, sm.Len(), len(ts))
+			}
+		}
+	}
+}
+
+// TestSubMemoEnv pins the environment accessor used by memo pools.
+func TestSubMemoEnv(t *testing.T) {
+	p := Params{Costs: checkpoint.CCPSetting(), Lambda: 0.0016}
+	sm := NewSubMemo(p, checkpoint.CCP)
+	gotP, gotKind := sm.Env()
+	if gotP != p || gotKind != checkpoint.CCP {
+		t.Fatalf("Env() = (%+v, %v), want (%+v, %v)", gotP, gotKind, p, checkpoint.CCP)
+	}
+}
+
+// TestSubMemoCapStopsInsertion: past the cap the memo computes but does
+// not grow — the safety valve for continuous plan inputs.
+func TestSubMemoCapStopsInsertion(t *testing.T) {
+	p := Params{Costs: checkpoint.SCPSetting(), Lambda: 0.0014}
+	sm := NewSubMemo(p, checkpoint.SCP)
+	for i := 0; i < subMemoCap+100; i++ {
+		tv := 100 + float64(i)*0.25
+		if got, want := sm.NumSub(tv), NumSub(p, checkpoint.SCP, tv); got != want {
+			t.Fatalf("t=%v: memo %d, direct %d", tv, got, want)
+		}
+	}
+	if sm.Len() != subMemoCap {
+		t.Errorf("memo holds %d entries, want the cap %d", sm.Len(), subMemoCap)
+	}
+}

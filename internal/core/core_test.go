@@ -268,13 +268,25 @@ func TestSchemeNames(t *testing.T) {
 }
 
 func TestFixedSchemeGuardsBadFreq(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for unknown frequency")
-		}
-	}()
 	p := params(0.76, 1, 0.001, 5, checkpoint.SCPSetting())
-	NewPoissonScheme(3).Run(p, rng.New(1))
+	schemes := []sim.Scheme{
+		NewPoissonScheme(3), NewKFTScheme(3), NewAdaptSCP(3), NewAdaptCCP(3),
+	}
+	for _, s := range schemes {
+		r := s.Run(p, rng.New(1))
+		if r.Completed || r.Reason != sim.FailBadConfig {
+			t.Errorf("%s at unknown frequency: got completed=%v reason=%q, want %q",
+				s.Name(), r.Completed, r.Reason, sim.FailBadConfig)
+		}
+		if cs, ok := s.(sim.ContextScheme); ok {
+			rc := sim.NewRunContext()
+			r := cs.RunCtx(rc, p, rc.Reseed(1))
+			if r.Completed || r.Reason != sim.FailBadConfig {
+				t.Errorf("%s RunCtx at unknown frequency: got reason=%q, want %q",
+					s.Name(), r.Reason, sim.FailBadConfig)
+			}
+		}
+	}
 }
 
 func TestPropertyResultInvariants(t *testing.T) {

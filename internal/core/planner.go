@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/checkpoint"
+	"repro/internal/cpu"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// Plan is one planning decision of an adaptive scheme: the operating
+// point to run at, the CSCP interval and the sub-interval length (equal
+// to Interval when no additional checkpoints are used). BadConfig marks
+// a configuration the platform cannot satisfy (a fixed frequency the CPU
+// model lacks); the run then fails with sim.FailBadConfig instead of
+// panicking.
+type Plan struct {
+	Point     cpu.OperatingPoint
+	Interval  float64
+	SubLen    float64
+	BadConfig bool
+}
+
+// planKey identifies one exact planning input state: the remaining work
+// rc, remaining deadline rd and planning fault rate λ (all as raw float
+// bits, so every distinct value — including negative zeros and NaNs —
+// keys separately) plus the remaining fault budget rf.
+type planKey struct {
+	rc, rd, lam uint64
+	rf          int
+}
+
+// planCacheSize is the direct-mapped plan cache's slot count (a power
+// of two). The cache is deliberately not a Go map: post-fault replans
+// key on continuous rd values and are mostly unique, so with a map the
+// runtime's hashing and insertion machinery dominated the planning cost
+// it was meant to save. A direct-mapped array with a few-instruction
+// hash makes a hit ~free and a miss only an overwrite; the hot
+// fault-free key (one per cell) effectively never leaves its slot.
+const planCacheSize = 256
+
+// subEnvCap bounds the pool of per-environment NumSub memos. With the
+// paper's two-speed processor and a fixed λ there are at most two
+// environments; online λ estimation makes the rate continuous, at which
+// point pooling stops paying and the planner computes directly.
+const subEnvCap = 16
+
+// Planner computes interval plans for an Adaptive scheme: the speed
+// decision (paper §3), the DATE'03 interval() procedure and the optimal
+// sub-interval count of Fig. 2. It memoises whole plans on their exact
+// inputs (rc, rd, λ, rf) — everything else a plan depends on (scheme
+// configuration, CPU model, cost model, task) is fixed at construction —
+// so the overwhelmingly common fault-free repetition of a Monte-Carlo
+// cell plans once and replays the cached decision bit-for-bit.
+//
+// A Planner is not safe for concurrent use; schemes park one per worker
+// in the RunContext scratch slot.
+type Planner struct {
+	cfg   Adaptive
+	model *cpu.Model
+	costs checkpoint.Costs
+	task  task.Task
+
+	// Fixed-speed configuration, resolved once at construction.
+	fixedPt  cpu.OperatingPoint
+	fixedBad bool
+
+	// memo is allocated lazily on the first insertion; nocache disables
+	// it entirely for single-run planners (the uncontexted Run path),
+	// whose replans key on unique states and would only pay for the
+	// cache, never hit it.
+	memo    *[planCacheSize]planEntry
+	subs    []subEnv
+	nocache bool
+}
+
+// planEntry is one direct-mapped cache slot.
+type planEntry struct {
+	key  planKey
+	plan Plan
+	full bool
+}
+
+// subEnv pairs one (frequency, λ) environment — keyed on exact float
+// bits — with its NumSub memo; the pool is a linear-scanned slice
+// because it holds at most a handful of entries (two for the paper's
+// processor at fixed λ).
+type subEnv struct {
+	f, lam uint64
+	sm     *analysis.SubMemo
+}
+
+// slot hashes a plan key to its cache slot with a few multiplies — the
+// whole point over a map is that this costs nanoseconds.
+func (k planKey) slot() uint64 {
+	h := k.rc*0x9e3779b97f4a7c15 ^ k.rd*0xbf58476d1ce4e5b9 ^ k.lam*0x94d049bb133111eb ^ uint64(k.rf)
+	h ^= h >> 29
+	h *= 0xff51afd7ed558ccd
+	return (h >> 33) % planCacheSize
+}
+
+// NewPlanner builds a planner for one scheme configuration over one
+// platform (CPU model, cost model, task). The fault rate is not part of
+// the construction state — it is a per-plan input, so one planner serves
+// a whole λ sweep.
+func NewPlanner(cfg Adaptive, model *cpu.Model, costs checkpoint.Costs, tk task.Task) *Planner {
+	pl := &Planner{
+		cfg:   cfg,
+		model: model,
+		costs: costs,
+		task:  tk,
+	}
+	if !cfg.DVS {
+		pt, err := model.AtFreq(cfg.FixedFreq)
+		if err != nil {
+			pl.fixedBad = true
+		} else {
+			pl.fixedPt = pt
+		}
+	}
+	return pl
+}
+
+// MemoLen returns the number of occupied plan-cache slots (for tests and
+// diagnostics).
+func (pl *Planner) MemoLen() int {
+	if pl.memo == nil {
+		return 0
+	}
+	n := 0
+	for i := range pl.memo {
+		if pl.memo[i].full {
+			n++
+		}
+	}
+	return n
+}
+
+// Plan returns the planning decision for the exact state (rc remaining
+// work in cycles, rd remaining deadline in wall time, lam the planning
+// fault rate, rf the remaining fault budget), from cache when the state
+// has been planned before. Memoisation is exact-input: equal bits in,
+// bit-identical plan out.
+func (pl *Planner) Plan(rc, rd, lam float64, rf int) Plan {
+	if pl.nocache {
+		return pl.compute(rc, rd, lam, rf)
+	}
+	key := planKey{
+		rc:  math.Float64bits(rc),
+		rd:  math.Float64bits(rd),
+		lam: math.Float64bits(lam),
+		rf:  rf,
+	}
+	if pl.memo == nil {
+		pl.memo = new([planCacheSize]planEntry)
+	}
+	ent := &pl.memo[key.slot()]
+	if ent.full && ent.key == key {
+		return ent.plan
+	}
+	p := pl.compute(rc, rd, lam, rf)
+	ent.key, ent.plan, ent.full = key, p, true
+	return p
+}
+
+// compute is the uncached planning procedure — the logic previously
+// inlined in Adaptive.Run, expression for expression, so the cached
+// refactor stays bit-for-bit equivalent to the seed behaviour.
+func (pl *Planner) compute(rc, rd, lam float64, rf int) Plan {
+	s := &pl.cfg
+	var pt cpu.OperatingPoint
+	if s.DVS {
+		pt = s.pickSpeed(pl.model, pl.costs.CSCPCycles(), lam, rc, rd)
+	} else {
+		if pl.fixedBad {
+			return Plan{BadConfig: true}
+		}
+		pt = pl.fixedPt
+	}
+	f := pt.Freq
+	if rd <= 0 || rc <= 0 {
+		deg := math.Max(rc/f, sim.EpsWork)
+		return Plan{Point: pt, Interval: deg, SubLen: deg}
+	}
+	cWall := pl.costs.CSCPCycles() / f
+	itv, _ := policy.Interval(rd, rc/f, cWall, rf, lam)
+	itv = math.Min(itv, rc/f)
+	subLen := itv
+	if s.UseSub {
+		subLen = itv / float64(pl.numSub(f, lam, itv))
+	}
+	return Plan{Point: pt, Interval: itv, SubLen: subLen}
+}
+
+// numSub returns the optimal sub-interval count for an interval of
+// length itv at frequency f under rate lam, through the pooled
+// analysis.SubMemo for that (f, λ) environment. Post-fault replans that
+// land on a deadline-independent interval rule (e.g. the Poisson branch
+// I1 = sqrt(2C/λ)) revisit the same (f, λ, itv) triple even though their
+// full plan keys differ — this second-level cache catches those.
+func (pl *Planner) numSub(f, lam, itv float64) int {
+	fb, lb := math.Float64bits(f), math.Float64bits(lam)
+	for i := range pl.subs {
+		if pl.subs[i].f == fb && pl.subs[i].lam == lb {
+			return pl.subs[i].sm.NumSub(itv)
+		}
+	}
+	ap := analysis.Params{Costs: pl.costs.Scaled(f), Lambda: lam}
+	if len(pl.subs) < subEnvCap {
+		sm := analysis.NewSubMemo(ap, pl.cfg.Sub)
+		pl.subs = append(pl.subs, subEnv{f: fb, lam: lb, sm: sm})
+		return sm.NumSub(itv)
+	}
+	return analysis.NumSub(ap, pl.cfg.Sub, itv)
+}
+
+// plannerCacheKey identifies the construction state of a Planner: one
+// scheme configuration on one platform. A RunContext's scratch slot
+// holds the planner for the key it last served; a mismatch (new cell)
+// rebuilds, a match (next rep of the same cell) reuses the warm memo.
+type plannerCacheKey struct {
+	cfg   Adaptive
+	model *cpu.Model
+	costs checkpoint.Costs
+	task  task.Task
+}
+
+// plannerMemo is the value parked in RunContext scratch.
+type plannerMemo struct {
+	key plannerCacheKey
+	pl  *Planner
+}
+
+// plannerFor returns a planner for the scheme over p's platform, reusing
+// the one cached in ctx when it matches. ctx may be nil (the plain
+// uncontexted Run path), in which case a fresh planner is built — its
+// memo still serves the many replans of a single long run.
+func (s *Adaptive) plannerFor(ctx *sim.RunContext, p sim.Params) *Planner {
+	if ctx != nil {
+		// Field-wise match against the parked key: this runs once per
+		// repetition, so it must not construct a key struct (a ~100-byte
+		// copy) just to compare it.
+		if pm, ok := ctx.Scratch().(*plannerMemo); ok &&
+			pm.key.cfg == *s && pm.key.model == p.CPUModel() &&
+			pm.key.costs == p.Costs && pm.key.task == p.Task {
+			return pm.pl
+		}
+		key := plannerCacheKey{cfg: *s, model: p.CPUModel(), costs: p.Costs, task: p.Task}
+		pl := NewPlanner(key.cfg, key.model, key.costs, key.task)
+		ctx.SetScratch(&plannerMemo{key: key, pl: pl})
+		return pl
+	}
+	// No context to outlive the run: planning states within one run are
+	// almost never revisited (replans key on the continuous remaining
+	// deadline), so a cache would cost more than it saves — compute
+	// directly, exactly as the pre-refactor inline code did.
+	pl := NewPlanner(*s, p.CPUModel(), p.Costs, p.Task)
+	pl.nocache = true
+	return pl
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cpu"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestRunCtxMatchesRun pins the tentpole refactor's contract: running a
+// scheme through a warm, reused RunContext returns results bit-identical
+// to the fresh-allocation Run path, for every scheme family, across
+// cells with different parameters sharing one context.
+func TestRunCtxMatchesRun(t *testing.T) {
+	schemes := []sim.ContextScheme{
+		NewPoissonScheme(1),
+		NewKFTScheme(1),
+		NewADTDVS(),
+		NewAdaptDVSSCP(),
+		NewAdaptDVSCCP(),
+		NewAdaptSCP(1),
+		NewAdaptCCP(2),
+		NewAdaptDVSSCP().WithOnlineLambda(0.001),
+		NewAdaptDVSSCP().WithEagerDVS(),
+	}
+	cells := []sim.Params{
+		params(0.78, 1, 0.0014, 5, checkpoint.SCPSetting()),
+		params(0.80, 1, 0.0016, 5, checkpoint.CCPSetting()),
+		params(0.92, 1, 2e-4, 1, checkpoint.SCPSetting()),
+		params(0.78, 1, 0, 5, checkpoint.SCPSetting()), // faultless
+	}
+
+	// One context serves every (scheme, cell) pair in sequence — the
+	// worker's view — so cache reuse across cell switches is exercised.
+	rctx := sim.NewRunContext()
+	for _, s := range schemes {
+		for ci, p := range cells {
+			for seed := uint64(1); seed <= 20; seed++ {
+				want := s.Run(p, rng.New(seed))
+				got := s.RunCtx(rctx, p, rctx.Reseed(seed))
+				if want != got {
+					t.Fatalf("%s cell %d seed %d: RunCtx diverged from Run:\nfresh %+v\nctx   %+v",
+						s.Name(), ci, seed, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerMemoHitsFaultFree pins the memo economics the refactor is
+// built on: fault-free repetitions of one cell share a single plan key,
+// so the planner computes once and replays.
+func TestPlannerMemoHitsFaultFree(t *testing.T) {
+	s := NewAdaptDVSSCP()
+	p := params(0.78, 1, 0, 5, checkpoint.SCPSetting()) // λ=0: no faults, no replans
+	rctx := sim.NewRunContext()
+	for seed := uint64(1); seed <= 50; seed++ {
+		s.RunCtx(rctx, p, rctx.Reseed(seed))
+	}
+	pm, ok := rctx.Scratch().(*plannerMemo)
+	if !ok {
+		t.Fatal("no planner parked in context scratch")
+	}
+	if n := pm.pl.MemoLen(); n != 1 {
+		t.Errorf("fault-free cell cached %d plans, want exactly 1", n)
+	}
+}
+
+// TestPlannerMemoIsExactInput verifies a planner returns bit-identical
+// plans for repeated inputs and distinguishes every changed input.
+func TestPlannerMemoIsExactInput(t *testing.T) {
+	p := params(0.78, 1, 0.0014, 5, checkpoint.SCPSetting())
+	pl := NewPlanner(*NewAdaptDVSSCP(), p.CPUModel(), p.Costs, p.Task)
+
+	base := pl.Plan(p.Task.Cycles, p.Task.Deadline, p.Lambda, 5)
+	again := pl.Plan(p.Task.Cycles, p.Task.Deadline, p.Lambda, 5)
+	if base != again {
+		t.Fatalf("identical inputs, different plans: %+v vs %+v", base, again)
+	}
+
+	fresh := NewPlanner(*NewAdaptDVSSCP(), p.CPUModel(), p.Costs, p.Task)
+	if got := fresh.Plan(p.Task.Cycles, p.Task.Deadline, p.Lambda, 5); got != base {
+		t.Fatalf("memoised plan differs from fresh computation: %+v vs %+v", base, got)
+	}
+
+	// A changed input keys separately (the plans themselves may or may
+	// not coincide — the interval rules are piecewise).
+	pl.Plan(p.Task.Cycles, p.Task.Deadline-1, p.Lambda, 5)
+	if pl.MemoLen() != 2 {
+		t.Errorf("memo holds %d entries, want 2", pl.MemoLen())
+	}
+}
+
+// TestPlannerBadFixedFrequency pins the construction-time resolution of
+// an unsatisfiable fixed-speed configuration.
+func TestPlannerBadFixedFrequency(t *testing.T) {
+	p := params(0.78, 1, 0.0014, 5, checkpoint.SCPSetting())
+	pl := NewPlanner(Adaptive{Sub: checkpoint.SCP, UseSub: true, FixedFreq: 3}, cpu.TwoSpeed(), p.Costs, p.Task)
+	if pln := pl.Plan(p.Task.Cycles, p.Task.Deadline, p.Lambda, 5); !pln.BadConfig {
+		t.Fatalf("frequency 3 on the two-speed model planned %+v, want BadConfig", pln)
+	}
+}
+
+// TestPlannerScratchInvalidation: a context that served one cell must
+// rebuild its planner when the scheme configuration or platform changes,
+// never reuse a stale one.
+func TestPlannerScratchInvalidation(t *testing.T) {
+	rctx := sim.NewRunContext()
+	pA := params(0.78, 1, 0.0014, 5, checkpoint.SCPSetting())
+	pB := params(0.80, 1, 0.0014, 5, checkpoint.CCPSetting())
+
+	NewAdaptDVSSCP().RunCtx(rctx, pA, rctx.Reseed(1))
+	first, _ := rctx.Scratch().(*plannerMemo)
+
+	NewAdaptDVSCCP().RunCtx(rctx, pB, rctx.Reseed(1))
+	second, _ := rctx.Scratch().(*plannerMemo)
+	if first == nil || second == nil {
+		t.Fatal("planner not parked in scratch")
+	}
+	if first == second || first.pl == second.pl {
+		t.Fatal("context reused a planner across different scheme/cell configurations")
+	}
+
+	// Returning to the first configuration may rebuild (single-slot
+	// cache) but must plan identically.
+	r1 := NewAdaptDVSSCP().RunCtx(rctx, pA, rctx.Reseed(7))
+	r2 := NewAdaptDVSSCP().Run(pA, rng.New(7))
+	if r1 != r2 {
+		t.Fatalf("after scratch churn, RunCtx diverged: %+v vs %+v", r1, r2)
+	}
+}

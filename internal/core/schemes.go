@@ -61,25 +61,41 @@ func NewKFTScheme(freq float64) *FixedCSCP {
 	}
 }
 
+// Both scheme families support the reusable run-context path.
+var (
+	_ sim.ContextScheme = (*FixedCSCP)(nil)
+	_ sim.ContextScheme = (*Adaptive)(nil)
+)
+
 // Name implements Scheme.
 func (s *FixedCSCP) Name() string { return s.name }
 
 // Run implements Scheme.
 func (s *FixedCSCP) Run(p sim.Params, src *rng.Source) sim.Result {
-	e := sim.NewEngine(p, src)
+	return s.run(sim.NewEngine(p, src), p)
+}
+
+// RunCtx implements sim.ContextScheme: like Run, but reusing the
+// context's engine buffers.
+func (s *FixedCSCP) RunCtx(rc *sim.RunContext, p sim.Params, src *rng.Source) sim.Result {
+	return s.run(rc.Engine(p, src), p)
+}
+
+func (s *FixedCSCP) run(e *sim.Engine, p sim.Params) sim.Result {
 	pt, err := p.CPUModel().AtFreq(s.Freq)
 	if err != nil {
-		panic(err)
+		return e.Finish(false, sim.FailBadConfig)
 	}
 	e.SetSpeed(pt)
 	itv := s.interval(p, pt.Freq)
 	rc := p.Task.Cycles
-	for i := 0; i < p.MaxIntervalBudget(); i++ {
+	budget := p.MaxIntervalBudget()
+	for i := 0; i < budget; i++ {
 		rd := p.Task.Deadline - e.Now()
 		if rc/pt.Freq > rd {
 			return e.Finish(false, sim.FailInfeasible)
 		}
-		cur := math.Min(itv, rc/pt.Freq)
+		cur := minPos(itv, rc/pt.Freq)
 		kept, _ := e.RunInterval(cur, 1, checkpoint.SCP, p.Task.Cycles-rc)
 		rc -= kept
 		if rc <= sim.EpsWork {
@@ -191,8 +207,8 @@ func (s *Adaptive) WithEagerDVS() *Adaptive {
 // pickSpeed returns the slowest operating point whose fault-aware time
 // estimate t_est fits the remaining deadline, or the fastest point if
 // none does (paper §3: "voltage scaling is feasible if t_est ≤ Rd").
-func (s *Adaptive) pickSpeed(p sim.Params, model *cpu.Model, lambda, rc, rd float64) cpu.OperatingPoint {
-	c := p.Costs.CSCPCycles()
+// c is the CSCP cost in minimum-speed cycles.
+func (s *Adaptive) pickSpeed(model *cpu.Model, c, lambda, rc, rd float64) cpu.OperatingPoint {
 	for _, pt := range model.Points() {
 		if analysis.TEst(rc, pt.Freq, c, lambda) <= rd {
 			return pt
@@ -211,63 +227,60 @@ func (s *Adaptive) pickSpeed(p sim.Params, model *cpu.Model, lambda, rc, rd floa
 // fault-free overhead (the ∫dRt/sqrt(Rt) effect), which contradicts the
 // fault-free completion probabilities the paper reports.
 func (s *Adaptive) Run(p sim.Params, src *rng.Source) sim.Result {
-	e := sim.NewEngine(p, src)
-	model := p.CPUModel()
+	return s.run(sim.NewEngine(p, src), s.plannerFor(nil, p), p)
+}
 
+// RunCtx implements sim.ContextScheme: like Run, but reusing the
+// context's engine buffers and its cached Planner (plan memo included)
+// across repetitions of the same cell.
+func (s *Adaptive) RunCtx(rc *sim.RunContext, p sim.Params, src *rng.Source) sim.Result {
+	return s.run(rc.Engine(p, src), s.plannerFor(rc, p), p)
+}
+
+// run is the shared scheme body: a thin loop over the Planner and the
+// Engine. All planning logic lives in Planner.compute.
+func (s *Adaptive) run(e *sim.Engine, pl *Planner, p sim.Params) sim.Result {
 	rc := p.Task.Cycles
 	rf := p.Task.FaultBudget
 
-	// lambda returns the planning fault rate: the given λ, or the online
-	// posterior mean when estimation is enabled.
+	// Planning fault rate: the given λ, or the online posterior mean
+	// when estimation is enabled. The prior's pseudo-exposure 1/prior is
+	// capped at one deadline: a belief weaker than "one fault per
+	// deadline window" should not outweigh a full window of observation.
 	detections := 0
-	lambda := func() float64 {
-		if s.EstimateLambdaPrior <= 0 {
-			return p.Lambda
-		}
-		// The prior's pseudo-exposure 1/prior is capped at one deadline:
-		// a belief weaker than "one fault per deadline window" should
-		// not outweigh a full window of actual observation.
-		pseudo := math.Min(1/s.EstimateLambdaPrior, p.Task.Deadline)
-		return (1 + float64(detections)) / (pseudo + e.ExecClock())
+	estimate := s.EstimateLambdaPrior > 0
+	var pseudo float64
+	if estimate {
+		pseudo = math.Min(1/s.EstimateLambdaPrior, p.Task.Deadline)
 	}
 
-	// plan re-takes the speed decision (DVS only) and recomputes the
+	// replan re-takes the speed decision (DVS only) and recomputes the
 	// CSCP interval and sub-interval length from the current state.
-	var subLen float64
-	var itv float64
-	plan := func() {
-		if s.DVS {
-			e.SetSpeed(s.pickSpeed(p, model, lambda(), rc, p.Task.Deadline-e.Now()))
-		} else {
-			pt, err := model.AtFreq(s.FixedFreq)
-			if err != nil {
-				panic(err)
-			}
-			e.SetSpeed(pt)
+	// It reports false on an unsatisfiable fixed-speed configuration.
+	var itv, subLen float64
+	replan := func() bool {
+		lam := p.Lambda
+		if estimate {
+			lam = (1 + float64(detections)) / (pseudo + e.ExecClock())
 		}
-		f := e.Speed().Freq
-		rd := p.Task.Deadline - e.Now()
-		if rd <= 0 || rc <= 0 {
-			itv, subLen = math.Max(rc/f, sim.EpsWork), math.Max(rc/f, sim.EpsWork)
-			return
+		pln := pl.Plan(rc, p.Task.Deadline-e.Now(), lam, rf)
+		if pln.BadConfig {
+			return false
 		}
-		cWall := p.Costs.CSCPCycles() / f
-		lam := lambda()
-		itv, _ = policy.Interval(rd, rc/f, cWall, rf, lam)
-		itv = math.Min(itv, rc/f)
-		subLen = itv
-		if s.UseSub {
-			ap := analysis.Params{Costs: p.Costs.Scaled(f), Lambda: lam}
-			subLen = itv / float64(analysis.NumSub(ap, s.Sub, itv))
-		}
+		e.SetSpeed(pln.Point)
+		itv, subLen = pln.Interval, pln.SubLen
+		return true
 	}
-	plan()
+	if !replan() {
+		return e.Finish(false, sim.FailBadConfig)
+	}
 
-	for i := 0; i < p.MaxIntervalBudget(); i++ {
+	budget := p.MaxIntervalBudget()
+	for i := 0; i < budget; i++ {
 		f := e.Speed().Freq
 		rd := p.Task.Deadline - e.Now()
 		if s.DVS && s.EagerSpeedReeval {
-			plan()
+			replan()
 			f = e.Speed().Freq
 		}
 		if rc/f > rd {
@@ -276,7 +289,7 @@ func (s *Adaptive) Run(p sim.Params, src *rng.Source) sim.Result {
 
 		// The tail interval is clamped to the remaining work; its
 		// sub-interval count keeps the planned sub-interval length.
-		cur := math.Min(itv, rc/f)
+		cur := minPos(itv, rc/f)
 		m := 1
 		if s.UseSub && subLen > 0 {
 			m = int(math.Ceil(cur/subLen - 1e-9))
@@ -292,7 +305,7 @@ func (s *Adaptive) Run(p sim.Params, src *rng.Source) sim.Result {
 			if rf > 0 {
 				rf--
 			}
-			plan() // Fig. 6 lines 15–17
+			replan() // Fig. 6 lines 15–17
 		}
 		if rc <= sim.EpsWork {
 			if e.Now() <= p.Task.Deadline {
@@ -302,4 +315,15 @@ func (s *Adaptive) Run(p sim.Params, src *rng.Source) sim.Result {
 		}
 	}
 	return e.Finish(false, sim.FailGuard)
+}
+
+// minPos is math.Min for operands known to be positive and finite (the
+// interval clamp in the hot run loops): identical value and bits for
+// such inputs, but inlinable — math.Min's ±0/NaN handling is an assembly
+// intrinsic call on amd64, visible in profiles at this call frequency.
+func minPos(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
 }

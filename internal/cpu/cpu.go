@@ -82,9 +82,11 @@ func NewModel(points []OperatingPoint, switchCost float64) (*Model, error) {
 	return &Model{points: ps, switchCost: switchCost}, nil
 }
 
-// TwoSpeed returns the paper's processor: f1 = 1, f2 = 2·f1, zero switch
-// cost, default voltages.
-func TwoSpeed() *Model {
+// twoSpeed is the shared instance behind TwoSpeed. A Model is immutable
+// after construction, so every caller (and every worker goroutine) can
+// read the same one; rebuilding it per simulated run was a measurable
+// cost in the Monte-Carlo inner loop.
+var twoSpeed = func() *Model {
 	m, err := NewModel([]OperatingPoint{
 		{Freq: 1, Voltage: DefaultVoltage(1)},
 		{Freq: 2, Voltage: DefaultVoltage(2)},
@@ -93,7 +95,11 @@ func TwoSpeed() *Model {
 		panic(err) // static construction cannot fail
 	}
 	return m
-}
+}()
+
+// TwoSpeed returns the paper's processor: f1 = 1, f2 = 2·f1, zero switch
+// cost, default voltages. The returned model is shared and read-only.
+func TwoSpeed() *Model { return twoSpeed }
 
 // Points returns the operating points in ascending frequency order.
 // The returned slice must not be modified.
@@ -134,6 +140,8 @@ func (m *Model) SwitchCost() float64 { return m.switchCost }
 // segment of wall-time t at speed f is f·t cycles per replica).
 type Meter struct {
 	replicas  int
+	replicasF float64 // float64(replicas), cached for the Segment hot path
+	epc       float64 // lastPoint.EnergyPerCycle(), cached likewise
 	energy    float64
 	cycles    float64
 	wallTime  float64
@@ -148,24 +156,48 @@ func NewMeter(replicas int) *Meter {
 	if replicas < 1 {
 		panic("cpu: replicas < 1")
 	}
-	return &Meter{replicas: replicas}
+	return &Meter{replicas: replicas, replicasF: float64(replicas)}
+}
+
+//go:noinline
+func badSegment(t float64) {
+	panic(fmt.Sprintf("cpu: bad segment duration %v", t))
 }
 
 // Segment charges wall-clock duration t executed at operating point p:
 // every replica burns f·t cycles at V². Durations must be non-negative;
 // NaN durations panic (they indicate a simulator bug upstream).
 func (mt *Meter) Segment(p OperatingPoint, t float64) {
-	if t < 0 || math.IsNaN(t) {
-		panic(fmt.Sprintf("cpu: bad segment duration %v", t))
+	// The common case — a valid duration at the point already metered —
+	// must inline: this is the single hottest call in the simulator. All
+	// rarer conditions (bad duration, first segment, speed change) share
+	// one cold, non-inlined path.
+	if !(t >= 0) || p != mt.lastPoint || !mt.started {
+		mt.segmentSlow(p, t)
+		return
 	}
-	if mt.started && p != mt.lastPoint {
-		mt.switches++
-	}
-	mt.started = true
-	mt.lastPoint = p
-	cycles := p.Freq * t * float64(mt.replicas)
+	cycles := p.Freq * t * mt.replicasF
 	mt.cycles += cycles
-	mt.energy += cycles * p.EnergyPerCycle()
+	mt.energy += cycles * mt.epc
+	mt.wallTime += t
+}
+
+//go:noinline
+func (mt *Meter) segmentSlow(p OperatingPoint, t float64) {
+	if !(t >= 0) { // negative or NaN
+		badSegment(t)
+	}
+	if p != mt.lastPoint || !mt.started {
+		if mt.started {
+			mt.switches++
+		}
+		mt.started = true
+		mt.lastPoint = p
+		mt.epc = p.EnergyPerCycle()
+	}
+	cycles := p.Freq * t * mt.replicasF
+	mt.cycles += cycles
+	mt.energy += cycles * mt.epc
 	mt.wallTime += t
 }
 
@@ -186,4 +218,16 @@ func (mt *Meter) Reset() {
 	mt.energy, mt.cycles, mt.wallTime = 0, 0, 0
 	mt.switches = 0
 	mt.started = false
+}
+
+// ResetFor clears the meter and re-targets it at a redundancy group of
+// the given size, as if freshly built by NewMeter(replicas). It lets one
+// meter serve many executions without reallocation.
+func (mt *Meter) ResetFor(replicas int) {
+	if replicas < 1 {
+		panic("cpu: replicas < 1")
+	}
+	mt.replicas = replicas
+	mt.replicasF = float64(replicas)
+	mt.Reset()
 }

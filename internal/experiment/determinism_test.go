@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWorkerCountDeterminism is the regression gate for the worker-pool
+// run contexts: the same seed must produce bit-identical Summary values
+// whether one worker runs every cell (maximally warm caches, fixed job
+// order) or eight workers race over them (cold/warm mixes, arbitrary
+// assignment). Any leak of per-worker state into results shows up here.
+func TestWorkerCountDeterminism(t *testing.T) {
+	spec, err := TableByID("1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) Table {
+		tbl, err := Runner{Reps: 300, Seed: 7, Workers: workers}.RunTable(spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tbl
+	}
+	one, eight := run(1), run(8)
+
+	if len(one.Rows) != len(eight.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(one.Rows), len(eight.Rows))
+	}
+	for i := range one.Rows {
+		a, b := one.Rows[i], eight.Rows[i]
+		for c := range a.Cells {
+			sa, sb := a.Cells[c].Summary, b.Cells[c].Summary
+			// Compare float fields as bits: NaN-safe and stricter than
+			// any epsilon — the determinism claim is exact.
+			pairs := [][2]float64{
+				{sa.P, sb.P}, {sa.PCI, sb.PCI},
+				{sa.E, sb.E}, {sa.ECI, sb.ECI},
+				{sa.MeanFaults, sb.MeanFaults},
+				{sa.MeanTime, sb.MeanTime},
+				{sa.MeanSwitches, sb.MeanSwitches},
+				{sa.TimeP50, sb.TimeP50}, {sa.TimeP95, sb.TimeP95},
+				{sa.SDC, sb.SDC}, {sa.SDCCI, sb.SDCCI},
+			}
+			for f, pr := range pairs {
+				if math.Float64bits(pr[0]) != math.Float64bits(pr[1]) {
+					t.Errorf("row %d (%s U=%.2f λ=%g) cell %d field %d: %v != %v",
+						i, spec.ID, a.U, a.Lambda, c, f, pr[0], pr[1])
+				}
+			}
+			if sa.Trials != sb.Trials {
+				t.Errorf("row %d cell %d: trials %d != %d", i, c, sa.Trials, sb.Trials)
+			}
+		}
+	}
+}

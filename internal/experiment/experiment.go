@@ -12,11 +12,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
-	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
@@ -171,8 +171,21 @@ func (r Runner) cellSeed(id string, u, lambda float64, scheme string) uint64 {
 		offset = 14695981039346656037
 		prime  = 1099511628211
 	)
+	// The key bytes match the original fmt.Sprintf("%s|%.6f|%.8f|%s|%d",
+	// ...) exactly — fmt's %f formatting is strconv.AppendFloat with the
+	// same verb and precision — without the printf machinery.
+	buf := make([]byte, 0, 96)
+	buf = append(buf, id...)
+	buf = append(buf, '|')
+	buf = strconv.AppendFloat(buf, u, 'f', 6, 64)
+	buf = append(buf, '|')
+	buf = strconv.AppendFloat(buf, lambda, 'f', 8, 64)
+	buf = append(buf, '|')
+	buf = append(buf, scheme...)
+	buf = append(buf, '|')
+	buf = strconv.AppendUint(buf, r.Seed, 10)
 	h := uint64(offset)
-	for _, b := range []byte(fmt.Sprintf("%s|%.6f|%.8f|%s|%d", id, u, lambda, scheme, r.Seed)) {
+	for _, b := range buf {
 		h ^= uint64(b)
 		h *= prime
 	}
@@ -187,6 +200,14 @@ func (r Runner) RunCell(spec Spec, scheme sim.Scheme, u, lambda float64) (stats.
 // RunCellCtx is RunCell with cancellation: the repetition loop polls ctx
 // periodically and returns ctx.Err() once it fires.
 func (r Runner) RunCellCtx(ctx context.Context, spec Spec, scheme sim.Scheme, u, lambda float64) (stats.Summary, error) {
+	return r.runCell(ctx, sim.NewRunContext(), spec, scheme, u, lambda)
+}
+
+// runCell is the repetition loop over one cell, driven through the given
+// run context. Every repetition draws its stream from a seed derived
+// only from (cell, rep), never from context state, so the Summary is
+// identical whichever worker — or how warm a context — runs the cell.
+func (r Runner) runCell(ctx context.Context, rctx *sim.RunContext, spec Spec, scheme sim.Scheme, u, lambda float64) (stats.Summary, error) {
 	p, err := spec.CellParams(u, lambda)
 	if err != nil {
 		return stats.Summary{}, err
@@ -197,7 +218,7 @@ func (r Runner) RunCellCtx(ctx context.Context, spec Spec, scheme sim.Scheme, u,
 		if rep&0xff == 0 && ctx.Err() != nil {
 			return stats.Summary{}, ctx.Err()
 		}
-		res := scheme.Run(p, rng.New(mix(seed, rep)))
+		res := sim.RunScheme(rctx, scheme, p, rctx.Reseed(mix(seed, rep)))
 		cell.ObserveRun(res.Completed, res.SilentCorruption,
 			res.Energy, res.Time, float64(res.Faults), float64(res.Switches))
 	}
@@ -205,15 +226,16 @@ func (r Runner) RunCellCtx(ctx context.Context, spec Spec, scheme sim.Scheme, u,
 }
 
 // safeCell runs one cell, converting a panicking scheme into an error so
-// a single bad cell cannot take the whole table's worker pool down.
-func (r Runner) safeCell(ctx context.Context, spec Spec, scheme sim.Scheme, u, lambda float64) (sum stats.Summary, err error) {
+// a single bad cell cannot take the whole table's worker pool down. The
+// context stays reusable afterwards: the next run fully resets it.
+func (r Runner) safeCell(ctx context.Context, rctx *sim.RunContext, spec Spec, scheme sim.Scheme, u, lambda float64) (sum stats.Summary, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("experiment: cell %s U=%.2f λ=%g %s panicked: %v",
 				spec.ID, u, lambda, scheme.Name(), p)
 		}
 	}()
-	return r.RunCellCtx(ctx, spec, scheme, u, lambda)
+	return r.runCell(ctx, rctx, spec, scheme, u, lambda)
 }
 
 // RunTable runs every cell of a spec, parallelising across cells.
@@ -246,34 +268,45 @@ func (r Runner) RunTableCtx(ctx context.Context, spec Spec) (Table, error) {
 		}
 	}
 
+	// A fixed pool of workers, each owning a private run context: the
+	// engine, rng stream and plan caches are reused across all the cells
+	// a worker drains, and are never shared between goroutines. Results
+	// depend only on per-cell seeds, so the job→worker assignment (and
+	// the worker count) cannot affect any Summary bit.
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
-	sem := make(chan struct{}, r.workers())
-	for _, j := range jobs {
+	jobCh := make(chan job)
+	for w := 0; w < r.workers(); w++ {
 		wg.Add(1)
-		go func(j job) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sum, err := r.safeCell(ctx, spec, j.scheme, j.u, j.lambda)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
+			rctx := sim.NewRunContext()
+			for j := range jobCh {
+				sum, err := r.safeCell(ctx, rctx, spec, j.scheme, j.u, j.lambda)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
 				}
-				return
+				rows[j.rowIdx].Cells[j.colIdx].Summary = sum
+				if r.Progress != nil {
+					r.Progress("table %s U=%.2f λ=%g %-14s P=%.4f E=%.0f",
+						spec.ID, j.u, j.lambda, j.scheme.Name(), sum.P, sum.E)
+				}
+				mu.Unlock()
 			}
-			rows[j.rowIdx].Cells[j.colIdx].Summary = sum
-			if r.Progress != nil {
-				r.Progress("table %s U=%.2f λ=%g %-14s P=%.4f E=%.0f",
-					spec.ID, j.u, j.lambda, j.scheme.Name(), sum.P, sum.E)
-			}
-		}(j)
+		}()
 	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
 	wg.Wait()
 	partial := Table{Spec: spec, Reps: r.reps(), Rows: rows}
 	if firstErr != nil {

@@ -99,6 +99,12 @@ func (m misbelievingScheme) Name() string {
 
 // Run implements sim.Scheme.
 func (m misbelievingScheme) Run(p sim.Params, src *rng.Source) sim.Result {
+	return m.RunCtx(nil, p, src)
+}
+
+// RunCtx implements sim.ContextScheme, forwarding the context to the
+// wrapped paper scheme. rctx may be nil (the plain Run path).
+func (m misbelievingScheme) RunCtx(rctx *sim.RunContext, p sim.Params, src *rng.Source) sim.Result {
 	truth := p.Lambda
 	p.FaultProcess = func(s *rng.Source) fault.Process {
 		return fault.NewPoisson(truth, s)
@@ -108,7 +114,7 @@ func (m misbelievingScheme) Run(p sim.Params, src *rng.Source) sim.Result {
 		s = s.WithOnlineLambda(truth * m.factor)
 	}
 	p.Lambda = truth * m.factor
-	return s.Run(p, src)
+	return sim.RunScheme(rctx, s, p, src)
 }
 
 // ImperfectScheme wraps a scheme so every run executes under the given
@@ -129,9 +135,15 @@ func (s imperfectScheme) Name() string { return s.inner.Name() + "+imp" }
 
 // Run implements sim.Scheme.
 func (s imperfectScheme) Run(p sim.Params, src *rng.Source) sim.Result {
+	return s.RunCtx(nil, p, src)
+}
+
+// RunCtx implements sim.ContextScheme, forwarding the context to the
+// wrapped scheme when it supports one. rctx may be nil.
+func (s imperfectScheme) RunCtx(rctx *sim.RunContext, p sim.Params, src *rng.Source) sim.Result {
 	im := s.im
 	p.Imperfect = &im
-	return s.inner.Run(p, src)
+	return sim.RunScheme(rctx, s.inner, p, src)
 }
 
 // RunExtensionTable runs one extension spec with the runner.

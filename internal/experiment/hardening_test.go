@@ -24,7 +24,7 @@ func TestSafeCellRecoversPanic(t *testing.T) {
 	// must come back as an error naming the cell, not tear the pool down.
 	spec, _ := TableByID("1a")
 	r := Runner{Reps: 10, Seed: 1}
-	_, err := r.safeCell(context.Background(), spec, panicScheme{}, 0.78, 0.0014)
+	_, err := r.safeCell(context.Background(), sim.NewRunContext(), spec, panicScheme{}, 0.78, 0.0014)
 	if err == nil {
 		t.Fatal("panic not converted to error")
 	}

@@ -159,6 +159,12 @@ func Run(cfg Config, seed uint64) (Report, error) {
 	elapsed := 0.0
 	degraded := false
 
+	// One run context serves every frame: frames are sequential, so the
+	// engine and plan caches are reused mission-long. Each frame's stream
+	// is seeded from the mission stream's next output — exactly what
+	// src.Split() consumed — so trajectories are unchanged.
+	rctx := sim.NewRunContext()
+
 	for f := 0; f < cfg.MaxFrames; f++ {
 		if !degraded && elapsed >= perm1 {
 			degraded = true
@@ -176,7 +182,7 @@ func Run(cfg Config, seed uint64) (Report, error) {
 			frame = degradedFrame
 			rep.DegradedFrames++
 		}
-		res := cfg.Scheme.Run(frame, src.Split())
+		res := sim.RunScheme(rctx, cfg.Scheme, frame, rctx.Reseed(src.Uint64()))
 		elapsed += res.Time
 		rep.Frames++
 		rep.Faults += res.Faults

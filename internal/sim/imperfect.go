@@ -73,7 +73,7 @@ func (e *Engine) runIntervalImperfect(itv float64, m int, sub checkpoint.Kind, d
 // storing kinds) to the ledger. work is the absolute task progress the
 // record captures.
 func (e *Engine) checkpointOpImperfect(k checkpoint.Kind, work float64) {
-	d := e.p.Costs.AtSpeed(k, e.cur.Freq)
+	d := e.wallCost(k)
 	struck := false
 	if e.imp.CheckpointVulnerable && d > 0 {
 		// The operation's duration passes through the fault clock: any
@@ -153,7 +153,7 @@ func (e *Engine) recoverImperfect() float64 {
 			// attempt, charged at the rollback cost.
 			attempts++
 			e.corruptRestores++
-			e.Spend(e.p.Costs.Rollback / e.cur.Freq)
+			e.Spend(e.wallRollback)
 			if e.p.Trace != nil {
 				e.p.Trace.add(Event{Kind: EvBadStore, Time: e.t, Value: rec.Time})
 			}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+	"repro/internal/rng"
+)
+
+// drive pushes an engine through a fixed scripted execution — speed
+// changes, subdivided intervals, the works — standing in for a scheme
+// (package core cannot be imported here without a cycle).
+func drive(e *Engine, p Params) Result {
+	model := p.CPUModel()
+	rc := p.Task.Cycles
+	sub := checkpoint.SCP
+	for i := 0; i < 200; i++ {
+		if i%3 == 0 {
+			e.SetSpeed(model.Max())
+		} else if i%3 == 1 {
+			e.SetSpeed(model.Min())
+		}
+		if i%2 == 1 {
+			sub = checkpoint.CCP
+		} else {
+			sub = checkpoint.SCP
+		}
+		f := e.Speed().Freq
+		cur := math.Min(700, rc/f)
+		if cur <= 0 {
+			break
+		}
+		kept, _ := e.RunInterval(cur, 3, sub, p.Task.Cycles-rc)
+		rc -= kept
+		if rc <= EpsWork {
+			break
+		}
+		if e.Now() > p.Task.Deadline {
+			return e.Finish(false, FailDeadline)
+		}
+	}
+	return e.Finish(rc <= EpsWork, FailNone)
+}
+
+// TestEngineResetEquivalence pins the Reset contract: a dirtied, reused
+// engine must reproduce a fresh engine's run bit-for-bit — results and
+// full event traces — across the ideal path, the imperfect path, TMR
+// replica counts and custom fault processes.
+func TestEngineResetEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"ideal", params(0.80, 1, 0.0014, 5, checkpoint.SCPSetting())},
+		{"faultless", params(0.80, 1, 0, 5, checkpoint.CCPSetting())},
+		{"tmr-replicas", func() Params {
+			p := params(0.78, 1, 0.0016, 5, checkpoint.SCPSetting())
+			p.Replicas = 3
+			return p
+		}()},
+		{"imperfect", func() Params {
+			p := params(0.78, 1, 0.003, 5, checkpoint.SCPSetting())
+			p.Imperfect = &fault.Imperfection{
+				Coverage: 0.9, StoreCorruption: 0.2, CheckpointVulnerable: true,
+			}
+			return p
+		}()},
+		{"custom-process", func() Params {
+			p := params(0.80, 1, 0.0014, 5, checkpoint.SCPSetting())
+			p.FaultProcess = func(src *rng.Source) fault.Process {
+				return fault.NewPoisson(0.002, src)
+			}
+			return p
+		}()},
+	}
+
+	// The reused engine is dirtied by a run with different parameters
+	// (different λ, costs and replica count) before each comparison.
+	reused := NewEngine(params(0.92, 1, 0.004, 1, checkpoint.CCPSetting()), rng.New(99))
+	drive(reused, params(0.92, 1, 0.004, 1, checkpoint.CCPSetting()))
+
+	for _, tc := range cases {
+		for seed := uint64(1); seed <= 5; seed++ {
+			pFresh, pReused := tc.p, tc.p
+			trFresh, trReused := &Trace{}, &Trace{}
+			pFresh.Trace, pReused.Trace = trFresh, trReused
+
+			want := drive(NewEngine(pFresh, rng.New(seed)), pFresh)
+
+			reused.Reset(pReused, rng.New(seed))
+			got := drive(reused, pReused)
+
+			if want != got {
+				t.Errorf("%s seed %d: reused engine diverged:\nfresh  %+v\nreused %+v",
+					tc.name, seed, want, got)
+			}
+			if !reflect.DeepEqual(trFresh.Events, trReused.Events) {
+				t.Errorf("%s seed %d: traces diverged (%d vs %d events)",
+					tc.name, seed, len(trFresh.Events), len(trReused.Events))
+			}
+		}
+	}
+}
+
+// TestRunContextReseed pins that the context's stream after Reseed is
+// indistinguishable from a fresh rng.New source.
+func TestRunContextReseed(t *testing.T) {
+	rc := NewRunContext()
+	for _, seed := range []uint64{0, 1, 42, 1 << 60} {
+		got := rc.Reseed(seed)
+		want := rng.New(seed)
+		for i := 0; i < 100; i++ {
+			if g, w := got.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("seed %d draw %d: %d != %d", seed, i, g, w)
+			}
+		}
+	}
+}
+
+// plainScheme implements only Scheme; ctxScheme also ContextScheme.
+type plainScheme struct{ ran *bool }
+
+func (s plainScheme) Name() string { return "plain" }
+func (s plainScheme) Run(Params, *rng.Source) Result {
+	*s.ran = true
+	return Result{Completed: true}
+}
+
+type ctxScheme struct {
+	plainScheme
+	ranCtx *bool
+}
+
+func (s ctxScheme) RunCtx(*RunContext, Params, *rng.Source) Result {
+	*s.ranCtx = true
+	return Result{Completed: true}
+}
+
+// TestRunSchemeDispatch pins the fallback contract: context-aware
+// schemes get the context, plain schemes (and nil contexts) fall back
+// to Run, so third-party Scheme implementations keep working.
+func TestRunSchemeDispatch(t *testing.T) {
+	var ran, ranCtx bool
+	rc := NewRunContext()
+	p := params(0.8, 1, 0, 5, checkpoint.SCPSetting())
+
+	RunScheme(rc, plainScheme{ran: &ran}, p, rng.New(1))
+	if !ran {
+		t.Error("plain scheme: Run not called")
+	}
+
+	RunScheme(rc, ctxScheme{plainScheme{ran: &ran}, &ranCtx}, p, rng.New(1))
+	if !ranCtx {
+		t.Error("context scheme: RunCtx not called")
+	}
+
+	ran = false
+	RunScheme(nil, ctxScheme{plainScheme{ran: &ran}, &ranCtx}, p, rng.New(1))
+	if !ran {
+		t.Error("nil context: Run fallback not taken")
+	}
+}
+
+// TestRunContextScratch pins the scratch slot contract.
+func TestRunContextScratch(t *testing.T) {
+	rc := NewRunContext()
+	if rc.Scratch() != nil {
+		t.Fatal("fresh context has non-nil scratch")
+	}
+	rc.SetScratch(42)
+	if rc.Scratch() != 42 {
+		t.Fatalf("scratch = %v, want 42", rc.Scratch())
+	}
+}

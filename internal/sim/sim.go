@@ -138,6 +138,11 @@ const (
 	FailDeadline FailReason = "deadline"
 	// FailGuard: the interval-count guard fired (indicates a bug).
 	FailGuard FailReason = "interval-guard"
+	// FailBadConfig: the scheme's configuration does not fit the
+	// platform (e.g. a fixed operating frequency the CPU model lacks).
+	// Returned instead of panicking so one bad cell cannot take a
+	// worker goroutine down with it.
+	FailBadConfig FailReason = "bad-config"
 )
 
 // Result is the outcome of one simulated execution.
@@ -192,7 +197,9 @@ type Scheme interface {
 
 // Engine holds the mutable state of one simulated execution. Schemes
 // (package core) drive it through NewEngine, SetSpeed, RunInterval and
-// Finish.
+// Finish. An Engine is reusable: Reset re-initialises it for the next
+// execution while keeping its meter, fault-process and store buffers,
+// which is how a RunContext amortises per-repetition allocations.
 type Engine struct {
 	p   Params
 	src *rng.Source
@@ -201,9 +208,21 @@ type Engine struct {
 	x    float64 // useful-execution clock (fault process runs on this)
 	next float64 // next fault arrival on the x clock (+Inf if no faults)
 	proc fault.Process
+	// pp is proc's concrete value when it is the plain Poisson process —
+	// the overwhelmingly common case — letting the per-fault draw in
+	// ExecSpan be a direct call instead of an interface dispatch.
+	pp *fault.PoissonProcess
 
 	cur   cpu.OperatingPoint
 	meter *cpu.Meter
+
+	// Wall-clock checkpoint/rollback durations at the current operating
+	// point, refreshed on every speed change so the per-checkpoint hot
+	// path does not re-divide cycle costs by the frequency. wall is
+	// indexed by checkpoint.Kind (SCP, CCP, CSCP) so wallCost stays a
+	// bounds-checked load the compiler can inline.
+	wall         [3]float64
+	wallRollback float64
 
 	faults     int
 	detections int
@@ -224,35 +243,95 @@ type Engine struct {
 // NewEngine prepares a fresh execution: clocks at zero, the processor at
 // its slowest operating point, and the first fault arrival drawn.
 func NewEngine(p Params, src *rng.Source) *Engine {
-	e := &Engine{
-		p:     p,
-		src:   src,
-		meter: cpu.NewMeter(p.ReplicaCount()),
-		cur:   p.CPUModel().Min(),
+	e := &Engine{}
+	e.Reset(p, src)
+	return e
+}
+
+// Reset re-initialises the engine for a fresh execution, exactly as if it
+// had been built by NewEngine(p, src), but reusing the buffers of the
+// previous run: the energy meter, the stored-checkpoint ledger's backing
+// array and — when the fault rate matches — the Poisson fault process.
+// The trajectory produced after a Reset is bit-for-bit identical to a
+// fresh engine's (the golden-equivalence suite pins this).
+func (e *Engine) Reset(p Params, src *rng.Source) {
+	e.p = p
+	e.src = src
+	e.t, e.x = 0, 0
+	e.cur = p.CPUModel().Min()
+	e.refreshSpeedCosts()
+	if e.meter == nil {
+		e.meter = cpu.NewMeter(p.ReplicaCount())
+	} else {
+		e.meter.ResetFor(p.ReplicaCount())
 	}
+	e.faults, e.detections, e.cscps, e.subs = 0, 0, 0, 0
 	e.divergedAt = math.Inf(1)
+	e.imp = nil
 	if p.Imperfect != nil && !p.Imperfect.IsIdeal() {
 		e.imp = p.Imperfect
 	}
-	e.next = math.Inf(1)
+	e.store.Reset()
+	e.missed, e.corruptRestores, e.restarts = 0, 0, 0
+
 	switch {
 	case p.FaultProcess != nil:
 		e.proc = p.FaultProcess(src)
 	case p.Lambda > 0:
-		e.proc = fault.NewPoisson(p.Lambda, src)
+		// Reuse the previous run's process when it is the plain Poisson
+		// one at the same rate: Reset rewinds it onto the new stream.
+		if pp, ok := e.proc.(*fault.PoissonProcess); ok && pp.Lambda == p.Lambda {
+			pp.Reset(src)
+		} else {
+			e.proc = fault.NewPoisson(p.Lambda, src)
+		}
+	default:
+		e.proc = nil
 	}
+	e.pp, _ = e.proc.(*fault.PoissonProcess)
 	if e.proc != nil {
 		e.next = e.proc.Next()
+	} else {
+		e.next = math.Inf(1)
 	}
-	return e
+}
+
+// refreshSpeedCosts recomputes the cached wall-clock overhead durations
+// for the current operating point. The expressions match the ones the
+// pre-cache engine evaluated per operation, so the cached values are
+// bit-identical.
+func (e *Engine) refreshSpeedCosts() {
+	f := e.cur.Freq
+	e.wall[checkpoint.SCP] = e.p.Costs.AtSpeed(checkpoint.SCP, f)
+	e.wall[checkpoint.CCP] = e.p.Costs.AtSpeed(checkpoint.CCP, f)
+	e.wall[checkpoint.CSCP] = e.p.Costs.AtSpeed(checkpoint.CSCP, f)
+	e.wallRollback = e.p.Costs.Rollback / f
+}
+
+// wallCost returns the wall-clock duration of one checkpoint of kind k at
+// the current speed, from the per-speed cache.
+func (e *Engine) wallCost(k checkpoint.Kind) float64 {
+	if uint(k) < uint(len(e.wall)) {
+		return e.wall[k]
+	}
+	return e.wallCostUnknown(k)
+}
+
+//go:noinline
+func (e *Engine) wallCostUnknown(k checkpoint.Kind) float64 {
+	return e.p.Costs.AtSpeed(k, e.cur.Freq) // unknown kind: panics there
 }
 
 // SetSpeed switches the processor operating point.
 func (e *Engine) SetSpeed(pt cpu.OperatingPoint) {
-	if pt != e.cur && e.p.Trace != nil {
+	if pt == e.cur {
+		return
+	}
+	if e.p.Trace != nil {
 		e.p.Trace.add(Event{Kind: EvSpeed, Time: e.t, Value: pt.Freq})
 	}
 	e.cur = pt
+	e.refreshSpeedCosts()
 }
 
 // execSpan executes useful work for wall duration d at the current speed.
@@ -276,16 +355,19 @@ func (e *Engine) ExecSpan(d float64) (float64, int) {
 	n := 0
 	for e.next < end {
 		n++
+		off := e.next - start
 		if first < 0 {
-			first = e.next - start
-			if e.p.Trace != nil {
-				e.p.Trace.add(Event{Kind: EvFault, Time: e.t + first})
-			}
-		} else if e.p.Trace != nil {
-			e.p.Trace.add(Event{Kind: EvFault, Time: e.t + (e.next - start)})
+			first = off
+		}
+		if e.p.Trace != nil {
+			e.p.Trace.add(Event{Kind: EvFault, Time: e.t + off})
 		}
 		e.faults++
-		e.next = e.proc.Next()
+		if e.pp != nil {
+			e.next = e.pp.Next()
+		} else {
+			e.next = e.proc.Next()
+		}
 	}
 	e.meter.Segment(e.cur, d)
 	e.t += d
@@ -304,7 +386,7 @@ func (e *Engine) Spend(d float64) {
 // CheckpointOp charges one checkpoint of the given kind at the current
 // speed and records it.
 func (e *Engine) CheckpointOp(k checkpoint.Kind) {
-	e.Spend(e.p.Costs.AtSpeed(k, e.cur.Freq))
+	e.Spend(e.wallCost(k))
 	switch k {
 	case checkpoint.CSCP:
 		e.cscps++
@@ -319,7 +401,7 @@ func (e *Engine) CheckpointOp(k checkpoint.Kind) {
 // Rollback charges the rollback cost, counts a detection and records the
 // event. toWork is the task progress (cycles) restored to.
 func (e *Engine) Rollback(toWork float64) {
-	e.Spend(e.p.Costs.Rollback / e.cur.Freq)
+	e.Spend(e.wallRollback)
 	e.detections++
 	if e.p.Trace != nil {
 		e.p.Trace.add(Event{Kind: EvRollback, Time: e.t, Value: toWork})
@@ -351,8 +433,24 @@ func (e *Engine) RunInterval(itv float64, m int, sub checkpoint.Kind, doneWork f
 	if e.imp != nil {
 		return e.runIntervalImperfect(itv, m, sub, doneWork)
 	}
-	span := itv / float64(m)
 	f := e.cur.Freq
+	if m == 1 {
+		// Single-span interval (span == itv exactly): both flavours
+		// reduce to one execution span and the closing CSCP, rolling
+		// back to the interval-leading state on a fault. This is the
+		// common case — every fixed-interval scheme and every adaptive
+		// interval without sub-checkpoints — so it skips the loop
+		// machinery below; the returned values are bit-identical to the
+		// general path at m = 1 (kept = 0·span·f = +0 on a fault).
+		off := e.execSpan(itv)
+		e.CheckpointOp(checkpoint.CSCP)
+		if off < 0 {
+			return itv * f, false
+		}
+		e.Rollback(doneWork)
+		return 0, true
+	}
+	span := itv / float64(m)
 
 	switch sub {
 	case checkpoint.SCP:

@@ -18,6 +18,7 @@ package tmr
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/analysis"
 	"repro/internal/checkpoint"
@@ -63,10 +64,20 @@ func voteCost(c checkpoint.Costs) float64 { return c.Store + 2*c.Compare }
 //   - two or more corrupted replicas: no majority, roll back the interval.
 func (s *Scheme) Run(p sim.Params, src *rng.Source) sim.Result {
 	p.Replicas = Replicas
-	e := sim.NewEngine(p, src)
+	return s.run(sim.NewEngine(p, src), p, src)
+}
+
+// RunCtx implements sim.ContextScheme: like Run, but reusing the
+// context's engine buffers.
+func (s *Scheme) RunCtx(rctx *sim.RunContext, p sim.Params, src *rng.Source) sim.Result {
+	p.Replicas = Replicas
+	return s.run(rctx.Engine(p, src), p, src)
+}
+
+func (s *Scheme) run(e *sim.Engine, p sim.Params, src *rng.Source) sim.Result {
 	pt, err := p.CPUModel().AtFreq(s.Freq)
 	if err != nil {
-		panic(err)
+		return e.Finish(false, sim.FailBadConfig)
 	}
 	e.SetSpeed(pt)
 
@@ -87,18 +98,19 @@ func (s *Scheme) Run(p sim.Params, src *rng.Source) sim.Result {
 		}
 		cur := math.Min(itv, rc/pt.Freq)
 
-		// Execute the interval and assign each fault a victim replica.
+		// Execute the interval and assign each fault a victim replica
+		// (a bitmask over the triple; same draws as the map it replaced).
 		_, faults := e.ExecSpan(cur)
-		corrupted := map[int]bool{}
+		var corrupted uint
 		for f := 0; f < faults; f++ {
-			corrupted[src.Intn(Replicas)] = true
+			corrupted |= 1 << uint(src.Intn(Replicas))
 		}
 		// Vote: a CSCP-grade store+compare plus the second pairwise
 		// comparison (counted so Result.CSCPs reflects voting points).
 		e.CheckpointOp(checkpoint.CSCP)
 		e.Spend(p.Costs.Compare / pt.Freq)
 
-		if len(corrupted) >= 2 {
+		if bits.OnesCount(corrupted) >= 2 {
 			// No majority: lose the interval.
 			e.Rollback(p.Task.Cycles - rc)
 		} else {
@@ -114,7 +126,10 @@ func (s *Scheme) Run(p sim.Params, src *rng.Source) sim.Result {
 	return e.Finish(false, sim.FailGuard)
 }
 
-var _ sim.Scheme = (*Scheme)(nil)
+var (
+	_ sim.Scheme        = (*Scheme)(nil)
+	_ sim.ContextScheme = (*Scheme)(nil)
+)
 
 // AdaptiveScheme is TMR with the DATE'03 adaptive voting interval and
 // two-speed DVS — the apples-to-apples counterpart of the paper's DMR
@@ -132,7 +147,17 @@ func (s *AdaptiveScheme) Name() string { return "TMR_DVS" }
 // Run implements sim.Scheme.
 func (s *AdaptiveScheme) Run(p sim.Params, src *rng.Source) sim.Result {
 	p.Replicas = Replicas
-	e := sim.NewEngine(p, src)
+	return s.run(sim.NewEngine(p, src), p, src)
+}
+
+// RunCtx implements sim.ContextScheme: like Run, but reusing the
+// context's engine buffers.
+func (s *AdaptiveScheme) RunCtx(rctx *sim.RunContext, p sim.Params, src *rng.Source) sim.Result {
+	p.Replicas = Replicas
+	return s.run(rctx.Engine(p, src), p, src)
+}
+
+func (s *AdaptiveScheme) run(e *sim.Engine, p sim.Params, src *rng.Source) sim.Result {
 	model := p.CPUModel()
 	c := voteCost(p.Costs)
 
@@ -159,14 +184,14 @@ func (s *AdaptiveScheme) Run(p sim.Params, src *rng.Source) sim.Result {
 		cur := math.Min(itv, rc/f)
 
 		_, faults := e.ExecSpan(cur)
-		corrupted := map[int]bool{}
+		var corrupted uint
 		for n := 0; n < faults; n++ {
-			corrupted[src.Intn(Replicas)] = true
+			corrupted |= 1 << uint(src.Intn(Replicas))
 		}
 		e.CheckpointOp(checkpoint.CSCP)
 		e.Spend(p.Costs.Compare / f)
 
-		if len(corrupted) >= 2 {
+		if bits.OnesCount(corrupted) >= 2 {
 			e.Rollback(p.Task.Cycles - rc)
 			if rf > 0 {
 				rf--
@@ -186,4 +211,7 @@ func (s *AdaptiveScheme) Run(p sim.Params, src *rng.Source) sim.Result {
 	return e.Finish(false, sim.FailGuard)
 }
 
-var _ sim.Scheme = (*AdaptiveScheme)(nil)
+var (
+	_ sim.Scheme        = (*AdaptiveScheme)(nil)
+	_ sim.ContextScheme = (*AdaptiveScheme)(nil)
+)

@@ -125,13 +125,12 @@ func TestName(t *testing.T) {
 	}
 }
 
-func TestUnknownFrequencyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	New(3).Run(params(0.5, 0.001, 5), rng.New(1))
+func TestUnknownFrequencyFailsBadConfig(t *testing.T) {
+	r := New(3).Run(params(0.5, 0.001, 5), rng.New(1))
+	if r.Completed || r.Reason != sim.FailBadConfig {
+		t.Fatalf("unknown frequency: got completed=%v reason=%q, want %q",
+			r.Completed, r.Reason, sim.FailBadConfig)
+	}
 }
 
 func TestAdaptiveTMRRescuesHighUtilisation(t *testing.T) {

@@ -75,6 +75,17 @@ type Scheme = sim.Scheme
 // Trace records the execution timeline of a run when attached to Params.
 type Trace = sim.Trace
 
+// RunContext is a reusable per-worker execution context: one engine
+// (with its meter, fault-process and checkpoint-store buffers), one
+// random stream and the schemes' plan caches. Loops that simulate many
+// runs on one goroutine reuse a context via RunWithContext to avoid
+// per-run allocation; results are bit-identical to the plain Run path.
+type RunContext = sim.RunContext
+
+// NewRunContext returns an empty context ready for its first run.
+// A context must not be shared between goroutines.
+func NewRunContext() *RunContext { return sim.NewRunContext() }
+
 // CPUModel is a DVS processor description.
 type CPUModel = cpu.Model
 
@@ -134,14 +145,24 @@ func Run(s Scheme, p Params, seed uint64) Result {
 	return s.Run(p, rng.New(seed))
 }
 
+// RunWithContext is Run through a reusable context: equal seeds give
+// results bit-identical to Run, without the per-run allocations.
+func RunWithContext(rc *RunContext, s Scheme, p Params, seed uint64) Result {
+	return sim.RunScheme(rc, s, p, rc.Reseed(seed))
+}
+
 // MonteCarlo repeats Run reps times with independent seeds derived from
 // seed and aggregates the paper's metrics: P (probability of timely
 // completion) and E (mean energy over timely completions; NaN if none).
+// The loop runs through one internal context; per-rep seeds come from
+// the base stream's successive outputs exactly as the uncontexted loop's
+// Split calls did, so summaries are unchanged.
 func MonteCarlo(s Scheme, p Params, reps int, seed uint64) Summary {
 	src := rng.New(seed)
+	rc := sim.NewRunContext()
 	var cell stats.Cell
 	for i := 0; i < reps; i++ {
-		r := s.Run(p, src.Split())
+		r := sim.RunScheme(rc, s, p, rc.Reseed(src.Uint64()))
 		cell.ObserveRun(r.Completed, r.SilentCorruption,
 			r.Energy, r.Time, float64(r.Faults), float64(r.Switches))
 	}
