@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check golden bench
+.PHONY: build test vet race check golden bench fuzz-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,15 @@ golden:
 # path) and record the numbers in BENCH_simstack.json.
 bench:
 	$(GO) run ./cmd/simbench -out BENCH_simstack.json
+
+# Short native-fuzz smoke (~30s): the planner over its whole input
+# envelope and the model-vs-simulation validators. CI runs this; longer
+# local campaigns just raise -fuzztime.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzPlannerChoose -fuzztime 15s ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzValidateParams -fuzztime 15s ./internal/validate/
+
+# The chaos soak: the serve job service under fault injection, race
+# detector on.
+chaos:
+	$(GO) test -race -run Chaos -v ./internal/serve/...

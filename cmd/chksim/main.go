@@ -9,14 +9,19 @@
 //	chksim -scheme A_D_S -u 0.78 -lambda 0.0014 -k 5 -reps 10000
 //	chksim -scheme A_D_C -setting ccp -u 0.95 -lambda 1e-4 -k 1
 //	chksim -scheme Poisson -freq 2 -u 0.76 -lambda 0.0014 -trace
+//
+// Exit codes: 0 on success, 1 on a runtime failure, 2 on a flag value
+// the command cannot act on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -28,7 +33,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chksim: ")
+	if err := run(); err != nil {
+		log.Print(err)
+		os.Exit(cli.ExitCode(err))
+	}
+}
 
+func run() error {
 	var (
 		schemeName = flag.String("scheme", "A_D_S", "scheme: Poisson | k-f-t | A_D | A_D_S | A_D_C | adapchp-SCP | adapchp-CCP | TMR")
 		setting    = flag.String("setting", "scp", "cost setting: scp (ts=2,tcp=20) or ccp (ts=20,tcp=2)")
@@ -51,7 +62,7 @@ func main() {
 	case "ccp":
 		costs = checkpoint.CCPSetting()
 	default:
-		log.Fatalf("unknown -setting %q (want scp or ccp)", *setting)
+		return cli.Usagef("unknown -setting %q (want scp or ccp)", *setting)
 	}
 
 	var scheme sim.Scheme
@@ -73,16 +84,16 @@ func main() {
 	case "TMR":
 		scheme = tmr.New(*freq)
 	default:
-		log.Fatalf("unknown -scheme %q", *schemeName)
+		return cli.Usagef("unknown -scheme %q", *schemeName)
 	}
 
 	tk, err := task.FromUtilization("cli", *u, *uFreq, *deadline, *k)
 	if err != nil {
-		log.Fatal(err)
+		return cli.Usagef("%v", err)
 	}
 	params := sim.Params{Task: tk, Costs: costs, Lambda: *lambda}
 	if err := params.Validate(); err != nil {
-		log.Fatal(err)
+		return cli.Usagef("%v", err)
 	}
 
 	if *trace {
@@ -94,7 +105,7 @@ func main() {
 		fmt.Print(tr.String())
 		fmt.Printf("\ncompleted=%v reason=%q time=%.1f energy=%.0f faults=%d detections=%d cscps=%d subs=%d switches=%d\n",
 			r.Completed, r.Reason, r.Time, r.Energy, r.Faults, r.Detections, r.CSCPs, r.SubCheckpoints, r.Switches)
-		return
+		return nil
 	}
 
 	// One run context for the whole repetition loop: engine and plan
@@ -112,4 +123,5 @@ func main() {
 	fmt.Printf("P = %.4f ± %.4f\n", s.P, s.PCI)
 	fmt.Printf("E = %.0f ± %.0f (over timely completions)\n", s.E, s.ECI)
 	fmt.Printf("mean faults/run = %.2f, mean speed switches/run = %.2f\n", s.MeanFaults, s.MeanSwitches)
+	return nil
 }

@@ -17,16 +17,21 @@
 //	degrade -coverage 1,0.98,0.9 -corrupt 0.08
 //	degrade -permanent 0,2e-7 -frames 20000
 //	degrade -vulnerable=false -corrupt 0.2
+//
+// Exit codes: 0 on success, 1 on a runtime failure, 2 on a flag value
+// the command cannot act on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mission"
@@ -35,22 +40,28 @@ import (
 )
 
 // parseList splits a comma-separated flag into floats.
-func parseList(name, s string) []float64 {
+func parseList(name, s string) ([]float64, error) {
 	var out []float64
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
-			log.Fatalf("bad -%s entry %q: %v", name, part, err)
+			return nil, cli.Usagef("bad -%s entry %q: %v", name, part, err)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("degrade: ")
+	if err := run(); err != nil {
+		log.Print(err)
+		os.Exit(cli.ExitCode(err))
+	}
+}
 
+func run() error {
 	var (
 		u          = flag.Float64("u", 0.78, "frame utilisation U = N/(f1·D)")
 		lambda     = flag.Float64("lambda", 0.0014, "transient fault rate")
@@ -71,12 +82,20 @@ func main() {
 	if *setting == "ccp" {
 		costs = checkpoint.CCPSetting()
 	} else if *setting != "scp" {
-		log.Fatalf("unknown -setting %q", *setting)
+		return cli.Usagef("unknown -setting %q", *setting)
 	}
 
 	tk, err := task.FromUtilization("frame", *u, 1, 10000, *k)
 	if err != nil {
-		log.Fatal(err)
+		return cli.Usagef("%v", err)
+	}
+	covList, err := parseList("coverage", *coverages)
+	if err != nil {
+		return err
+	}
+	permList, err := parseList("permanent", *permanents)
+	if err != nil {
+		return err
 	}
 
 	schemes := []sim.Scheme{
@@ -91,8 +110,8 @@ func main() {
 	fmt.Printf("imperfection: corrupt=%.3g vulnerable=%v; battery %.3g, budget %d frames\n",
 		*corrupt, *vulnerable, *capacity, *frames)
 
-	for _, cov := range parseList("coverage", *coverages) {
-		for _, perm := range parseList("permanent", *permanents) {
+	for _, cov := range covList {
+		for _, perm := range permList {
 			im := fault.Imperfection{
 				Coverage:             cov,
 				StoreCorruption:      *corrupt,
@@ -110,7 +129,7 @@ func main() {
 			fmt.Println("scheme            frames   misses    wrong degraded  E/frame   end")
 			reports, err := mission.Compare(cfg, schemes, *seed)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			for i, r := range reports {
 				fmt.Printf("%-16s  %6d   %6d   %6d   %6d  %8.0f  %s\n",
@@ -119,4 +138,5 @@ func main() {
 			}
 		}
 	}
+	return nil
 }

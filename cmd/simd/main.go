@@ -1,0 +1,137 @@
+// Command simd is the long-running simulation service: an HTTP/JSON
+// job API over the experiment-grid and mission engines, with a bounded
+// admission queue, per-job deadlines, panic isolation, retry with
+// backoff, and graceful drain that persists an unfinished-job manifest.
+//
+// Usage:
+//
+//	simd -listen :8080
+//	simd -listen :8080 -queue 128 -workers 8 -deadline 2m -drain 15s
+//	simd -chaos-panic 0.1 -chaos-straggle 0.2      # self-test under chaos
+//
+// Submit a Table 1a grid job and fetch it:
+//
+//	curl -s -XPOST localhost:8080/v1/jobs \
+//	  -d '{"kind":"grid","table":"1a","reps":2000,"seed":2006,"deadline_ms":60000}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//
+// Overload answers 503 with a Retry-After header instead of queueing
+// unboundedly; /readyz flips before that point so balancers can back
+// off first. SIGINT/SIGTERM triggers a drain: accepted jobs finish
+// within -drain, the rest are aborted and written to -manifest.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("simd: ")
+	if err := run(); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen   = flag.String("listen", ":8080", "HTTP listen address")
+		queue    = flag.Int("queue", 64, "admission queue depth (beyond it, submissions shed with 503)")
+		workers  = flag.Int("workers", 4, "concurrent job executors")
+		gridW    = flag.Int("grid-workers", 1, "worker-pool size inside one grid job")
+		deadline = flag.Duration("deadline", time.Minute, "default per-job deadline")
+		maxDl    = flag.Duration("max-deadline", 10*time.Minute, "cap on client-requested deadlines")
+		retries  = flag.Int("retries", 2, "retry budget for transient failures")
+		drain    = flag.Duration("drain", 10*time.Second, "shutdown drain deadline")
+		manifest = flag.String("manifest", "simd-manifest.json", "unfinished-job manifest path (empty disables)")
+
+		chaosPanic    = flag.Float64("chaos-panic", 0, "inject synthetic panics at this rate (self-test)")
+		chaosError    = flag.Float64("chaos-error", 0, "inject transient failures at this rate")
+		chaosCancel   = flag.Float64("chaos-cancel", 0, "inject spurious cancellations at this rate")
+		chaosStraggle = flag.Float64("chaos-straggle", 0, "inject straggler delays at this rate")
+		chaosDelay    = flag.Duration("chaos-delay", 50*time.Millisecond, "straggler delay")
+		chaosSeed     = flag.Uint64("chaos-seed", 1, "chaos draw seed")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		GridWorkers:    *gridW,
+		DefaultTimeout: *deadline,
+		MaxTimeout:     *maxDl,
+		MaxRetries:     *retries,
+		ManifestPath:   *manifest,
+		Logf:           log.Printf,
+	}
+	if *chaosPanic+*chaosError+*chaosCancel+*chaosStraggle > 0 {
+		inj := chaos.New(chaos.Config{
+			Seed:           *chaosSeed,
+			PanicProb:      *chaosPanic,
+			ErrorProb:      *chaosError,
+			CancelProb:     *chaosCancel,
+			CancelAfter:    *chaosDelay / 2,
+			StragglerProb:  *chaosStraggle,
+			StragglerDelay: *chaosDelay,
+		})
+		cfg.Intercept = inj.Intercept
+		log.Printf("chaos injection enabled: panic=%g error=%g cancel=%g straggle=%g",
+			*chaosPanic, *chaosError, *chaosCancel, *chaosStraggle)
+	}
+
+	srv := serve.New(cfg)
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (queue %d, %d workers, %v default deadline)",
+			*listen, *queue, *workers, *deadline)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		log.Printf("received %v, draining (deadline %v)", got, *drain)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	m, err := srv.Shutdown(drainCtx)
+	if err != nil {
+		log.Printf("drain error: %v", err)
+	}
+	if len(m.Jobs) > 0 {
+		log.Printf("%d jobs unfinished (drained=%v), persisted to manifest", len(m.Jobs), m.Drained)
+	} else {
+		log.Printf("drained cleanly")
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancelHTTP()
+	if herr := httpSrv.Shutdown(httpCtx); herr != nil && err == nil {
+		err = herr
+	}
+	c := srv.Counters()
+	log.Printf("final: accepted=%d shed=%d completed=%d failed=%d canceled=%d retries=%d panics=%d",
+		c.Accepted, c.Shed, c.Completed, c.Failed, c.Canceled, c.Retries, c.Panics)
+	return err
+}

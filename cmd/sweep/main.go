@@ -7,14 +7,19 @@
 //	sweep -kind lambda -from 2e-4 -to 2e-3 -steps 10
 //	sweep -kind u -from 0.70 -to 0.95 -steps 11
 //	sweep -kind costratio -from 0.05 -to 0.95 -steps 10
+//
+// Exit codes: 0 on success, 1 on a runtime failure, 2 on a flag value
+// the command cannot act on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -23,7 +28,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
+	if err := run(); err != nil {
+		log.Print(err)
+		os.Exit(cli.ExitCode(err))
+	}
+}
 
+func run() error {
 	var (
 		kind    = flag.String("kind", "lambda", "swept parameter: lambda | u | costratio")
 		from    = flag.Float64("from", 2e-4, "first swept value")
@@ -39,7 +50,7 @@ func main() {
 	flag.Parse()
 
 	if *steps < 2 {
-		log.Fatal("-steps must be at least 2")
+		return cli.Usagef("-steps must be at least 2")
 	}
 	values := make([]float64, *steps)
 	for i := range values {
@@ -50,7 +61,7 @@ func main() {
 	if *setting == "ccp" {
 		costs = checkpoint.CCPSetting()
 	} else if *setting != "scp" {
-		log.Fatalf("unknown -setting %q", *setting)
+		return cli.Usagef("unknown -setting %q", *setting)
 	}
 
 	cfg := sweep.Config{
@@ -78,11 +89,12 @@ func main() {
 	case "costratio":
 		ser, err = sweep.CostRatio(cfg, schemes, values)
 	default:
-		log.Fatalf("unknown -kind %q", *kind)
+		return cli.Usagef("unknown -kind %q", *kind)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("# %s (U=%g λ=%g k=%d reps=%d)\n", ser.Name, *u, *lambda, *k, *reps)
 	fmt.Print(ser.CSV())
+	return nil
 }

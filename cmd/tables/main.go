@@ -11,6 +11,10 @@
 //	tables -compare            # paper-vs-measured columns
 //	tables -csv                # machine-readable output
 //	tables -shape              # check the qualitative claims
+//
+// Exit codes: 0 on success, 1 on a runtime failure, 2 on a flag value
+// the command cannot act on, 3 when -shape finds a qualitative claim
+// violated (the tables are still printed first).
 package main
 
 import (
@@ -20,13 +24,20 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiment"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tables: ")
+	if err := run(); err != nil {
+		log.Print(err)
+		os.Exit(cli.ExitCode(err))
+	}
+}
 
+func run() error {
 	var (
 		tableID = flag.String("table", "", "sub-table to run (1a…4b); empty = all")
 		reps    = flag.Int("reps", experiment.DefaultReps, "Monte-Carlo repetitions per cell")
@@ -50,15 +61,16 @@ func main() {
 	if *tableID != "" {
 		spec, err := experiment.TableByID(*tableID)
 		if err != nil {
-			log.Fatal(err)
+			return cli.Usagef("%v", err)
 		}
 		specs = []experiment.Spec{spec}
 	}
 
+	shapeFails := 0
 	for _, spec := range specs {
 		tbl, err := runner.RunTable(spec)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		switch {
 		case *csv:
@@ -69,7 +81,13 @@ func main() {
 			fmt.Println(tbl.Markdown())
 		}
 		if *shape {
-			fmt.Println(strings.Join(tbl.ShapeReport(), "\n"))
+			lines := tbl.ShapeReport()
+			for _, line := range lines {
+				if strings.Contains(line, "[FAIL]") {
+					shapeFails++
+				}
+			}
+			fmt.Println(strings.Join(lines, "\n"))
 			fmt.Println()
 		}
 		if *score {
@@ -82,4 +100,8 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if shapeFails > 0 {
+		return cli.Checkf("shape check: %d qualitative claim(s) violated", shapeFails)
+	}
+	return nil
 }

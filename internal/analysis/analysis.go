@@ -184,20 +184,28 @@ func ContinuousMinimizer(p Params, kind checkpoint.Kind, t float64) float64 {
 // the integers bracketing t/T̃ and walk downhill. The renewal curves are
 // unimodal in m, so the local minimum found is global. The walk also
 // repairs the expansion error of the CCP closed form.
+// maxSubCount bounds the sub-interval count search. Sane environments
+// optimise to a handful of sub-intervals; the bound only bites in
+// degenerate corners — a T/T̃ ratio so large that rounding it would
+// overflow the int conversion, or a zero sub-checkpoint cost that makes
+// the renewal curve monotone decreasing so the integer walk would spin
+// until float differences vanish.
+const maxSubCount = 1 << 20
+
 func NumSub(p Params, kind checkpoint.Kind, t float64) int {
-	if t <= 0 {
+	if !(t > 0) {
 		panic(fmt.Sprintf("analysis: NumSub requires T>0, got %v", t))
 	}
 	f := func(m int) float64 { return intervalExpectedTime(p, kind, t, t/float64(m)) }
 	tilde := ContinuousMinimizer(p, kind, t)
 	m := 1
 	if tilde < t {
-		m = int(math.Max(1, math.Round(t/tilde)))
+		m = int(math.Max(1, math.Min(math.Round(t/tilde), maxSubCount)))
 	}
 	for m > 1 && f(m-1) <= f(m) {
 		m--
 	}
-	for f(m+1) < f(m) {
+	for m < maxSubCount && f(m+1) < f(m) {
 		m++
 	}
 	return m
@@ -208,7 +216,7 @@ func NumSub(p Params, kind checkpoint.Kind, t float64) int {
 // kept for the ablation bench comparing it against NumSub's closed-form
 // fast path; both agree with the brute-force oracle in tests.
 func NumSubGolden(p Params, kind checkpoint.Kind, t float64) int {
-	if t <= 0 {
+	if !(t > 0) {
 		panic(fmt.Sprintf("analysis: NumSubGolden requires T>0, got %v", t))
 	}
 	f := func(sub float64) float64 { return intervalExpectedTime(p, kind, t, sub) }
@@ -222,7 +230,7 @@ func NumSubGolden(p Params, kind checkpoint.Kind, t float64) int {
 	if tilde >= t {
 		return 1
 	}
-	m := math.Floor(t / tilde)
+	m := math.Min(math.Floor(t/tilde), maxSubCount)
 	if m < 1 {
 		return 1
 	}

@@ -1,0 +1,143 @@
+// Package chaos is the fault-injection harness for the serve layer: an
+// Interceptor that wraps every job attempt and, with configured
+// probabilities, delays it (straggler), panics (synthetic crash),
+// spuriously cancels its attempt context mid-run, or fails it with a
+// transient error. The injections exercise exactly the failure modes
+// the service claims to survive — panic isolation, retry, deadline
+// enforcement, drain — while leaving the simulation engines untouched,
+// so any completed result must still be bit-for-bit deterministic.
+//
+// Draws come from a private deterministic stream, so a soak run's
+// injection mix is reproducible per seed (the interleaving across
+// workers is scheduling-dependent, as real faults are).
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// Config sets the injection mix. Probabilities are evaluated
+// independently per attempt, in the order panic, error, cancel,
+// straggle — at most one injection fires per attempt (the first that
+// hits), so rates compose predictably.
+type Config struct {
+	// Seed feeds the deterministic draw stream.
+	Seed uint64
+	// PanicProb panics the attempt (isolated by the worker; the job
+	// fails with the stack recorded unless retries remain for other
+	// reasons — panics themselves are not retried).
+	PanicProb float64
+	// ErrorProb fails the attempt with a transient error (retried).
+	ErrorProb float64
+	// CancelProb spuriously cancels the attempt's context after
+	// CancelAfter; the worker classifies it transient and retries.
+	CancelProb float64
+	// CancelAfter delays the spurious cancellation so it lands mid-run.
+	CancelAfter time.Duration
+	// StragglerProb delays the attempt by StragglerDelay before it
+	// runs, modelling a stalled worker; the delay respects the attempt
+	// context, so deadlines and drains still cut it short.
+	StragglerProb float64
+	// StragglerDelay is the added latency.
+	StragglerDelay time.Duration
+}
+
+// Stats counts injections by kind.
+type Stats struct {
+	Attempts, Panics, Errors, Cancels, Stragglers int64
+}
+
+// Injector implements serve.Interceptor with the configured mix.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	src *rng.Source
+
+	attempts, panics, errs, cancels, stragglers atomic.Int64
+}
+
+// New builds an injector.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, src: rng.New(cfg.Seed)}
+}
+
+// Stats snapshots the injection counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Attempts:   in.attempts.Load(),
+		Panics:     in.panics.Load(),
+		Errors:     in.errs.Load(),
+		Cancels:    in.cancels.Load(),
+		Stragglers: in.stragglers.Load(),
+	}
+}
+
+// injection is one attempt's drawn fate.
+type injection int
+
+const (
+	injNone injection = iota
+	injPanic
+	injError
+	injCancel
+	injStraggle
+)
+
+// draw picks the attempt's fate from the shared stream.
+func (in *Injector) draw() injection {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	roll := in.src.Float64()
+	c := &in.cfg
+	switch {
+	case roll < c.PanicProb:
+		return injPanic
+	case roll < c.PanicProb+c.ErrorProb:
+		return injError
+	case roll < c.PanicProb+c.ErrorProb+c.CancelProb:
+		return injCancel
+	case roll < c.PanicProb+c.ErrorProb+c.CancelProb+c.StragglerProb:
+		return injStraggle
+	}
+	return injNone
+}
+
+// Intercept is the serve.Interceptor: it injects the drawn fault around
+// next. It must be registered as Config.Intercept on the server.
+func (in *Injector) Intercept(ctx context.Context, cancel context.CancelFunc, spec serve.JobSpec, next serve.Exec) (any, error) {
+	in.attempts.Add(1)
+	switch in.draw() {
+	case injPanic:
+		in.panics.Add(1)
+		panic(fmt.Sprintf("chaos: synthetic panic (%s job)", spec.Kind))
+	case injError:
+		in.errs.Add(1)
+		return nil, serve.Transient(errors.New("chaos: injected transient failure"))
+	case injCancel:
+		in.cancels.Add(1)
+		// Cancel the attempt context mid-run: the engine unwinds with
+		// context.Canceled while the job deadline is still live, which
+		// the worker must classify as retryable.
+		t := time.AfterFunc(in.cfg.CancelAfter, cancel)
+		defer t.Stop()
+	case injStraggle:
+		in.stragglers.Add(1)
+		timer := time.NewTimer(in.cfg.StragglerDelay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+	}
+	return next(ctx)
+}

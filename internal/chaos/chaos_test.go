@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// collect runs n attempts through the injector with a pass-through
+// executor and returns the sequence of observed fates.
+func collect(in *Injector, n int) []string {
+	fates := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fates = append(fates, "panic")
+				}
+			}()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			_, err := in.Intercept(ctx, cancel, serve.JobSpec{Kind: serve.JobSingle},
+				func(ctx context.Context) (any, error) { return "ok", nil })
+			switch {
+			case err == nil:
+				fates = append(fates, "ok")
+			case serve.IsTransient(err):
+				fates = append(fates, "transient")
+			default:
+				fates = append(fates, "err")
+			}
+		}()
+	}
+	return fates
+}
+
+func TestInjectionMixIsDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 99, PanicProb: 0.2, ErrorProb: 0.3}
+	a := collect(New(cfg), 200)
+	b := collect(New(cfg), 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between same-seed injectors: %s vs %s", i, a[i], b[i])
+		}
+	}
+	kinds := map[string]int{}
+	for _, f := range a {
+		kinds[f]++
+	}
+	if kinds["panic"] == 0 || kinds["transient"] == 0 || kinds["ok"] == 0 {
+		t.Fatalf("mix did not realise all configured fates: %v", kinds)
+	}
+	st := New(cfg)
+	collect(st, 200)
+	s := st.Stats()
+	if s.Attempts != 200 || s.Panics != int64(kinds["panic"]) || s.Errors != int64(kinds["transient"]) {
+		t.Errorf("stats %+v disagree with observed mix %v", s, kinds)
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{Seed: 1})
+	for _, f := range collect(in, 100) {
+		if f != "ok" {
+			t.Fatalf("zero-probability injector produced %q", f)
+		}
+	}
+	if s := in.Stats(); s.Panics+s.Errors+s.Cancels+s.Stragglers != 0 {
+		t.Errorf("zero-probability injector counted injections: %+v", s)
+	}
+}
+
+func TestSpuriousCancelFiresAttemptContext(t *testing.T) {
+	in := New(Config{Seed: 5, CancelProb: 1, CancelAfter: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := in.Intercept(ctx, cancel, serve.JobSpec{Kind: serve.JobSingle},
+		func(ctx context.Context) (any, error) {
+			<-ctx.Done() // a long-running attempt: only the injection ends it
+			return nil, ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestStragglerRespectsContext(t *testing.T) {
+	in := New(Config{Seed: 5, StragglerProb: 1, StragglerDelay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := in.Intercept(ctx, cancel, serve.JobSpec{Kind: serve.JobSingle},
+		func(ctx context.Context) (any, error) { return "ok", nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("straggler ignored the attempt context")
+	}
+}

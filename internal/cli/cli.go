@@ -1,0 +1,49 @@
+// Package cli fixes the exit-code conventions shared by the repo's
+// commands, so scripts and CI can branch on them:
+//
+//	0  success
+//	1  runtime failure (simulation error, I/O, ...)
+//	2  usage error — a flag value the command cannot act on (matching
+//	   the exit code the flag package uses for unparsable flags)
+//	3  failed check — the command ran fine but what it verified did
+//	   not hold (e.g. `tables -shape` finding a qualitative claim
+//	   violated)
+package cli
+
+import (
+	"errors"
+	"fmt"
+)
+
+// kindError tags an error with its exit code.
+type kindError struct {
+	code int
+	err  error
+}
+
+func (e *kindError) Error() string { return e.err.Error() }
+func (e *kindError) Unwrap() error { return e.err }
+
+// Usagef builds a usage error (exit code 2).
+func Usagef(format string, args ...any) error {
+	return &kindError{code: 2, err: fmt.Errorf(format, args...)}
+}
+
+// Checkf builds a failed-check error (exit code 3).
+func Checkf(format string, args ...any) error {
+	return &kindError{code: 3, err: fmt.Errorf(format, args...)}
+}
+
+// ExitCode maps an error from a command's run function to its process
+// exit code: nil is 0, tagged errors carry their own code, anything
+// else is a runtime failure.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ke *kindError
+	if errors.As(err, &ke) {
+		return ke.code
+	}
+	return 1
+}

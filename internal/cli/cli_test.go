@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("boom"), 1},
+		{Usagef("bad -x %q", "y"), 2},
+		{Checkf("%d claims violated", 3), 3},
+		{fmt.Errorf("wrapped: %w", Usagef("bad flag")), 2},
+		{fmt.Errorf("wrapped: %w", Checkf("failed")), 3},
+	} {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestTaggedErrorsFormatAndUnwrap(t *testing.T) {
+	base := Usagef("unknown -kind %q", "bogus")
+	if got := base.Error(); got != `unknown -kind "bogus"` {
+		t.Errorf("message %q", got)
+	}
+	inner := errors.New("root cause")
+	wrapped := Checkf("check: %w", inner)
+	if !errors.Is(wrapped, inner) {
+		t.Error("tagged error does not unwrap to its cause")
+	}
+}

@@ -173,7 +173,10 @@ func (pl *Planner) compute(rc, rd, lam float64, rf int) Plan {
 	s := &pl.cfg
 	var pt cpu.OperatingPoint
 	if s.DVS {
-		pt = s.pickSpeed(pl.model, pl.costs.CSCPCycles(), lam, rc, rd)
+		// The degenerate rc ≤ 0 corner (handled below) must not reach
+		// TEst, which requires non-negative work; clamping leaves every
+		// rc > 0 state untouched.
+		pt = s.pickSpeed(pl.model, pl.costs.CSCPCycles(), lam, math.Max(rc, 0), rd)
 	} else {
 		if pl.fixedBad {
 			return Plan{BadConfig: true}

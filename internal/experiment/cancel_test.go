@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunTableCtxCancelMidGrid cancels the context from the OnCell hook
+// after a few cells have finished — the mid-flight shape a draining
+// serve worker produces — and checks the contract the service relies
+// on: the run returns promptly, the error is context.Canceled, and the
+// partial table marks exactly which cells completed.
+func TestRunTableCtxCancelMidGrid(t *testing.T) {
+	spec, err := TableByID("1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const cancelAfter = 3
+	r := Runner{Reps: 5000, Seed: 9, Workers: 2}
+	r.OnCell = func(done, total int) {
+		if done == cancelAfter {
+			cancel()
+		}
+	}
+
+	start := time.Now()
+	tbl, err := r.RunTableCtx(ctx, spec)
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("mid-grid cancellation returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, not context.Canceled", err)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %T does not carry cell coordinates", err)
+	}
+	if ce.Table != spec.ID || ce.Seed == 0 {
+		t.Errorf("cell error missing coordinates or seed: %+v", ce)
+	}
+	if ce.Seed != r.cellSeed(spec.ID, ce.U, ce.Lambda, ce.Scheme) {
+		t.Errorf("cell error seed %d does not reproduce the cell", ce.Seed)
+	}
+	// Prompt return: the engines poll the context every few hundred
+	// repetitions, so cancellation must not wait for the remaining
+	// ~37 cells × 5000 reps (seconds of work).
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled run took %v", elapsed)
+	}
+
+	// The partial table is unambiguous: done cells are marked, pending
+	// ones are not, and the count is in the interrupted middle.
+	done, total := tbl.CellsDone()
+	if total != len(spec.Us)*len(spec.Lambdas)*len(spec.Schemes()) {
+		t.Fatalf("partial table total %d", total)
+	}
+	if done < cancelAfter || done == total {
+		t.Errorf("done = %d of %d, want interrupted middle ≥ %d", done, total, cancelAfter)
+	}
+	marked := 0
+	for _, row := range tbl.Rows {
+		for _, cell := range row.Cells {
+			if cell.Done {
+				marked++
+				if cell.P < 0 || cell.P > 1 {
+					t.Errorf("done cell %s has P=%v", cell.Scheme, cell.P)
+				}
+			}
+		}
+	}
+	if marked != done {
+		t.Errorf("Done flags (%d) disagree with CellsDone (%d)", marked, done)
+	}
+}
+
+// TestRunTableCtxCancelledCellsMatchFullRun pins the partial-result
+// guarantee: cells a cancelled run did finish are bit-identical to the
+// same cells of an uninterrupted run.
+func TestRunTableCtxCancelledCellsMatchFullRun(t *testing.T) {
+	spec, err := TableByID("1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Us = spec.Us[:2]
+	spec.Lambdas = spec.Lambdas[:1]
+
+	full, err := Runner{Reps: 200, Seed: 6, Workers: 2}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := Runner{Reps: 200, Seed: 6, Workers: 2}
+	r.OnCell = func(done, total int) {
+		if done == 4 {
+			cancel()
+		}
+	}
+	part, err := r.RunTableCtx(ctx, spec)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+
+	matched := 0
+	for i, row := range part.Rows {
+		for j, cell := range row.Cells {
+			if !cell.Done {
+				continue
+			}
+			want := full.Rows[i].Cells[j]
+			want.Done = cell.Done // full runs may not mark; compare the summary only
+			if cell != want {
+				t.Errorf("done cell [%d][%d] %s differs from uninterrupted run", i, j, cell.Scheme)
+			}
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Error("no completed cells to compare — cancellation landed before any cell finished")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 
@@ -111,6 +112,11 @@ func TableByID(id string) (Spec, error) {
 // CellResult is one (scheme × grid point) outcome.
 type CellResult struct {
 	Scheme string
+	// Done marks a cell whose Summary was actually computed. Cells of a
+	// cancelled or failed table run keep Done=false, so partial tables
+	// are unambiguous: a zero Summary with Done=false was never run, not
+	// measured as zero.
+	Done bool
 	stats.Summary
 }
 
@@ -128,6 +134,49 @@ type Table struct {
 	Rows []Row
 }
 
+// CellsDone counts finished cells against the table's total — the
+// progress/partiality view callers of RunTableCtx use after an error or
+// a cancellation.
+func (t Table) CellsDone() (done, total int) {
+	for _, r := range t.Rows {
+		for _, c := range r.Cells {
+			total++
+			if c.Done {
+				done++
+			}
+		}
+	}
+	return done, total
+}
+
+// CellError identifies a failed grid cell with everything needed to
+// reproduce it in isolation: the sub-table, the grid coordinates, the
+// scheme column and the derived cell seed. Err holds the underlying
+// failure; for a panicking scheme, Panicked is set and Stack carries the
+// goroutine stack captured at recovery time.
+type CellError struct {
+	Table     string
+	U, Lambda float64
+	Scheme    string
+	// Seed is the derived per-cell seed (Runner.cellSeed output): rerun
+	// the cell's repetitions with mix(Seed, rep) streams to reproduce.
+	Seed     uint64
+	Panicked bool
+	Stack    []byte
+	Err      error
+}
+
+func (e *CellError) Error() string {
+	verb := "failed"
+	if e.Panicked {
+		verb = "panicked"
+	}
+	return fmt.Sprintf("experiment: cell %s U=%.2f λ=%g %s (cell seed %d) %s: %v",
+		e.Table, e.U, e.Lambda, e.Scheme, e.Seed, verb, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
 // Runner executes specs with deterministic seeding.
 type Runner struct {
 	// Reps per cell; zero means DefaultReps.
@@ -139,6 +188,13 @@ type Runner struct {
 	Workers int
 	// Progress, when non-nil, receives a line per completed cell.
 	Progress func(format string, args ...any)
+	// OnCell, when non-nil, is called after every successfully finished
+	// cell with the running done count and the table's cell total. It is
+	// invoked under the runner's internal lock (calls are serialised, in
+	// completion order) — the job-level progress hook long-running
+	// callers (the serve layer) surface to their clients. It must not
+	// block.
+	OnCell func(done, total int)
 }
 
 func (r Runner) reps() int {
@@ -228,14 +284,30 @@ func (r Runner) runCell(ctx context.Context, rctx *sim.RunContext, spec Spec, sc
 // safeCell runs one cell, converting a panicking scheme into an error so
 // a single bad cell cannot take the whole table's worker pool down. The
 // context stays reusable afterwards: the next run fully resets it.
+// Every failure — panic or plain error — comes back as a *CellError
+// carrying the cell coordinates and the derived cell seed, so a failed
+// cell is reproducible from the error alone.
 func (r Runner) safeCell(ctx context.Context, rctx *sim.RunContext, spec Spec, scheme sim.Scheme, u, lambda float64) (sum stats.Summary, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("experiment: cell %s U=%.2f λ=%g %s panicked: %v",
-				spec.ID, u, lambda, scheme.Name(), p)
+			err = &CellError{
+				Table: spec.ID, U: u, Lambda: lambda, Scheme: scheme.Name(),
+				Seed:     r.cellSeed(spec.ID, u, lambda, scheme.Name()),
+				Panicked: true,
+				Stack:    debug.Stack(),
+				Err:      fmt.Errorf("%v", p),
+			}
 		}
 	}()
-	return r.runCell(ctx, rctx, spec, scheme, u, lambda)
+	sum, err = r.runCell(ctx, rctx, spec, scheme, u, lambda)
+	if err != nil {
+		err = &CellError{
+			Table: spec.ID, U: u, Lambda: lambda, Scheme: scheme.Name(),
+			Seed: r.cellSeed(spec.ID, u, lambda, scheme.Name()),
+			Err:  err,
+		}
+	}
+	return sum, err
 }
 
 // RunTable runs every cell of a spec, parallelising across cells.
@@ -277,7 +349,9 @@ func (r Runner) RunTableCtx(ctx context.Context, spec Spec) (Table, error) {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		done     int
 	)
+	total := len(jobs)
 	jobCh := make(chan job)
 	for w := 0; w < r.workers(); w++ {
 		wg.Add(1)
@@ -295,9 +369,14 @@ func (r Runner) RunTableCtx(ctx context.Context, spec Spec) (Table, error) {
 					continue
 				}
 				rows[j.rowIdx].Cells[j.colIdx].Summary = sum
+				rows[j.rowIdx].Cells[j.colIdx].Done = true
+				done++
 				if r.Progress != nil {
 					r.Progress("table %s U=%.2f λ=%g %-14s P=%.4f E=%.0f",
 						spec.ID, j.u, j.lambda, j.scheme.Name(), sum.P, sum.E)
+				}
+				if r.OnCell != nil {
+					r.OnCell(done, total)
 				}
 				mu.Unlock()
 			}

@@ -9,6 +9,7 @@
 package mission
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -105,6 +106,9 @@ const (
 	EndDeadlineMiss EndReason = "deadline-miss"
 	// EndReplicasLost: permanent faults killed both replicas.
 	EndReplicasLost EndReason = "replicas-lost"
+	// EndCancelled: the caller's context fired mid-mission; the report is
+	// a partial accounting of the frames flown before the cancellation.
+	EndCancelled EndReason = "cancelled"
 )
 
 // Report summarises a mission.
@@ -136,6 +140,14 @@ type Report struct {
 
 // Run executes the mission, seeded deterministically.
 func Run(cfg Config, seed uint64) (Report, error) {
+	return RunCtx(context.Background(), cfg, seed)
+}
+
+// RunCtx is Run with cancellation: the frame loop polls ctx between
+// frames and, once it fires, returns the partial report (Reason
+// EndCancelled) together with ctx.Err(). Polling consumes no randomness,
+// so an unfired context leaves trajectories bit-for-bit unchanged.
+func RunCtx(ctx context.Context, cfg Config, seed uint64) (Report, error) {
 	if err := cfg.validate(); err != nil {
 		return Report{}, err
 	}
@@ -166,6 +178,12 @@ func Run(cfg Config, seed uint64) (Report, error) {
 	rctx := sim.NewRunContext()
 
 	for f := 0; f < cfg.MaxFrames; f++ {
+		if f&0x3f == 0 && ctx.Err() != nil {
+			rep.Reason = EndCancelled
+			rep.FinalCharge = pack.Charge()
+			rep.FrameEnergy = cell.Summary()
+			return rep, ctx.Err()
+		}
 		if !degraded && elapsed >= perm1 {
 			degraded = true
 			rep.PermanentFaults++
@@ -216,11 +234,17 @@ func Run(cfg Config, seed uint64) (Report, error) {
 // reports in order — the scheme-selection view the paper's platforms
 // care about.
 func Compare(cfg Config, schemes []sim.Scheme, seed uint64) ([]Report, error) {
+	return CompareCtx(context.Background(), cfg, schemes, seed)
+}
+
+// CompareCtx is Compare with cancellation, stopping at the first scheme
+// whose mission the context interrupts.
+func CompareCtx(ctx context.Context, cfg Config, schemes []sim.Scheme, seed uint64) ([]Report, error) {
 	out := make([]Report, 0, len(schemes))
 	for i, s := range schemes {
 		c := cfg
 		c.Scheme = s
-		r, err := Run(c, seed+uint64(i))
+		r, err := RunCtx(ctx, c, seed+uint64(i))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,407 @@
+package serve_test
+
+// The chaos soak suite: drive the service with the fault injector at
+// ≥10% rates for panics, stragglers, spurious cancellations and
+// transient failures, under bursty overload, and prove graceful
+// degradation by ledger:
+//
+//  1. No accepted job is silently dropped — every 202'd ID reaches a
+//     terminal state, and every shutdown-aborted one is in the
+//     persisted manifest.
+//  2. Shed load is always reported — observed 503s equal the server's
+//     shed counter, and each carries Retry-After.
+//  3. Determinism survives chaos — every *completed* single-trajectory
+//     job reproduces the golden seed-engine trajectory bit-for-bit,
+//     retries notwithstanding; completed grid jobs equal a direct
+//     in-process run.
+//  4. Shutdown always drains within the deadline, even with heavy jobs
+//     still running.
+//
+// CI runs this file under -race (the `-run Chaos` soak job).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/experiment"
+	"repro/internal/serve"
+)
+
+// goldenTrajectory mirrors the golden_sim.json entries this suite pins
+// completed single-job results against.
+type goldenTrajectory struct {
+	Scheme     string  `json:"scheme"`
+	U          float64 `json:"u"`
+	Lambda     float64 `json:"lambda"`
+	Seed       uint64  `json:"seed"`
+	Completed  bool    `json:"completed"`
+	TimeBits   uint64  `json:"time_bits"`
+	EnergyBits uint64  `json:"energy_bits"`
+	Faults     int     `json:"faults"`
+}
+
+func loadGolden(t *testing.T) []goldenTrajectory {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden_sim.json"))
+	if err != nil {
+		t.Fatalf("golden trajectories unavailable: %v", err)
+	}
+	var cases []goldenTrajectory
+	if err := json.Unmarshal(blob, &cases); err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("empty golden file")
+	}
+	return cases
+}
+
+func goldenKey(scheme string, u, lambda float64, seed uint64) string {
+	return fmt.Sprintf("%s|%.6f|%.8f|%d", scheme, u, lambda, seed)
+}
+
+// apiScheme maps the golden file's display names ("Poisson(f=1)") to
+// the job API's scheme names ("Poisson").
+func apiScheme(display string) string {
+	return strings.TrimSuffix(display, "(f=1)")
+}
+
+func (g goldenTrajectory) spec() string {
+	setting := "scp"
+	if g.Scheme == "A_D_C" {
+		setting = "ccp"
+	}
+	return fmt.Sprintf(
+		`{"kind":"single","scheme":%q,"setting":%q,"u":%g,"lambda":%g,"k":5,"seed":%d,"deadline_ms":5000}`,
+		apiScheme(g.Scheme), setting, g.U, g.Lambda, g.Seed)
+}
+
+// TestChaosSoak is the main soak: bursty submission of golden single
+// jobs plus grid and mission jobs, ≥10% injection rates everywhere, a
+// final heavy burst, then a hard drain.
+func TestChaosSoak(t *testing.T) {
+	golden := loadGolden(t)
+	byKey := map[string]goldenTrajectory{}
+	for _, g := range golden {
+		byKey[goldenKey(g.Scheme, g.U, g.Lambda, g.Seed)] = g
+	}
+
+	inj := chaos.New(chaos.Config{
+		Seed:           2026,
+		PanicProb:      0.10,
+		ErrorProb:      0.12,
+		CancelProb:     0.10,
+		CancelAfter:    200 * time.Microsecond,
+		StragglerProb:  0.12,
+		StragglerDelay: 2 * time.Millisecond,
+	})
+	manifestPath := filepath.Join(t.TempDir(), "manifest.json")
+	srv := serve.New(serve.Config{
+		QueueDepth:     16,
+		Workers:        4,
+		DefaultTimeout: 10 * time.Second,
+		MaxRetries:     4,
+		RetryBase:      time.Millisecond,
+		RetryMax:       4 * time.Millisecond,
+		ManifestPath:   manifestPath,
+		Intercept:      inj.Intercept,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	type accepted struct {
+		id   string
+		kind serve.JobKind
+		key  string // golden key for singles
+	}
+	var (
+		mu           sync.Mutex // guards acceptedJobs, shedSeen
+		acceptedJobs []accepted
+		shedSeen     int
+	)
+
+	submitRaw := func(spec string, kind serve.JobKind, key string) {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var v testView
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			acceptedJobs = append(acceptedJobs, accepted{id: v.ID, kind: kind, key: key})
+			mu.Unlock()
+		case http.StatusServiceUnavailable:
+			// Invariant 2: shed is explicit and carries a retry hint.
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("shed response missing Retry-After")
+			}
+			var body struct {
+				Shed bool `json:"shed"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || !body.Shed {
+				t.Errorf("shed response not marked shed (err=%v)", err)
+			}
+			mu.Lock()
+			shedSeen++
+			mu.Unlock()
+		default:
+			t.Errorf("submit status %d", resp.StatusCode)
+		}
+	}
+
+	// Bursty load: each round fires the whole golden set concurrently —
+	// a pressure spike far beyond the queue depth, with grid and mission
+	// jobs mixed in — then pauses so later rounds are admitted again
+	// (shed stays plentiful but not total).
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for i, g := range golden {
+			wg.Add(1)
+			go func(spec, key string) {
+				defer wg.Done()
+				submitRaw(spec, serve.JobSingle, key)
+			}(g.spec(), goldenKey(g.Scheme, g.U, g.Lambda, g.Seed))
+			if i%20 == 10 {
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					submitRaw(`{"kind":"grid","table":"1a","reps":25,"seed":7,"deadline_ms":8000}`, serve.JobGrid, "")
+				}()
+				go func() {
+					defer wg.Done()
+					submitRaw(`{"kind":"mission","scheme":"A_D_S","u":0.78,"lambda":0.0014,"frames":200,"battery":3e8,"seed":11,"deadline_ms":8000}`, serve.JobMission, "")
+				}()
+			}
+		}
+		wg.Wait()
+		time.Sleep(30 * time.Millisecond)
+	}
+	if len(acceptedJobs) == 0 {
+		t.Fatal("no jobs accepted")
+	}
+	if shedSeen == 0 {
+		t.Fatal("burst never overflowed the queue — soak not exercising shed")
+	}
+
+	// Wait for the backlog to mostly settle, then add a burst of heavy
+	// grid jobs that cannot finish inside the drain deadline.
+	waitMostlyTerminal(t, ts, 0.6, 60*time.Second)
+	for i := 0; i < 6; i++ {
+		submitRaw(fmt.Sprintf(`{"kind":"grid","table":"1a","reps":400000,"seed":%d,"deadline_ms":60000,"max_retries":-1}`, i+1), serve.JobGrid, "")
+	}
+
+	// Invariant 4: shutdown drains within the deadline despite the
+	// heavy stragglers — they are aborted and carried by the manifest.
+	const drainDeadline = 3 * time.Second
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainDeadline)
+	defer cancel()
+	start := time.Now()
+	m, err := srv.Shutdown(drainCtx)
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if e := time.Since(start); e > drainDeadline+2*time.Second {
+		t.Errorf("shutdown took %v, exceeding the %v drain deadline by more than the engines' cancellation latency", e, drainDeadline)
+	}
+
+	manifestIDs := map[string]bool{}
+	for _, e := range m.Jobs {
+		manifestIDs[e.ID] = true
+	}
+	// The persisted file matches the returned manifest.
+	blob, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatalf("manifest not persisted: %v", err)
+	}
+	var onDisk serve.Manifest
+	if err := json.Unmarshal(blob, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk.Jobs) != len(m.Jobs) {
+		t.Errorf("persisted manifest has %d jobs, in-memory %d", len(onDisk.Jobs), len(m.Jobs))
+	}
+
+	// Invariant 1: every accepted job is accounted for.
+	counts := map[serve.JobState]int{}
+	doneSingles, checkedGrids := 0, 0
+	for _, a := range acceptedJobs {
+		v := getJob(t, ts, a.id)
+		if !v.State.Terminal() {
+			t.Errorf("accepted job %s left non-terminal: %s", a.id, v.State)
+			continue
+		}
+		counts[v.State]++
+		if v.State == serve.StateCanceled && !manifestIDs[a.id] {
+			t.Errorf("job %s aborted by shutdown but missing from manifest — silently dropped", a.id)
+		}
+		if v.State != serve.StateDone {
+			continue
+		}
+		// Invariant 3: chaos must not perturb completed results.
+		switch a.kind {
+		case serve.JobSingle:
+			var res serve.SingleResult
+			if err := json.Unmarshal(v.Result, &res); err != nil {
+				t.Fatal(err)
+			}
+			g := byKey[a.key]
+			if res.TimeBits != g.TimeBits || res.EnergyBits != g.EnergyBits ||
+				res.Completed != g.Completed || res.Faults != g.Faults {
+				t.Errorf("job %s (%s) diverged from golden trajectory under chaos:\n got bits %d/%d faults %d\nwant bits %d/%d faults %d",
+					a.id, a.key, res.TimeBits, res.EnergyBits, res.Faults,
+					g.TimeBits, g.EnergyBits, g.Faults)
+			}
+			doneSingles++
+		case serve.JobGrid:
+			var res serve.GridResult
+			if err := json.Unmarshal(v.Result, &res); err != nil {
+				t.Fatal(err)
+			}
+			if res.Reps == 25 && checkedGrids < 2 {
+				assertGridMatchesDirect(t, res, 25, 7)
+				checkedGrids++
+			}
+		}
+	}
+	if doneSingles == 0 {
+		t.Error("no single job completed — soak proves nothing about determinism")
+	}
+
+	// Ledger closure: accepted == done + failed + canceled, shed matches.
+	c := srv.Counters()
+	if int(c.Accepted) != len(acceptedJobs) {
+		t.Errorf("accepted counter %d != observed %d", c.Accepted, len(acceptedJobs))
+	}
+	if int(c.Shed) != shedSeen {
+		t.Errorf("shed counter %d != observed 503s %d", c.Shed, shedSeen)
+	}
+	if got := c.Completed + c.Failed + c.Canceled; got != c.Accepted {
+		t.Errorf("ledger leak: completed+failed+canceled = %d, accepted = %d", got, c.Accepted)
+	}
+
+	// The injector really ran at soak rates.
+	st := inj.Stats()
+	if st.Panics == 0 || st.Errors == 0 || st.Cancels == 0 || st.Stragglers == 0 {
+		t.Errorf("injection mix incomplete: %+v", st)
+	}
+	if c.Panics == 0 || c.Retries == 0 {
+		t.Errorf("service saw no panics (%d) or retries (%d) — chaos not biting", c.Panics, c.Retries)
+	}
+	t.Logf("soak: %d accepted (%d done, %d failed, %d canceled), %d shed, %d retries, %d panics, injector %+v, manifest %d",
+		len(acceptedJobs), counts[serve.StateDone], counts[serve.StateFailed], counts[serve.StateCanceled],
+		shedSeen, c.Retries, c.Panics, st, len(m.Jobs))
+}
+
+// waitMostlyTerminal polls until the given fraction of accepted jobs is
+// terminal.
+func waitMostlyTerminal(t *testing.T, ts *httptest.Server, frac float64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var views []testView
+		err = json.NewDecoder(resp.Body).Decode(&views)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		term := 0
+		for _, v := range views {
+			if v.State.Terminal() {
+				term++
+			}
+		}
+		if len(views) > 0 && float64(term) >= frac*float64(len(views)) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d jobs terminal after %v", term, len(views), timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func assertGridMatchesDirect(t *testing.T, got serve.GridResult, reps int, seed uint64) {
+	t.Helper()
+	spec, err := experiment.TableByID(got.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiment.Runner{Reps: reps, Seed: seed, Workers: 1}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range want.Rows {
+		for j, cell := range row.Cells {
+			if float64(got.Rows[i].Cells[j].P) != cell.P {
+				t.Errorf("grid under chaos: row %d cell %d P=%v, direct %v",
+					i, j, got.Rows[i].Cells[j].P, cell.P)
+			}
+		}
+	}
+}
+
+// TestChaosQueuePressureReadyzFlips floods a tiny queue and asserts the
+// readiness probe flips to 503 while saturated and recovers afterwards
+// — the early-warning half of load shedding.
+func TestChaosQueuePressureReadyzFlips(t *testing.T) {
+	inj := chaos.New(chaos.Config{
+		Seed:           7,
+		StragglerProb:  1.0, // every attempt stalls: the queue must back up
+		StragglerDelay: 50 * time.Millisecond,
+	})
+	srv, ts := newTestServer(t, serve.Config{
+		QueueDepth: 2, Workers: 1, Intercept: inj.Intercept,
+	})
+	readyz := func() int {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if readyz() != http.StatusOK {
+		t.Fatal("fresh server not ready")
+	}
+	var ids []string
+	for i := 0; i < 8; i++ {
+		v, resp := submit(t, ts, fmt.Sprintf(`{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":%d}`, i+1))
+		if resp.StatusCode == http.StatusAccepted {
+			ids = append(ids, v.ID)
+		}
+		resp.Body.Close()
+	}
+	if readyz() != http.StatusServiceUnavailable {
+		t.Error("readyz still 200 with a saturated queue")
+	}
+	for _, id := range ids {
+		waitTerminal(t, ts, id, 20*time.Second)
+	}
+	if readyz() != http.StatusOK {
+		t.Error("readyz did not recover after the backlog drained")
+	}
+	if srv.Counters().Shed == 0 {
+		t.Error("pressure spike shed nothing — queue not actually bounded")
+	}
+}

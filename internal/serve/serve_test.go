@@ -1,0 +1,477 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/serve"
+)
+
+// testView mirrors serve.View with a raw result for kind-specific
+// decoding.
+type testView struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	State      serve.JobState  `json:"state"`
+	Attempts   int             `json:"attempts"`
+	Error      string          `json:"error"`
+	Panicked   bool            `json:"panicked"`
+	CellsDone  int             `json:"cells_done"`
+	CellsTotal int             `json:"cells_total"`
+	Result     json.RawMessage `json:"result"`
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec string) (testView, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v testView
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+			t.Fatalf("bad accept body %q: %v", buf.String(), err)
+		}
+	}
+	return v, resp
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) testView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", id, resp.StatusCode)
+	}
+	var v testView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitTerminal(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) testView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v := getJob(t, ts, id)
+		if v.State.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, v.State, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv := serve.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_, _ = srv.Shutdown(ctx)
+		ts.Close()
+	})
+	return srv, ts
+}
+
+func TestGridJobEndToEndMatchesDirectRunner(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	v, resp := submit(t, ts, `{"kind":"grid","table":"1a","reps":30,"seed":5,"deadline_ms":30000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	got := waitTerminal(t, ts, v.ID, 30*time.Second)
+	if got.State != serve.StateDone {
+		t.Fatalf("grid job ended %s: %s", got.State, got.Error)
+	}
+	var res serve.GridResult
+	if err := json.Unmarshal(got.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := experiment.TableByID("1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiment.Runner{Reps: 30, Seed: 5, Workers: 1}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(want.Rows) {
+		t.Fatalf("result has %d rows, want %d", len(res.Rows), len(want.Rows))
+	}
+	for i, row := range want.Rows {
+		for j, cell := range row.Cells {
+			gotCell := res.Rows[i].Cells[j]
+			if !gotCell.Done {
+				t.Fatalf("row %d cell %d not done", i, j)
+			}
+			if float64(gotCell.P) != cell.P {
+				t.Errorf("row %d cell %d P=%v want %v", i, j, gotCell.P, cell.P)
+			}
+			wantE := cell.E
+			if math.IsNaN(wantE) {
+				wantE = 0 // NaN marshals as null, decodes as zero
+			}
+			if float64(gotCell.E) != wantE {
+				t.Errorf("row %d cell %d E=%v want %v", i, j, gotCell.E, wantE)
+			}
+		}
+	}
+	if got.CellsDone == 0 || got.CellsDone != got.CellsTotal {
+		t.Errorf("progress %d/%d, want full", got.CellsDone, got.CellsTotal)
+	}
+}
+
+func TestQueueFullShedsWith503AndRetryAfter(t *testing.T) {
+	block := make(chan struct{})
+	defer func() {
+		select {
+		case <-block:
+		default:
+			close(block)
+		}
+	}()
+	srv, ts := newTestServer(t, serve.Config{
+		QueueDepth: 1, Workers: 1,
+		Intercept: func(ctx context.Context, cancel context.CancelFunc, spec serve.JobSpec, next serve.Exec) (any, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return next(ctx)
+		},
+	})
+
+	single := `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":1}`
+	a, resp := submit(t, ts, single)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status %d", resp.StatusCode)
+	}
+	// Wait until the worker holds job A so the queue slot is free again.
+	deadline := time.Now().Add(5 * time.Second)
+	for getJob(t, ts, a.ID).State != serve.StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b, resp := submit(t, ts, single)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit status %d", resp.StatusCode)
+	}
+
+	// Queue is now full: the next submission must shed, loudly.
+	_, resp = submit(t, ts, single)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overload submit status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if c := srv.Counters(); c.Shed != 1 || c.Accepted != 2 {
+		t.Errorf("counters accepted=%d shed=%d, want 2/1", c.Accepted, c.Shed)
+	}
+
+	// readyz flips under overload, before admission starts shedding more.
+	if rz, err := http.Get(ts.URL + "/readyz"); err != nil || rz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz under overload: %v %v", rz.StatusCode, err)
+	} else {
+		rz.Body.Close()
+	}
+	// healthz stays green: the process is alive, just saturated.
+	if hz, err := http.Get(ts.URL + "/healthz"); err != nil || hz.StatusCode != http.StatusOK {
+		t.Errorf("healthz under overload: %v %v", hz.StatusCode, err)
+	} else {
+		hz.Body.Close()
+	}
+
+	close(block)
+	if v := waitTerminal(t, ts, a.ID, 10*time.Second); v.State != serve.StateDone {
+		t.Errorf("job A ended %s: %s", v.State, v.Error)
+	}
+	if v := waitTerminal(t, ts, b.ID, 10*time.Second); v.State != serve.StateDone {
+		t.Errorf("job B ended %s: %s", v.State, v.Error)
+	}
+	if rz, err := http.Get(ts.URL + "/readyz"); err != nil || rz.StatusCode != http.StatusOK {
+		t.Errorf("readyz after release: %v %v", rz.StatusCode, err)
+	} else {
+		rz.Body.Close()
+	}
+}
+
+func TestPerJobDeadlineFailsOversizedJob(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1})
+	// A full-size grid at 10⁶ reps/cell takes far longer than 150ms; the
+	// deadline must cut it off through the engine's context polling.
+	v, resp := submit(t, ts, `{"kind":"grid","table":"1a","reps":1000000,"seed":1,"deadline_ms":150,"max_retries":-1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	start := time.Now()
+	got := waitTerminal(t, ts, v.ID, 10*time.Second)
+	if got.State != serve.StateFailed {
+		t.Fatalf("oversized job ended %s, want failed", got.State)
+	}
+	if !strings.Contains(got.Error, "deadline exceeded") {
+		t.Errorf("error %q does not name the deadline", got.Error)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Errorf("deadline enforcement took %v", e)
+	}
+}
+
+func TestPanicIsolationRecordsStackAndSparesProcess(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Config{
+		Workers: 1,
+		Intercept: func(ctx context.Context, cancel context.CancelFunc, spec serve.JobSpec, next serve.Exec) (any, error) {
+			if spec.Seed == 42 {
+				panic("injected: worker bug")
+			}
+			return next(ctx)
+		},
+	})
+	bad, resp := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":42}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	v := waitTerminal(t, ts, bad.ID, 10*time.Second)
+	if v.State != serve.StateFailed || !v.Panicked {
+		t.Fatalf("panicking job: state=%s panicked=%v error=%q", v.State, v.Panicked, v.Error)
+	}
+	if !strings.Contains(v.Error, "injected: worker bug") {
+		t.Errorf("error %q does not carry the panic value", v.Error)
+	}
+	if srv.Counters().Panics == 0 {
+		t.Error("panic counter not incremented")
+	}
+	// The process (and the worker) survive: the next job runs fine.
+	ok, _ := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":1}`)
+	if v := waitTerminal(t, ts, ok.ID, 10*time.Second); v.State != serve.StateDone {
+		t.Errorf("follow-up job ended %s: %s", v.State, v.Error)
+	}
+}
+
+func TestTransientFailuresAreRetriedWithBackoff(t *testing.T) {
+	fails := 2
+	srv, ts := newTestServer(t, serve.Config{
+		Workers: 1, MaxRetries: 3,
+		RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
+		Intercept: func(ctx context.Context, cancel context.CancelFunc, spec serve.JobSpec, next serve.Exec) (any, error) {
+			if fails > 0 {
+				fails--
+				return nil, serve.Transient(errors.New("flaky backend"))
+			}
+			return next(ctx)
+		},
+	})
+	v, _ := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":9}`)
+	got := waitTerminal(t, ts, v.ID, 10*time.Second)
+	if got.State != serve.StateDone {
+		t.Fatalf("job ended %s: %s", got.State, got.Error)
+	}
+	if got.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two transient failures + success)", got.Attempts)
+	}
+	if c := srv.Counters(); c.Retries != 2 {
+		t.Errorf("retry counter = %d, want 2", c.Retries)
+	}
+}
+
+func TestSpuriousAttemptCancellationIsRetried(t *testing.T) {
+	first := true
+	_, ts := newTestServer(t, serve.Config{
+		Workers: 1, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond,
+		Intercept: func(ctx context.Context, cancel context.CancelFunc, spec serve.JobSpec, next serve.Exec) (any, error) {
+			if first {
+				first = false
+				cancel() // spurious: the job deadline has not fired
+			}
+			return next(ctx)
+		},
+	})
+	v, _ := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":3}`)
+	got := waitTerminal(t, ts, v.ID, 10*time.Second)
+	if got.State != serve.StateDone {
+		t.Fatalf("job ended %s: %s", got.State, got.Error)
+	}
+	if got.Attempts < 2 {
+		t.Errorf("attempts = %d, want ≥ 2", got.Attempts)
+	}
+}
+
+func TestShutdownDrainsPersistsManifest(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "manifest.json")
+	block := make(chan struct{})
+	defer close(block)
+	srv := serve.New(serve.Config{
+		QueueDepth: 8, Workers: 1, ManifestPath: manifest,
+		Intercept: func(ctx context.Context, cancel context.CancelFunc, spec serve.JobSpec, next serve.Exec) (any, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return next(ctx)
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		v, resp := submit(t, ts, fmt.Sprintf(`{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":%d}`, i+1))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d status %d", i, resp.StatusCode)
+		}
+		ids = append(ids, v.ID)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	m, err := srv.Shutdown(drainCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e > 3*time.Second {
+		t.Errorf("shutdown took %v, drain deadline not honoured", e)
+	}
+	if m.Drained {
+		t.Error("manifest claims a clean drain despite blocked jobs")
+	}
+	if len(m.Jobs) != 3 {
+		t.Fatalf("manifest has %d jobs, want all 3 blocked ones", len(m.Jobs))
+	}
+
+	// Submissions after shutdown shed with 503.
+	_, resp := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":7}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown submit status %d, want 503", resp.StatusCode)
+	}
+
+	blob, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("manifest not persisted: %v", err)
+	}
+	var onDisk serve.Manifest
+	if err := json.Unmarshal(blob, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk.Jobs) != 3 {
+		t.Fatalf("persisted manifest has %d jobs, want 3", len(onDisk.Jobs))
+	}
+	seen := map[string]bool{}
+	for _, e := range onDisk.Jobs {
+		seen[e.ID] = true
+		if e.Spec.Kind != serve.JobSingle {
+			t.Errorf("manifest entry %s lost its spec", e.ID)
+		}
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Errorf("accepted job %s missing from manifest — silently dropped", id)
+		}
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	_, ts := newTestServer(t, serve.Config{
+		QueueDepth: 4, Workers: 1,
+		Intercept: func(ctx context.Context, cancel context.CancelFunc, spec serve.JobSpec, next serve.Exec) (any, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return next(ctx)
+		},
+	})
+	a, _ := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":1}`)
+	b, _ := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":2}`)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+b.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	_ = a
+	v := waitTerminal(t, ts, b.ID, 10*time.Second)
+	if v.State != serve.StateCanceled {
+		t.Errorf("cancelled queued job ended %s", v.State)
+	}
+}
+
+func TestMissionJobRuns(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1})
+	v, resp := submit(t, ts, `{"kind":"mission","scheme":"A_D_S","u":0.78,"lambda":0.0014,"frames":200,"battery":3e8,"seed":11}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	got := waitTerminal(t, ts, v.ID, 30*time.Second)
+	if got.State != serve.StateDone {
+		t.Fatalf("mission job ended %s: %s", got.State, got.Error)
+	}
+	var res serve.MissionResult
+	if err := json.Unmarshal(got.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames == 0 || res.Reason == "" {
+		t.Errorf("empty mission result: %+v", res)
+	}
+}
+
+func TestBadSpecsRejectedAtAdmission(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Config{Workers: 1})
+	for _, bad := range []string{
+		`{"kind":"warp"}`,
+		`{"kind":"grid"}`,
+		`{"kind":"grid","table":"9z"}`,
+		`{"kind":"single","scheme":"nope"}`,
+		`{"kind":"single","scheme":"A_D_S","u":-1}`,
+		`{"kind":"mission","scheme":"A_D_S","frames":-5}`,
+		`{"kind":"grid","table":"1a","unknown_field":1}`,
+		`not json`,
+	} {
+		_, resp := submit(t, ts, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	// Malformed specs are refused, not shed: they never contended for
+	// the queue, so the shed ledger stays clean.
+	if c := srv.Counters(); c.Shed != 0 || c.Accepted != 0 {
+		t.Errorf("counters after rejects: accepted=%d shed=%d, want 0/0", c.Accepted, c.Shed)
+	}
+}

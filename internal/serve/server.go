@@ -1,0 +1,688 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production-shaped default.
+type Config struct {
+	// QueueDepth bounds the admission queue; submissions beyond it are
+	// shed with 503. Zero means 64.
+	QueueDepth int
+	// Workers is the number of concurrent job executors. Zero means 4.
+	Workers int
+	// GridWorkers is the per-grid-job worker count handed to
+	// experiment.Runner — within-job parallelism. Zero means 1: the
+	// service parallelises across jobs, not inside them, so one huge
+	// grid cannot monopolise the machine.
+	GridWorkers int
+	// DefaultTimeout is the per-job deadline when the spec does not set
+	// one. Zero means 1 minute.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines. Zero means 10 minutes.
+	MaxTimeout time.Duration
+	// MaxRetries is the default retry budget for transient failures
+	// (attempts = retries + 1). Zero means 2.
+	MaxRetries int
+	// RetryBase and RetryMax bound the exponential backoff between
+	// attempts. Zero means 100ms and 2s.
+	RetryBase, RetryMax time.Duration
+	// RetryAfter is the hint returned with shed responses. Zero means 1s.
+	RetryAfter time.Duration
+	// ManifestPath, when non-empty, is where Shutdown persists the
+	// unfinished-job manifest.
+	ManifestPath string
+	// Intercept, when non-nil, wraps every job attempt — the chaos
+	// harness's injection point.
+	Intercept Interceptor
+	// Logf, when non-nil, receives one line per notable server event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.GridWorkers <= 0 {
+		c.GridWorkers = 1
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Exec runs one attempt of a job's workload under a context.
+type Exec func(ctx context.Context) (any, error)
+
+// Interceptor wraps one job attempt. cancel aborts just this attempt
+// (the job's deadline context is its parent); an attempt cancelled this
+// way while the job deadline is still live is classified transient and
+// retried. Interceptors may panic — the worker's isolation layer
+// converts that into a failed attempt, which is exactly what the chaos
+// harness exploits.
+type Interceptor func(ctx context.Context, cancel context.CancelFunc, spec JobSpec, next Exec) (any, error)
+
+// transientError marks failures worth retrying.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so the worker retries the attempt (with backoff)
+// instead of failing the job.
+func Transient(err error) error { return &transientError{err: err} }
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// PanicError is the failure produced by a panicking job attempt.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Sentinel admission errors.
+var (
+	// ErrQueueFull: the bounded queue is at capacity; the request was
+	// shed.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDraining: the server is shutting down and refuses new work.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// CounterSnapshot is the JSON view of the server's monotonic counters.
+// Accepted = Completed + Failed + Canceled + still in flight; Shed
+// counts refused submissions (never part of Accepted) — together they
+// account for every request ever seen, which is the soak suite's
+// no-silent-drop ledger.
+type CounterSnapshot struct {
+	Accepted  int64 `json:"accepted"`
+	Shed      int64 `json:"shed"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Retries   int64 `json:"retries"`
+	Panics    int64 `json:"panics"`
+}
+
+type counters struct {
+	accepted, shed, completed, failed, canceled, retries, panics atomic.Int64
+}
+
+func (c *counters) snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Accepted:  c.accepted.Load(),
+		Shed:      c.shed.Load(),
+		Completed: c.completed.Load(),
+		Failed:    c.failed.Load(),
+		Canceled:  c.canceled.Load(),
+		Retries:   c.retries.Load(),
+		Panics:    c.panics.Load(),
+	}
+}
+
+// Server is the resilient simulation job service. Create with New,
+// expose Handler over HTTP, stop with Shutdown.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	queue    chan *Job
+	draining bool
+	nextID   int
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	ctr   counters
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		start:      time.Now(),
+	}
+	s.initMux()
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Counters returns a snapshot of the monotonic counters.
+func (s *Server) Counters() CounterSnapshot { return s.ctr.snapshot() }
+
+// Enqueue admits a job, or sheds it: ErrDraining while shutting down,
+// ErrQueueFull when the bounded queue is at capacity. A shed submission
+// leaves no trace beyond the shed counter — it was never accepted, and
+// the caller is told so synchronously.
+func (s *Server) Enqueue(spec JobSpec) (*Job, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.ctr.shed.Add(1)
+		return nil, ErrDraining
+	}
+	s.nextID++
+	job := &Job{
+		ID:       fmt.Sprintf("job-%06d", s.nextID),
+		Spec:     spec,
+		State:    StateQueued,
+		Enqueued: time.Now(),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.nextID-- // the ID was never exposed; keep the sequence dense
+		s.ctr.shed.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.ctr.accepted.Add(1)
+	return job, nil
+}
+
+// Lookup returns the view of a job by ID.
+func (s *Server) Lookup(id string) (View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return j.view(), true
+}
+
+// Jobs lists every accepted job's view in admission order.
+func (s *Server) Jobs() []View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]View, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job: a queued job is skipped when a
+// worker picks it up; a running job's context is cancelled and the
+// engines unwind promptly. Cancelling a terminal job is a no-op.
+func (s *Server) Cancel(id string) (View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	switch {
+	case j.State == StateQueued:
+		// No worker owns it yet: cancel takes effect immediately; the
+		// worker that eventually pops it from the queue skips terminal
+		// jobs.
+		j.State = StateCanceled
+		j.Error = "canceled by client while queued"
+		j.Finished = time.Now()
+		s.ctr.canceled.Add(1)
+	case !j.State.Terminal():
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.view(), true
+}
+
+// worker drains the queue until it is closed, running every accepted
+// job to a terminal state — including jobs aborted by shutdown, which
+// are marked rather than dropped.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// timeoutFor resolves a spec's per-job deadline against the server's
+// default and cap.
+func (s *Server) timeoutFor(spec JobSpec) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if spec.DeadlineMS > 0 {
+		d = time.Duration(spec.DeadlineMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// retriesFor resolves a spec's retry budget: 0 = server default,
+// negative = no retries.
+func (s *Server) retriesFor(spec JobSpec) int {
+	switch {
+	case spec.MaxRetries > 0:
+		return spec.MaxRetries
+	case spec.MaxRetries < 0:
+		return 0
+	default:
+		return s.cfg.MaxRetries
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	if job.State.Terminal() {
+		// Canceled while queued: already accounted for.
+		s.mu.Unlock()
+		return
+	}
+	if s.baseCtx.Err() != nil {
+		// Drain deadline already fired: account for the job instead of
+		// running it, and let the manifest carry it forward.
+		job.State = StateCanceled
+		job.Error = "aborted by shutdown before start"
+		job.ShutdownAborted = true
+		job.Finished = time.Now()
+		s.ctr.canceled.Add(1)
+		s.mu.Unlock()
+		return
+	}
+	job.State = StateRunning
+	job.Started = time.Now()
+	timeout := s.timeoutFor(job.Spec)
+	jobCtx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	job.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	maxRetries := s.retriesFor(job.Spec)
+	var (
+		result any
+		err    error
+	)
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		job.Attempts = attempt + 1
+		s.mu.Unlock()
+		result, err = s.attempt(jobCtx, job)
+		if err == nil || jobCtx.Err() != nil || attempt >= maxRetries || !retryable(err) {
+			break
+		}
+		s.ctr.retries.Add(1)
+		delay := backoffDelay(s.cfg.RetryBase, s.cfg.RetryMax, attempt, job.Spec.Seed)
+		s.logf("job %s attempt %d failed (%v), retrying in %v", job.ID, attempt+1, err, delay)
+		timer := time.NewTimer(delay)
+		select {
+		case <-jobCtx.Done():
+			timer.Stop()
+			err = jobCtx.Err()
+		case <-timer.C:
+			continue
+		}
+		break
+	}
+	s.finish(job, result, err)
+}
+
+// retryable: explicit transient failures, and attempts whose own
+// context was cancelled while the job deadline had not fired (a
+// spurious cancellation — the chaos harness's specialty).
+func retryable(err error) bool {
+	return IsTransient(err) || errors.Is(err, context.Canceled)
+}
+
+// attempt runs one isolated attempt: a fresh attempt context under the
+// job deadline, the interceptor (if any) around the executor, and a
+// recover that converts any panic on this path into a *PanicError with
+// the stack recorded on the job.
+func (s *Server) attempt(jobCtx context.Context, job *Job) (out any, err error) {
+	attemptCtx, attemptCancel := context.WithCancel(jobCtx)
+	defer attemptCancel()
+	defer func() {
+		if p := recover(); p != nil {
+			stack := debug.Stack()
+			s.ctr.panics.Add(1)
+			s.mu.Lock()
+			job.PanicStack = string(stack)
+			s.mu.Unlock()
+			s.logf("job %s attempt panicked: %v", job.ID, p)
+			err = &PanicError{Value: p, Stack: stack}
+		}
+	}()
+	progress := func(done, total int) {
+		s.mu.Lock()
+		job.CellsDone, job.CellsTotal = done, total
+		s.mu.Unlock()
+	}
+	next := func(ctx context.Context) (any, error) {
+		return executeSpec(ctx, job.Spec, s.cfg.GridWorkers, progress)
+	}
+	if s.cfg.Intercept != nil {
+		return s.cfg.Intercept(attemptCtx, attemptCancel, job.Spec, next)
+	}
+	return next(attemptCtx)
+}
+
+// finish classifies the job's terminal state.
+func (s *Server) finish(job *Job, result any, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.Finished = time.Now()
+	switch {
+	case err == nil:
+		job.State = StateDone
+		job.Result = result
+		s.ctr.completed.Add(1)
+	case job.cancelRequested:
+		job.State = StateCanceled
+		job.Error = "canceled by client"
+		s.ctr.canceled.Add(1)
+	case s.baseCtx.Err() != nil:
+		job.State = StateCanceled
+		job.Error = "aborted by shutdown: " + err.Error()
+		job.ShutdownAborted = true
+		s.ctr.canceled.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		job.State = StateFailed
+		job.Error = fmt.Sprintf("deadline exceeded after %v: %v", s.timeoutFor(job.Spec), err)
+		s.ctr.failed.Add(1)
+	default:
+		job.State = StateFailed
+		job.Error = err.Error()
+		s.ctr.failed.Add(1)
+	}
+}
+
+// splitmix is the SplitMix64 finaliser, used for deterministic backoff
+// jitter.
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// backoffDelay is exponential backoff with deterministic jitter: the
+// delay for attempt n is in [d/2, d) where d = base·2ⁿ capped at max.
+// Jitter derives from (seed, attempt), so a job's retry schedule is
+// reproducible while distinct jobs decorrelate.
+func backoffDelay(base, max time.Duration, attempt int, seed uint64) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	j := time.Duration(splitmix(seed^uint64(attempt)*0x9e3779b97f4a7c15) % uint64(half))
+	return half + j
+}
+
+// Shutdown drains the server: admission stops immediately (submissions
+// shed with ErrDraining), workers keep executing the accepted backlog
+// until ctx fires, at which point every remaining job is aborted
+// through the base context and marked ShutdownAborted. When all workers
+// have returned — promptly after the abort, because the engines poll
+// their contexts — the unfinished-job manifest is built and, if
+// ManifestPath is set, persisted. Shutdown therefore completes within
+// the drain deadline plus the engines' cancellation latency, and every
+// accepted job is either in a clean terminal state or in the manifest.
+func (s *Server) Shutdown(ctx context.Context) (Manifest, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Manifest{}, errors.New("serve: already shut down")
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	drained := true
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drained = false
+		s.logf("drain deadline fired, aborting in-flight jobs")
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+
+	m := Manifest{Drained: drained}
+	s.mu.Lock()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.ShutdownAborted || !j.State.Terminal() {
+			m.Jobs = append(m.Jobs, ManifestEntry{
+				ID: j.ID, Spec: j.Spec, State: j.State,
+				Attempts: j.Attempts, Error: j.Error,
+			})
+		}
+	}
+	s.mu.Unlock()
+
+	if s.cfg.ManifestPath != "" {
+		blob, err := json.MarshalIndent(m, "", " ")
+		if err != nil {
+			return m, err
+		}
+		if err := os.WriteFile(s.cfg.ManifestPath, blob, 0o644); err != nil {
+			return m, fmt.Errorf("serve: persisting manifest: %w", err)
+		}
+		s.logf("manifest: %d unfinished jobs -> %s", len(m.Jobs), s.cfg.ManifestPath)
+	}
+	return m, nil
+}
+
+// --- HTTP layer ---
+
+func (s *Server) initMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux = mux
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/jobs      submit a JobSpec   -> 202 View | 400 | 503+Retry-After
+//	GET    /v1/jobs      list job views
+//	GET    /v1/jobs/{id} one job view (result once done)
+//	DELETE /v1/jobs/{id} cancel
+//	GET    /healthz      process liveness (always 200 while serving)
+//	GET    /readyz       admission readiness (503 when saturated/draining)
+//	GET    /statusz      counters and queue status
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+	Shed  bool   `json:"shed,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	job, err := s.Enqueue(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		// Load shed: explicit, counted, and with a retry hint — the
+		// contract overload buys instead of an unbounded queue.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Shed: true})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	v := job.view()
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// Ready reports whether the server can accept a job right now: not
+// draining and the bounded queue below capacity. This is what flips
+// /readyz to 503 under overload so a load balancer stops routing here
+// before submissions start shedding.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && len(s.queue) < cap(s.queue)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("not ready\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+// Status is the /statusz body.
+type Status struct {
+	Counters  CounterSnapshot `json:"counters"`
+	QueueLen  int             `json:"queue_len"`
+	QueueCap  int             `json:"queue_cap"`
+	Workers   int             `json:"workers"`
+	Draining  bool            `json:"draining"`
+	UptimeSec int64           `json:"uptime_sec"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := Status{
+		Counters:  s.ctr.snapshot(),
+		QueueLen:  len(s.queue),
+		QueueCap:  cap(s.queue),
+		Workers:   s.cfg.Workers,
+		Draining:  s.draining,
+		UptimeSec: int64(time.Since(s.start).Seconds()),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,78 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/checkpoint"
+)
+
+// FuzzValidateParams throws raw cost/rate/interval/m combinations at
+// the model-vs-simulation harness and checks the validation contract:
+// parameters the validators reject must yield an error (never a panic),
+// and parameters they accept must run to completion — in a bounded
+// envelope, with reps=1 — producing finite, deterministic results. The
+// validators are the only thing standing between client input (e.g. a
+// serve job spec) and the engine, so "accepted implies runnable" is the
+// property that matters.
+func FuzzValidateParams(f *testing.F) {
+	f.Add(5.0, 17.0, 3.0, 0.001, 800.0, 4, false)
+	f.Add(0.0, 22.0, 1.0, 0.0014, 1000.0, 1, true)
+	f.Add(-1.0, 0.0, math.Inf(1), math.NaN(), 0.0, 0, false)
+	f.Add(1e300, 1e300, 1e300, 1e300, 1e300, 1<<30, true)
+	f.Fuzz(func(t *testing.T, store, compare, rollback, lambda, interval float64, m int, ccp bool) {
+		p := analysis.Params{
+			Costs:  checkpoint.Costs{Store: store, Compare: compare, Rollback: rollback},
+			Lambda: lambda,
+		}
+		kind := checkpoint.SCP
+		if ccp {
+			kind = checkpoint.CCP
+		}
+
+		// Outside the bounded execution envelope, only the rejection
+		// half of the contract is checked: IntervalTime must refuse
+		// invalid parameters with an error before any simulation runs.
+		inEnvelope := p.Validate() == nil &&
+			store <= 100 && compare <= 100 && rollback <= 100 &&
+			lambda >= 1e-6 && lambda <= 0.01 &&
+			interval > 1 && interval <= 5000 && lambda*interval <= 2 &&
+			m >= 1 && m <= 32
+		if !inEnvelope {
+			if p.Validate() == nil && interval > 0 && !math.IsInf(interval, 0) && !math.IsNaN(interval) && m >= 1 {
+				// Valid but expensive: don't execute, nothing to assert.
+				return
+			}
+			if _, err := IntervalTime(p, kind, interval, m, 1, 1); err == nil {
+				t.Fatalf("invalid parameters accepted: costs=%+v λ=%v T=%v m=%d",
+					p.Costs, lambda, interval, m)
+			}
+			return
+		}
+
+		c, err := IntervalTime(p, kind, interval, m, 1, 42)
+		if err != nil {
+			t.Fatalf("validated parameters rejected: %v (costs=%+v λ=%v T=%v m=%d)",
+				err, p.Costs, lambda, interval, m)
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{{"paper", c.PaperForm}, {"exact", c.Exact}, {"simulated", c.Simulated}} {
+			if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < interval {
+				t.Fatalf("%s time %v not finite or below the interval %v (costs=%+v λ=%v m=%d)",
+					v.name, v.val, interval, p.Costs, lambda, m)
+			}
+		}
+		// Same seed, same point: the harness is deterministic. (Bit
+		// comparison: CI95 is NaN at reps=1, and NaN != NaN.)
+		again, err := IntervalTime(p, kind, interval, m, 1, 42)
+		if err != nil ||
+			math.Float64bits(again.Simulated) != math.Float64bits(c.Simulated) ||
+			math.Float64bits(again.Exact) != math.Float64bits(c.Exact) ||
+			math.Float64bits(again.PaperForm) != math.Float64bits(c.PaperForm) {
+			t.Fatalf("re-run diverged: %+v vs %+v (err=%v)", again, c, err)
+		}
+	})
+}
