@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check golden bench fuzz-smoke chaos
+.PHONY: build test vet race check golden bench fuzz-smoke chaos telemetry-overhead
 
 build:
 	$(GO) build ./...
@@ -42,3 +42,8 @@ fuzz-smoke:
 # detector on.
 chaos:
 	$(GO) test -race -run Chaos -v ./internal/serve/...
+
+# Measure the telemetry sink's tax on the Table 1a grid: none vs nop
+# vs live registry sink. Budget: nop ≤2% over none (DESIGN.md §11).
+telemetry-overhead:
+	$(GO) test -run '^$$' -bench BenchmarkTable1aSinkOverhead -benchtime 50x .

@@ -22,6 +22,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 const benchReps = 50
@@ -58,6 +59,34 @@ func BenchmarkTable3a(b *testing.B) { benchTable(b, "3a") }
 func BenchmarkTable3b(b *testing.B) { benchTable(b, "3b") }
 func BenchmarkTable4a(b *testing.B) { benchTable(b, "4a") }
 func BenchmarkTable4b(b *testing.B) { benchTable(b, "4b") }
+
+// BenchmarkTable1aSinkOverhead quantifies the telemetry tax on the
+// Table 1a grid (the BENCH_simstack.json workload): "none" is the
+// uninstrumented baseline, "nop" attaches a do-nothing sink (the
+// nil-guard plus per-cell reporting path — budgeted at ≤2% over
+// "none"), and "registry" attaches the live registry+tracer sink simd
+// runs with. Instrumentation is consulted once per grid cell, never
+// per repetition, which is why the budget holds: the per-cell cost is
+// amortised over benchReps simulated trajectories.
+func BenchmarkTable1aSinkOverhead(b *testing.B) {
+	spec, err := experiment.TableByID("1a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, sink telemetry.Sink) {
+		runner := experiment.Runner{Reps: benchReps, Seed: 1, Workers: 1, Sink: sink}
+		for i := 0; i < b.N; i++ {
+			if _, err := runner.RunTable(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("none", func(b *testing.B) { run(b, nil) })
+	b.Run("nop", func(b *testing.B) { run(b, telemetry.Nop) })
+	b.Run("registry", func(b *testing.B) {
+		run(b, telemetry.NewRegistrySink(telemetry.NewRegistry(), telemetry.NewTracer(1<<14)))
+	})
+}
 
 // BenchmarkSingleRun times one execution of the headline scheme at the
 // paper's anchor cell — the simulator's inner-loop cost.

@@ -53,7 +53,11 @@ func run() error {
 		seed       = flag.Uint64("seed", 1, "base seed")
 		trace      = flag.Bool("trace", false, "print the event timeline of a single run")
 	)
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	if showVersion() {
+		return nil
+	}
 
 	var costs checkpoint.Costs
 	switch *setting {

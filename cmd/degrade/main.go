@@ -17,6 +17,7 @@
 //	degrade -coverage 1,0.98,0.9 -corrupt 0.08
 //	degrade -permanent 0,2e-7 -frames 20000
 //	degrade -vulnerable=false -corrupt 0.2
+//	degrade -trace-out m.jsonl                  # record mission trace events
 //
 // Exit codes: 0 on success, 1 on a runtime failure, 2 on a flag value
 // the command cannot act on.
@@ -37,6 +38,7 @@ import (
 	"repro/internal/mission"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 // parseList splits a comma-separated flag into floats.
@@ -75,8 +77,33 @@ func run() error {
 		budget     = flag.Int("cascade", 0, "rollback cascade budget (0 = default)")
 		permanents = flag.String("permanent", "0,2e-7", "comma-separated permanent-fault rates (per cycle)")
 		seed       = flag.Uint64("seed", 1, "base seed")
+		traceOut   = flag.String("trace-out", "", "write mission run-trace events (JSONL) to this file")
 	)
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	if showVersion() {
+		return nil
+	}
+
+	// -trace-out records mission lifecycle events (start / milestone /
+	// degraded / end) through the engine sink; tracing never alters the
+	// missions themselves.
+	var sink telemetry.Sink
+	if *traceOut != "" {
+		tracer := telemetry.NewTracer(0)
+		sink = telemetry.NewRegistrySink(nil, tracer)
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Printf("trace-out: %v", err)
+				return
+			}
+			defer f.Close()
+			if err := tracer.WriteJSONL(f, 0); err != nil {
+				log.Printf("trace-out: %v", err)
+			}
+		}()
+	}
 
 	costs := checkpoint.SCPSetting()
 	if *setting == "ccp" {
@@ -124,6 +151,7 @@ func run() error {
 				BatteryCapacity: *capacity,
 				MaxFrames:       *frames,
 				PermanentLambda: perm,
+				Sink:            sink,
 			}
 			fmt.Printf("\n--- coverage=%g permanent=%g ---\n", cov, perm)
 			fmt.Println("scheme            frames   misses    wrong degraded  E/frame   end")

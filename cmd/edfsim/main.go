@@ -16,6 +16,7 @@ import (
 	"log"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/cpu"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -33,7 +34,11 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "rng seed")
 		setting = flag.String("setting", "scp", "cost setting: scp or ccp")
 	)
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	if showVersion() {
+		return
+	}
 
 	costs := checkpoint.SCPSetting()
 	if *setting == "ccp" {

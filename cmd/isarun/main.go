@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/dmr"
 	"repro/internal/isa"
 	"repro/internal/isa/programs"
@@ -59,7 +60,11 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "rng seed")
 		runs     = flag.Int("runs", 1, "number of independent runs")
 	)
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	if showVersion() {
+		return
+	}
 
 	var src string
 	switch {

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mission"
@@ -46,7 +47,11 @@ func main() {
 		abort    = flag.Bool("abort", false, "end the mission at the first deadline miss")
 		seed     = flag.Uint64("seed", 1, "base seed")
 	)
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	if showVersion() {
+		return
+	}
 
 	costs := checkpoint.SCPSetting()
 	if *setting == "ccp" {

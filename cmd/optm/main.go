@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/validate"
 )
 
@@ -30,7 +31,11 @@ func main() {
 		maxM   = flag.Int("maxm", 40, "largest m sampled by -curve")
 		check  = flag.Bool("validate", false, "cross-check the models against the Monte-Carlo engine")
 	)
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	if showVersion() {
+		return
+	}
 
 	scp := analysis.Params{Costs: checkpoint.SCPSetting(), Lambda: *lambda}
 	ccp := analysis.Params{Costs: checkpoint.CCPSetting(), Lambda: *lambda}

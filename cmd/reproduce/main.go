@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/sim"
@@ -37,7 +38,11 @@ func main() {
 		reps = flag.Int("reps", experiment.DefaultReps, "Monte-Carlo repetitions per table cell")
 		seed = flag.Uint64("seed", 2006, "base seed")
 	)
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	if showVersion() {
+		return
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)

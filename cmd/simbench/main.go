@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/sim"
@@ -63,7 +64,11 @@ func main() {
 	out := flag.String("out", "BENCH_simstack.json", "output file path")
 	reps := flag.Int("reps", 50, "Monte-Carlo repetitions per table cell")
 	short := flag.Bool("short", false, "cut measuring time (CI smoke)")
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	if showVersion() {
+		return
+	}
 
 	if *short {
 		// testing.Benchmark honours the -test.benchtime flag value.

@@ -19,6 +19,13 @@
 // unboundedly; /readyz flips before that point so balancers can back
 // off first. SIGINT/SIGTERM triggers a drain: accepted jobs finish
 // within -drain, the rest are aborted and written to -manifest.
+//
+// Observability: GET /metrics serves the Prometheus text exposition of
+// the job ledger, queue gauges, job-latency histogram and engine
+// counters; GET /trace streams recent run-trace events as JSONL (?n=
+// limits to the newest n); GET /debug/pprof/ serves the standard Go
+// profiles. /statusz reports the same counters as /metrics — both are
+// views of one registry.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/cli"
 	"repro/internal/serve"
 )
 
@@ -64,7 +72,11 @@ func run() error {
 		chaosDelay    = flag.Duration("chaos-delay", 50*time.Millisecond, "straggler delay")
 		chaosSeed     = flag.Uint64("chaos-seed", 1, "chaos draw seed")
 	)
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	if showVersion() {
+		return nil
+	}
 
 	cfg := serve.Config{
 		QueueDepth:     *queue,

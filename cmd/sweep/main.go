@@ -47,7 +47,11 @@ func run() error {
 		reps    = flag.Int("reps", 2000, "repetitions per point")
 		seed    = flag.Uint64("seed", 1, "base seed")
 	)
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	if showVersion() {
+		return nil
+	}
 
 	if *steps < 2 {
 		return cli.Usagef("-steps must be at least 2")

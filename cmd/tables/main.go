@@ -11,6 +11,7 @@
 //	tables -compare            # paper-vs-measured columns
 //	tables -csv                # machine-readable output
 //	tables -shape              # check the qualitative claims
+//	tables -trace-out t.jsonl  # record per-cell run-trace events
 //
 // Exit codes: 0 on success, 1 on a runtime failure, 2 on a flag value
 // the command cannot act on, 3 when -shape finds a qualitative claim
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/experiment"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -39,22 +41,46 @@ func main() {
 
 func run() error {
 	var (
-		tableID = flag.String("table", "", "sub-table to run (1a…4b); empty = all")
-		reps    = flag.Int("reps", experiment.DefaultReps, "Monte-Carlo repetitions per cell")
-		seed    = flag.Uint64("seed", 2006, "base seed (runs are reproducible per seed)")
-		compare = flag.Bool("compare", false, "print paper-vs-measured comparison")
-		csv     = flag.Bool("csv", false, "print CSV instead of markdown")
-		shape   = flag.Bool("shape", false, "check the paper's qualitative claims")
-		score   = flag.Bool("score", false, "print measured-vs-published agreement scores")
-		quiet   = flag.Bool("q", false, "suppress per-cell progress")
+		tableID  = flag.String("table", "", "sub-table to run (1a…4b); empty = all")
+		reps     = flag.Int("reps", experiment.DefaultReps, "Monte-Carlo repetitions per cell")
+		seed     = flag.Uint64("seed", 2006, "base seed (runs are reproducible per seed)")
+		compare  = flag.Bool("compare", false, "print paper-vs-measured comparison")
+		csv      = flag.Bool("csv", false, "print CSV instead of markdown")
+		shape    = flag.Bool("shape", false, "check the paper's qualitative claims")
+		score    = flag.Bool("score", false, "print measured-vs-published agreement scores")
+		quiet    = flag.Bool("q", false, "suppress per-cell progress")
+		traceOut = flag.String("trace-out", "", "write per-cell run-trace events (JSONL) to this file")
 	)
+	showVersion := cli.VersionFlag()
 	flag.Parse()
+	if showVersion() {
+		return nil
+	}
 
 	runner := experiment.Runner{Reps: *reps, Seed: *seed}
 	if !*quiet {
 		runner.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	// -trace-out observes through the engine's sink; it never feeds back
+	// into the simulation, so traced and untraced runs print the same
+	// tables bit for bit.
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(0)
+		runner.Sink = telemetry.NewRegistrySink(nil, tracer)
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Printf("trace-out: %v", err)
+				return
+			}
+			defer f.Close()
+			if err := tracer.WriteJSONL(f, 0); err != nil {
+				log.Printf("trace-out: %v", err)
+			}
+		}()
 	}
 
 	specs := experiment.Tables()

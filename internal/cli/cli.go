@@ -12,7 +12,9 @@ package cli
 
 import (
 	"errors"
+	"flag"
 	"fmt"
+	"runtime/debug"
 )
 
 // kindError tags an error with its exit code.
@@ -46,4 +48,51 @@ func ExitCode(err error) int {
 		return ke.code
 	}
 	return 1
+}
+
+// Version returns the build identity of the running binary, assembled
+// from the metadata the Go linker embeds: module version, VCS revision
+// (with a +dirty marker for modified trees) and toolchain. It never
+// fails — a binary built without build info reports "unknown".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		v += " " + rev + dirty
+	}
+	return v + " " + bi.GoVersion
+}
+
+// VersionFlag registers -version on the default flag set. The returned
+// func is called after flag.Parse: it prints the build identity when
+// the flag was set and reports whether the command should exit (so a
+// main reads `if done() { return nil }`).
+func VersionFlag() func() bool {
+	show := flag.Bool("version", false, "print build version and exit")
+	return func() bool {
+		if *show {
+			fmt.Println(Version())
+		}
+		return *show
+	}
 }

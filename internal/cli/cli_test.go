@@ -2,7 +2,9 @@ package cli
 
 import (
 	"errors"
+	"flag"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -33,5 +35,32 @@ func TestTaggedErrorsFormatAndUnwrap(t *testing.T) {
 	wrapped := Checkf("check: %w", inner)
 	if !errors.Is(wrapped, inner) {
 		t.Error("tagged error does not unwrap to its cause")
+	}
+}
+
+func TestVersionIsWellFormed(t *testing.T) {
+	v := Version()
+	if v == "" || v == "unknown" {
+		t.Fatalf("Version() = %q — test binaries always carry build info", v)
+	}
+	if !strings.Contains(v, "go1") {
+		t.Errorf("Version() = %q, missing toolchain identity", v)
+	}
+	if v2 := Version(); v2 != v {
+		t.Errorf("Version() not stable: %q then %q", v, v2)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	// A private flag set mirrors what VersionFlag does on the default
+	// one, without perturbing other tests' flags.
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	show := fs.Bool("version", false, "")
+	done := func() bool { return *show }
+	if err := fs.Parse([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+	if !done() {
+		t.Error("-version parsed but not reported")
 	}
 }

@@ -75,6 +75,12 @@ type Planner struct {
 	memo    *[planCacheSize]planEntry
 	subs    []subEnv
 	nocache bool
+
+	// hits/misses count plan-cache lookups (nocache lookups count as
+	// misses). Plain fields, not atomics: a Planner is single-goroutine,
+	// and the increment must cost nothing against the few-instruction
+	// cache hit it measures.
+	hits, misses uint64
 }
 
 // planEntry is one direct-mapped cache slot.
@@ -146,6 +152,7 @@ func (pl *Planner) MemoLen() int {
 // bit-identical plan out.
 func (pl *Planner) Plan(rc, rd, lam float64, rf int) Plan {
 	if pl.nocache {
+		pl.misses++
 		return pl.compute(rc, rd, lam, rf)
 	}
 	key := planKey{
@@ -159,12 +166,17 @@ func (pl *Planner) Plan(rc, rd, lam float64, rf int) Plan {
 	}
 	ent := &pl.memo[key.slot()]
 	if ent.full && ent.key == key {
+		pl.hits++
 		return ent.plan
 	}
+	pl.misses++
 	p := pl.compute(rc, rd, lam, rf)
 	ent.key, ent.plan, ent.full = key, p, true
 	return p
 }
+
+// CacheStats returns the lookup counters accumulated by this planner.
+func (pl *Planner) CacheStats() (hits, misses uint64) { return pl.hits, pl.misses }
 
 // compute is the uncached planning procedure — the logic previously
 // inlined in Adaptive.Run, expression for expression, so the cached
@@ -231,10 +243,14 @@ type plannerCacheKey struct {
 	task  task.Task
 }
 
-// plannerMemo is the value parked in RunContext scratch.
+// plannerMemo is the value parked in RunContext scratch. hits/misses
+// carry the cache counters of planners this slot has already retired
+// (each new cell rebuilds the planner), so PlannerCacheStats reports a
+// context-lifetime total.
 type plannerMemo struct {
-	key plannerCacheKey
-	pl  *Planner
+	key          plannerCacheKey
+	pl           *Planner
+	hits, misses uint64
 }
 
 // plannerFor returns a planner for the scheme over p's platform, reusing
@@ -253,7 +269,14 @@ func (s *Adaptive) plannerFor(ctx *sim.RunContext, p sim.Params) *Planner {
 		}
 		key := plannerCacheKey{cfg: *s, model: p.CPUModel(), costs: p.Costs, task: p.Task}
 		pl := NewPlanner(key.cfg, key.model, key.costs, key.task)
-		ctx.SetScratch(&plannerMemo{key: key, pl: pl})
+		memo := &plannerMemo{key: key, pl: pl}
+		if pm, ok := ctx.Scratch().(*plannerMemo); ok {
+			// Fold the retiring planner's counters into the carried total
+			// so the context's cache stats survive the rebuild.
+			memo.hits = pm.hits + pm.pl.hits
+			memo.misses = pm.misses + pm.pl.misses
+		}
+		ctx.SetScratch(memo)
 		return pl
 	}
 	// No context to outlive the run: planning states within one run are
@@ -263,4 +286,16 @@ func (s *Adaptive) plannerFor(ctx *sim.RunContext, p sim.Params) *Planner {
 	pl := NewPlanner(*s, p.CPUModel(), p.Costs, p.Task)
 	pl.nocache = true
 	return pl
+}
+
+// PlannerCacheStats reports the plan-cache hit/miss totals accumulated
+// over ctx's lifetime — the live planner's counters plus those of every
+// planner the context has already retired. Contexts that never ran an
+// adaptive scheme report zeros. The caller owns delta bookkeeping: the
+// totals are monotonic for a fixed context.
+func PlannerCacheStats(ctx *sim.RunContext) (hits, misses uint64) {
+	if pm, ok := ctx.Scratch().(*plannerMemo); ok {
+		return pm.hits + pm.pl.hits, pm.misses + pm.pl.misses
+	}
+	return 0, 0
 }

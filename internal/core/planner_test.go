@@ -131,3 +131,49 @@ func TestPlannerScratchInvalidation(t *testing.T) {
 		t.Fatalf("after scratch churn, RunCtx diverged: %+v vs %+v", r1, r2)
 	}
 }
+
+// TestPlannerCacheStats pins the telemetry counters: fault-free
+// repetitions of one cell hit the plan cache after the first miss, and
+// the context-lifetime totals survive a planner rebuild on cell switch.
+func TestPlannerCacheStats(t *testing.T) {
+	rctx := sim.NewRunContext()
+	if h, m := PlannerCacheStats(rctx); h != 0 || m != 0 {
+		t.Fatalf("fresh context reports %d/%d, want 0/0", h, m)
+	}
+
+	s := NewAdaptDVSSCP()
+	p := params(0.78, 1, 0, 5, checkpoint.SCPSetting()) // λ=0: one plan key per rep
+	const reps = 50
+	for seed := uint64(1); seed <= reps; seed++ {
+		s.RunCtx(rctx, p, rctx.Reseed(seed))
+	}
+	hits, misses := PlannerCacheStats(rctx)
+	if hits+misses == 0 {
+		t.Fatal("no lookups counted")
+	}
+	if misses >= hits {
+		t.Errorf("fault-free cell: %d misses vs %d hits — memo not paying", misses, hits)
+	}
+
+	// Switching cells rebuilds the planner; the totals must carry over,
+	// never reset.
+	s2 := NewAdaptDVSCCP()
+	p2 := params(0.80, 1, 0.0014, 5, checkpoint.CCPSetting())
+	s2.RunCtx(rctx, p2, rctx.Reseed(1))
+	h2, m2 := PlannerCacheStats(rctx)
+	if h2 < hits || m2 <= misses {
+		t.Errorf("cache stats went backwards across a cell switch: %d/%d then %d/%d",
+			hits, misses, h2, m2)
+	}
+
+	// The planner's own counters agree with what it served.
+	pm, _ := rctx.Scratch().(*plannerMemo)
+	if pm == nil {
+		t.Fatal("no planner parked")
+	}
+	ph, pmiss := pm.pl.CacheStats()
+	if pm.hits+ph != h2 || pm.misses+pmiss != m2 {
+		t.Errorf("carryover bookkeeping inconsistent: memo %d/%d + live %d/%d != totals %d/%d",
+			pm.hits, pm.misses, ph, pmiss, h2, m2)
+	}
+}

@@ -15,12 +15,14 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 // Deadline is D, fixed to 10000 minimum-speed cycles across the paper's
@@ -195,7 +197,33 @@ type Runner struct {
 	// callers (the serve layer) surface to their clients. It must not
 	// block.
 	OnCell func(done, total int)
+	// Sink, when non-nil, receives per-cell telemetry: cell.start /
+	// cell.finish trace events, cells-completed/failed and reps
+	// counters, a per-cell wall-time histogram, and the planner
+	// cache-hit ledger drained from each worker's run context. It is
+	// consulted once per cell — never per repetition — and must be safe
+	// for concurrent use (every worker reports through it). A nil Sink
+	// costs nothing: results are bit-for-bit identical either way.
+	Sink telemetry.Sink
 }
+
+// Metric families the runner reports through its Sink. Exported so the
+// serve layer can pre-register them with help text and tests can
+// assert on them without string drift.
+const (
+	// MetricCellsCompleted counts grid cells whose Summary was computed.
+	MetricCellsCompleted = "grid_cells_completed_total"
+	// MetricCellsFailed counts cells that errored or panicked.
+	MetricCellsFailed = "grid_cells_failed_total"
+	// MetricReps counts Monte-Carlo repetitions across completed cells.
+	MetricReps = "grid_reps_total"
+	// MetricCellSeconds is the per-cell wall-time histogram.
+	MetricCellSeconds = "grid_cell_seconds"
+	// MetricPlannerHits / MetricPlannerMisses are the plan-cache ledger
+	// drained from the workers' run contexts (core.PlannerCacheStats).
+	MetricPlannerHits   = "planner_cache_hits_total"
+	MetricPlannerMisses = "planner_cache_misses_total"
+)
 
 func (r Runner) reps() int {
 	if r.Reps <= 0 {
@@ -358,8 +386,23 @@ func (r Runner) RunTableCtx(ctx context.Context, spec Spec) (Table, error) {
 		go func() {
 			defer wg.Done()
 			rctx := sim.NewRunContext()
+			// Plan-cache totals already drained to the sink; the per-cell
+			// delta is what gets counted.
+			var seenHits, seenMisses uint64
 			for j := range jobCh {
+				var t0 time.Time
+				if r.Sink != nil {
+					t0 = time.Now()
+					r.Sink.Event("cell.start", map[string]any{
+						"table": spec.ID, "u": j.u, "lambda": j.lambda,
+						"scheme": j.scheme.Name(),
+					})
+				}
 				sum, err := r.safeCell(ctx, rctx, spec, j.scheme, j.u, j.lambda)
+				if r.Sink != nil {
+					r.reportCell(rctx, spec, j.u, j.lambda, j.scheme.Name(),
+						time.Since(t0), err, &seenHits, &seenMisses)
+				}
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -392,6 +435,41 @@ func (r Runner) RunTableCtx(ctx context.Context, spec Spec) (Table, error) {
 		return partial, firstErr
 	}
 	return partial, nil
+}
+
+// reportCell flushes one finished cell to the runner's sink: counters,
+// the wall-time observation, the plan-cache delta accumulated in the
+// worker's run context since the last flush, and the cell.finish trace
+// event. Only called when Sink is non-nil.
+func (r Runner) reportCell(rctx *sim.RunContext, spec Spec, u, lambda float64, scheme string, elapsed time.Duration, err error, seenHits, seenMisses *uint64) {
+	hits, misses := core.PlannerCacheStats(rctx)
+	dh, dm := hits-*seenHits, misses-*seenMisses
+	*seenHits, *seenMisses = hits, misses
+
+	sec := elapsed.Seconds()
+	reps := r.reps()
+	attrs := map[string]any{
+		"table": spec.ID, "u": u, "lambda": lambda, "scheme": scheme,
+		"ok": err == nil, "reps": reps, "seconds": sec,
+	}
+	if dh+dm > 0 {
+		attrs["planner_hits"] = dh
+		attrs["planner_misses"] = dm
+	}
+	if err == nil {
+		r.Sink.Count(MetricCellsCompleted, 1)
+		r.Sink.Count(MetricReps, int64(reps))
+		if sec > 0 {
+			attrs["reps_per_sec"] = float64(reps) / sec
+		}
+	} else {
+		r.Sink.Count(MetricCellsFailed, 1)
+		attrs["error"] = err.Error()
+	}
+	r.Sink.Count(MetricPlannerHits, int64(dh))
+	r.Sink.Count(MetricPlannerMisses, int64(dm))
+	r.Sink.Observe(MetricCellSeconds, sec)
+	r.Sink.Event("cell.finish", attrs)
 }
 
 // RunAll runs every sub-table.

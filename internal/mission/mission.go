@@ -19,6 +19,21 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Metric families a mission reports through its Sink.
+const (
+	// MetricFrames counts frames flown across missions.
+	MetricFrames = "mission_frames_total"
+	// MetricMisses counts frames that failed their deadline.
+	MetricMisses = "mission_misses_total"
+	// MetricWrongFrames counts silently corrupted completed frames.
+	MetricWrongFrames = "mission_wrong_frames_total"
+	// MetricDegradedFrames counts frames flown in simplex mode.
+	MetricDegradedFrames = "mission_degraded_frames_total"
+	// MetricRuns counts missions flown to any end reason.
+	MetricRuns = "mission_runs_total"
 )
 
 // Config describes a mission.
@@ -48,6 +63,12 @@ type Config struct {
 	// Imperfection of the *transient* machinery is configured per frame
 	// via Frame.Imperfect.
 	PermanentLambda float64
+	// Sink, when non-nil, receives mission telemetry: start / milestone
+	// / degraded / end trace events and the frame counters, flushed at
+	// mission end. The per-frame check is a nil guard plus a modulo —
+	// no randomness is consumed and no result bit changes, so golden
+	// trajectories are identical with or without a sink.
+	Sink telemetry.Sink
 }
 
 func (c Config) validate() error {
@@ -159,6 +180,26 @@ func RunCtx(ctx context.Context, cfg Config, seed uint64) (Report, error) {
 	var cell stats.Cell
 	rep := Report{Reason: EndHorizon}
 
+	if cfg.Sink != nil {
+		cfg.Sink.Event("mission.start", map[string]any{
+			"scheme": cfg.Scheme.Name(), "frames_budget": cfg.MaxFrames,
+			"battery": cfg.BatteryCapacity, "seed": seed,
+		})
+		// Flushed on every exit path, including cancellation.
+		defer func() {
+			cfg.Sink.Count(MetricRuns, 1)
+			cfg.Sink.Count(MetricFrames, int64(rep.Frames))
+			cfg.Sink.Count(MetricMisses, int64(rep.Misses))
+			cfg.Sink.Count(MetricWrongFrames, int64(rep.WrongFrames))
+			cfg.Sink.Count(MetricDegradedFrames, int64(rep.DegradedFrames))
+			cfg.Sink.Event("mission.end", map[string]any{
+				"reason": string(rep.Reason), "frames": rep.Frames,
+				"misses": rep.Misses, "wrong": rep.WrongFrames,
+				"energy_used": rep.EnergyUsed, "final_charge": rep.FinalCharge,
+			})
+		}()
+	}
+
 	// Permanent-fault arrivals on the mission wall clock. Drawn only when
 	// the rate is positive so paper-setting missions consume exactly the
 	// seed's randomness.
@@ -184,9 +225,21 @@ func RunCtx(ctx context.Context, cfg Config, seed uint64) (Report, error) {
 			rep.FrameEnergy = cell.Summary()
 			return rep, ctx.Err()
 		}
+		// Frame-milestone trace: one event per 1024 frames, so even a
+		// ten-million-frame mission stays within a bounded trace buffer.
+		if cfg.Sink != nil && f > 0 && f&0x3ff == 0 {
+			cfg.Sink.Event("mission.milestone", map[string]any{
+				"frame": f, "charge": pack.Charge(), "misses": rep.Misses,
+			})
+		}
 		if !degraded && elapsed >= perm1 {
 			degraded = true
 			rep.PermanentFaults++
+			if cfg.Sink != nil {
+				cfg.Sink.Event("mission.degraded", map[string]any{
+					"frame": f, "mode": "dmr->simplex",
+				})
+			}
 		}
 		if degraded && elapsed >= perm2 {
 			rep.PermanentFaults++

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 func frame(t *testing.T, u, lambda float64) sim.Params {
@@ -307,4 +308,85 @@ func TestMissionZeroPermanentRateIsSeedIdentical(t *testing.T) {
 	if math.IsInf(a.FrameEnergy.SDC, 0) || a.FrameEnergy.SDC != 0 {
 		t.Fatalf("ideal mission SDC = %v", a.FrameEnergy.SDC)
 	}
+}
+
+// TestMissionSinkTelemetry: the sink sees start/milestone/end events,
+// the frame counters match the report, and attaching a sink does not
+// change a single bit of the mission outcome.
+func TestMissionSinkTelemetry(t *testing.T) {
+	cfg := Config{
+		Frame:           frame(t, 0.78, 0.0014),
+		Scheme:          core.NewAdaptDVSSCP(),
+		BatteryCapacity: 1e10,
+		MaxFrames:       2500, // > 1024: at least one milestone fires
+	}
+	plain, err := Run(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(256)
+	cfg.Sink = telemetry.NewRegistrySink(reg, tr)
+	traced, err := Run(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != traced {
+		t.Fatalf("sink perturbed the mission:\nplain  %+v\ntraced %+v", plain, traced)
+	}
+
+	if got := reg.Counter(MetricFrames, "").Value(); got != int64(traced.Frames) {
+		t.Errorf("%s = %d, want %d", MetricFrames, got, traced.Frames)
+	}
+	if got := reg.Counter(MetricMisses, "").Value(); got != int64(traced.Misses) {
+		t.Errorf("%s = %d, want %d", MetricMisses, got, traced.Misses)
+	}
+	if got := reg.Counter(MetricRuns, "").Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricRuns, got)
+	}
+
+	var sawStart, sawMilestone, sawEnd bool
+	for _, ev := range tr.Snapshot() {
+		switch ev.Name {
+		case "mission.start":
+			sawStart = true
+		case "mission.milestone":
+			sawMilestone = true
+		case "mission.end":
+			sawEnd = true
+			if ev.Attrs["reason"] != string(traced.Reason) {
+				t.Errorf("mission.end reason = %v, want %v", ev.Attrs["reason"], traced.Reason)
+			}
+		}
+	}
+	if !sawStart || !sawMilestone || !sawEnd {
+		t.Errorf("trace incomplete: start=%v milestone=%v end=%v", sawStart, sawMilestone, sawEnd)
+	}
+}
+
+// TestMissionSinkDegradedEvent: the DMR→simplex transition is traced.
+func TestMissionSinkDegradedEvent(t *testing.T) {
+	tr := telemetry.NewTracer(64)
+	cfg := Config{
+		Frame:           frame(t, 0.78, 0.0005),
+		Scheme:          core.NewAdaptDVSSCP(),
+		BatteryCapacity: 1e12,
+		MaxFrames:       4000,
+		PermanentLambda: 1e-7,
+		Sink:            telemetry.NewRegistrySink(nil, tr),
+	}
+	rep, err := Run(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PermanentFaults == 0 {
+		t.Skip("seed flew no permanent fault — pick a harsher rate")
+	}
+	for _, ev := range tr.Snapshot() {
+		if ev.Name == "mission.degraded" {
+			return
+		}
+	}
+	t.Error("permanent fault flew but mission.degraded never traced")
 }

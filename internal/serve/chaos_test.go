@@ -191,6 +191,13 @@ func TestChaosSoak(t *testing.T) {
 			}
 		}
 		wg.Wait()
+		// Mid-soak observability check: /metrics must stay well-formed
+		// while the queue churns and workers fail, retry and panic —
+		// scrapeMetrics fails the test on any malformed exposition line.
+		mets := scrapeMetrics(t, ts)
+		if mets["simd_jobs_accepted_total"] == 0 {
+			t.Error("mid-soak scrape shows zero accepted jobs")
+		}
 		time.Sleep(30 * time.Millisecond)
 	}
 	if len(acceptedJobs) == 0 {
@@ -294,6 +301,25 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if got := c.Completed + c.Failed + c.Canceled; got != c.Accepted {
 		t.Errorf("ledger leak: completed+failed+canceled = %d, accepted = %d", got, c.Accepted)
+	}
+
+	// The same closure through the /metrics scrape: every submission this
+	// test ever made is either shed or in a terminal counter — no silent
+	// drops, as observed by an external scraper rather than the Go API.
+	mets := scrapeMetrics(t, ts)
+	submitted := int64(len(acceptedJobs) + shedSeen)
+	terminal := int64(mets["simd_jobs_completed_total"] + mets["simd_jobs_failed_total"] + mets["simd_jobs_canceled_total"])
+	if got := terminal + int64(mets["simd_jobs_shed_total"]); got != submitted {
+		t.Errorf("/metrics ledger leak: shed+completed+failed+canceled = %d, submitted = %d", got, submitted)
+	}
+	if int64(mets["simd_jobs_accepted_total"]) != c.Accepted {
+		t.Errorf("/metrics accepted %v != Counters().Accepted %d", mets["simd_jobs_accepted_total"], c.Accepted)
+	}
+	// Jobs canceled while still queued never reach a worker, so the
+	// latency histogram bounds terminal jobs from below but must have
+	// seen every job that actually ran.
+	if got := int64(mets["simd_job_duration_seconds_count"]); got == 0 || got > terminal {
+		t.Errorf("latency histogram count %d out of range (0, %d]", got, terminal)
 	}
 
 	// The injector really ran at soak rates.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 // schemeByName resolves the paper's scheme columns. Baselines run at f1;
@@ -114,20 +115,23 @@ type MissionResult struct {
 
 // executeSpec runs one attempt of a job's workload under ctx. progress
 // receives grid cell counts (serialised by the experiment runner's
-// lock); it is ignored for the other kinds.
-func executeSpec(ctx context.Context, spec JobSpec, gridWorkers int, progress func(done, total int)) (any, error) {
+// lock); it is ignored for the other kinds. sink, when non-nil,
+// receives the engines' own telemetry (grid cell and mission frame
+// accounting) — the server passes its registry sink so engine metrics
+// land on /metrics alongside the job ledger.
+func executeSpec(ctx context.Context, spec JobSpec, gridWorkers int, progress func(done, total int), sink telemetry.Sink) (any, error) {
 	switch spec.Kind {
 	case JobGrid:
-		return executeGrid(ctx, spec, gridWorkers, progress)
+		return executeGrid(ctx, spec, gridWorkers, progress, sink)
 	case JobSingle:
 		return executeSingle(ctx, spec)
 	case JobMission:
-		return executeMission(ctx, spec)
+		return executeMission(ctx, spec, sink)
 	}
 	return nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
 }
 
-func executeGrid(ctx context.Context, spec JobSpec, workers int, progress func(done, total int)) (any, error) {
+func executeGrid(ctx context.Context, spec JobSpec, workers int, progress func(done, total int), sink telemetry.Sink) (any, error) {
 	tspec, err := experiment.TableByID(spec.Table)
 	if err != nil {
 		return nil, err
@@ -137,6 +141,7 @@ func executeGrid(ctx context.Context, spec JobSpec, workers int, progress func(d
 		Seed:    spec.Seed,
 		Workers: workers,
 		OnCell:  progress,
+		Sink:    sink,
 	}
 	tbl, err := runner.RunTableCtx(ctx, tspec)
 	if err != nil {
@@ -198,7 +203,7 @@ func executeSingle(ctx context.Context, spec JobSpec) (any, error) {
 	}, nil
 }
 
-func executeMission(ctx context.Context, spec JobSpec) (any, error) {
+func executeMission(ctx context.Context, spec JobSpec, sink telemetry.Sink) (any, error) {
 	s, err := schemeByName(spec.Scheme)
 	if err != nil {
 		return nil, err
@@ -212,6 +217,7 @@ func executeMission(ctx context.Context, spec JobSpec) (any, error) {
 		Scheme:          s,
 		BatteryCapacity: spec.Battery,
 		MaxFrames:       spec.Frames,
+		Sink:            sink,
 	}
 	rep, err := mission.RunCtx(ctx, cfg, spec.Seed)
 	if err != nil {

@@ -10,8 +10,9 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -46,6 +47,9 @@ type Config struct {
 	// Intercept, when non-nil, wraps every job attempt — the chaos
 	// harness's injection point.
 	Intercept Interceptor
+	// TraceCapacity bounds the /trace ring buffer (events, not bytes).
+	// Zero means telemetry.DefaultTraceCapacity.
+	TraceCapacity int
 	// Logf, when non-nil, receives one line per notable server event.
 	Logf func(format string, args ...any)
 }
@@ -77,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = telemetry.DefaultTraceCapacity
 	}
 	return c
 }
@@ -131,6 +138,10 @@ var (
 // counts refused submissions (never part of Accepted) — together they
 // account for every request ever seen, which is the soak suite's
 // no-silent-drop ledger.
+//
+// The snapshot is read straight off the telemetry registry — the same
+// instruments /metrics renders — so /statusz and /metrics cannot
+// disagree about the ledger.
 type CounterSnapshot struct {
 	Accepted  int64 `json:"accepted"`
 	Shed      int64 `json:"shed"`
@@ -141,19 +152,15 @@ type CounterSnapshot struct {
 	Panics    int64 `json:"panics"`
 }
 
-type counters struct {
-	accepted, shed, completed, failed, canceled, retries, panics atomic.Int64
-}
-
-func (c *counters) snapshot() CounterSnapshot {
+func (m *serveMetrics) snapshot() CounterSnapshot {
 	return CounterSnapshot{
-		Accepted:  c.accepted.Load(),
-		Shed:      c.shed.Load(),
-		Completed: c.completed.Load(),
-		Failed:    c.failed.Load(),
-		Canceled:  c.canceled.Load(),
-		Retries:   c.retries.Load(),
-		Panics:    c.panics.Load(),
+		Accepted:  m.accepted.Value(),
+		Shed:      m.shed.Value(),
+		Completed: m.completed.Value(),
+		Failed:    m.failed.Value(),
+		Canceled:  m.canceled.Value(),
+		Retries:   m.retries.Value(),
+		Panics:    m.panics.Value(),
 	}
 }
 
@@ -173,7 +180,14 @@ type Server struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	ctr   counters
+	// Telemetry: the registry owns every counter/gauge/histogram (the
+	// /metrics surface), the tracer owns the bounded run-trace ring (the
+	// /trace surface), and the sink is what the engines report through.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	sink   telemetry.Sink
+	met    *serveMetrics
+
 	start time.Time
 	mux   *http.ServeMux
 }
@@ -190,6 +204,7 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		start:      time.Now(),
 	}
+	s.initTelemetry()
 	s.initMux()
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -205,7 +220,7 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // Counters returns a snapshot of the monotonic counters.
-func (s *Server) Counters() CounterSnapshot { return s.ctr.snapshot() }
+func (s *Server) Counters() CounterSnapshot { return s.met.snapshot() }
 
 // Enqueue admits a job, or sheds it: ErrDraining while shutting down,
 // ErrQueueFull when the bounded queue is at capacity. A shed submission
@@ -219,7 +234,8 @@ func (s *Server) Enqueue(spec JobSpec) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		s.ctr.shed.Add(1)
+		s.met.shed.Inc()
+		s.trace("job.shed", map[string]any{"reason": "draining", "kind": string(spec.Kind)})
 		return nil, ErrDraining
 	}
 	s.nextID++
@@ -233,12 +249,16 @@ func (s *Server) Enqueue(spec JobSpec) (*Job, error) {
 	case s.queue <- job:
 	default:
 		s.nextID-- // the ID was never exposed; keep the sequence dense
-		s.ctr.shed.Add(1)
+		s.met.shed.Inc()
+		s.trace("job.shed", map[string]any{"reason": "queue-full", "kind": string(spec.Kind)})
 		return nil, ErrQueueFull
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
-	s.ctr.accepted.Add(1)
+	s.met.accepted.Inc()
+	s.trace("job.accepted", map[string]any{
+		"id": job.ID, "kind": string(spec.Kind), "queue_depth": len(s.queue),
+	})
 	return job, nil
 }
 
@@ -282,7 +302,10 @@ func (s *Server) Cancel(id string) (View, bool) {
 		j.State = StateCanceled
 		j.Error = "canceled by client while queued"
 		j.Finished = time.Now()
-		s.ctr.canceled.Add(1)
+		s.met.canceled.Inc()
+		s.trace("job.done", map[string]any{
+			"id": j.ID, "state": string(StateCanceled), "attempts": 0, "seconds": 0.0,
+		})
 	case !j.State.Terminal():
 		j.cancelRequested = true
 		if j.cancel != nil {
@@ -342,7 +365,10 @@ func (s *Server) runJob(job *Job) {
 		job.Error = "aborted by shutdown before start"
 		job.ShutdownAborted = true
 		job.Finished = time.Now()
-		s.ctr.canceled.Add(1)
+		s.met.canceled.Inc()
+		s.trace("job.done", map[string]any{
+			"id": job.ID, "state": string(StateCanceled), "attempts": 0, "seconds": 0.0,
+		})
 		s.mu.Unlock()
 		return
 	}
@@ -363,12 +389,17 @@ func (s *Server) runJob(job *Job) {
 		s.mu.Lock()
 		job.Attempts = attempt + 1
 		s.mu.Unlock()
+		s.trace("job.attempt", map[string]any{"id": job.ID, "attempt": attempt + 1})
 		result, err = s.attempt(jobCtx, job)
 		if err == nil || jobCtx.Err() != nil || attempt >= maxRetries || !retryable(err) {
 			break
 		}
-		s.ctr.retries.Add(1)
+		s.met.retries.Inc()
 		delay := backoffDelay(s.cfg.RetryBase, s.cfg.RetryMax, attempt, job.Spec.Seed)
+		s.trace("job.retry", map[string]any{
+			"id": job.ID, "attempt": attempt + 1,
+			"error": err.Error(), "delay_ms": delay.Milliseconds(),
+		})
 		s.logf("job %s attempt %d failed (%v), retrying in %v", job.ID, attempt+1, err, delay)
 		timer := time.NewTimer(delay)
 		select {
@@ -400,7 +431,8 @@ func (s *Server) attempt(jobCtx context.Context, job *Job) (out any, err error) 
 	defer func() {
 		if p := recover(); p != nil {
 			stack := debug.Stack()
-			s.ctr.panics.Add(1)
+			s.met.panics.Inc()
+			s.trace("job.panic", map[string]any{"id": job.ID, "value": fmt.Sprint(p)})
 			s.mu.Lock()
 			job.PanicStack = string(stack)
 			s.mu.Unlock()
@@ -414,7 +446,7 @@ func (s *Server) attempt(jobCtx context.Context, job *Job) (out any, err error) 
 		s.mu.Unlock()
 	}
 	next := func(ctx context.Context) (any, error) {
-		return executeSpec(ctx, job.Spec, s.cfg.GridWorkers, progress)
+		return executeSpec(ctx, job.Spec, s.cfg.GridWorkers, progress, s.sink)
 	}
 	if s.cfg.Intercept != nil {
 		return s.cfg.Intercept(attemptCtx, attemptCancel, job.Spec, next)
@@ -422,34 +454,45 @@ func (s *Server) attempt(jobCtx context.Context, job *Job) (out any, err error) 
 	return next(attemptCtx)
 }
 
-// finish classifies the job's terminal state.
+// finish classifies the job's terminal state, observes the job's wall
+// time into the latency histogram and emits the terminal trace event.
 func (s *Server) finish(job *Job, result any, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	job.Finished = time.Now()
 	switch {
 	case err == nil:
 		job.State = StateDone
 		job.Result = result
-		s.ctr.completed.Add(1)
+		s.met.completed.Inc()
 	case job.cancelRequested:
 		job.State = StateCanceled
 		job.Error = "canceled by client"
-		s.ctr.canceled.Add(1)
+		s.met.canceled.Inc()
 	case s.baseCtx.Err() != nil:
 		job.State = StateCanceled
 		job.Error = "aborted by shutdown: " + err.Error()
 		job.ShutdownAborted = true
-		s.ctr.canceled.Add(1)
+		s.met.canceled.Inc()
 	case errors.Is(err, context.DeadlineExceeded):
 		job.State = StateFailed
 		job.Error = fmt.Sprintf("deadline exceeded after %v: %v", s.timeoutFor(job.Spec), err)
-		s.ctr.failed.Add(1)
+		s.met.failed.Inc()
 	default:
 		job.State = StateFailed
 		job.Error = err.Error()
-		s.ctr.failed.Add(1)
+		s.met.failed.Inc()
 	}
+	id, state, attempts := job.ID, job.State, job.Attempts
+	var seconds float64
+	if !job.Started.IsZero() {
+		seconds = job.Finished.Sub(job.Started).Seconds()
+	}
+	s.mu.Unlock()
+
+	s.met.latency.Observe(seconds)
+	s.trace("job.done", map[string]any{
+		"id": id, "state": string(state), "attempts": attempts, "seconds": seconds,
+	})
 }
 
 // splitmix is the SplitMix64 finaliser, used for deterministic backoff
@@ -498,7 +541,9 @@ func (s *Server) Shutdown(ctx context.Context) (Manifest, error) {
 	}
 	s.draining = true
 	close(s.queue)
+	backlog := len(s.queue)
 	s.mu.Unlock()
+	s.trace("drain.start", map[string]any{"backlog": backlog})
 
 	done := make(chan struct{})
 	go func() {
@@ -529,6 +574,14 @@ func (s *Server) Shutdown(ctx context.Context) (Manifest, error) {
 	}
 	s.mu.Unlock()
 
+	if drained {
+		s.met.drainsClean.Inc()
+	} else {
+		s.met.drainsAborted.Inc()
+	}
+	s.met.manifestJobs.Add(int64(len(m.Jobs)))
+	s.trace("drain.end", map[string]any{"drained": drained, "manifest_jobs": len(m.Jobs)})
+
 	if s.cfg.ManifestPath != "" {
 		blob, err := json.MarshalIndent(m, "", " ")
 		if err != nil {
@@ -553,6 +606,7 @@ func (s *Server) initMux() {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.registerDebug(mux)
 	s.mux = mux
 }
 
@@ -565,6 +619,9 @@ func (s *Server) initMux() {
 //	GET    /healthz      process liveness (always 200 while serving)
 //	GET    /readyz       admission readiness (503 when saturated/draining)
 //	GET    /statusz      counters and queue status
+//	GET    /metrics      Prometheus text exposition of the registry
+//	GET    /trace        run-trace ring buffer as JSONL (?n= newest n)
+//	GET    /debug/pprof  the standard Go profiling endpoints
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -676,7 +733,7 @@ type Status struct {
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st := Status{
-		Counters:  s.ctr.snapshot(),
+		Counters:  s.met.snapshot(),
 		QueueLen:  len(s.queue),
 		QueueCap:  cap(s.queue),
 		Workers:   s.cfg.Workers,

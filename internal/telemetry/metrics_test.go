@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("jobs_total", "jobs")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := reg.Counter("jobs_total", "other help"); again != c {
+		t.Fatal("re-registration did not return the existing counter")
+	}
+
+	g := reg.Gauge("depth", "queue depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []string{"", "1abc", "with space", "dash-ed", "é"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			reg.Counter(bad, "")
+		}()
+	}
+}
+
+func TestRegistryTypeCollisionPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("thing", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge registered over an existing counter name")
+		}
+	}()
+	reg.Gauge("thing", "")
+}
+
+// TestHistogramEdgeObservations pins the under- and overflow contract:
+// values below the first bound land in the first bucket, values above
+// the last bound appear only in +Inf, and both still move sum/count.
+func TestHistogramEdgeObservations(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "latency", []float64{1, 2, 4})
+
+	h.Observe(-50) // far below the first bound
+	h.Observe(0.5) // below the first bound
+	h.Observe(1)   // exactly on a bound: le is inclusive
+	h.Observe(3)
+	h.Observe(100) // above the last bound
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1)) // +Inf bucket, sum becomes +Inf
+
+	s := h.Snapshot()
+	if want := []int64{3, 0, 1, 2}; len(s.Counts) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(s.Counts), len(want))
+	} else {
+		for i, w := range want {
+			if s.Counts[i] != w {
+				t.Errorf("bucket[%d] = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+			}
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6 (NaN dropped)", s.Count)
+	}
+	if !math.IsInf(s.Sum, 1) {
+		t.Errorf("sum = %v, want +Inf", s.Sum)
+	}
+
+	// The exposition renders cumulative buckets and an explicit +Inf.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="4"} 4`,
+		`lat_bucket{le="+Inf"} 6`,
+		`lat_sum +Inf`,
+		`lat_count 6`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundsMustIncrease(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds accepted")
+		}
+	}()
+	reg.Histogram("bad", "", []float64{1, 1})
+}
+
+// TestHistogramConcurrentObserve hammers Observe from many goroutines
+// while snapshots and expositions run concurrently; run under -race
+// this is the data-race gate, and the final totals must balance.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("conc", "", []float64{0.25, 0.5, 0.75})
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent reader: snapshots and expositions
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = h.Snapshot()
+			var b strings.Builder
+			_ = reg.WritePrometheus(&b)
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(float64(i%100) / 100)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perW {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perW)
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+// TestExpositionGolden pins the full text format byte for byte: HELP
+// then TYPE per family, families sorted by name, histograms with
+// cumulative buckets, sum and count.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("zz_jobs_total", "jobs accepted\nsecond line \\ escaped")
+	c.Add(7)
+	g := reg.Gauge("aa_depth", "queue depth")
+	g.Set(2.5)
+	reg.GaugeFunc("mm_ready", "readiness", func() float64 { return 1 })
+	h := reg.Histogram("hh_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	want := `# HELP aa_depth queue depth
+# TYPE aa_depth gauge
+aa_depth 2.5
+# HELP hh_seconds latency
+# TYPE hh_seconds histogram
+hh_seconds_bucket{le="0.1"} 1
+hh_seconds_bucket{le="1"} 2
+hh_seconds_bucket{le="+Inf"} 3
+hh_seconds_sum 5.55
+hh_seconds_count 3
+# HELP mm_ready readiness
+# TYPE mm_ready gauge
+mm_ready 1
+# HELP zz_jobs_total jobs accepted\nsecond line \\ escaped
+# TYPE zz_jobs_total counter
+zz_jobs_total 7
+`
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

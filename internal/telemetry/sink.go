@@ -1,0 +1,73 @@
+package telemetry
+
+// Sink is the engine-facing telemetry interface: the experiment runner,
+// the mission loop and the serve layer report through it without
+// knowing whether anything is listening. Implementations must be safe
+// for concurrent use — the experiment runner calls its sink from every
+// worker.
+//
+// The contract with the hot path: sinks are consulted at cell / frame /
+// job granularity only (never per simulated interval), and a nil sink
+// field means "don't even build the arguments", so an uninstrumented
+// run pays nothing. Nop exists for call sites that want an always-valid
+// sink instead of a nil check.
+type Sink interface {
+	// Count adds delta to the named counter.
+	Count(name string, delta int64)
+	// Observe records one value into the named histogram.
+	Observe(name string, v float64)
+	// Event records one trace event. The attrs map is retained; callers
+	// must not mutate it after the call.
+	Event(name string, attrs map[string]any)
+}
+
+// NopSink discards everything — the no-op default.
+type NopSink struct{}
+
+// Count discards.
+func (NopSink) Count(string, int64) {}
+
+// Observe discards.
+func (NopSink) Observe(string, float64) {}
+
+// Event discards.
+func (NopSink) Event(string, map[string]any) {}
+
+// Nop is the shared no-op sink.
+var Nop Sink = NopSink{}
+
+// RegistrySink routes Count/Observe into a Registry and Event into a
+// Tracer. Either side may be nil to keep only the other. Metric
+// families are created on first use with a generic help string;
+// pre-register them on the Registry to attach real help text or custom
+// histogram buckets.
+type RegistrySink struct {
+	reg *Registry
+	tr  *Tracer
+}
+
+// NewRegistrySink builds a sink over reg and tr (either may be nil).
+func NewRegistrySink(reg *Registry, tr *Tracer) *RegistrySink {
+	return &RegistrySink{reg: reg, tr: tr}
+}
+
+// Count implements Sink.
+func (s *RegistrySink) Count(name string, delta int64) {
+	if s.reg != nil {
+		s.reg.Counter(name, "engine counter (auto-registered)").Add(delta)
+	}
+}
+
+// Observe implements Sink.
+func (s *RegistrySink) Observe(name string, v float64) {
+	if s.reg != nil {
+		s.reg.Histogram(name, "engine histogram (auto-registered)", nil).Observe(v)
+	}
+}
+
+// Event implements Sink.
+func (s *RegistrySink) Event(name string, attrs map[string]any) {
+	if s.tr != nil {
+		s.tr.Emit(name, attrs)
+	}
+}

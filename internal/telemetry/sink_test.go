@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNopSinkDiscards(t *testing.T) {
+	// Nothing to assert beyond "does not panic": the no-op default is
+	// the hot path's contract.
+	Nop.Count("x", 1)
+	Nop.Observe("x", 1)
+	Nop.Event("x", map[string]any{"a": 1})
+}
+
+func TestRegistrySinkRoutes(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(8)
+	s := NewRegistrySink(reg, tr)
+
+	s.Count("cells_total", 3)
+	s.Count("cells_total", 2)
+	s.Observe("cell_seconds", 0.25)
+	s.Event("cell.finish", map[string]any{"table": "1a"})
+
+	if got := reg.Counter("cells_total", "").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if got := reg.Histogram("cell_seconds", "", nil).Snapshot().Count; got != 1 {
+		t.Errorf("histogram count = %d, want 1", got)
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 1 || evs[0].Name != "cell.finish" {
+		t.Errorf("trace = %+v", evs)
+	}
+}
+
+// TestRegistrySinkPreRegisteredBuckets: a family registered up front
+// keeps its help text and buckets when the sink later observes into it.
+func TestRegistrySinkPreRegistered(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("cell_seconds", "per-cell wall time", []float64{1, 10})
+	s := NewRegistrySink(reg, nil)
+	s.Observe("cell_seconds", 5)
+	s.Event("ignored", nil) // nil tracer: must not panic
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# HELP cell_seconds per-cell wall time\n") {
+		t.Errorf("pre-registered help lost:\n%s", out)
+	}
+	if !strings.Contains(out, `cell_seconds_bucket{le="10"} 1`) {
+		t.Errorf("pre-registered buckets lost:\n%s", out)
+	}
+}

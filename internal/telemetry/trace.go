@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one span-like run-trace record: a monotonically increasing
+// sequence number, a wall-clock timestamp, a dotted event name
+// ("job.retry", "cell.finish", "mission.degraded") and free-form
+// attributes. Events are observability data, never inputs: the engines'
+// trajectories are bit-for-bit identical with tracing on or off.
+type Event struct {
+	Seq   uint64         `json:"seq"`
+	T     int64          `json:"t_unix_ns"`
+	Name  string         `json:"name"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer records events into a bounded ring buffer: the newest Cap
+// events are kept, older ones are overwritten and counted as dropped.
+// All methods are safe for concurrent use.
+type Tracer struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever emitted; buf slot = seq % cap
+	now  func() time.Time
+}
+
+// DefaultTraceCapacity bounds a tracer built with capacity <= 0.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer keeping the newest capacity events
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, 0, capacity), now: time.Now}
+}
+
+// Emit records one event. attrs may be nil; the map is retained, so
+// callers must not mutate it afterwards.
+func (t *Tracer) Emit(name string, attrs map[string]any) {
+	ts := t.now().UnixNano()
+	t.mu.Lock()
+	ev := Event{Seq: t.next, T: ts, Name: name, Attrs: attrs}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[int(t.next%uint64(cap(t.buf)))] = ev
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped returns how many events have been overwritten by newer ones.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next - uint64(len(t.buf))
+}
+
+// Snapshot returns the buffered events oldest-first.
+func (t *Tracer) Snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		return append(out, t.buf...)
+	}
+	// Full ring: the oldest surviving event lives at next % cap.
+	start := int(t.next % uint64(cap(t.buf)))
+	out = append(out, t.buf[start:]...)
+	return append(out, t.buf[:start]...)
+}
+
+// WriteJSONL writes the buffered events oldest-first, one JSON object
+// per line. last limits the output to the newest last events when
+// positive.
+func (t *Tracer) WriteJSONL(w io.Writer, last int) error {
+	events := t.Snapshot()
+	if last > 0 && len(events) > last {
+		events = events[len(events)-last:]
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(fmt.Sprintf("e%d", i), nil)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	evs := tr.Snapshot()
+	for i, ev := range evs {
+		want := fmt.Sprintf("e%d", 6+i)
+		if ev.Name != want {
+			t.Errorf("event[%d] = %s, want %s (oldest-first ordering broken)", i, ev.Name, want)
+		}
+		if ev.Seq != uint64(6+i) {
+			t.Errorf("event[%d] seq = %d, want %d", i, ev.Seq, 6+i)
+		}
+	}
+}
+
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit("a", map[string]any{"k": 1})
+	tr.Emit("b", nil)
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", tr.Dropped())
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 2 || evs[0].Name != "a" || evs[1].Name != "b" {
+		t.Fatalf("snapshot = %+v", evs)
+	}
+}
+
+func TestTracerWriteJSONL(t *testing.T) {
+	tr := NewTracer(16)
+	tr.now = func() time.Time { return time.Unix(0, 42) }
+	tr.Emit("job.accepted", map[string]any{"id": "job-000001", "kind": "grid"})
+	tr.Emit("job.done", map[string]any{"id": "job-000001", "state": "done"})
+
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if ev.T != 42 {
+			t.Errorf("line %d timestamp = %d, want 42", lines, ev.T)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("wrote %d lines, want 2", lines)
+	}
+
+	// last limits to the newest events.
+	var tail strings.Builder
+	if err := tr.WriteJSONL(&tail, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tail.String(), "job.done") || strings.Contains(tail.String(), "job.accepted") {
+		t.Errorf("last=1 did not keep only the newest event: %s", tail.String())
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Emit("e", nil)
+				_ = tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Dropped() + uint64(tr.Len()); got != 8000 {
+		t.Fatalf("dropped+len = %d, want 8000", got)
+	}
+}
