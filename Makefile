@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check golden bench fuzz-smoke chaos telemetry-overhead
+.PHONY: build test vet race check golden bench bench-check determinism fuzz-smoke chaos telemetry-overhead
 
 build:
 	$(GO) build ./...
@@ -27,9 +27,23 @@ golden:
 	$(GO) test -run TestGoldenEquivalence -update .
 
 # Time the simulation stack (Table 1a/3a grids and the warm single-run
-# path) and record the numbers in BENCH_simstack.json.
+# path), sweep the grid workloads across -cpu 1,2,4, and record the
+# numbers — appending the previous report to the history — in
+# BENCH_simstack.json.
 bench:
 	$(GO) run ./cmd/simbench -out BENCH_simstack.json
+
+# Regression gate: re-time the stack quickly and fail if any workload's
+# single-CPU ns_per_rep is >15% above the committed baseline. Writes to
+# a scratch file so the committed artefact only changes via `make bench`.
+bench-check:
+	$(GO) run ./cmd/simbench -short -check -baseline BENCH_simstack.json -out /tmp/BENCH_simstack_check.json
+
+# The scheduling-invariance matrix under the race detector: worker
+# counts × shard sizes × permuted completion order × chaos retries must
+# leave every table bit unchanged, with no data races.
+determinism:
+	$(GO) test -race -count=1 -run 'Determinism|Shard|OrderIndependence|PartitionInvariance' ./internal/experiment/ ./internal/stats/
 
 # Short native-fuzz smoke (~30s): the planner over its whole input
 # envelope and the model-vs-simulation validators. CI runs this; longer

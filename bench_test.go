@@ -35,7 +35,10 @@ func benchTable(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	runner := experiment.Runner{Reps: benchReps, Seed: 1, Workers: 1}
+	// Workers: 0 follows GOMAXPROCS, so `go test -bench Table1a -cpu 1,2,4`
+	// sweeps the work-stealing scheduler's scaling; results are
+	// bit-identical at every width.
+	runner := experiment.Runner{Reps: benchReps, Seed: 1}
 	var last experiment.Table
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -65,16 +68,17 @@ func BenchmarkTable4b(b *testing.B) { benchTable(b, "4b") }
 // uninstrumented baseline, "nop" attaches a do-nothing sink (the
 // nil-guard plus per-cell reporting path — budgeted at ≤2% over
 // "none"), and "registry" attaches the live registry+tracer sink simd
-// runs with. Instrumentation is consulted once per grid cell, never
-// per repetition, which is why the budget holds: the per-cell cost is
-// amortised over benchReps simulated trajectories.
+// runs with. Instrumentation is consulted per grid cell and per shard
+// unit, never per repetition, which is why the budget holds: the
+// bookkeeping cost is amortised over a whole shard of simulated
+// trajectories.
 func BenchmarkTable1aSinkOverhead(b *testing.B) {
 	spec, err := experiment.TableByID("1a")
 	if err != nil {
 		b.Fatal(err)
 	}
 	run := func(b *testing.B, sink telemetry.Sink) {
-		runner := experiment.Runner{Reps: benchReps, Seed: 1, Workers: 1, Sink: sink}
+		runner := experiment.Runner{Reps: benchReps, Seed: 1, Sink: sink}
 		for i := 0; i < b.N; i++ {
 			if _, err := runner.RunTable(spec); err != nil {
 				b.Fatal(err)
@@ -86,6 +90,31 @@ func BenchmarkTable1aSinkOverhead(b *testing.B) {
 	b.Run("registry", func(b *testing.B) {
 		run(b, telemetry.NewRegistrySink(telemetry.NewRegistry(), telemetry.NewTracer(1<<14)))
 	})
+}
+
+// BenchmarkSingleCellParallel runs ONE 10k-rep grid cell through the
+// rep-sharded scheduler at the ambient GOMAXPROCS (`-cpu 1,2,4` sweeps
+// it). Before rep-level sharding a single cell was a serial unit and
+// could not scale at all; now its shards spread across every worker, so
+// reps/sec for this benchmark should track the core count.
+func BenchmarkSingleCellParallel(b *testing.B) {
+	spec, err := experiment.TableByID("1a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	schemes := spec.Schemes()
+	scheme := schemes[len(schemes)-1]
+	const reps = 10_000
+	runner := experiment.Runner{Reps: reps, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.RunCell(spec, scheme, spec.Us[0], spec.Lambdas[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	secPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N) * 1e-9
+	b.ReportMetric(float64(reps)/secPerOp, "reps/sec")
 }
 
 // BenchmarkSingleRun times one execution of the headline scheme at the

@@ -113,12 +113,12 @@ func run() error {
 	}
 
 	// One run context for the whole repetition loop: engine and plan
-	// caches are reused, per-rep seeds match what src.Split() drew.
-	src := rng.New(*seed)
+	// caches are reused; per-rep seeds are the counter-based rng.Stream
+	// family, matching the experiment runner's derivation.
 	rctx := sim.NewRunContext()
 	var cell stats.Cell
 	for i := 0; i < *reps; i++ {
-		r := sim.RunScheme(rctx, scheme, params, rctx.Reseed(src.Uint64()))
+		r := sim.RunScheme(rctx, scheme, params, rctx.Reseed(rng.Stream(*seed, i)))
 		cell.Observe(r.Completed, r.Energy, r.Time, float64(r.Faults), float64(r.Switches))
 	}
 	s := cell.Summary()

@@ -6,18 +6,32 @@
 // Three workloads are timed:
 //
 //   - Table1a, Table3a: one full published sub-table grid through the
-//     experiment runner on a single worker — the run-context path with
-//     warm engines and plan caches, exactly what `make tables` pays per
-//     table. Reported per repetition (ns/rep, allocs/rep, reps/sec).
+//     experiment runner — the run-context path with warm engines and
+//     plan caches, exactly what `make tables` pays per table. Reported
+//     per repetition (ns/rep, allocs/rep, reps/sec), and swept across
+//     the -cpu list: each point pins GOMAXPROCS and the runner's worker
+//     count to n and reports reps_per_sec plus speedup_vs_1cpu, the
+//     scaling curve of the work-stealing rep-shard scheduler. Results
+//     are bit-identical at every width, so the sweep measures pure
+//     scheduling.
 //   - SingleRunCtx: one execution of the headline scheme (A_D_S at the
 //     paper's anchor cell) through a reused RunContext — the simulator's
-//     warm inner-loop cost.
+//     warm inner-loop cost. Inherently serial; not swept.
+//
+// The previous report is not thrown away: its summary (sans its own
+// history) is appended to the new file's "history" array, so the
+// committed artefact carries the performance trend, not just the latest
+// point.
 //
 // Usage:
 //
-//	go run ./cmd/simbench [-out BENCH_simstack.json] [-reps 50] [-short]
+//	go run ./cmd/simbench [-out BENCH_simstack.json] [-reps 50]
+//	                      [-cpu 1,2,4] [-short] [-check] [-baseline file]
 //
 // -short cuts the per-benchmark measuring time for CI smoke runs.
+// -check compares the fresh single-CPU ns_per_rep of each workload
+// against the baseline file (default: the committed BENCH_simstack.json)
+// and exits non-zero if any regressed more than 15%.
 package main
 
 import (
@@ -26,6 +40,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -37,17 +53,30 @@ import (
 	"repro/internal/task"
 )
 
-// measurement is one timed workload, normalised per simulation rep.
-type measurement struct {
-	Name         string  `json:"name"`
-	RepsPerOp    int     `json:"reps_per_op"`
-	NsPerRep     float64 `json:"ns_per_rep"`
-	AllocsPerRep float64 `json:"allocs_per_rep"`
-	BytesPerRep  float64 `json:"bytes_per_rep"`
-	RepsPerSec   float64 `json:"reps_per_sec"`
+// cpuPoint is one width of a workload's scaling sweep.
+type cpuPoint struct {
+	NumCPU        int     `json:"num_cpu"`
+	NsPerRep      float64 `json:"ns_per_rep"`
+	RepsPerSec    float64 `json:"reps_per_sec"`
+	SpeedupVs1CPU float64 `json:"speedup_vs_1cpu,omitempty"`
 }
 
-// report is the file schema.
+// measurement is one timed workload, normalised per simulation rep. The
+// scalar fields are the first sweep width (1 CPU by default) — the
+// number -check and the history trend compare; CPUs carries the full
+// sweep for the grid workloads.
+type measurement struct {
+	Name         string     `json:"name"`
+	RepsPerOp    int        `json:"reps_per_op"`
+	NsPerRep     float64    `json:"ns_per_rep"`
+	AllocsPerRep float64    `json:"allocs_per_rep"`
+	BytesPerRep  float64    `json:"bytes_per_rep"`
+	RepsPerSec   float64    `json:"reps_per_sec"`
+	CPUs         []cpuPoint `json:"cpus,omitempty"`
+}
+
+// report is the file schema. History holds previous reports, oldest
+// first, each with its own History stripped.
 type report struct {
 	GeneratedAt string        `json:"generated_at"`
 	GoVersion   string        `json:"go_version"`
@@ -56,18 +85,35 @@ type report struct {
 	NumCPU      int           `json:"num_cpu"`
 	Reps        int           `json:"reps_per_cell"`
 	Short       bool          `json:"short"`
+	CPUList     []int         `json:"cpu_list,omitempty"`
 	Benchmarks  []measurement `json:"benchmarks"`
+	History     []report      `json:"history,omitempty"`
 }
+
+// historyCap bounds the trend the artefact accumulates.
+const historyCap = 20
+
+// regressionTolerance is the relative ns_per_rep growth -check accepts.
+const regressionTolerance = 0.15
 
 func main() {
 	testing.Init() // registers -test.* flags so benchtime is settable
 	out := flag.String("out", "BENCH_simstack.json", "output file path")
 	reps := flag.Int("reps", 50, "Monte-Carlo repetitions per table cell")
+	cpuList := flag.String("cpu", "1,2,4", "comma-separated GOMAXPROCS sweep for the grid workloads")
 	short := flag.Bool("short", false, "cut measuring time (CI smoke)")
+	check := flag.Bool("check", false, "fail if ns_per_rep regressed >15% vs the baseline file")
+	baseline := flag.String("baseline", "", "baseline file for -check (default: the -out file's previous content)")
 	showVersion := cli.VersionFlag()
 	flag.Parse()
 	if showVersion() {
 		return
+	}
+
+	cpus, err := parseCPUList(*cpuList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(2)
 	}
 
 	if *short {
@@ -77,6 +123,14 @@ func main() {
 		}
 	}
 
+	// The previous committed report is both the -check baseline and the
+	// next history entry.
+	baselinePath := *baseline
+	if baselinePath == "" {
+		baselinePath = *out
+	}
+	prev, prevErr := readReport(baselinePath)
+
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -85,21 +139,30 @@ func main() {
 		NumCPU:      runtime.NumCPU(),
 		Reps:        *reps,
 		Short:       *short,
+		CPUList:     cpus,
 	}
 	for _, id := range []string{"1a", "3a"} {
-		m, err := benchTable(id, *reps)
+		m, err := benchTable(id, *reps, cpus)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: table %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, m)
-		fmt.Printf("%-12s %10.0f ns/rep %8.1f allocs/rep %12.0f reps/sec\n",
-			m.Name, m.NsPerRep, m.AllocsPerRep, m.RepsPerSec)
+		printMeasurement(m)
 	}
 	m := benchSingleRunCtx()
 	rep.Benchmarks = append(rep.Benchmarks, m)
-	fmt.Printf("%-12s %10.0f ns/rep %8.1f allocs/rep %12.0f reps/sec\n",
-		m.Name, m.NsPerRep, m.AllocsPerRep, m.RepsPerSec)
+	printMeasurement(m)
+
+	// Append, never overwrite: the old report joins the trend.
+	if prevErr == nil {
+		hist := prev.History
+		prev.History = nil
+		rep.History = append(hist, prev)
+		if len(rep.History) > historyCap {
+			rep.History = rep.History[len(rep.History)-historyCap:]
+		}
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -112,19 +175,94 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *check {
+		if prevErr != nil {
+			fmt.Fprintf(os.Stderr, "simbench: -check: no baseline (%v); treating as pass\n", prevErr)
+			return
+		}
+		if failures := checkRegressions(prev, rep); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "simbench: REGRESSION %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("bench-check: ok (within %.0f%% of %s)\n", regressionTolerance*100, baselinePath)
+	}
 }
 
-// benchTable times one full sub-table grid per op and normalises by the
-// total repetition count the grid runs.
-func benchTable(id string, reps int) (measurement, error) {
+func parseCPUList(s string) ([]int, error) {
+	var cpus []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -cpu entry %q (want positive integers)", part)
+		}
+		cpus = append(cpus, n)
+	}
+	if len(cpus) == 0 {
+		return nil, fmt.Errorf("empty -cpu list")
+	}
+	return cpus, nil
+}
+
+func readReport(path string) (report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return report{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+// checkRegressions compares same-name workloads' scalar ns_per_rep
+// (the first sweep width) between the baseline and the fresh run.
+func checkRegressions(old, fresh report) []string {
+	byName := map[string]measurement{}
+	for _, m := range old.Benchmarks {
+		byName[m.Name] = m
+	}
+	var failures []string
+	for _, m := range fresh.Benchmarks {
+		o, ok := byName[m.Name]
+		if !ok || o.NsPerRep <= 0 {
+			continue
+		}
+		if m.NsPerRep > o.NsPerRep*(1+regressionTolerance) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/rep vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+				m.Name, m.NsPerRep, o.NsPerRep,
+				100*(m.NsPerRep/o.NsPerRep-1), regressionTolerance*100))
+		}
+	}
+	return failures
+}
+
+func printMeasurement(m measurement) {
+	fmt.Printf("%-12s %10.0f ns/rep %8.1f allocs/rep %12.0f reps/sec\n",
+		m.Name, m.NsPerRep, m.AllocsPerRep, m.RepsPerSec)
+	for _, p := range m.CPUs {
+		fmt.Printf("  %2d cpu  %12.0f reps/sec  %5.2fx vs 1 cpu\n",
+			p.NumCPU, p.RepsPerSec, p.SpeedupVs1CPU)
+	}
+}
+
+// benchTable times one full sub-table grid per op at each sweep width
+// and normalises by the total repetition count the grid runs.
+func benchTable(id string, reps int, cpus []int) (measurement, error) {
 	spec, err := experiment.TableByID(id)
 	if err != nil {
 		return measurement{}, err
 	}
-	runner := experiment.Runner{Reps: reps, Seed: 1, Workers: 1}
 
 	// One warm-up run, which also counts the trials per op.
-	tbl, err := runner.RunTable(spec)
+	tbl, err := experiment.Runner{Reps: reps, Seed: 1, Workers: 1}.RunTable(spec)
 	if err != nil {
 		return measurement{}, err
 	}
@@ -135,15 +273,31 @@ func benchTable(id string, reps int) (measurement, error) {
 		}
 	}
 
-	br := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := runner.RunTable(spec); err != nil {
-				b.Fatal(err)
+	var m measurement
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for i, n := range cpus {
+		runtime.GOMAXPROCS(n)
+		runner := experiment.Runner{Reps: reps, Seed: 1, Workers: n}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.RunTable(spec); err != nil {
+					b.Fatal(err)
+				}
 			}
+		})
+		point := normalise("Table"+id, br, total)
+		if i == 0 {
+			m = point
 		}
-	})
-	return normalise("Table"+id, br, total), nil
+		pt := cpuPoint{NumCPU: n, NsPerRep: point.NsPerRep, RepsPerSec: point.RepsPerSec}
+		if base := m.RepsPerSec; base > 0 {
+			pt.SpeedupVs1CPU = point.RepsPerSec / base
+		}
+		m.CPUs = append(m.CPUs, pt)
+	}
+	return m, nil
 }
 
 // benchSingleRunCtx times the warm context path of one A_D_S execution

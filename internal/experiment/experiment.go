@@ -9,16 +9,16 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"runtime/debug"
 	"strconv"
-	"sync"
-	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
@@ -198,13 +198,26 @@ type Runner struct {
 	// block.
 	OnCell func(done, total int)
 	// Sink, when non-nil, receives per-cell telemetry: cell.start /
-	// cell.finish trace events, cells-completed/failed and reps
+	// cell.finish trace events, cells-completed/failed, shard and reps
 	// counters, a per-cell wall-time histogram, and the planner
 	// cache-hit ledger drained from each worker's run context. It is
-	// consulted once per cell — never per repetition — and must be safe
-	// for concurrent use (every worker reports through it). A nil Sink
-	// costs nothing: results are bit-for-bit identical either way.
+	// consulted per cell and per shard — never per repetition — and must
+	// be safe for concurrent use (every worker reports through it). A
+	// nil Sink costs nothing: results are bit-for-bit identical either
+	// way.
 	Sink telemetry.Sink
+	// ShardSize is the number of repetitions per work-stealing shard
+	// unit; zero means DefaultShardSize. Any value yields bit-identical
+	// results — shard size (like worker count and steal order) only
+	// shapes scheduling, never statistics.
+	ShardSize int
+
+	// shardFault, when non-nil, is the chaos hook of the shard
+	// scheduler: invoked after each successfully executed shard with the
+	// cell index, rep range and retry attempt; returning true discards
+	// the shard's statistics and re-runs it in place, modelling a
+	// spuriously cancelled stolen shard. Test-only.
+	shardFault func(cell, start, end, attempt int) bool
 }
 
 // Metric families the runner reports through its Sink. Exported so the
@@ -223,6 +236,15 @@ const (
 	// drained from the workers' run contexts (core.PlannerCacheStats).
 	MetricPlannerHits   = "planner_cache_hits_total"
 	MetricPlannerMisses = "planner_cache_misses_total"
+	// MetricShards counts executed shard units (including skipped shards
+	// of failed cells).
+	MetricShards = "grid_shards_total"
+	// MetricShardsStolen counts shard units moved between worker deques
+	// by work stealing.
+	MetricShardsStolen = "grid_shards_stolen_total"
+	// MetricShardRetries counts chaos-injected shard re-executions
+	// (discard-and-rerun; never double-merged).
+	MetricShardRetries = "grid_shard_retries_total"
 )
 
 func (r Runner) reps() int {
@@ -239,14 +261,10 @@ func (r Runner) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// mix derives a per-repetition seed from the cell seed, using the
-// SplitMix64 finaliser so that neighbouring reps get unrelated streams.
-func mix(cell uint64, rep int) uint64 {
-	z := cell + 0x9e3779b97f4a7c15*uint64(rep+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
+// mix derives a per-repetition seed from the cell seed: the i-th member
+// of the counter-based rng.Stream family (bit-identical to the formula
+// this package used before the derivation was hoisted into rng).
+func mix(cell uint64, rep int) uint64 { return rng.Stream(cell, rep) }
 
 // cellSeed derives a deterministic seed for a (table, U, λ, scheme) cell.
 func (r Runner) cellSeed(id string, u, lambda float64, scheme string) uint64 {
@@ -281,29 +299,49 @@ func (r Runner) RunCell(spec Spec, scheme sim.Scheme, u, lambda float64) (stats.
 	return r.RunCellCtx(context.Background(), spec, scheme, u, lambda)
 }
 
-// RunCellCtx is RunCell with cancellation: the repetition loop polls ctx
-// periodically and returns ctx.Err() once it fires.
+// RunCellCtx is RunCell with cancellation: the repetition loops poll ctx
+// periodically and return ctx.Err() once it fires. The cell's shards run
+// across the runner's workers (the same scheduler as RunTableCtx), so a
+// single large cell scales with the machine — and, by the shard merge
+// algebra, the Summary is bit-identical to a sequential run.
 func (r Runner) RunCellCtx(ctx context.Context, spec Spec, scheme sim.Scheme, u, lambda float64) (stats.Summary, error) {
-	return r.runCell(ctx, sim.NewRunContext(), spec, scheme, u, lambda)
+	c := r.newCellState(spec, 0, 0, u, lambda, scheme)
+	var out stats.Summary
+	err := r.runShards(ctx, []*cellState{c}, func(_ *cellState, sum stats.Summary, _, _ int) {
+		out = sum
+	})
+	if err != nil {
+		var ce *CellError
+		if errors.As(err, &ce) && !ce.Panicked {
+			// The single-cell API reports the bare underlying error
+			// (ctx.Err(), parameter failures); the CellError wrapper is
+			// the grid path's bookkeeping.
+			return stats.Summary{}, ce.Err
+		}
+		return stats.Summary{}, err
+	}
+	return out, nil
 }
 
-// runCell is the repetition loop over one cell, driven through the given
-// run context. Every repetition draws its stream from a seed derived
-// only from (cell, rep), never from context state, so the Summary is
-// identical whichever worker — or how warm a context — runs the cell.
+// runCell is the sequential reference repetition loop over one cell,
+// driven through the given run context. Every repetition draws its
+// stream from a seed derived only from (cell, rep), never from context
+// state, and accumulates through the same order-independent shard
+// algebra as the parallel path, so the Summary is bit-identical
+// whichever path — or how warm a context — runs the cell.
 func (r Runner) runCell(ctx context.Context, rctx *sim.RunContext, spec Spec, scheme sim.Scheme, u, lambda float64) (stats.Summary, error) {
 	p, err := spec.CellParams(u, lambda)
 	if err != nil {
 		return stats.Summary{}, err
 	}
 	seed := r.cellSeed(spec.ID, u, lambda, scheme.Name())
-	var cell stats.Cell
+	var cell stats.Shard
 	for rep := 0; rep < r.reps(); rep++ {
 		if rep&0xff == 0 && ctx.Err() != nil {
 			return stats.Summary{}, ctx.Err()
 		}
 		res := sim.RunScheme(rctx, scheme, p, rctx.Reseed(mix(seed, rep)))
-		cell.ObserveRun(res.Completed, res.SilentCorruption,
+		cell.ObserveRun(repKey(seed, rep), res.Completed, res.SilentCorruption,
 			res.Energy, res.Time, float64(res.Faults), float64(res.Switches))
 	}
 	return cell.Summary(), nil
@@ -346,130 +384,38 @@ func (r Runner) RunTable(spec Spec) (Table, error) {
 // RunTableCtx is RunTable with cancellation. On error — a panicking cell
 // or a fired context — the remaining cells still drain, and the partial
 // table is returned alongside the first error so completed cells are not
-// lost.
+// lost. Cells execute as rep-shard units across a work-stealing pool of
+// workers, each owning a private run context (engine, rng stream and
+// plan caches reused, never shared); results depend only on per-rep
+// seeds, so worker count, shard size and steal order cannot affect any
+// Summary bit.
 func (r Runner) RunTableCtx(ctx context.Context, spec Spec) (Table, error) {
-	type job struct {
-		rowIdx, colIdx int
-		u, lambda      float64
-		scheme         sim.Scheme
-	}
 	schemes := spec.Schemes()
 	rows := make([]Row, 0, len(spec.Us)*len(spec.Lambdas))
-	var jobs []job
+	var cells []*cellState
 	for _, u := range spec.Us {
 		for _, lam := range spec.Lambdas {
 			rowIdx := len(rows)
 			row := Row{U: u, Lambda: lam, Cells: make([]CellResult, len(schemes))}
-			for c, s := range schemes {
-				row.Cells[c] = CellResult{Scheme: s.Name()}
-				jobs = append(jobs, job{rowIdx, c, u, lam, s})
+			for ci, s := range schemes {
+				row.Cells[ci] = CellResult{Scheme: s.Name()}
+				cells = append(cells, r.newCellState(spec, rowIdx, ci, u, lam, s))
 			}
 			rows = append(rows, row)
 		}
 	}
-
-	// A fixed pool of workers, each owning a private run context: the
-	// engine, rng stream and plan caches are reused across all the cells
-	// a worker drains, and are never shared between goroutines. Results
-	// depend only on per-cell seeds, so the job→worker assignment (and
-	// the worker count) cannot affect any Summary bit.
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		done     int
-	)
-	total := len(jobs)
-	jobCh := make(chan job)
-	for w := 0; w < r.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rctx := sim.NewRunContext()
-			// Plan-cache totals already drained to the sink; the per-cell
-			// delta is what gets counted.
-			var seenHits, seenMisses uint64
-			for j := range jobCh {
-				var t0 time.Time
-				if r.Sink != nil {
-					t0 = time.Now()
-					r.Sink.Event("cell.start", map[string]any{
-						"table": spec.ID, "u": j.u, "lambda": j.lambda,
-						"scheme": j.scheme.Name(),
-					})
-				}
-				sum, err := r.safeCell(ctx, rctx, spec, j.scheme, j.u, j.lambda)
-				if r.Sink != nil {
-					r.reportCell(rctx, spec, j.u, j.lambda, j.scheme.Name(),
-						time.Since(t0), err, &seenHits, &seenMisses)
-				}
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				rows[j.rowIdx].Cells[j.colIdx].Summary = sum
-				rows[j.rowIdx].Cells[j.colIdx].Done = true
-				done++
-				if r.Progress != nil {
-					r.Progress("table %s U=%.2f λ=%g %-14s P=%.4f E=%.0f",
-						spec.ID, j.u, j.lambda, j.scheme.Name(), sum.P, sum.E)
-				}
-				if r.OnCell != nil {
-					r.OnCell(done, total)
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
-	wg.Wait()
-	partial := Table{Spec: spec, Reps: r.reps(), Rows: rows}
-	if firstErr != nil {
-		return partial, firstErr
-	}
-	return partial, nil
-}
-
-// reportCell flushes one finished cell to the runner's sink: counters,
-// the wall-time observation, the plan-cache delta accumulated in the
-// worker's run context since the last flush, and the cell.finish trace
-// event. Only called when Sink is non-nil.
-func (r Runner) reportCell(rctx *sim.RunContext, spec Spec, u, lambda float64, scheme string, elapsed time.Duration, err error, seenHits, seenMisses *uint64) {
-	hits, misses := core.PlannerCacheStats(rctx)
-	dh, dm := hits-*seenHits, misses-*seenMisses
-	*seenHits, *seenMisses = hits, misses
-
-	sec := elapsed.Seconds()
-	reps := r.reps()
-	attrs := map[string]any{
-		"table": spec.ID, "u": u, "lambda": lambda, "scheme": scheme,
-		"ok": err == nil, "reps": reps, "seconds": sec,
-	}
-	if dh+dm > 0 {
-		attrs["planner_hits"] = dh
-		attrs["planner_misses"] = dm
-	}
-	if err == nil {
-		r.Sink.Count(MetricCellsCompleted, 1)
-		r.Sink.Count(MetricReps, int64(reps))
-		if sec > 0 {
-			attrs["reps_per_sec"] = float64(reps) / sec
+	err := r.runShards(ctx, cells, func(c *cellState, sum stats.Summary, done, total int) {
+		rows[c.rowIdx].Cells[c.colIdx].Summary = sum
+		rows[c.rowIdx].Cells[c.colIdx].Done = true
+		if r.Progress != nil {
+			r.Progress("table %s U=%.2f λ=%g %-14s P=%.4f E=%.0f",
+				spec.ID, c.u, c.lambda, c.scheme.Name(), sum.P, sum.E)
 		}
-	} else {
-		r.Sink.Count(MetricCellsFailed, 1)
-		attrs["error"] = err.Error()
-	}
-	r.Sink.Count(MetricPlannerHits, int64(dh))
-	r.Sink.Count(MetricPlannerMisses, int64(dm))
-	r.Sink.Observe(MetricCellSeconds, sec)
-	r.Sink.Event("cell.finish", attrs)
+		if r.OnCell != nil {
+			r.OnCell(done, total)
+		}
+	})
+	return Table{Spec: spec, Reps: r.reps(), Rows: rows}, err
 }
 
 // RunAll runs every sub-table.

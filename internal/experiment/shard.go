@@ -1,0 +1,398 @@
+// Rep-level sharded execution: the unit of parallel work is a
+// (cell, rep-shard) pair, not a whole cell. Every repetition's stream is
+// a pure function of (cellSeed, repIndex) — rng.Stream, counter-based —
+// and every shard accumulates into an order-independent stats.Shard, so
+// any shard can run on any worker in any order and the merged Summary is
+// bit-for-bit identical to a sequential run. Scheduling is a bounded
+// work-stealing pool: each worker owns a deque of shard units (LIFO pop
+// for planner-cache locality), and an idle worker steals the front half
+// of the first non-empty victim deque. The work set is static — no unit
+// ever creates another, and chaos retries re-run in place — so a worker
+// that finds its own deque empty and nothing stealable can exit: every
+// remaining unit is in a live worker's hands.
+
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// DefaultShardSize is the repetitions-per-shard used when
+// Runner.ShardSize is zero: large enough that per-shard bookkeeping
+// (deque traffic, one merge under the cell lock) is noise, small enough
+// that a default 10k-rep cell splits into ~80 stealable units.
+const DefaultShardSize = 128
+
+func (r Runner) shardSize() int {
+	if r.ShardSize > 0 {
+		return r.ShardSize
+	}
+	return DefaultShardSize
+}
+
+// repKey derives the quantile-sketch key of one repetition from the cell
+// seed and the rep index — a second, independent counter-based stream
+// family (salted so it never collides with the rep's rng stream). Keys
+// are identities, never execution order, which is what makes the
+// bottom-k time sketch order-free.
+func repKey(cellSeed uint64, rep int) uint64 {
+	return rng.Stream(cellSeed^0xd1342543de82ef95, rep)
+}
+
+// shardUnit is one contiguous run of repetitions of one cell.
+type shardUnit struct {
+	cell       int // index into the scheduler's cell list
+	start, end int // rep range [start, end)
+}
+
+// deque is a mutex-guarded work deque: the owner pops from the back
+// (most recently distributed, best planner-cache locality), thieves take
+// the front half.
+type deque struct {
+	mu    sync.Mutex
+	units []shardUnit
+}
+
+func (d *deque) pop() (shardUnit, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.units)
+	if n == 0 {
+		return shardUnit{}, false
+	}
+	u := d.units[n-1]
+	d.units = d.units[:n-1]
+	return u, true
+}
+
+// stealHalf removes and returns the front half (rounded up) of the
+// deque, oldest units first — the classic steal-half policy.
+func (d *deque) stealHalf() []shardUnit {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.units)
+	if n == 0 {
+		return nil
+	}
+	k := (n + 1) / 2
+	got := append([]shardUnit(nil), d.units[:k]...)
+	d.units = d.units[:copy(d.units, d.units[k:])]
+	return got
+}
+
+func (d *deque) push(us []shardUnit) {
+	d.mu.Lock()
+	d.units = append(d.units, us...)
+	d.mu.Unlock()
+}
+
+// cellState is the shared accumulation point of one grid cell: shards
+// merge into agg under mu, the last shard to finish freezes the Summary.
+type cellState struct {
+	spec           Spec
+	rowIdx, colIdx int
+	u, lambda      float64
+	scheme         sim.Scheme
+	params         sim.Params
+	paramsErr      error
+	seed           uint64
+
+	mu           sync.Mutex
+	agg          stats.Shard
+	remaining    int // shards not yet accounted for
+	started      bool
+	failed       bool
+	t0           time.Time // first shard start; only set when a sink observes
+	hits, misses uint64    // planner-cache deltas attributed to this cell
+}
+
+func (r Runner) newCellState(spec Spec, rowIdx, colIdx int, u, lambda float64, scheme sim.Scheme) *cellState {
+	c := &cellState{
+		spec: spec, rowIdx: rowIdx, colIdx: colIdx,
+		u: u, lambda: lambda, scheme: scheme,
+		seed: r.cellSeed(spec.ID, u, lambda, scheme.Name()),
+	}
+	c.params, c.paramsErr = spec.CellParams(u, lambda)
+	return c
+}
+
+// wrap turns an underlying failure into a *CellError carrying the cell's
+// reproduction coordinates.
+func (c *cellState) wrap(err error) *CellError {
+	return &CellError{
+		Table: c.spec.ID, U: c.u, Lambda: c.lambda,
+		Scheme: c.scheme.Name(), Seed: c.seed, Err: err,
+	}
+}
+
+// sched is one table run's scheduler state.
+type sched struct {
+	r      *Runner
+	ctx    context.Context
+	cells  []*cellState
+	deques []deque
+	sink   telemetry.Sink
+
+	mu       sync.Mutex
+	firstErr error
+	done     int
+	onDone   func(c *cellState, sum stats.Summary, done, total int)
+	wg       sync.WaitGroup
+}
+
+// runShards executes every cell's repetitions as shard units across a
+// bounded work-stealing pool and reports each completed cell — in
+// completion order, serialised under the scheduler lock — through
+// onDone. On error (panic, parameter failure, fired context) the
+// remaining units still drain fast (failed cells skip execution), and
+// the first error is returned; completed cells have already been
+// reported.
+func (r Runner) runShards(ctx context.Context, cells []*cellState, onDone func(*cellState, stats.Summary, int, int)) error {
+	size := r.shardSize()
+	reps := r.reps()
+	var units []shardUnit
+	for ci, c := range cells {
+		n := (reps + size - 1) / size
+		c.remaining = n
+		for s := 0; s < n; s++ {
+			lo := s * size
+			hi := lo + size
+			if hi > reps {
+				hi = reps
+			}
+			units = append(units, shardUnit{cell: ci, start: lo, end: hi})
+		}
+	}
+	if len(units) == 0 {
+		return nil
+	}
+	nw := r.workers()
+	if nw > len(units) {
+		nw = len(units)
+	}
+	s := &sched{r: &r, ctx: ctx, cells: cells, deques: make([]deque, nw), sink: r.Sink, onDone: onDone}
+	// Contiguous block distribution: each worker starts on a run of
+	// same-cell shards (warm plan cache); imbalance is what stealing is
+	// for.
+	for w := 0; w < nw; w++ {
+		lo, hi := w*len(units)/nw, (w+1)*len(units)/nw
+		s.deques[w].units = append([]shardUnit(nil), units[lo:hi]...)
+	}
+	s.wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go s.worker(w)
+	}
+	s.wg.Wait()
+	return s.firstErr
+}
+
+func (s *sched) worker(w int) {
+	defer s.wg.Done()
+	rctx := sim.NewRunContext()
+	var scratch stats.Shard
+	var seenHits, seenMisses uint64
+	for {
+		u, ok := s.deques[w].pop()
+		if !ok {
+			u, ok = s.steal(w)
+		}
+		if !ok {
+			return
+		}
+		s.runUnit(u, rctx, &scratch, &seenHits, &seenMisses)
+	}
+}
+
+// steal scans the other deques for work, moving half of the first
+// non-empty victim's units into w's own deque and returning one to run.
+// Two scan rounds (with a yield between) close the window where units
+// are mid-transfer between two deques and a single scan would miss them;
+// missing the window is safe — the units stay with a live worker — just
+// less parallel.
+func (s *sched) steal(w int) (shardUnit, bool) {
+	n := len(s.deques)
+	for attempt := 0; attempt < 2; attempt++ {
+		for off := 1; off < n; off++ {
+			got := s.deques[(w+off)%n].stealHalf()
+			if len(got) == 0 {
+				continue
+			}
+			if s.sink != nil {
+				s.sink.Count(MetricShardsStolen, int64(len(got)))
+			}
+			if len(got) > 1 {
+				s.deques[w].push(got[1:])
+			}
+			return got[0], true
+		}
+		if n > 1 {
+			runtime.Gosched()
+		}
+	}
+	return shardUnit{}, false
+}
+
+// runUnit executes one shard and merges it into its cell, handling
+// chaos retries, failure propagation and last-shard completion.
+func (s *sched) runUnit(u shardUnit, rctx *sim.RunContext, scratch *stats.Shard, seenHits, seenMisses *uint64) {
+	c := s.cells[u.cell]
+	c.mu.Lock()
+	if !c.started {
+		c.started = true
+		if s.sink != nil {
+			c.t0 = time.Now()
+			s.sink.Event("cell.start", map[string]any{
+				"table": c.spec.ID, "u": c.u, "lambda": c.lambda,
+				"scheme": c.scheme.Name(),
+			})
+		}
+	}
+	skip := c.failed
+	c.mu.Unlock()
+
+	var err error
+	if !skip {
+		for attempt := 0; ; attempt++ {
+			scratch.Reset()
+			err = s.execShard(rctx, scratch, c, u)
+			if err == nil && s.r.shardFault != nil && s.r.shardFault(u.cell, u.start, u.end, attempt) {
+				// Chaos: the shard is spuriously cancelled after the work
+				// is done — discard its statistics and re-run it in place.
+				// The retry never merges twice, so reps are never counted
+				// twice.
+				if s.sink != nil {
+					s.sink.Count(MetricShardRetries, 1)
+				}
+				continue
+			}
+			break
+		}
+	}
+
+	var dh, dm uint64
+	if s.sink != nil {
+		s.sink.Count(MetricShards, 1)
+		hits, misses := core.PlannerCacheStats(rctx)
+		dh, dm = hits-*seenHits, misses-*seenMisses
+		*seenHits, *seenMisses = hits, misses
+		s.sink.Count(MetricPlannerHits, int64(dh))
+		s.sink.Count(MetricPlannerMisses, int64(dm))
+	}
+
+	c.mu.Lock()
+	c.hits += dh
+	c.misses += dm
+	newlyFailed := false
+	if err != nil && !c.failed {
+		c.failed = true
+		newlyFailed = true
+	}
+	if err == nil && !c.failed {
+		c.agg.Merge(scratch)
+	}
+	c.remaining--
+	lastOK := c.remaining == 0 && !c.failed
+	c.mu.Unlock()
+
+	if newlyFailed {
+		s.failCell(c, err)
+	}
+	if lastOK {
+		s.finishCell(c)
+	}
+}
+
+// execShard runs one shard's repetitions into scratch. Each rep's
+// stream and sketch key depend only on (cellSeed, rep), so the result
+// is independent of which worker runs it, and when. A panicking scheme
+// is recovered into a *CellError; the run context stays reusable (the
+// next run fully resets it).
+func (s *sched) execShard(rctx *sim.RunContext, scratch *stats.Shard, c *cellState, u shardUnit) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ce := c.wrap(fmt.Errorf("%v", p))
+			ce.Panicked = true
+			ce.Stack = debug.Stack()
+			err = ce
+		}
+	}()
+	if c.paramsErr != nil {
+		return c.wrap(c.paramsErr)
+	}
+	for rep := u.start; rep < u.end; rep++ {
+		if (rep-u.start)&0xff == 0 {
+			if cerr := s.ctx.Err(); cerr != nil {
+				return c.wrap(cerr)
+			}
+		}
+		res := sim.RunScheme(rctx, c.scheme, c.params, rctx.Reseed(mix(c.seed, rep)))
+		scratch.ObserveRun(repKey(c.seed, rep), res.Completed, res.SilentCorruption,
+			res.Energy, res.Time, float64(res.Faults), float64(res.Switches))
+	}
+	return nil
+}
+
+// failCell records a cell's first failure: the table error, the failed
+// counter and the cell.finish trace event. Later shards of the cell
+// skip execution and only drain the remaining count.
+func (s *sched) failCell(c *cellState, err error) {
+	s.mu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.mu.Unlock()
+	if s.sink != nil {
+		sec := time.Since(c.t0).Seconds()
+		s.sink.Count(MetricCellsFailed, 1)
+		s.sink.Observe(MetricCellSeconds, sec)
+		s.sink.Event("cell.finish", map[string]any{
+			"table": c.spec.ID, "u": c.u, "lambda": c.lambda,
+			"scheme": c.scheme.Name(), "ok": false,
+			"reps": s.r.reps(), "seconds": sec, "error": err.Error(),
+		})
+	}
+}
+
+// finishCell freezes a fully merged cell and reports it. grid_reps_total
+// is counted here, once per completed cell — never per shard — so
+// chaos-retried shards cannot double-count repetitions.
+func (s *sched) finishCell(c *cellState) {
+	sum := c.agg.Summary()
+	reps := s.r.reps()
+	if s.sink != nil {
+		sec := time.Since(c.t0).Seconds()
+		attrs := map[string]any{
+			"table": c.spec.ID, "u": c.u, "lambda": c.lambda,
+			"scheme": c.scheme.Name(), "ok": true,
+			"reps": reps, "seconds": sec,
+		}
+		if sec > 0 {
+			attrs["reps_per_sec"] = float64(reps) / sec
+		}
+		if c.hits+c.misses > 0 {
+			attrs["planner_hits"] = c.hits
+			attrs["planner_misses"] = c.misses
+		}
+		s.sink.Count(MetricCellsCompleted, 1)
+		s.sink.Count(MetricReps, int64(reps))
+		s.sink.Observe(MetricCellSeconds, sec)
+		s.sink.Event("cell.finish", attrs)
+	}
+	s.mu.Lock()
+	s.done++
+	if s.onDone != nil {
+		s.onDone(c, sum, s.done, len(s.cells))
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// tableBitsJSON renders a Table as JSON with every float64 field encoded
+// as its exact IEEE-754 bits — NaN-safe and stricter than any textual
+// float encoding. Two tables marshal to the same bytes iff every summary
+// bit, grid coordinate and completion flag is identical.
+func tableBitsJSON(t *testing.T, tbl Table) []byte {
+	t.Helper()
+	type cellJSON struct {
+		Scheme string   `json:"scheme"`
+		Done   bool     `json:"done"`
+		Trials int      `json:"trials"`
+		Bits   []uint64 `json:"bits"`
+	}
+	type rowJSON struct {
+		U, Lambda uint64
+		Cells     []cellJSON
+	}
+	out := struct {
+		Table string
+		Reps  int
+		Rows  []rowJSON
+	}{Table: tbl.Spec.ID, Reps: tbl.Reps}
+	for _, row := range tbl.Rows {
+		r := rowJSON{U: math.Float64bits(row.U), Lambda: math.Float64bits(row.Lambda)}
+		for _, c := range row.Cells {
+			s := c.Summary
+			r.Cells = append(r.Cells, cellJSON{
+				Scheme: c.Scheme, Done: c.Done, Trials: s.Trials,
+				Bits: []uint64{
+					math.Float64bits(s.P), math.Float64bits(s.PCI),
+					math.Float64bits(s.E), math.Float64bits(s.ECI),
+					math.Float64bits(s.MeanFaults), math.Float64bits(s.MeanTime),
+					math.Float64bits(s.MeanSwitches),
+					math.Float64bits(s.TimeP50), math.Float64bits(s.TimeP95),
+					math.Float64bits(s.SDC), math.Float64bits(s.SDCCI),
+				},
+			})
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardMatrixDeterminism is the scheduling-invariance gate of the
+// sharded executor: worker counts × shard sizes — including one-rep
+// shards, ragged tails, the default, and whole-cell shards — all marshal
+// to byte-identical table JSON. Any leak of scheduling (worker identity,
+// steal order, shard boundaries) into results shows up here.
+func TestShardMatrixDeterminism(t *testing.T) {
+	spec := smallSpec(t)
+	const reps = 150
+	run := func(workers, shard int) []byte {
+		tbl, err := Runner{Reps: reps, Seed: 11, Workers: workers, ShardSize: shard}.RunTable(spec)
+		if err != nil {
+			t.Fatalf("workers=%d shard=%d: %v", workers, shard, err)
+		}
+		return tableBitsJSON(t, tbl)
+	}
+	want := run(1, 0)
+	for _, workers := range []int{1, 4, 8} {
+		for _, shard := range []int{1, 64, 0, reps} {
+			if got := run(workers, shard); !bytes.Equal(got, want) {
+				t.Errorf("workers=%d shard=%d: table JSON differs from sequential baseline", workers, shard)
+			}
+		}
+	}
+}
+
+// TestShardOrderPermutationJSON is the completion-order property test:
+// random worker/shard configurations with pseudo-random per-shard delays
+// injected through the chaos hook — so shards finish, merge and steal in
+// a different order every trial — still marshal to byte-identical table
+// JSON. The merge algebra, not scheduling luck, owns every bit.
+func TestShardOrderPermutationJSON(t *testing.T) {
+	spec := smallSpec(t)
+	const reps = 80
+	want := func() []byte {
+		tbl, err := Runner{Reps: reps, Seed: 23, Workers: 1, ShardSize: reps}.RunTable(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tableBitsJSON(t, tbl)
+	}()
+
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4; trial++ {
+		workers := 2 + rnd.Intn(7)
+		shard := 1 + rnd.Intn(reps)
+		salt := rnd.Uint64()
+		r := Runner{
+			Reps: reps, Seed: 23, Workers: workers, ShardSize: shard,
+			// Not a retry — a deterministic pseudo-random stall after each
+			// shard's work, permuting completion and steal order.
+			shardFault: func(cell, start, end, attempt int) bool {
+				h := salt ^ uint64(cell)<<32 ^ uint64(start)<<8 ^ uint64(attempt)
+				h ^= h >> 33
+				h *= 0xff51afd7ed558ccd
+				time.Sleep(time.Duration(h%401) * time.Microsecond)
+				return false
+			},
+		}
+		tbl, err := r.RunTable(spec)
+		if err != nil {
+			t.Fatalf("trial %d (workers=%d shard=%d): %v", trial, workers, shard, err)
+		}
+		if got := tableBitsJSON(t, tbl); !bytes.Equal(got, want) {
+			t.Errorf("trial %d (workers=%d shard=%d): permuted completion order changed the table JSON",
+				trial, workers, shard)
+		}
+	}
+}
+
+// TestShardChaosRetrySoak is the spurious-cancellation soak: roughly
+// half of all shard units are chaos-cancelled after completing and must
+// re-run. The retried shards are discarded before merging, so the table
+// stays bit-identical to an undisturbed run and grid_reps_total counts
+// every repetition exactly once — never the retried ones twice.
+func TestShardChaosRetrySoak(t *testing.T) {
+	spec := smallSpec(t)
+	const (
+		reps  = 60
+		shard = 16 // 4 units per cell, ragged tail of 12 reps
+	)
+	want := func() []byte {
+		tbl, err := Runner{Reps: reps, Seed: 31, Workers: 3, ShardSize: shard}.RunTable(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tableBitsJSON(t, tbl)
+	}()
+
+	reg := telemetry.NewRegistry()
+	sink := telemetry.NewRegistrySink(reg, nil)
+	r := Runner{
+		Reps: reps, Seed: 31, Workers: 3, ShardSize: shard, Sink: sink,
+		shardFault: func(cell, start, end, attempt int) bool {
+			// Deterministic coin per (cell, shard): first attempt of every
+			// other unit is spuriously cancelled; the retry succeeds.
+			return attempt == 0 && (cell+start/shard)%2 == 0
+		},
+	}
+	tbl, err := r.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableBitsJSON(t, tbl); !bytes.Equal(got, want) {
+		t.Error("chaos retries changed the table JSON")
+	}
+
+	cells := len(tbl.Rows) * len(tbl.Rows[0].Cells)
+	unitsPerCell := (reps + shard - 1) / shard
+	if got := reg.Counter(MetricReps, "").Value(); got != int64(cells*reps) {
+		t.Errorf("%s = %d, want exactly %d (retries must not double-count)",
+			MetricReps, got, cells*reps)
+	}
+	if got := reg.Counter(MetricShards, "").Value(); got != int64(cells*unitsPerCell) {
+		t.Errorf("%s = %d, want %d", MetricShards, got, cells*unitsPerCell)
+	}
+	retries := reg.Counter(MetricShardRetries, "").Value()
+	wantRetries := int64(0)
+	for ci := 0; ci < cells; ci++ {
+		for s := 0; s < unitsPerCell; s++ {
+			if (ci+s)%2 == 0 {
+				wantRetries++
+			}
+		}
+	}
+	if retries != wantRetries {
+		t.Errorf("%s = %d, want %d", MetricShardRetries, retries, wantRetries)
+	}
+	if got := reg.Counter(MetricCellsCompleted, "").Value(); got != int64(cells) {
+		t.Errorf("%s = %d, want %d", MetricCellsCompleted, got, cells)
+	}
+}
+
+// TestShardSizeInsensitiveSingleCell pins RunCellCtx to the same
+// invariance: one cell, every shard size, bit-identical summaries.
+func TestShardSizeInsensitiveSingleCell(t *testing.T) {
+	spec, err := TableByID("1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := spec.Schemes()
+	scheme := schemes[len(schemes)-1]
+	base := Runner{Reps: 200, Seed: 5, Workers: 4}
+	want, err := base.RunCell(spec, scheme, spec.Us[0], spec.Lambdas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range []int{1, 7, 64, 200, 1000} {
+		r := base
+		r.ShardSize = shard
+		got, err := r.RunCell(spec, scheme, spec.Us[0], spec.Lambdas[0])
+		if err != nil {
+			t.Fatalf("shard=%d: %v", shard, err)
+		}
+		if got != want {
+			t.Errorf("shard=%d: summary differs\ngot  %+v\nwant %+v", shard, got, want)
+		}
+	}
+}

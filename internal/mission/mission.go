@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/battery"
 	"repro/internal/fault"
@@ -214,8 +216,12 @@ func RunCtx(ctx context.Context, cfg Config, seed uint64) (Report, error) {
 
 	// One run context serves every frame: frames are sequential, so the
 	// engine and plan caches are reused mission-long. Each frame's stream
-	// is seeded from the mission stream's next output — exactly what
-	// src.Split() consumed — so trajectories are unchanged.
+	// is the f-th member of the counter-based seed family rng.Stream(seed,
+	// f) — a pure function of (seed, frame index), the same derivation the
+	// experiment runner uses per repetition — so frame streams no longer
+	// chain through the mission source and future frame-sharding can
+	// reconstruct any frame's stream independently. (The mission source
+	// still serves the permanent-fault draws above.)
 	rctx := sim.NewRunContext()
 
 	for f := 0; f < cfg.MaxFrames; f++ {
@@ -253,7 +259,7 @@ func RunCtx(ctx context.Context, cfg Config, seed uint64) (Report, error) {
 			frame = degradedFrame
 			rep.DegradedFrames++
 		}
-		res := sim.RunScheme(rctx, cfg.Scheme, frame, rctx.Reseed(src.Uint64()))
+		res := sim.RunScheme(rctx, cfg.Scheme, frame, rctx.Reseed(rng.Stream(seed, f)))
 		elapsed += res.Time
 		rep.Frames++
 		rep.Faults += res.Faults
@@ -290,18 +296,32 @@ func Compare(cfg Config, schemes []sim.Scheme, seed uint64) ([]Report, error) {
 	return CompareCtx(context.Background(), cfg, schemes, seed)
 }
 
-// CompareCtx is Compare with cancellation, stopping at the first scheme
-// whose mission the context interrupts.
+// CompareCtx is Compare with cancellation. The schemes' missions are
+// independent — scheme i always flies with seed+i — so they run
+// concurrently, bounded by GOMAXPROCS; reports come back in scheme
+// order, bit-identical to a sequential sweep. On error (the first by
+// scheme order, deterministically) the reports are discarded.
 func CompareCtx(ctx context.Context, cfg Config, schemes []sim.Scheme, seed uint64) ([]Report, error) {
-	out := make([]Report, 0, len(schemes))
+	reports := make([]Report, len(schemes))
+	errs := make([]error, len(schemes))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
 	for i, s := range schemes {
-		c := cfg
-		c.Scheme = s
-		r, err := RunCtx(ctx, c, seed+uint64(i))
+		wg.Add(1)
+		go func(i int, s sim.Scheme) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Scheme = s
+			reports[i], errs[i] = RunCtx(ctx, c, seed+uint64(i))
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
-	return out, nil
+	return reports, nil
 }

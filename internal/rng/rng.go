@@ -98,22 +98,39 @@ func mul64(a, b uint64) (hi, lo uint64) {
 }
 
 // Exp returns an exponentially distributed value with the given rate
-// (mean 1/rate). It panics if rate <= 0.
+// (mean 1/rate), via the 256-layer ziggurat (see ziggurat.go). It
+// panics if rate <= 0 or NaN.
 func (r *Source) Exp(rate float64) float64 {
-	if rate <= 0 {
-		panic("rng: Exp with non-positive rate")
+	if !(rate > 0) {
+		panic("rng: Exp with non-positive or NaN rate")
+	}
+	return r.expUnit() / rate
+}
+
+// ExpLog is the inverse-CDF reference sampler (-log(U)/rate, one
+// uniform per draw). The ziggurat sampler is pinned against it
+// statistically; it is exported for tests and for callers that need the
+// pre-ziggurat draw sequence. Same panic contract as Exp.
+func (r *Source) ExpLog(rate float64) float64 {
+	if !(rate > 0) {
+		panic("rng: Exp with non-positive or NaN rate")
 	}
 	// -log(U) with U in (0,1]; 1-Float64() is in (0,1].
 	return -math.Log(1-r.Float64()) / rate
 }
 
 // Poisson returns a Poisson-distributed count with the given mean.
-// It panics if mean < 0. For large means it uses the PTRS transformed
-// rejection method; for small means, inversion by sequential search.
+// It panics if mean < 0, NaN or +Inf. For large means it uses the PTRS
+// transformed rejection method; for small means, inversion by
+// sequential search.
 func (r *Source) Poisson(mean float64) int {
 	switch {
 	case mean < 0 || math.IsNaN(mean):
 		panic("rng: Poisson with negative or NaN mean")
+	case math.IsInf(mean, 1):
+		// The PTRS rejection below would spin forever on k = NaN;
+		// reject the mean instead of hanging the simulation.
+		panic("rng: Poisson with infinite mean")
 	case mean == 0:
 		return 0
 	case mean < 30:
@@ -171,4 +188,19 @@ func (r *Source) Norm(mean, stddev float64) float64 {
 func logGamma(x float64) float64 {
 	v, _ := math.Lgamma(x)
 	return v
+}
+
+// Stream derives the i-th member of a counter-based family of seed
+// streams keyed on base: the SplitMix64 finaliser applied to
+// base + (i+1)·γ. Unlike a sequential Split chain, Stream(base, i) is a
+// pure function of (base, i) — any stream of the family can be
+// constructed on any worker in any order, which is what lets the
+// experiment runner shard a cell's repetitions and still merge to
+// bit-identical results. Neighbouring indices yield unrelated streams
+// (the finaliser is a bijective avalanche).
+func Stream(base uint64, i int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }

@@ -1,0 +1,250 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestExpGuardTable is the table-driven panic contract of Exp and
+// ExpLog: non-positive and NaN rates are programming errors, rejected
+// loudly on both samplers.
+func TestExpGuardTable(t *testing.T) {
+	bad := []struct {
+		name string
+		rate float64
+	}{
+		{"zero", 0},
+		{"negative", -1},
+		{"neg-tiny", -1e-300},
+		{"nan", math.NaN()},
+	}
+	for _, tc := range bad {
+		for _, sampler := range []struct {
+			name string
+			fn   func(*Source, float64) float64
+		}{
+			{"Exp", (*Source).Exp},
+			{"ExpLog", (*Source).ExpLog},
+		} {
+			t.Run(sampler.name+"/"+tc.name, func(t *testing.T) {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("%s(%v) did not panic", sampler.name, tc.rate)
+					}
+				}()
+				sampler.fn(New(1), tc.rate)
+			})
+		}
+	}
+	// Positive rates — including extreme but valid ones — must not panic.
+	for _, rate := range []float64{1e-300, 1e-6, 1, 1e6, 1e300} {
+		v := New(2).Exp(rate)
+		if !(v >= 0) {
+			t.Fatalf("Exp(%g) = %v, want non-negative", rate, v)
+		}
+	}
+}
+
+// TestPoissonGuardTable is the table-driven panic contract of Poisson:
+// negative, NaN and +Inf means panic; valid means return non-negative
+// counts.
+func TestPoissonGuardTable(t *testing.T) {
+	bad := []struct {
+		name string
+		mean float64
+	}{
+		{"negative", -1},
+		{"neg-tiny", -1e-300},
+		{"nan", math.NaN()},
+		{"plus-inf", math.Inf(1)},
+		{"minus-inf", math.Inf(-1)},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Poisson(%v) did not panic", tc.mean)
+				}
+			}()
+			New(1).Poisson(tc.mean)
+		})
+	}
+	for _, mean := range []float64{0, 1e-9, 0.5, 29.9, 30, 1e4} {
+		if k := New(2).Poisson(mean); k < 0 {
+			t.Fatalf("Poisson(%g) = %d, want non-negative", mean, k)
+		}
+	}
+}
+
+// ksStatistic returns the one-sample Kolmogorov–Smirnov statistic of
+// sorted samples against the standard exponential CDF 1-e^-x.
+func ksStatistic(sorted []float64) float64 {
+	n := float64(len(sorted))
+	d := 0.0
+	for i, x := range sorted {
+		cdf := 1 - math.Exp(-x)
+		if hi := float64(i+1)/n - cdf; hi > d {
+			d = hi
+		}
+		if lo := cdf - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+// TestZigguratKSAgainstExponential pins the ziggurat sampler to the
+// analytic exponential law: with n = 200k fixed-seed draws, the KS
+// statistic must sit under the asymptotic 0.1% critical value
+// 1.95/sqrt(n). A structural bug in the layer tables (wrong acceptance
+// threshold, mis-scaled strip, dropped tail) shifts whole probability
+// bands and fails this by orders of magnitude, while a correct sampler
+// passes for any seed with overwhelming probability.
+func TestZigguratKSAgainstExponential(t *testing.T) {
+	const n = 200_000
+	r := New(42)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Exp(1)
+	}
+	sort.Float64s(xs)
+	if d := ksStatistic(xs); d > 1.95/math.Sqrt(n) {
+		t.Fatalf("KS statistic %.5f exceeds 0.1%% critical value %.5f", d, 1.95/math.Sqrt(n))
+	}
+}
+
+// TestZigguratMatchesLogReference pins the ziggurat sampler to the
+// inverse-CDF reference distributionally: same mean, variance, and
+// two-sample KS within statistical tolerance for disjoint streams. This
+// is the satellite check that the fast path and the reference sample the
+// same law — not the same sequence.
+func TestZigguratMatchesLogReference(t *testing.T) {
+	const n = 200_000
+	const rate = 2.5
+	zig, ref := New(7), New(8)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	var sx, sy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		x := zig.Exp(rate)
+		y := ref.ExpLog(rate)
+		xs[i], ys[i] = x, y
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+	}
+	mx, my := sx/n, sy/n
+	vx, vy := sxx/n-mx*mx, syy/n-my*my
+
+	// Mean 1/rate with standard error 1/(rate*sqrt(n)); allow 5 sigma.
+	se := 1 / (rate * math.Sqrt(n))
+	if math.Abs(mx-1/rate) > 5*se {
+		t.Errorf("ziggurat mean %.6f off 1/rate %.6f by > 5 sigma", mx, 1/rate)
+	}
+	if math.Abs(mx-my) > 7*se {
+		t.Errorf("ziggurat mean %.6f vs reference mean %.6f differ by > 7 sigma", mx, my)
+	}
+	// Variance 1/rate² ± ~sqrt(8/n)/rate² (4th-moment delta method).
+	vTol := 5 * math.Sqrt(8.0/n) / (rate * rate)
+	if math.Abs(vx-1/(rate*rate)) > vTol {
+		t.Errorf("ziggurat variance %.6f off 1/rate² %.6f", vx, 1/(rate*rate))
+	}
+	if math.Abs(vx-vy) > 2*vTol {
+		t.Errorf("ziggurat variance %.6f vs reference %.6f", vx, vy)
+	}
+
+	// Two-sample KS: critical value c(α)·sqrt(2/n), with c = 1.95 for
+	// α = 0.001.
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	d, i, j := 0.0, 0, 0
+	for i < n && j < n {
+		if xs[i] <= ys[j] {
+			i++
+		} else {
+			j++
+		}
+		if diff := math.Abs(float64(i)/n - float64(j)/n); diff > d {
+			d = diff
+		}
+	}
+	if crit := 1.95 * math.Sqrt(2.0/n); d > crit {
+		t.Errorf("two-sample KS %.5f exceeds critical %.5f", d, crit)
+	}
+}
+
+// TestZigguratTableConsistency cross-checks the init-time tables against
+// their defining identities: f[i] = exp(-w[i]·2^53·…)… concretely, the
+// strip x-coordinates recovered from zigExpW must satisfy
+// zigExpF[i] = exp(-x_i), the acceptance thresholds must equal
+// floor(x_i/x_{i-1}·2^53), and every strip must have the canonical area
+// zigExpV.
+func TestZigguratTableConsistency(t *testing.T) {
+	x := make([]float64, 256)
+	for i := 1; i < 256; i++ {
+		// zigExpW[i] = x_i / 2^53.
+		x[i] = zigExpW[i] * zigExpM
+	}
+	if math.Abs(x[255]-zigExpR) > 1e-12 {
+		t.Fatalf("x_255 = %.17g, want r = %.17g", x[255], zigExpR)
+	}
+	for i := 1; i < 256; i++ {
+		if got, want := zigExpF[i], math.Exp(-x[i]); math.Abs(got-want) > 1e-15 {
+			t.Errorf("f[%d] = %.17g, want exp(-x_%d) = %.17g", i, got, i, want)
+		}
+	}
+	// Strip areas: x_i·(f(x_{i-1}) - f(x_i)) == v for the interior strips.
+	for i := 2; i < 256; i++ {
+		area := x[i] * (zigExpF[i-1] - zigExpF[i])
+		if math.Abs(area-zigExpV) > 1e-12 {
+			t.Errorf("strip %d area %.17g, want %.17g", i, area, zigExpV)
+		}
+	}
+	// Acceptance thresholds: k[i] = floor(x_{i-1}/x_i · 2^53) for i ≥ 2,
+	// k[1] = 0 (the bottom strip always tests the wedge), and layer 0's
+	// threshold covers the base strip of width v/f(r).
+	if zigExpK[1] != 0 {
+		t.Errorf("k[1] = %d, want 0", zigExpK[1])
+	}
+	for i := 2; i < 256; i++ {
+		want := uint64(x[i-1] / x[i] * zigExpM)
+		if zigExpK[i] != want {
+			t.Errorf("k[%d] = %d, want %d", i, zigExpK[i], want)
+		}
+	}
+}
+
+// TestExpLogMatchesOldDerivation pins ExpLog to the historical
+// -log(1-U)/rate sequence: callers that need the pre-ziggurat stream
+// (and the test suite's reference sampler) must see the exact old bits.
+func TestExpLogMatchesOldDerivation(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		want := -math.Log(1-b.Float64()) / 3.5
+		if got := a.ExpLog(3.5); got != want {
+			t.Fatalf("draw %d: ExpLog = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func BenchmarkExpZiggurat(b *testing.B) {
+	r := New(5)
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(0.0014)
+	}
+	benchSink = sink
+}
+
+func BenchmarkExpLogReference(b *testing.B) {
+	r := New(5)
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += r.ExpLog(0.0014)
+	}
+	benchSink = sink
+}
+
+var benchSink float64

@@ -137,11 +137,12 @@ func executeGrid(ctx context.Context, spec JobSpec, workers int, progress func(d
 		return nil, err
 	}
 	runner := experiment.Runner{
-		Reps:    spec.Reps,
-		Seed:    spec.Seed,
-		Workers: workers,
-		OnCell:  progress,
-		Sink:    sink,
+		Reps:      spec.Reps,
+		Seed:      spec.Seed,
+		Workers:   workers,
+		ShardSize: spec.ShardSize,
+		OnCell:    progress,
+		Sink:      sink,
 	}
 	tbl, err := runner.RunTableCtx(ctx, tspec)
 	if err != nil {

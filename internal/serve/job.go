@@ -60,6 +60,10 @@ type JobSpec struct {
 	// Reps (grid): Monte-Carlo repetitions per cell; zero means the
 	// paper's default.
 	Reps int `json:"reps,omitempty"`
+	// ShardSize (grid): repetitions per work-stealing shard unit; zero
+	// means the engine default. Purely a scheduling knob — results are
+	// bit-identical for every value.
+	ShardSize int `json:"shard_size,omitempty"`
 
 	// Scheme (single, mission): Poisson | k-f-t | A_D | A_D_S | A_D_C.
 	Scheme string `json:"scheme,omitempty"`
@@ -121,6 +125,9 @@ func (s JobSpec) Validate() error {
 		}
 		if s.Reps < 0 || s.Reps > 1_000_000 {
 			return fmt.Errorf("serve: grid reps %d out of range (0..1000000)", s.Reps)
+		}
+		if s.ShardSize < 0 {
+			return fmt.Errorf("serve: negative shard size %d", s.ShardSize)
 		}
 	case JobSingle, JobMission:
 		if s.Scheme == "" {

@@ -98,6 +98,9 @@ func (s *Server) initTelemetry() {
 	reg.Histogram(experiment.MetricCellSeconds, "per-grid-cell wall time", nil)
 	reg.Counter(experiment.MetricPlannerHits, "plan-cache hits drained from worker run contexts")
 	reg.Counter(experiment.MetricPlannerMisses, "plan-cache misses drained from worker run contexts")
+	reg.Counter(experiment.MetricShards, "rep-shard units executed by the work-stealing grid scheduler")
+	reg.Counter(experiment.MetricShardsStolen, "rep-shard units moved between worker deques by stealing")
+	reg.Counter(experiment.MetricShardRetries, "rep-shard chaos re-executions (discarded, never double-merged)")
 	reg.Counter(mission.MetricFrames, "mission frames flown across all jobs")
 	reg.Counter(mission.MetricMisses, "mission frames that missed their deadline")
 	reg.Counter(mission.MetricWrongFrames, "mission frames completed with silent corruption")

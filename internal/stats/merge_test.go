@@ -1,0 +1,349 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestFixedSumExactSmallIntegers: sums of values exactly representable
+// in fixed point come back exact.
+func TestFixedSumExactSmallIntegers(t *testing.T) {
+	var f FixedSum
+	for i := 1; i <= 1000; i++ {
+		f.Add(float64(i))
+	}
+	if got, want := f.Value(), 500500.0; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestFixedSumOrderIndependence: any permutation and any shard
+// partition of the same multiset yields bit-identical state and Value.
+func TestFixedSumOrderIndependence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	vals := make([]float64, 5000)
+	for i := range vals {
+		// Wild magnitude spread, including subnormals, to stress limb
+		// carries and the catastrophic-cancellation regime of naive
+		// float summation.
+		vals[i] = math.Ldexp(rnd.Float64(), rnd.Intn(2100)-1070)
+	}
+
+	var seq FixedSum
+	for _, v := range vals {
+		seq.Add(v)
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		perm := rnd.Perm(len(vals))
+		// Random partition into up to 7 shards, merged in random order.
+		shards := make([]FixedSum, 1+rnd.Intn(7))
+		for _, idx := range perm {
+			shards[rnd.Intn(len(shards))].Add(vals[idx])
+		}
+		var merged FixedSum
+		for _, si := range rnd.Perm(len(shards)) {
+			merged.Merge(&shards[si])
+		}
+		if merged != seq {
+			t.Fatalf("trial %d: merged state differs from sequential state", trial)
+		}
+		if math.Float64bits(merged.Value()) != math.Float64bits(seq.Value()) {
+			t.Fatalf("trial %d: Value bits differ", trial)
+		}
+	}
+}
+
+// TestFixedSumValueAccuracy: Value is within 2 ulp of a reference
+// compensated (Neumaier) sum over the same data.
+func TestFixedSumValueAccuracy(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	var f FixedSum
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = math.Ldexp(rnd.Float64(), rnd.Intn(80)-40)
+		f.Add(vals[i])
+	}
+	// Reference: sorted ascending compensated summation.
+	sort.Float64s(vals)
+	sum, comp := 0.0, 0.0
+	for _, v := range vals {
+		s := sum + v
+		if math.Abs(sum) >= math.Abs(v) {
+			comp += (sum - s) + v
+		} else {
+			comp += (v - s) + sum
+		}
+		sum = s
+	}
+	ref := sum + comp
+	got := f.Value()
+	ulp := math.Nextafter(ref, math.Inf(1)) - ref
+	if math.Abs(got-ref) > 2*ulp {
+		t.Fatalf("Value %v vs compensated reference %v (off by %v, ulp %v)", got, ref, got-ref, ulp)
+	}
+}
+
+// TestFixedSumSpecials: NaN and +Inf are tracked exactly; negative
+// values panic; zero adds are no-ops.
+func TestFixedSumSpecials(t *testing.T) {
+	var f FixedSum
+	f.Add(0)
+	if !f.IsZero() {
+		t.Error("adding +0 made the sum non-zero")
+	}
+	f.Add(math.Inf(1))
+	if v := f.Value(); !math.IsInf(v, 1) {
+		t.Errorf("Value after +Inf = %v", v)
+	}
+	f.Add(math.NaN())
+	if v := f.Value(); !math.IsNaN(v) {
+		t.Errorf("Value after NaN = %v", v)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add(-1) did not panic")
+			}
+		}()
+		f.Add(-1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add(-0) did not panic")
+			}
+		}()
+		f.Add(math.Copysign(0, -1))
+	}()
+}
+
+// TestFixedSumExtremes: the largest finite float64 can be added 2^20
+// times without overflowing the top limb (the capacity argument says
+// 2^63 additions fit; spot-check a large count), and the smallest
+// subnormal is representable.
+func TestFixedSumExtremes(t *testing.T) {
+	var f FixedSum
+	const n = 1 << 20
+	big := math.Ldexp(1, 1023) // largest power-of-two float64
+	for i := 0; i < n; i++ {
+		f.Add(big)
+	}
+	// The exact sum 2^1043 overflows float64; Value must saturate to +Inf
+	// rather than wrap or truncate limbs.
+	if got := f.Value(); !math.IsInf(got, 1) {
+		t.Fatalf("2^20 × 2^1023 sum = %g, want +Inf", got)
+	}
+
+	var g FixedSum
+	g.Add(5e-324) // smallest subnormal
+	if got := g.Value(); got != 5e-324 {
+		t.Fatalf("subnormal round-trip = %g", got)
+	}
+	g.Add(5e-324)
+	if got := g.Value(); got != 1e-323 {
+		t.Fatalf("subnormal doubling = %g", got)
+	}
+}
+
+// TestTailSampleMergeOrderIndependence: the kept set after merging
+// shards in any order equals the sequential bottom-k, even past
+// capacity.
+func TestTailSampleMergeOrderIndependence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	n := 3*tailCap + 777
+	keys := rnd.Perm(n)
+
+	var seq TailSample
+	for i, k := range keys {
+		seq.Add(uint64(k), float64(i))
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		shards := make([]TailSample, 1+rnd.Intn(5))
+		for i, k := range keys {
+			shards[rnd.Intn(len(shards))].Add(uint64(k), float64(i))
+		}
+		var merged TailSample
+		for _, si := range rnd.Perm(len(shards)) {
+			merged.Merge(&shards[si])
+		}
+		if merged.N() != seq.N() {
+			t.Fatalf("trial %d: N %d != %d", trial, merged.N(), seq.N())
+		}
+		a := merged.Quantiles(0, 0.25, 0.5, 0.75, 0.95, 1)
+		b := seq.Quantiles(0, 0.25, 0.5, 0.75, 0.95, 1)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("trial %d: quantile %d: %v != %v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestTailSampleQuantileConventions: empty and out-of-range quantiles
+// are NaN, matching Reservoir.
+func TestTailSampleQuantileConventions(t *testing.T) {
+	var s TailSample
+	for _, q := range s.Quantiles(0.5, -1, 2, math.NaN()) {
+		if !math.IsNaN(q) {
+			t.Fatalf("empty/out-of-range quantile = %v, want NaN", q)
+		}
+	}
+	s.Add(1, 42)
+	qs := s.Quantiles(0, 0.5, 1)
+	for i, q := range qs {
+		if q != 42 {
+			t.Fatalf("singleton quantile %d = %v", i, q)
+		}
+	}
+}
+
+// observation is one synthetic repetition for shard-partition tests.
+type observation struct {
+	key              uint64
+	completed, wrong bool
+	energy, time     float64
+	faults, switches float64
+}
+
+func synthObservations(n int, seed int64) []observation {
+	rnd := rand.New(rand.NewSource(seed))
+	obs := make([]observation, n)
+	for i := range obs {
+		o := observation{
+			key:       rnd.Uint64(),
+			completed: rnd.Float64() < 0.8,
+			energy:    math.Ldexp(1+rnd.Float64(), rnd.Intn(40)),
+			time:      1000 + 9000*rnd.Float64(),
+			faults:    float64(rnd.Intn(10)),
+			switches:  float64(rnd.Intn(5)),
+		}
+		o.wrong = o.completed && rnd.Float64() < 0.02
+		obs[i] = o
+	}
+	return obs
+}
+
+func observeAll(s *Shard, obs []observation) {
+	for _, o := range obs {
+		s.ObserveRun(o.key, o.completed, o.wrong, o.energy, o.time, o.faults, o.switches)
+	}
+}
+
+func summariesEqual(a, b Summary) bool {
+	pairs := [][2]float64{
+		{a.P, b.P}, {a.PCI, b.PCI}, {a.E, b.E}, {a.ECI, b.ECI},
+		{a.MeanFaults, b.MeanFaults}, {a.MeanTime, b.MeanTime},
+		{a.MeanSwitches, b.MeanSwitches},
+		{a.TimeP50, b.TimeP50}, {a.TimeP95, b.TimeP95},
+		{a.SDC, b.SDC}, {a.SDCCI, b.SDCCI},
+	}
+	for _, p := range pairs {
+		if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+			return false
+		}
+	}
+	return a.Trials == b.Trials
+}
+
+// TestShardPartitionInvariance is the merge-algebra theorem as a
+// property test: random partitions of random observations, merged in
+// random order, freeze to a Summary bit-identical to the sequential
+// single-shard run.
+func TestShardPartitionInvariance(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	obs := synthObservations(12000, 5)
+
+	var seq Shard
+	observeAll(&seq, obs)
+	want := seq.Summary()
+
+	for trial := 0; trial < 15; trial++ {
+		perm := rnd.Perm(len(obs))
+		shards := make([]Shard, 1+rnd.Intn(9))
+		for _, idx := range perm {
+			o := obs[idx]
+			shards[rnd.Intn(len(shards))].ObserveRun(o.key, o.completed, o.wrong, o.energy, o.time, o.faults, o.switches)
+		}
+		var merged Shard
+		for _, si := range rnd.Perm(len(shards)) {
+			merged.Merge(&shards[si])
+		}
+		if got := merged.Summary(); !summariesEqual(got, want) {
+			t.Fatalf("trial %d: partitioned summary differs from sequential\ngot  %+v\nwant %+v", trial, merged.Summary(), want)
+		}
+	}
+}
+
+// TestShardEmptyAndEdgeSummaries: the NaN conventions of the sequential
+// Cell survive the shard algebra.
+func TestShardEmptyAndEdgeSummaries(t *testing.T) {
+	var s Shard
+	sum := s.Summary()
+	for name, v := range map[string]float64{
+		"P": sum.P, "E": sum.E, "MeanTime": sum.MeanTime,
+		"TimeP50": sum.TimeP50, "TimeP95": sum.TimeP95,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty shard %s = %v, want NaN", name, v)
+		}
+	}
+
+	// No completions: P = 0, E stays NaN.
+	s.ObserveRun(1, false, false, 0, 0, 2, 1)
+	sum = s.Summary()
+	if sum.P != 0 || !math.IsNaN(sum.E) {
+		t.Errorf("no-completion shard: P=%v E=%v", sum.P, sum.E)
+	}
+	// One completion: E defined, ECI still NaN (n-1 = 0).
+	s.ObserveRun(2, true, false, 100, 5000, 0, 0)
+	sum = s.Summary()
+	if sum.E != 100 || !math.IsNaN(sum.ECI) {
+		t.Errorf("single-completion shard: E=%v ECI=%v", sum.E, sum.ECI)
+	}
+}
+
+// TestShardResetReuse: a Reset shard behaves like a fresh one and keeps
+// no statistical residue.
+func TestShardResetReuse(t *testing.T) {
+	obs := synthObservations(6000, 6)
+	var fresh, reused Shard
+	observeAll(&reused, synthObservations(2000, 7))
+	reused.Reset()
+	observeAll(&fresh, obs)
+	observeAll(&reused, obs)
+	if !summariesEqual(fresh.Summary(), reused.Summary()) {
+		t.Fatal("reset shard summary differs from fresh shard")
+	}
+}
+
+// TestShardMatchesCellOnCounts: the shard algebra agrees with the
+// sequential Cell on the exact statistics (counts and proportions are
+// integers/rationals in both; means agree to float tolerance — the
+// accumulation orders differ by design).
+func TestShardMatchesCellOnCounts(t *testing.T) {
+	obs := synthObservations(8000, 8)
+	var s Shard
+	var c Cell
+	for _, o := range obs {
+		s.ObserveRun(o.key, o.completed, o.wrong, o.energy, o.time, o.faults, o.switches)
+		c.ObserveRun(o.completed, o.wrong, o.energy, o.time, o.faults, o.switches)
+	}
+	a, b := s.Summary(), c.Summary()
+	if a.Trials != b.Trials || a.P != b.P || a.PCI != b.PCI || a.SDC != b.SDC {
+		t.Fatalf("exact fields differ: shard %+v cell %+v", a, b)
+	}
+	relClose := func(x, y, tol float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return math.IsNaN(x) == math.IsNaN(y)
+		}
+		return math.Abs(x-y) <= tol*math.Max(math.Abs(x), math.Abs(y))
+	}
+	if !relClose(a.E, b.E, 1e-9) || !relClose(a.MeanFaults, b.MeanFaults, 1e-9) ||
+		!relClose(a.MeanTime, b.MeanTime, 1e-9) || !relClose(a.ECI, b.ECI, 1e-6) {
+		t.Fatalf("mean fields disagree beyond tolerance: shard %+v cell %+v", a, b)
+	}
+}

@@ -61,14 +61,15 @@ func (c Config) params() (sim.Params, error) {
 }
 
 func (c Config) cell(s sim.Scheme, p sim.Params, x float64) stats.Summary {
-	src := rng.New(c.Seed ^ math.Float64bits(x) ^ hashName(s.Name()))
+	pointSeed := c.Seed ^ math.Float64bits(x) ^ hashName(s.Name())
 	rctx := sim.NewRunContext()
 	var cell stats.Cell
 	for i := 0; i < c.reps(); i++ {
-		// Reseed from the point stream's next output — what src.Split()
-		// consumed — so the series is bit-identical to the uncontexted
-		// loop while the engine and plan caches are reused across reps.
-		r := sim.RunScheme(rctx, s, p, rctx.Reseed(src.Uint64()))
+		// Each rep's stream is the i-th member of the counter-based seed
+		// family — the experiment runner's derivation — so any rep can be
+		// reconstructed in isolation; the engine and plan caches are
+		// reused across reps.
+		r := sim.RunScheme(rctx, s, p, rctx.Reseed(rng.Stream(pointSeed, i)))
 		cell.Observe(r.Completed, r.Energy, r.Time, float64(r.Faults), float64(r.Switches))
 	}
 	return cell.Summary()
