@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check golden bench bench-check determinism fuzz-smoke chaos telemetry-overhead
+.PHONY: build test vet race check golden bench bench-check determinism fuzz-smoke chaos kill-soak telemetry-overhead journal-overhead
 
 build:
 	$(GO) build ./...
@@ -45,19 +45,35 @@ bench-check:
 determinism:
 	$(GO) test -race -count=1 -run 'Determinism|Shard|OrderIndependence|PartitionInvariance' ./internal/experiment/ ./internal/stats/
 
-# Short native-fuzz smoke (~30s): the planner over its whole input
-# envelope and the model-vs-simulation validators. CI runs this; longer
-# local campaigns just raise -fuzztime.
+# Short native-fuzz smoke (~45s): the planner over its whole input
+# envelope, the model-vs-simulation validators, and journal replay over
+# arbitrary bytes (must never panic, never invent completed shards).
+# CI runs this; longer local campaigns just raise -fuzztime.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPlannerChoose -fuzztime 15s ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzValidateParams -fuzztime 15s ./internal/validate/
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 15s ./internal/serve/
 
 # The chaos soak: the serve job service under fault injection, race
 # detector on.
 chaos:
 	$(GO) test -race -run Chaos -v ./internal/serve/...
 
+# The kill-and-recover soak: SIGKILL the journalled service at
+# deterministic crashpoints (mid-fsync, mid-shard-journal, mid-merge,
+# mid-drain) and require exact rep accounting plus a byte-identical
+# recovered grid result, race detector on.
+kill-soak:
+	$(GO) test -race -run KillRecoverSoak -count=1 -v -timeout 600s ./internal/serve/
+
 # Measure the telemetry sink's tax on the Table 1a grid: none vs nop
 # vs live registry sink. Budget: nop ≤2% over none (DESIGN.md §11).
 telemetry-overhead:
 	$(GO) test -run '^$$' -bench BenchmarkTable1aSinkOverhead -benchtime 50x .
+
+# Measure the journal's tax on the Table 1a grid: none vs memory store
+# (the CPU tax on the workers; budget ≤2%) vs real file store with
+# group-commit fsync (adds disk-bound flushing, overlapped with compute
+# on multi-core hosts). See DESIGN.md §13.
+journal-overhead:
+	$(GO) test -run '^$$' -bench BenchmarkTable1aJournalOverhead -benchtime 50x ./internal/serve/

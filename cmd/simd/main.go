@@ -1,12 +1,14 @@
 // Command simd is the long-running simulation service: an HTTP/JSON
 // job API over the experiment-grid and mission engines, with a bounded
 // admission queue, per-job deadlines, panic isolation, retry with
-// backoff, and graceful drain that persists an unfinished-job manifest.
+// backoff, graceful drain, and crash recovery from a durable job
+// journal.
 //
 // Usage:
 //
 //	simd -listen :8080
 //	simd -listen :8080 -queue 128 -workers 8 -deadline 2m -drain 15s
+//	simd -journal simd.journal -journal-sync 64    # durability knobs
 //	simd -chaos-panic 0.1 -chaos-straggle 0.2      # self-test under chaos
 //
 // Submit a Table 1a grid job and fetch it:
@@ -15,23 +17,39 @@
 //	  -d '{"kind":"grid","table":"1a","reps":2000,"seed":2006,"deadline_ms":60000}'
 //	curl -s localhost:8080/v1/jobs/job-000001
 //
-// Overload answers 503 with a Retry-After header instead of queueing
-// unboundedly; /readyz flips before that point so balancers can back
-// off first. SIGINT/SIGTERM triggers a drain: accepted jobs finish
-// within -drain, the rest are aborted and written to -manifest.
+// Overload answers 503 with a Retry-After header (scaled to the live
+// queue and observed job durations) instead of queueing unboundedly;
+// /readyz flips before that point so balancers can back off first.
+//
+// Crash safety: with -journal set (the default), every accepted job,
+// attempt, completed grid shard and terminal outcome is appended to a
+// CRC-framed write-ahead journal. On boot the journal is replayed:
+// finished jobs come back queryable, unfinished jobs re-enter the queue
+// with their shard checkpoints and resume bit-identically. kill -9 at
+// any point loses at most the progress since the last fsync batch —
+// never an accepted job. SIGINT/SIGTERM triggers a graceful drain that
+// ends with a journal_clean_shutdown record; a missing one on the next
+// boot means the previous process crashed. A journal that cannot be
+// opened or read at boot exits with code 3 (resource).
+//
+// A legacy drain manifest (-manifest, from older builds) is migrated
+// into the journal once at boot and renamed *.migrated.
 //
 // Observability: GET /metrics serves the Prometheus text exposition of
-// the job ledger, queue gauges, job-latency histogram and engine
-// counters; GET /trace streams recent run-trace events as JSONL (?n=
-// limits to the newest n); GET /debug/pprof/ serves the standard Go
-// profiles. /statusz reports the same counters as /metrics — both are
-// views of one registry.
+// the job ledger, journal counters, queue gauges, job-latency histogram
+// and engine counters; GET /trace streams recent run-trace events as
+// JSONL (?n= limits to the newest n); GET /debug/pprof/ serves the
+// standard Go profiles. /statusz reports the same counters as /metrics
+// — both are views of one registry — plus journal and recovery
+// sections.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -42,40 +60,55 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cli"
 	"repro/internal/serve"
+	"repro/internal/storage"
 )
 
 func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("simd: ")
-	if err := run(); err != nil {
+	err := run(os.Args[1:])
+	if err != nil {
 		log.Print(err)
-		os.Exit(1)
 	}
+	os.Exit(cli.ExitCode(err))
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("simd", flag.ContinueOnError)
 	var (
-		listen   = flag.String("listen", ":8080", "HTTP listen address")
-		queue    = flag.Int("queue", 64, "admission queue depth (beyond it, submissions shed with 503)")
-		workers  = flag.Int("workers", 4, "concurrent job executors")
-		gridW    = flag.Int("grid-workers", 1, "worker-pool size inside one grid job")
-		deadline = flag.Duration("deadline", time.Minute, "default per-job deadline")
-		maxDl    = flag.Duration("max-deadline", 10*time.Minute, "cap on client-requested deadlines")
-		retries  = flag.Int("retries", 2, "retry budget for transient failures")
-		drain    = flag.Duration("drain", 10*time.Second, "shutdown drain deadline")
-		manifest = flag.String("manifest", "simd-manifest.json", "unfinished-job manifest path (empty disables)")
+		listen   = fs.String("listen", ":8080", "HTTP listen address")
+		queue    = fs.Int("queue", 64, "admission queue depth (beyond it, submissions shed with 503)")
+		workers  = fs.Int("workers", 4, "concurrent job executors")
+		gridW    = fs.Int("grid-workers", 1, "worker-pool size inside one grid job")
+		deadline = fs.Duration("deadline", time.Minute, "default per-job deadline")
+		maxDl    = fs.Duration("max-deadline", 10*time.Minute, "cap on client-requested deadlines")
+		retries  = fs.Int("retries", 2, "retry budget for transient failures")
+		drain    = fs.Duration("drain", 10*time.Second, "shutdown drain deadline")
 
-		chaosPanic    = flag.Float64("chaos-panic", 0, "inject synthetic panics at this rate (self-test)")
-		chaosError    = flag.Float64("chaos-error", 0, "inject transient failures at this rate")
-		chaosCancel   = flag.Float64("chaos-cancel", 0, "inject spurious cancellations at this rate")
-		chaosStraggle = flag.Float64("chaos-straggle", 0, "inject straggler delays at this rate")
-		chaosDelay    = flag.Duration("chaos-delay", 50*time.Millisecond, "straggler delay")
-		chaosSeed     = flag.Uint64("chaos-seed", 1, "chaos draw seed")
+		journalPath = fs.String("journal", "simd.journal", "durable job-journal path; accepted jobs and grid shard checkpoints survive kill -9 and resume on the next boot (empty disables crash recovery)")
+		journalSync = fs.Int("journal-sync", serve.DefaultSyncEvery, "cap on progress records per journal fsync batch; batches otherwise group-commit on a 250ms timer (1 = fsync every record; admissions and terminal outcomes always fsync)")
+		manifest    = fs.String("manifest", "simd-manifest.json", "legacy unfinished-job manifest from pre-journal builds, migrated into the journal once and renamed *.migrated (empty disables)")
+
+		chaosPanic    = fs.Float64("chaos-panic", 0, "inject synthetic panics at this rate (self-test)")
+		chaosError    = fs.Float64("chaos-error", 0, "inject transient failures at this rate")
+		chaosCancel   = fs.Float64("chaos-cancel", 0, "inject spurious cancellations at this rate")
+		chaosStraggle = fs.Float64("chaos-straggle", 0, "inject straggler delays at this rate")
+		chaosDelay    = fs.Duration("chaos-delay", 50*time.Millisecond, "straggler delay")
+		chaosSeed     = fs.Uint64("chaos-seed", 1, "chaos draw seed")
+
+		showVersion = fs.Bool("version", false, "print build version and exit")
 	)
-	showVersion := cli.VersionFlag()
-	flag.Parse()
-	if showVersion() {
+	if err := fs.Parse(args); err != nil {
+		return cli.Usagef("%v", err)
+	}
+	if *showVersion {
+		fmt.Println(cli.Version())
 		return nil
+	}
+	if armed, err := chaos.ArmKillFromEnv(); err != nil {
+		return cli.Usagef("%v", err)
+	} else if armed != "" {
+		log.Printf("kill point armed: %s (the process will SIGKILL itself there)", armed)
 	}
 
 	cfg := serve.Config{
@@ -85,9 +118,32 @@ func run() error {
 		DefaultTimeout: *deadline,
 		MaxTimeout:     *maxDl,
 		MaxRetries:     *retries,
-		ManifestPath:   *manifest,
 		Logf:           log.Printf,
 	}
+
+	if *journalPath != "" {
+		store, err := storage.OpenFileLog(*journalPath)
+		if err != nil {
+			return cli.Resourcef("opening journal %s: %v", *journalPath, err)
+		}
+		jl := serve.NewJournal(store, *journalSync)
+		defer jl.Close()
+		if *manifest != "" {
+			if err := migrateManifest(jl, *manifest); err != nil {
+				return err
+			}
+		}
+		data, err := store.ReadAll()
+		if err != nil {
+			return cli.Resourcef("reading journal %s: %v", *journalPath, err)
+		}
+		rec := serve.ReplayJournal(data)
+		log.Printf("journal %s: %d records (%d corrupt skipped), %d jobs, %d to resume, clean_shutdown=%v",
+			*journalPath, rec.Records, rec.Corrupt, len(rec.Jobs), rec.UnfinishedJobs(), rec.CleanShutdown)
+		cfg.Journal = jl
+		cfg.Recovery = rec
+	}
+
 	if *chaosPanic+*chaosError+*chaosCancel+*chaosStraggle > 0 {
 		inj := chaos.New(chaos.Config{
 			Seed:           *chaosSeed,
@@ -133,7 +189,7 @@ func run() error {
 		log.Printf("drain error: %v", err)
 	}
 	if len(m.Jobs) > 0 {
-		log.Printf("%d jobs unfinished (drained=%v), persisted to manifest", len(m.Jobs), m.Drained)
+		log.Printf("%d jobs unfinished (drained=%v), resumable from the journal", len(m.Jobs), m.Drained)
 	} else {
 		log.Printf("drained cleanly")
 	}
@@ -146,4 +202,39 @@ func run() error {
 	log.Printf("final: accepted=%d shed=%d completed=%d failed=%d canceled=%d retries=%d panics=%d",
 		c.Accepted, c.Shed, c.Completed, c.Failed, c.Canceled, c.Retries, c.Panics)
 	return err
+}
+
+// migrateManifest replays a pre-journal drain manifest into the journal
+// once: each unfinished job becomes an accepted record (journal replay
+// deduplicates by ID, so a crash between append and rename is
+// harmless), then the file is renamed *.migrated so it never replays
+// again. A missing file is the normal case and free.
+func migrateManifest(jl *serve.Journal, path string) error {
+	blob, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return cli.Resourcef("reading legacy manifest %s: %v", path, err)
+	}
+	var m serve.Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return cli.Resourcef("parsing legacy manifest %s: %v", path, err)
+	}
+	for _, e := range m.Jobs {
+		if err := jl.AppendAccepted(e.ID, e.Spec); err != nil {
+			return cli.Resourcef("migrating %s into the journal: %v", e.ID, err)
+		}
+		if e.Attempts > 0 {
+			if err := jl.AppendAttempt(e.ID, e.Attempts); err != nil {
+				return cli.Resourcef("migrating %s into the journal: %v", e.ID, err)
+			}
+		}
+	}
+	if err := os.Rename(path, path+".migrated"); err != nil {
+		return cli.Resourcef("renaming migrated manifest %s: %v", path, err)
+	}
+	log.Printf("migrated %d unfinished jobs from legacy manifest %s (renamed to %s.migrated)",
+		len(m.Jobs), path, path)
+	return nil
 }

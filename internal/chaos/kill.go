@@ -1,0 +1,56 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/crashpoint"
+)
+
+// KillEnv is the environment variable the kill-and-recover harness
+// reads: "point" or "point:n" arms a self-SIGKILL at the nth hit of the
+// named crashpoint (n defaults to 1). The registered points are
+//
+//	journal.fsync   inside storage.FileLog.Sync, before the fsync
+//	journal.shard   after a shard checkpoint is journalled
+//	shard.merge     after a rep-shard executes, before its merge
+//	drain           during Shutdown, before the clean-shutdown record
+//
+// so a harness can murder the process mid-fsync, mid-checkpoint,
+// mid-merge or mid-drain and assert the journal recovers it.
+const KillEnv = "SIMD_KILL_POINT"
+
+// ArmKillFromEnv arms a process self-SIGKILL from KillEnv. It returns
+// what was armed ("" when the variable is unset) and an error only for
+// a malformed value — an unset variable is the normal case and free.
+//
+// SIGKILL is deliberate: it cannot be caught, so nothing — not even a
+// deferred fsync — runs after the kill point. That is the crash the
+// journal claims to survive.
+func ArmKillFromEnv() (string, error) {
+	v := os.Getenv(KillEnv)
+	if v == "" {
+		return "", nil
+	}
+	point, n := v, 1
+	if i := strings.LastIndex(v, ":"); i >= 0 {
+		var err error
+		if n, err = strconv.Atoi(v[i+1:]); err != nil || n < 1 {
+			return "", fmt.Errorf("chaos: bad %s %q: want point or point:n with n >= 1", KillEnv, v)
+		}
+		point = v[:i]
+	}
+	if point == "" {
+		return "", fmt.Errorf("chaos: bad %s %q: empty point name", KillEnv, v)
+	}
+	crashpoint.Arm(point, n, func() {
+		// Raise SIGKILL at ourselves and stop this goroutine cold, so no
+		// code after the kill point runs even if delivery is async.
+		_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {}
+	})
+	return v, nil
+}

@@ -228,3 +228,92 @@ func TestScaledPanicsOnZero(t *testing.T) {
 	}()
 	SCPSetting().Scaled(0)
 }
+
+func TestSpeedGuardsRejectNegative(t *testing.T) {
+	// A negative DVS speed is as meaningless as zero; both guards must
+	// trip, not silently flip cost signs.
+	for name, call := range map[string]func(){
+		"AtSpeed": func() { SCPSetting().AtSpeed(CSCP, -1) },
+		"Scaled":  func() { SCPSetting().Scaled(-0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(-v) did not panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func TestValidateRejectsNegativeInfinity(t *testing.T) {
+	for i, c := range []Costs{
+		{Store: math.Inf(-1), Compare: 1},
+		{Store: 1, Compare: math.Inf(-1)},
+		{Store: 1, Compare: 1, Rollback: math.Inf(-1)},
+		{Store: 1, Compare: 1, Rollback: math.NaN()},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: -Inf/NaN cost accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestCorruptedRecordPassesCheapConsistencyCheck(t *testing.T) {
+	// The failure mode the imperfect-fault-tolerance extension models:
+	// stable-storage damage after the digests were written is invisible
+	// to the digest comparison, so LatestConsistent still returns the
+	// record — the damage surfaces only when a restore is attempted.
+	var s Store
+	s.Push(Record{Time: 1, Kind: CSCP, Digests: [2]uint64{7, 7}})
+	s.Push(Record{Time: 2, Kind: SCP, Digests: [2]uint64{9, 9}, Corrupted: true})
+	r, ok := s.LatestConsistent()
+	if !ok || r.Time != 2 {
+		t.Fatalf("LatestConsistent = %+v, %v; want the newest (corrupted) record", r, ok)
+	}
+	if !r.Corrupted {
+		t.Fatal("corruption flag lost through the store")
+	}
+	if !r.Consistent() {
+		t.Fatal("corrupted record must still pass the cheap digest check — that is the trap")
+	}
+}
+
+func TestTruncateAfterKeepsBoundaryRecord(t *testing.T) {
+	// Time > limit is strict: a record exactly at the rollback position
+	// survives — it is the state being rolled back to.
+	var s Store
+	s.Push(Record{Time: 1, Kind: SCP, Digests: [2]uint64{1, 1}})
+	s.Push(Record{Time: 2, Kind: SCP, Digests: [2]uint64{2, 2}})
+	s.TruncateAfter(2)
+	if s.Len() != 2 {
+		t.Fatalf("Len after truncate at boundary = %d, want 2", s.Len())
+	}
+}
+
+func TestTruncateAndLatestOnEmptyStore(t *testing.T) {
+	var s Store
+	s.TruncateAfter(5) // must not panic
+	s.TruncateAfter(-1)
+	if _, ok := s.Latest(); ok {
+		t.Fatal("empty store has a latest record")
+	}
+	if _, ok := s.LatestConsistent(); ok {
+		t.Fatal("empty store has a consistent record")
+	}
+	if got := s.Records(); len(got) != 0 {
+		t.Fatalf("empty store exposes %d records", len(got))
+	}
+}
+
+func TestStoreReusableAfterReset(t *testing.T) {
+	var s Store
+	s.Push(Record{Time: 1, Kind: SCP, Digests: [2]uint64{1, 1}})
+	s.Reset()
+	s.Push(Record{Time: 9, Kind: CSCP, Digests: [2]uint64{3, 3}})
+	r, ok := s.Latest()
+	if !ok || r.Time != 9 || s.Len() != 1 {
+		t.Fatalf("store after Reset+Push: latest=%+v ok=%v len=%d", r, ok, s.Len())
+	}
+}

@@ -5,9 +5,11 @@
 //	1  runtime failure (simulation error, I/O, ...)
 //	2  usage error — a flag value the command cannot act on (matching
 //	   the exit code the flag package uses for unparsable flags)
-//	3  failed check — the command ran fine but what it verified did
-//	   not hold (e.g. `tables -shape` finding a qualitative claim
-//	   violated)
+//	3  failed check or unavailable resource — the command ran fine but
+//	   what it verified did not hold (e.g. `tables -shape` finding a
+//	   qualitative claim violated), or a resource it depends on could
+//	   not be opened (e.g. `simd` failing to open or replay its job
+//	   journal at boot)
 package cli
 
 import (
@@ -33,6 +35,14 @@ func Usagef(format string, args ...any) error {
 
 // Checkf builds a failed-check error (exit code 3).
 func Checkf(format string, args ...any) error {
+	return &kindError{code: 3, err: fmt.Errorf(format, args...)}
+}
+
+// Resourcef builds a resource error (exit code 3): a store or file the
+// command cannot run without failed to open or read — distinct from a
+// usage error (the request was fine) and worth a distinct exit code so
+// supervisors can tell "fix the flags" from "fix the disk".
+func Resourcef(format string, args ...any) error {
 	return &kindError{code: 3, err: fmt.Errorf(format, args...)}
 }
 

@@ -1,0 +1,64 @@
+// Package crashpoint provides named deterministic crash points for the
+// kill-and-recover harness. Production code calls Hit(name) at the
+// moments a crash is interesting — just before an fsync, just after a
+// shard checkpoint is journalled, just before a merge — and Hit is a
+// no-op (one atomic load) unless a test or the chaos harness has armed
+// exactly that point.
+//
+// The package is a dependency leaf on purpose: serve, experiment and
+// storage all call into it, while the chaos package (which imports
+// serve) arms it, so routing the hooks through chaos would cycle.
+package crashpoint
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	armed atomic.Bool // fast-path gate; false means every Hit is free
+	mu    sync.Mutex
+	point string
+	nth   int
+	hits  int
+	fn    func()
+)
+
+// Arm makes the nth Hit of the named point (1-based) invoke f. Only one
+// point is armed at a time; arming replaces any previous arming. f runs
+// on the goroutine that trips the point — for the kill harness it never
+// returns (SIGKILL), but test doubles may.
+func Arm(name string, n int, f func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	point, nth, hits, fn = name, n, 0, f
+	armed.Store(name != "" && f != nil)
+}
+
+// Disarm clears any armed point.
+func Disarm() {
+	mu.Lock()
+	defer mu.Unlock()
+	point, nth, hits, fn = "", 0, 0, nil
+	armed.Store(false)
+}
+
+// Hit marks passage through the named point, firing the armed callback
+// when this is the configured occurrence.
+func Hit(name string) {
+	if !armed.Load() {
+		return
+	}
+	mu.Lock()
+	var f func()
+	if name == point && fn != nil {
+		hits++
+		if hits == nth {
+			f = fn
+		}
+	}
+	mu.Unlock()
+	if f != nil {
+		f()
+	}
+}

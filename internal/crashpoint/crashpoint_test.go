@@ -1,0 +1,64 @@
+package crashpoint
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHitFiresOnNthOccurrence(t *testing.T) {
+	defer Disarm()
+	var fired atomic.Int32
+	Arm("p", 3, func() { fired.Add(1) })
+	for i := 0; i < 5; i++ {
+		Hit("p")
+	}
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("fired %d times, want exactly 1 (on the 3rd hit)", got)
+	}
+}
+
+func TestHitIgnoresOtherPoints(t *testing.T) {
+	defer Disarm()
+	var fired atomic.Int32
+	Arm("p", 1, func() { fired.Add(1) })
+	Hit("q")
+	Hit("r")
+	if fired.Load() != 0 {
+		t.Fatal("unrelated point tripped the armed callback")
+	}
+	Hit("p")
+	if fired.Load() != 1 {
+		t.Fatal("armed point did not fire")
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	var fired atomic.Int32
+	Arm("p", 1, func() { fired.Add(1) })
+	Disarm()
+	Hit("p")
+	if fired.Load() != 0 {
+		t.Fatal("disarmed point fired")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	defer Disarm()
+	var fired atomic.Int32
+	Arm("p", 50, func() { fired.Add(1) })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				Hit("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if fired.Load() != 1 {
+		t.Fatalf("fired %d times under concurrency, want 1", fired.Load())
+	}
+}

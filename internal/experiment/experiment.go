@@ -212,6 +212,22 @@ type Runner struct {
 	// shapes scheduling, never statistics.
 	ShardSize int
 
+	// OnShard, when non-nil, receives every successfully executed
+	// shard's binary checkpoint (stats.Shard encoding of reps
+	// [start, end) of the cell with the given derived seed) before it is
+	// merged — the durability hook crash recovery hangs off. Called from
+	// every worker; must be safe for concurrent use. Because the shard
+	// algebra is order-independent, persisting these in completion order
+	// loses nothing.
+	OnShard func(cellSeed uint64, start, end int, data []byte)
+	// Recovered, when non-nil, is consulted once per cell before any
+	// shard is scheduled: checkpoints it returns for the cell's seed are
+	// validated (in-range, disjoint, decodable, trial count matching the
+	// rep range — anything suspect is silently recomputed), merged, and
+	// excluded from execution. The resumed Summary is bit-identical to
+	// an uninterrupted run.
+	Recovered func(cellSeed uint64) []ShardCheckpoint
+
 	// shardFault, when non-nil, is the chaos hook of the shard
 	// scheduler: invoked after each successfully executed shard with the
 	// cell index, rep range and retry attempt; returning true discards

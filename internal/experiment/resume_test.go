@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// captureShards runs a table collecting every shard checkpoint the
+// OnShard hook emits, keyed by cell seed, plus the reference table JSON.
+func captureShards(t *testing.T, spec Spec, reps, shard int) (map[uint64][]ShardCheckpoint, []byte) {
+	t.Helper()
+	var mu sync.Mutex
+	byCell := make(map[uint64][]ShardCheckpoint)
+	r := Runner{
+		Reps: reps, Seed: 77, Workers: 3, ShardSize: shard,
+		OnShard: func(cellSeed uint64, start, end int, data []byte) {
+			mu.Lock()
+			byCell[cellSeed] = append(byCell[cellSeed], ShardCheckpoint{Start: start, End: end, Data: data})
+			mu.Unlock()
+		},
+	}
+	tbl, err := r.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return byCell, tableBitsJSON(t, tbl)
+}
+
+// TestResumePartialBitIdentical is the crash-recovery core property:
+// recovering an arbitrary subset of shard checkpoints and recomputing
+// only the gaps yields a table byte-identical to the uninterrupted run,
+// with the reps ledger exact — executed + recovered == cells × reps.
+func TestResumePartialBitIdentical(t *testing.T) {
+	spec := smallSpec(t)
+	const reps, shard = 90, 16
+	byCell, want := captureShards(t, spec, reps, shard)
+
+	// Keep every other checkpoint — a crash that lost half the journal
+	// tail — and resume with a *different* shard size, so the recomputed
+	// gaps are carved differently than the original run.
+	kept := make(map[uint64][]ShardCheckpoint)
+	keptReps := 0
+	for seed, cps := range byCell {
+		for i, cp := range cps {
+			if i%2 == 0 {
+				kept[seed] = append(kept[seed], cp)
+				keptReps += cp.End - cp.Start
+			}
+		}
+	}
+	if keptReps == 0 {
+		t.Fatal("no checkpoints kept — test is vacuous")
+	}
+
+	reg := telemetry.NewRegistry()
+	r := Runner{
+		Reps: reps, Seed: 77, Workers: 4, ShardSize: 7,
+		Sink:      telemetry.NewRegistrySink(reg, nil),
+		Recovered: func(cellSeed uint64) []ShardCheckpoint { return kept[cellSeed] },
+	}
+	tbl, err := r.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableBitsJSON(t, tbl); !bytes.Equal(got, want) {
+		t.Error("resumed table JSON differs from the uninterrupted run")
+	}
+
+	cells := len(tbl.Rows) * len(tbl.Rows[0].Cells)
+	executed := reg.Counter(MetricReps, "").Value()
+	recovered := reg.Counter(MetricRepsRecovered, "").Value()
+	if recovered != int64(keptReps) {
+		t.Errorf("%s = %d, want %d", MetricRepsRecovered, recovered, keptReps)
+	}
+	if executed+recovered != int64(cells*reps) {
+		t.Errorf("executed %d + recovered %d != cells×reps %d (ledger must be exact)",
+			executed, recovered, cells*reps)
+	}
+}
+
+// TestResumeFullRecovery: every rep comes back from checkpoints; nothing
+// executes, the table is still bit-identical, and the ledger is all
+// recovery.
+func TestResumeFullRecovery(t *testing.T) {
+	spec := smallSpec(t)
+	const reps, shard = 48, 16
+	byCell, want := captureShards(t, spec, reps, shard)
+
+	reg := telemetry.NewRegistry()
+	r := Runner{
+		Reps: reps, Seed: 77, Workers: 4, ShardSize: shard,
+		Sink:      telemetry.NewRegistrySink(reg, nil),
+		Recovered: func(cellSeed uint64) []ShardCheckpoint { return byCell[cellSeed] },
+	}
+	tbl, err := r.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableBitsJSON(t, tbl); !bytes.Equal(got, want) {
+		t.Error("fully recovered table JSON differs from the original")
+	}
+	cells := len(tbl.Rows) * len(tbl.Rows[0].Cells)
+	if got := reg.Counter(MetricReps, "").Value(); got != 0 {
+		t.Errorf("%s = %d, want 0 (no rep executed)", MetricReps, got)
+	}
+	if got := reg.Counter(MetricRepsRecovered, "").Value(); got != int64(cells*reps) {
+		t.Errorf("%s = %d, want %d", MetricRepsRecovered, got, cells*reps)
+	}
+	if got := reg.Counter(MetricCellsCompleted, "").Value(); got != int64(cells) {
+		t.Errorf("%s = %d, want %d", MetricCellsCompleted, got, cells)
+	}
+}
+
+// TestResumeRejectsSuspectCheckpoints: corrupted, overlapping,
+// duplicated and out-of-range checkpoints are silently recomputed — the
+// table stays bit-identical, recovery just buys less.
+func TestResumeRejectsSuspectCheckpoints(t *testing.T) {
+	spec := smallSpec(t)
+	const reps, shard = 60, 20
+	byCell, want := captureShards(t, spec, reps, shard)
+
+	poisoned := make(map[uint64][]ShardCheckpoint)
+	for seed, cps := range byCell {
+		out := append([]ShardCheckpoint(nil), cps...)
+		// Corrupt the first checkpoint's trial count: it no longer
+		// matches the rep range, so validation must recompute it.
+		bad := append([]byte(nil), cps[0].Data...)
+		bad[1] ^= 0xFF
+		out[0] = ShardCheckpoint{Start: cps[0].Start, End: cps[0].End, Data: bad}
+		// A duplicate (overlap) of a good one, and one out of range.
+		out = append(out, cps[1], ShardCheckpoint{Start: reps - 5, End: reps + 5, Data: cps[1].Data})
+		// A range that disagrees with its payload's trial count.
+		out = append(out, ShardCheckpoint{Start: 0, End: reps, Data: cps[1].Data})
+		poisoned[seed] = out
+	}
+
+	r := Runner{
+		Reps: reps, Seed: 77, Workers: 2, ShardSize: shard,
+		Recovered: func(cellSeed uint64) []ShardCheckpoint { return poisoned[cellSeed] },
+	}
+	tbl, err := r.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableBitsJSON(t, tbl); !bytes.Equal(got, want) {
+		t.Error("poisoned checkpoints changed the table JSON")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/crashpoint"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -111,6 +112,7 @@ type cellState struct {
 	mu           sync.Mutex
 	agg          stats.Shard
 	remaining    int // shards not yet accounted for
+	recovered    int // reps restored from checkpoints, not executed
 	started      bool
 	failed       bool
 	t0           time.Time // first shard start; only set when a sink observes
@@ -162,7 +164,27 @@ func (r Runner) runShards(ctx context.Context, cells []*cellState, onDone func(*
 	size := r.shardSize()
 	reps := r.reps()
 	var units []shardUnit
+	var fullyRecovered []*cellState
 	for ci, c := range cells {
+		if r.Recovered != nil {
+			// Merge surviving checkpoints up front (no lock needed: the
+			// workers do not exist yet) and schedule only the gaps.
+			valid := validRecovered(r.Recovered(c.seed), reps)
+			for i := range valid {
+				c.agg.Merge(&valid[i].shard)
+				c.recovered += valid[i].end - valid[i].start
+			}
+			if len(valid) > 0 && r.Sink != nil {
+				r.Sink.Count(MetricShardsRecovered, int64(len(valid)))
+			}
+			var n int
+			units, n = gapUnits(units, ci, valid, reps, size)
+			c.remaining = n
+			if n == 0 {
+				fullyRecovered = append(fullyRecovered, c)
+			}
+			continue
+		}
 		n := (reps + size - 1) / size
 		c.remaining = n
 		for s := 0; s < n; s++ {
@@ -174,14 +196,26 @@ func (r Runner) runShards(ctx context.Context, cells []*cellState, onDone func(*
 			units = append(units, shardUnit{cell: ci, start: lo, end: hi})
 		}
 	}
-	if len(units) == 0 {
-		return nil
-	}
 	nw := r.workers()
 	if nw > len(units) {
 		nw = len(units)
 	}
+	if nw == 0 {
+		nw = 1 // sched still reports fully recovered cells
+	}
 	s := &sched{r: &r, ctx: ctx, cells: cells, deques: make([]deque, nw), sink: r.Sink, onDone: onDone}
+	// Cells whose every rep came back from checkpoints finish before any
+	// worker starts — reported through the same serialised path.
+	for _, c := range fullyRecovered {
+		c.started = true
+		if r.Sink != nil {
+			c.t0 = time.Now()
+		}
+		s.finishCell(c)
+	}
+	if len(units) == 0 {
+		return nil
+	}
 	// Contiguous block distribution: each worker starts on a run of
 	// same-cell shards (warm plan cache); imbalance is what stealing is
 	// for.
@@ -290,6 +324,14 @@ func (s *sched) runUnit(u shardUnit, rctx *sim.RunContext, scratch *stats.Shard,
 		s.sink.Count(MetricPlannerMisses, int64(dm))
 	}
 
+	if err == nil && !skip && s.r.OnShard != nil {
+		// Checkpoint the shard before merging it: a crash between the
+		// two re-runs the shard (replay validates and dedups), a crash
+		// after the merge but before the cell finishes recovers it.
+		s.r.OnShard(c.seed, u.start, u.end, scratch.AppendBinary(nil))
+	}
+	crashpoint.Hit("shard.merge")
+
 	c.mu.Lock()
 	c.hits += dh
 	c.misses += dm
@@ -384,8 +426,17 @@ func (s *sched) finishCell(c *cellState) {
 			attrs["planner_hits"] = c.hits
 			attrs["planner_misses"] = c.misses
 		}
+		if c.recovered > 0 {
+			attrs["reps_recovered"] = c.recovered
+		}
 		s.sink.Count(MetricCellsCompleted, 1)
-		s.sink.Count(MetricReps, int64(reps))
+		// Executed and recovered reps are counted into disjoint families:
+		// grid_reps_total + grid_reps_recovered_total == cells × reps,
+		// exactly, resumed or not.
+		s.sink.Count(MetricReps, int64(reps-c.recovered))
+		if c.recovered > 0 {
+			s.sink.Count(MetricRepsRecovered, int64(c.recovered))
+		}
 		s.sink.Observe(MetricCellSeconds, sec)
 		s.sink.Event("cell.finish", attrs)
 	}

@@ -1,0 +1,63 @@
+package serve_test
+
+// BenchmarkTable1aJournalOverhead measures the durability tax on the
+// full Table 1a grid, decomposed (DESIGN.md §13):
+//
+//   - none: no journal — the baseline.
+//   - mem:  every shard checkpoint through the journal's writer into a
+//     memory store. This is the journal's whole CPU tax on the workers
+//     (marshal hand-off, framing, CRC); budget ≤2% over none.
+//   - file: the production path — a real file store with group-commit
+//     fsync. The extra cost over mem is disk-bound (checkpoint bytes
+//     over disk bandwidth, ~16 B per rep of tail state); the async
+//     writer overlaps it with compute on any multi-core host, but a
+//     single-core machine pays it in wall time.
+//
+// `make journal-overhead` runs this at -benchtime 50x.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/serve"
+	"repro/internal/storage"
+)
+
+func BenchmarkTable1aJournalOverhead(b *testing.B) {
+	spec, err := experiment.TableByID("1a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const reps = 1000
+	run := func(b *testing.B, onShard func(cellSeed uint64, start, end int, data []byte)) {
+		runner := experiment.Runner{Reps: reps, Seed: 1, OnShard: onShard}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := runner.RunTable(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+	}
+	journalArm := func(store storage.LogStore) func(b *testing.B) {
+		return func(b *testing.B) {
+			jl := serve.NewJournal(store, serve.DefaultSyncEvery)
+			defer jl.Close()
+			run(b, func(cellSeed uint64, start, end int, data []byte) {
+				if err := jl.AppendShard("job-bench", cellSeed, start, end, data); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+	b.Run("none", func(b *testing.B) { run(b, nil) })
+	b.Run("mem", journalArm(storage.NewMemLog()))
+	b.Run("file", func(b *testing.B) {
+		store, err := storage.OpenFileLog(filepath.Join(b.TempDir(), "bench.journal"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		journalArm(store)(b)
+	})
+}

@@ -6,8 +6,8 @@ package serve_test
 // degradation by ledger:
 //
 //  1. No accepted job is silently dropped — every 202'd ID reaches a
-//     terminal state, and every shutdown-aborted one is in the
-//     persisted manifest.
+//     terminal state, and every shutdown-aborted one is resumable from
+//     the journal (accepted record, no finished record).
 //  2. Shed load is always reported — observed 503s equal the server's
 //     shed counter, and each carries Retry-After.
 //  3. Determinism survives chaos — every *completed* single-trajectory
@@ -35,6 +35,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/experiment"
 	"repro/internal/serve"
+	"repro/internal/storage"
 )
 
 // goldenTrajectory mirrors the golden_sim.json entries this suite pins
@@ -105,7 +106,11 @@ func TestChaosSoak(t *testing.T) {
 		StragglerProb:  0.12,
 		StragglerDelay: 2 * time.Millisecond,
 	})
-	manifestPath := filepath.Join(t.TempDir(), "manifest.json")
+	store, err := storage.OpenFileLog(filepath.Join(t.TempDir(), "simd.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl := serve.NewJournal(store, serve.DefaultSyncEvery)
 	srv := serve.New(serve.Config{
 		QueueDepth:     16,
 		Workers:        4,
@@ -113,7 +118,7 @@ func TestChaosSoak(t *testing.T) {
 		MaxRetries:     4,
 		RetryBase:      time.Millisecond,
 		RetryMax:       4 * time.Millisecond,
-		ManifestPath:   manifestPath,
+		Journal:        jl,
 		Intercept:      inj.Intercept,
 	})
 	ts := httptest.NewServer(srv.Handler())
@@ -232,17 +237,26 @@ func TestChaosSoak(t *testing.T) {
 	for _, e := range m.Jobs {
 		manifestIDs[e.ID] = true
 	}
-	// The persisted file matches the returned manifest.
-	blob, err := os.ReadFile(manifestPath)
-	if err != nil {
-		t.Fatalf("manifest not persisted: %v", err)
-	}
-	var onDisk serve.Manifest
-	if err := json.Unmarshal(blob, &onDisk); err != nil {
+	// The journal agrees with the returned report: replaying it finds
+	// exactly the aborted jobs unfinished, after a clean-shutdown record.
+	if err := jl.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if len(onDisk.Jobs) != len(m.Jobs) {
-		t.Errorf("persisted manifest has %d jobs, in-memory %d", len(onDisk.Jobs), len(m.Jobs))
+	blob, err := os.ReadFile(store.Path())
+	if err != nil {
+		t.Fatalf("journal not persisted: %v", err)
+	}
+	rec := serve.ReplayJournal(blob)
+	if !rec.CleanShutdown {
+		t.Error("journal missing the clean-shutdown record")
+	}
+	if got := rec.UnfinishedJobs(); got != len(m.Jobs) {
+		t.Errorf("journal has %d unfinished jobs, shutdown reported %d", got, len(m.Jobs))
+	}
+	for i := range rec.Jobs {
+		if j := &rec.Jobs[i]; j.Unfinished() && !manifestIDs[j.ID] {
+			t.Errorf("journal would resume %s, which the shutdown report does not list", j.ID)
+		}
 	}
 
 	// Invariant 1: every accepted job is accounted for.
@@ -256,7 +270,7 @@ func TestChaosSoak(t *testing.T) {
 		}
 		counts[v.State]++
 		if v.State == serve.StateCanceled && !manifestIDs[a.id] {
-			t.Errorf("job %s aborted by shutdown but missing from manifest — silently dropped", a.id)
+			t.Errorf("job %s aborted by shutdown but missing from the unfinished report — silently dropped", a.id)
 		}
 		if v.State != serve.StateDone {
 			continue

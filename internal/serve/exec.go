@@ -113,16 +113,26 @@ type MissionResult struct {
 	FinalCharge jsonFloat `json:"final_charge"`
 }
 
+// gridHooks carries the crash-recovery plumbing of a grid attempt into
+// the experiment runner: onShard journals each completed rep-shard,
+// recovered replays the checkpoints banked by earlier attempts or a
+// previous boot. Both nil when journalling is off or the job holds no
+// checkpoints.
+type gridHooks struct {
+	onShard   func(cellSeed uint64, start, end int, data []byte)
+	recovered func(cellSeed uint64) []experiment.ShardCheckpoint
+}
+
 // executeSpec runs one attempt of a job's workload under ctx. progress
 // receives grid cell counts (serialised by the experiment runner's
 // lock); it is ignored for the other kinds. sink, when non-nil,
 // receives the engines' own telemetry (grid cell and mission frame
 // accounting) — the server passes its registry sink so engine metrics
 // land on /metrics alongside the job ledger.
-func executeSpec(ctx context.Context, spec JobSpec, gridWorkers int, progress func(done, total int), sink telemetry.Sink) (any, error) {
+func executeSpec(ctx context.Context, spec JobSpec, gridWorkers int, progress func(done, total int), sink telemetry.Sink, hooks gridHooks) (any, error) {
 	switch spec.Kind {
 	case JobGrid:
-		return executeGrid(ctx, spec, gridWorkers, progress, sink)
+		return executeGrid(ctx, spec, gridWorkers, progress, sink, hooks)
 	case JobSingle:
 		return executeSingle(ctx, spec)
 	case JobMission:
@@ -131,7 +141,7 @@ func executeSpec(ctx context.Context, spec JobSpec, gridWorkers int, progress fu
 	return nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
 }
 
-func executeGrid(ctx context.Context, spec JobSpec, workers int, progress func(done, total int), sink telemetry.Sink) (any, error) {
+func executeGrid(ctx context.Context, spec JobSpec, workers int, progress func(done, total int), sink telemetry.Sink, hooks gridHooks) (any, error) {
 	tspec, err := experiment.TableByID(spec.Table)
 	if err != nil {
 		return nil, err
@@ -143,6 +153,8 @@ func executeGrid(ctx context.Context, spec JobSpec, workers int, progress func(d
 		ShardSize: spec.ShardSize,
 		OnCell:    progress,
 		Sink:      sink,
+		OnShard:   hooks.onShard,
+		Recovered: hooks.recovered,
 	}
 	tbl, err := runner.RunTableCtx(ctx, tspec)
 	if err != nil {

@@ -19,8 +19,14 @@
 //     retried with exponential backoff and deterministic jitter.
 //   - Graceful drain: Shutdown stops admission, lets workers finish the
 //     accepted backlog until the drain deadline, then aborts the rest
-//     via the base context and persists an unfinished-job manifest, so
-//     no accepted job is ever silently dropped.
+//     via the base context. Unfinished jobs are not persisted separately:
+//     the journal (journal.go) already holds their accepted records
+//     without finished records, which is exactly what the next boot
+//     resumes. A clean-shutdown record marks the drain itself.
+//   - Crash safety: with a journal configured, every accepted job and
+//     every completed grid shard is durable; a kill -9 at any point
+//     resumes on the next boot with bit-identical results (pinned by the
+//     kill-and-recover soak).
 package serve
 
 import (
@@ -205,8 +211,13 @@ type Job struct {
 	Result any
 
 	// ShutdownAborted marks a job that was still queued or running when
-	// the drain deadline fired; these are the manifest entries.
+	// the drain deadline fired. Such jobs get no finished journal record
+	// — that absence is what makes the next boot resume them.
 	ShutdownAborted bool
+
+	// Resumed marks a job reconstructed from the journal and re-queued
+	// at boot rather than submitted over HTTP in this process.
+	Resumed bool
 
 	Enqueued, Started, Finished time.Time
 
@@ -215,6 +226,14 @@ type Job struct {
 	cancelRequested bool
 	// cancel aborts the running job's context; nil until the job starts.
 	cancel func()
+	// prevAttempts is the attempt count carried over from before a
+	// restart, so attempt numbering continues across boots.
+	prevAttempts int
+	// shards holds the grid shard checkpoints this job has banked —
+	// restored from the journal at boot and appended by OnShard as the
+	// job runs. The merge algebra is order-independent, so replaying
+	// them on the next attempt is bit-identical to never having crashed.
+	shards map[uint64][]experiment.ShardCheckpoint
 }
 
 // View is the JSON projection of a Job.
@@ -228,6 +247,7 @@ type View struct {
 	CellsDone  int      `json:"cells_done,omitempty"`
 	CellsTotal int      `json:"cells_total,omitempty"`
 	Result     any      `json:"result,omitempty"`
+	Resumed    bool     `json:"resumed,omitempty"`
 	ElapsedMS  int64    `json:"elapsed_ms,omitempty"`
 }
 
@@ -242,6 +262,7 @@ func (j *Job) view() View {
 		CellsDone:  j.CellsDone,
 		CellsTotal: j.CellsTotal,
 		Result:     j.Result,
+		Resumed:    j.Resumed,
 	}
 	if !j.Started.IsZero() {
 		end := j.Finished
@@ -262,9 +283,10 @@ type ManifestEntry struct {
 	Error    string   `json:"error,omitempty"`
 }
 
-// Manifest is the unfinished-job file written by Shutdown: every
-// accepted job that did not reach a clean terminal outcome before the
-// drain deadline, so a supervisor can resubmit them.
+// Manifest is the in-memory unfinished-job report Shutdown returns:
+// every accepted job that did not reach a clean terminal outcome before
+// the drain deadline. It is informational — the journal, not this
+// report, is what the next boot resumes from.
 type Manifest struct {
 	// Drained is false when the drain deadline fired and running jobs
 	// were aborted.

@@ -11,12 +11,15 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/serve"
+	"repro/internal/storage"
 )
 
 // testView mirrors serve.View with a raw result for kind-specific
@@ -303,6 +306,114 @@ func TestTransientFailuresAreRetriedWithBackoff(t *testing.T) {
 	}
 }
 
+func TestRetryCapHonoredUnderPersistentTransients(t *testing.T) {
+	// A backend that never stops failing transiently must not be retried
+	// forever: the budget is MaxRetries, so the job burns exactly
+	// MaxRetries+1 attempts and then fails for good.
+	var calls int32
+	srv, ts := newTestServer(t, serve.Config{
+		Workers: 1, MaxRetries: 3,
+		RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
+		Intercept: func(ctx context.Context, cancel context.CancelFunc, spec serve.JobSpec, next serve.Exec) (any, error) {
+			atomic.AddInt32(&calls, 1)
+			return nil, serve.Transient(errors.New("backend still down"))
+		},
+	})
+	v, _ := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":6}`)
+	got := waitTerminal(t, ts, v.ID, 10*time.Second)
+	if got.State != serve.StateFailed {
+		t.Fatalf("always-transient job ended %s, want failed", got.State)
+	}
+	if got.Attempts != 4 {
+		t.Errorf("attempts = %d, want MaxRetries+1 = 4", got.Attempts)
+	}
+	if n := atomic.LoadInt32(&calls); n != 4 {
+		t.Errorf("backend called %d times, want exactly 4 — retry cap not honored", n)
+	}
+	if c := srv.Counters(); c.Retries != 3 {
+		t.Errorf("retry counter = %d, want 3", c.Retries)
+	}
+	if !strings.Contains(got.Error, "backend still down") {
+		t.Errorf("terminal error %q lost the transient cause", got.Error)
+	}
+}
+
+func TestRetryAfterIsFloorWithoutLatencyHistory(t *testing.T) {
+	// Before any job has completed there is no latency history, so the
+	// shed hint is exactly the configured floor — regardless of depth.
+	block := make(chan struct{})
+	defer close(block)
+	_, ts := newTestServer(t, serve.Config{
+		QueueDepth: 2, Workers: 1, RetryAfter: 2 * time.Second,
+		Intercept: func(ctx context.Context, cancel context.CancelFunc, spec serve.JobSpec, next serve.Exec) (any, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil, ctx.Err()
+		},
+	})
+	for i := 0; i < 3; i++ { // 1 running + 2 queued
+		if _, resp := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":1}`); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill submit %d status %d", i, resp.StatusCode)
+		}
+	}
+	_, resp := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overload submit status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want the configured 2s floor (no latency history yet)", got)
+	}
+}
+
+func TestRetryAfterScalesWithQueueDepthAndObservedLatency(t *testing.T) {
+	// Once jobs have completed, the shed hint is live state — observed
+	// mean duration × queue occupancy over the worker pool — not the
+	// configured constant.
+	const jobTime = 400 * time.Millisecond
+	block := make(chan struct{})
+	defer close(block)
+	_, ts := newTestServer(t, serve.Config{
+		QueueDepth: 6, Workers: 1, RetryAfter: time.Second,
+		Intercept: func(ctx context.Context, cancel context.CancelFunc, spec serve.JobSpec, next serve.Exec) (any, error) {
+			if spec.Seed == 1 { // the calibration job: slow but finite
+				time.Sleep(jobTime)
+				return next(ctx)
+			}
+			select { // everything else blocks until the test ends
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil, ctx.Err()
+		},
+	})
+	v, _ := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":1}`)
+	if got := waitTerminal(t, ts, v.ID, 10*time.Second); got.State != serve.StateDone {
+		t.Fatalf("calibration job ended %s: %s", got.State, got.Error)
+	}
+	for i := 0; i < 7; i++ { // 1 running + 6 queued: full
+		if _, resp := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":2}`); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill submit %d status %d", i, resp.StatusCode)
+		}
+	}
+	_, resp := submit(t, ts, `{"kind":"single","scheme":"A_D_S","u":0.78,"lambda":0.0014,"seed":2}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overload submit status %d, want 503", resp.StatusCode)
+	}
+	hint, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	// mean ≥ 0.4s, 6 queued ahead + 1, 1 worker → at least ceil(0.4×7)=3.
+	if min := int(math.Ceil(jobTime.Seconds() * 7)); hint < min {
+		t.Errorf("Retry-After = %d, want ≥ %d (mean ≥ %v × 7 waiters / 1 worker)", hint, min, jobTime)
+	}
+	if hint > 60 {
+		t.Errorf("Retry-After = %d exceeds the 60s ceiling", hint)
+	}
+}
+
 func TestSpuriousAttemptCancellationIsRetried(t *testing.T) {
 	first := true
 	_, ts := newTestServer(t, serve.Config{
@@ -325,13 +436,17 @@ func TestSpuriousAttemptCancellationIsRetried(t *testing.T) {
 	}
 }
 
-func TestShutdownDrainsPersistsManifest(t *testing.T) {
+func TestShutdownLeavesJobsResumableInJournal(t *testing.T) {
 	dir := t.TempDir()
-	manifest := filepath.Join(dir, "manifest.json")
+	store, err := storage.OpenFileLog(filepath.Join(dir, "simd.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl := serve.NewJournal(store, 1)
 	block := make(chan struct{})
 	defer close(block)
 	srv := serve.New(serve.Config{
-		QueueDepth: 8, Workers: 1, ManifestPath: manifest,
+		QueueDepth: 8, Workers: 1, Journal: jl,
 		Intercept: func(ctx context.Context, cancel context.CancelFunc, spec serve.JobSpec, next serve.Exec) (any, error) {
 			select {
 			case <-block:
@@ -364,10 +479,10 @@ func TestShutdownDrainsPersistsManifest(t *testing.T) {
 		t.Errorf("shutdown took %v, drain deadline not honoured", e)
 	}
 	if m.Drained {
-		t.Error("manifest claims a clean drain despite blocked jobs")
+		t.Error("shutdown claims a clean drain despite blocked jobs")
 	}
 	if len(m.Jobs) != 3 {
-		t.Fatalf("manifest has %d jobs, want all 3 blocked ones", len(m.Jobs))
+		t.Fatalf("unfinished report has %d jobs, want all 3 blocked ones", len(m.Jobs))
 	}
 
 	// Submissions after shutdown shed with 503.
@@ -376,27 +491,40 @@ func TestShutdownDrainsPersistsManifest(t *testing.T) {
 		t.Errorf("post-shutdown submit status %d, want 503", resp.StatusCode)
 	}
 
-	blob, err := os.ReadFile(manifest)
-	if err != nil {
-		t.Fatalf("manifest not persisted: %v", err)
-	}
-	var onDisk serve.Manifest
-	if err := json.Unmarshal(blob, &onDisk); err != nil {
+	// The journal — not a manifest file — is what survives: replaying it
+	// must find every aborted job unfinished (accepted record, no
+	// finished record), ready to resume, with a clean-shutdown marker.
+	if err := jl.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if len(onDisk.Jobs) != 3 {
-		t.Fatalf("persisted manifest has %d jobs, want 3", len(onDisk.Jobs))
+	blob, err := os.ReadFile(store.Path())
+	if err != nil {
+		t.Fatalf("journal not persisted: %v", err)
+	}
+	rec := serve.ReplayJournal(blob)
+	if !rec.CleanShutdown {
+		t.Error("journal missing the clean-shutdown record")
+	}
+	if rec.Corrupt != 0 {
+		t.Errorf("replay found %d corrupt records in a healthy journal", rec.Corrupt)
+	}
+	if got := rec.UnfinishedJobs(); got != 3 {
+		t.Fatalf("journal has %d unfinished jobs, want 3", got)
 	}
 	seen := map[string]bool{}
-	for _, e := range onDisk.Jobs {
-		seen[e.ID] = true
-		if e.Spec.Kind != serve.JobSingle {
-			t.Errorf("manifest entry %s lost its spec", e.ID)
+	for i := range rec.Jobs {
+		j := &rec.Jobs[i]
+		if !j.Unfinished() {
+			t.Errorf("job %s replayed terminal (%s), want resumable", j.ID, j.State)
+		}
+		seen[j.ID] = true
+		if j.Spec.Kind != serve.JobSingle {
+			t.Errorf("journal entry %s lost its spec", j.ID)
 		}
 	}
 	for _, id := range ids {
 		if !seen[id] {
-			t.Errorf("accepted job %s missing from manifest — silently dropped", id)
+			t.Errorf("accepted job %s missing from journal — silently dropped", id)
 		}
 	}
 }

@@ -5,13 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
-	"os"
 	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/crashpoint"
+	"repro/internal/experiment"
 	"repro/internal/telemetry"
 )
 
@@ -39,11 +41,20 @@ type Config struct {
 	// RetryBase and RetryMax bound the exponential backoff between
 	// attempts. Zero means 100ms and 2s.
 	RetryBase, RetryMax time.Duration
-	// RetryAfter is the hint returned with shed responses. Zero means 1s.
+	// RetryAfter is the floor of the Retry-After hint returned with shed
+	// responses; the actual hint scales with queue occupancy and the
+	// observed mean job duration. Zero means 1s.
 	RetryAfter time.Duration
-	// ManifestPath, when non-empty, is where Shutdown persists the
-	// unfinished-job manifest.
-	ManifestPath string
+	// Journal, when non-nil, is the durable write-ahead job journal:
+	// admissions, attempts, shard checkpoints and terminal outcomes are
+	// recorded as they happen, so a crash loses at most the progress
+	// since the last fsync batch — never an accepted job.
+	Journal *Journal
+	// Recovery, when non-nil, is a replayed journal (ReplayJournal)
+	// applied at construction: terminal jobs are restored into the
+	// ledger, unfinished jobs re-queued — with their shard checkpoints —
+	// ahead of any new submission.
+	Recovery *Recovery
 	// Intercept, when non-nil, wraps every job attempt — the chaos
 	// harness's injection point.
 	Intercept Interceptor
@@ -192,25 +203,109 @@ type Server struct {
 	mux   *http.ServeMux
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server and starts its worker pool. When cfg.Recovery is
+// set, the journal's reconstructed ledger is applied first: unfinished
+// jobs re-enter the queue (grown beyond QueueDepth if the backlog
+// demands it) before any worker starts, so recovery never sheds what a
+// crash interrupted.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	queueCap := cfg.QueueDepth
+	if cfg.Recovery != nil {
+		if n := cfg.Recovery.UnfinishedJobs(); n > queueCap {
+			queueCap = n
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		jobs:       make(map[string]*Job),
-		queue:      make(chan *Job, cfg.QueueDepth),
+		queue:      make(chan *Job, queueCap),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		start:      time.Now(),
 	}
 	s.initTelemetry()
+	if cfg.Journal != nil {
+		cfg.Journal.SetSink(s.sink)
+	}
+	if cfg.Recovery != nil {
+		s.applyRecovery(cfg.Recovery)
+	}
 	s.initMux()
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// applyRecovery restores the replayed journal state into the live
+// ledger: terminal jobs come back queryable (with their results and
+// their places in the counters), unfinished jobs re-enter the queue
+// marked Resumed, carrying their shard checkpoints. Runs before the
+// workers start; the queue was sized to hold every unfinished job.
+func (s *Server) applyRecovery(rec *Recovery) {
+	s.met.journalCorrupt.Add(int64(rec.Corrupt))
+	s.met.replaySeconds.Set(rec.ReplayDuration.Seconds())
+	resumed := 0
+	for i := range rec.Jobs {
+		rj := &rec.Jobs[i]
+		var n int
+		if _, err := fmt.Sscanf(rj.ID, "job-%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		job := &Job{
+			ID: rj.ID, Spec: rj.Spec,
+			Attempts: rj.Attempts, prevAttempts: rj.Attempts,
+			Enqueued: time.Now(),
+		}
+		s.met.accepted.Inc()
+		s.met.jobsRecovered.Inc()
+		if rj.State.Terminal() {
+			job.State = rj.State
+			job.Error = rj.Error
+			if len(rj.Result) > 0 {
+				job.Result = rj.Result
+			}
+			switch rj.State {
+			case StateDone:
+				s.met.completed.Inc()
+			case StateFailed:
+				s.met.failed.Inc()
+			case StateCanceled:
+				s.met.canceled.Inc()
+			}
+		} else {
+			job.State = StateQueued
+			job.Resumed = true
+			for _, cps := range rj.Shards {
+				s.met.shardsRecovered.Add(int64(len(cps)))
+			}
+			job.shards = rj.Shards
+			s.met.jobsResumed.Inc()
+			resumed++
+			s.queue <- job
+		}
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+	}
+	s.trace("journal.replayed", map[string]any{
+		"jobs": len(rec.Jobs), "resumed": resumed,
+		"records": rec.Records, "corrupt": rec.Corrupt,
+		"clean_shutdown": rec.CleanShutdown, "truncated_tail": rec.TruncatedTail,
+	})
+	s.logf("journal: replayed %d records (%d corrupt skipped), %d jobs (%d resumed)",
+		rec.Records, rec.Corrupt, len(rec.Jobs), resumed)
+}
+
+// journalErr logs a journal write failure. The job proceeds regardless:
+// the service prefers availability over durability, and the failure is
+// already counted on simd_journal_errors_total.
+func (s *Server) journalErr(err error) {
+	if err != nil {
+		s.logf("%v", err)
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -256,6 +351,10 @@ func (s *Server) Enqueue(spec JobSpec) (*Job, error) {
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.met.accepted.Inc()
+	if s.cfg.Journal != nil {
+		// Barrier write: the 202 must imply the job survives a crash.
+		s.journalErr(s.cfg.Journal.AppendAccepted(job.ID, spec))
+	}
 	s.trace("job.accepted", map[string]any{
 		"id": job.ID, "kind": string(spec.Kind), "queue_depth": len(s.queue),
 	})
@@ -302,7 +401,13 @@ func (s *Server) Cancel(id string) (View, bool) {
 		j.State = StateCanceled
 		j.Error = "canceled by client while queued"
 		j.Finished = time.Now()
+		j.shards = nil
 		s.met.canceled.Inc()
+		if s.cfg.Journal != nil {
+			// Client intent is ledger truth: a queued-cancel must not
+			// resurrect on the next boot.
+			s.journalErr(s.cfg.Journal.AppendFinished(j.ID, StateCanceled, j.Error, j.Attempts, nil))
+		}
 		s.trace("job.done", map[string]any{
 			"id": j.ID, "state": string(StateCanceled), "attempts": 0, "seconds": 0.0,
 		})
@@ -387,9 +492,14 @@ func (s *Server) runJob(job *Job) {
 	)
 	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
-		job.Attempts = attempt + 1
+		// Attempt numbering continues across restarts for resumed jobs.
+		job.Attempts = job.prevAttempts + attempt + 1
+		attempts := job.Attempts
 		s.mu.Unlock()
-		s.trace("job.attempt", map[string]any{"id": job.ID, "attempt": attempt + 1})
+		if s.cfg.Journal != nil {
+			s.journalErr(s.cfg.Journal.AppendAttempt(job.ID, attempts))
+		}
+		s.trace("job.attempt", map[string]any{"id": job.ID, "attempt": attempts})
 		result, err = s.attempt(jobCtx, job)
 		if err == nil || jobCtx.Err() != nil || attempt >= maxRetries || !retryable(err) {
 			break
@@ -445,13 +555,48 @@ func (s *Server) attempt(jobCtx context.Context, job *Job) (out any, err error) 
 		job.CellsDone, job.CellsTotal = done, total
 		s.mu.Unlock()
 	}
+	hooks := s.gridHooks(job)
 	next := func(ctx context.Context) (any, error) {
-		return executeSpec(ctx, job.Spec, s.cfg.GridWorkers, progress, s.sink)
+		return executeSpec(ctx, job.Spec, s.cfg.GridWorkers, progress, s.sink, hooks)
 	}
 	if s.cfg.Intercept != nil {
 		return s.cfg.Intercept(attemptCtx, attemptCancel, job.Spec, next)
 	}
 	return next(attemptCtx)
+}
+
+// gridHooks builds the checkpoint plumbing of one grid-job attempt:
+// Recovered replays the shards the job already holds (restored at boot
+// or completed by an earlier attempt in this process — both merge
+// bit-identically), OnShard journals each newly completed shard and
+// remembers it for the next attempt or the next boot.
+func (s *Server) gridHooks(job *Job) gridHooks {
+	var h gridHooks
+	if job.Spec.Kind != JobGrid {
+		return h
+	}
+	s.mu.Lock()
+	snap := make(map[uint64][]experiment.ShardCheckpoint, len(job.shards))
+	for cell, cps := range job.shards {
+		snap[cell] = append([]experiment.ShardCheckpoint(nil), cps...)
+	}
+	s.mu.Unlock()
+	if len(snap) > 0 {
+		h.recovered = func(cellSeed uint64) []experiment.ShardCheckpoint { return snap[cellSeed] }
+	}
+	if s.cfg.Journal != nil {
+		h.onShard = func(cell uint64, start, end int, data []byte) {
+			s.journalErr(s.cfg.Journal.AppendShard(job.ID, cell, start, end, data))
+			crashpoint.Hit("journal.shard")
+			s.mu.Lock()
+			if job.shards == nil {
+				job.shards = make(map[uint64][]experiment.ShardCheckpoint)
+			}
+			job.shards[cell] = append(job.shards[cell], experiment.ShardCheckpoint{Start: start, End: end, Data: data})
+			s.mu.Unlock()
+		}
+	}
+	return h
 }
 
 // finish classifies the job's terminal state, observes the job's wall
@@ -483,11 +628,28 @@ func (s *Server) finish(job *Job, result any, err error) {
 		s.met.failed.Inc()
 	}
 	id, state, attempts := job.ID, job.State, job.Attempts
+	errMsg := job.Error
+	aborted := job.ShutdownAborted
+	var resultJSON json.RawMessage
+	if state == StateDone && job.Result != nil {
+		if blob, merr := json.Marshal(job.Result); merr == nil {
+			resultJSON = blob
+		}
+	}
+	// Terminal: the banked checkpoints are no longer needed.
+	job.shards = nil
 	var seconds float64
 	if !job.Started.IsZero() {
 		seconds = job.Finished.Sub(job.Started).Seconds()
 	}
 	s.mu.Unlock()
+
+	if s.cfg.Journal != nil && !aborted {
+		// Barrier write for clean terminal outcomes only. A job aborted by
+		// shutdown deliberately gets NO finished record: its absence is
+		// what makes the next boot resume the job from its checkpoints.
+		s.journalErr(s.cfg.Journal.AppendFinished(id, state, errMsg, attempts, resultJSON))
+	}
 
 	s.met.latency.Observe(seconds)
 	s.trace("job.done", map[string]any{
@@ -529,10 +691,14 @@ func backoffDelay(base, max time.Duration, attempt int, seed uint64) time.Durati
 // until ctx fires, at which point every remaining job is aborted
 // through the base context and marked ShutdownAborted. When all workers
 // have returned — promptly after the abort, because the engines poll
-// their contexts — the unfinished-job manifest is built and, if
-// ManifestPath is set, persisted. Shutdown therefore completes within
-// the drain deadline plus the engines' cancellation latency, and every
-// accepted job is either in a clean terminal state or in the manifest.
+// their contexts — the unfinished-job report is built and a
+// journal_clean_shutdown record is appended (when journalling is on).
+// Unfinished jobs need no separate persistence: their accepted records
+// sit in the journal without finished records, which is exactly the
+// state the next boot resumes. Shutdown therefore completes within the
+// drain deadline plus the engines' cancellation latency, and every
+// accepted job is either in a clean terminal state or resumable from
+// the journal.
 func (s *Server) Shutdown(ctx context.Context) (Manifest, error) {
 	s.mu.Lock()
 	if s.draining {
@@ -579,18 +745,13 @@ func (s *Server) Shutdown(ctx context.Context) (Manifest, error) {
 	} else {
 		s.met.drainsAborted.Inc()
 	}
-	s.met.manifestJobs.Add(int64(len(m.Jobs)))
-	s.trace("drain.end", map[string]any{"drained": drained, "manifest_jobs": len(m.Jobs)})
+	s.met.unfinishedJobs.Add(int64(len(m.Jobs)))
+	s.trace("drain.end", map[string]any{"drained": drained, "unfinished_jobs": len(m.Jobs)})
 
-	if s.cfg.ManifestPath != "" {
-		blob, err := json.MarshalIndent(m, "", " ")
-		if err != nil {
-			return m, err
-		}
-		if err := os.WriteFile(s.cfg.ManifestPath, blob, 0o644); err != nil {
-			return m, fmt.Errorf("serve: persisting manifest: %w", err)
-		}
-		s.logf("manifest: %d unfinished jobs -> %s", len(m.Jobs), s.cfg.ManifestPath)
+	if s.cfg.Journal != nil {
+		crashpoint.Hit("drain")
+		s.journalErr(s.cfg.Journal.AppendShutdown(drained, len(m.Jobs)))
+		s.logf("journal: clean shutdown recorded, %d unfinished jobs resumable", len(m.Jobs))
 	}
 	return m, nil
 }
@@ -650,7 +811,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		// Load shed: explicit, counted, and with a retry hint — the
 		// contract overload buys instead of an unbounded queue.
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Shed: true})
 		return
 	case err != nil:
@@ -670,6 +831,34 @@ func retryAfterSeconds(d time.Duration) int {
 		sec = 1
 	}
 	return sec
+}
+
+// retryAfterHint estimates how many seconds a shed client should wait
+// before retrying, from live state rather than a constant: the observed
+// mean job duration (the latency histogram) times the queue occupancy
+// ahead of the retry, spread over the worker pool. The configured
+// RetryAfter is the floor (and the answer before any job has finished);
+// 60s is the ceiling so a burst of slow jobs cannot push clients away
+// for minutes.
+func (s *Server) retryAfterHint() int {
+	floor := retryAfterSeconds(s.cfg.RetryAfter)
+	snap := s.met.latency.Snapshot()
+	if snap.Count == 0 {
+		return floor
+	}
+	mean := snap.Sum / float64(snap.Count)
+	workers := s.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	est := int(math.Ceil(mean * float64(len(s.queue)+1) / float64(workers)))
+	if est < floor {
+		return floor
+	}
+	if est > 60 {
+		return 60
+	}
+	return est
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -711,13 +900,33 @@ func (s *Server) Ready() bool {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.Ready() {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_, _ = w.Write([]byte("not ready\n"))
 		return
 	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte("ready\n"))
+}
+
+// JournalStatus is the /statusz journal section: append-side health of
+// the durable job journal (absent when journalling is off).
+type JournalStatus struct {
+	Enabled        bool  `json:"enabled"`
+	SizeBytes      int64 `json:"size_bytes"`
+	Records        int64 `json:"records"`
+	Errors         int64 `json:"errors"`
+	CorruptRecords int64 `json:"corrupt_records"`
+}
+
+// RecoveryStatus is the /statusz recovery section: what the boot-time
+// journal replay reconstructed.
+type RecoveryStatus struct {
+	JobsRecovered   int64   `json:"jobs_recovered"`
+	JobsResumed     int64   `json:"jobs_resumed"`
+	ShardsRecovered int64   `json:"shards_recovered"`
+	CleanShutdown   bool    `json:"clean_shutdown"`
+	ReplaySeconds   float64 `json:"replay_seconds"`
 }
 
 // Status is the /statusz body.
@@ -728,6 +937,8 @@ type Status struct {
 	Workers   int             `json:"workers"`
 	Draining  bool            `json:"draining"`
 	UptimeSec int64           `json:"uptime_sec"`
+	Journal   *JournalStatus  `json:"journal,omitempty"`
+	Recovery  *RecoveryStatus `json:"recovery,omitempty"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -741,5 +952,23 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		UptimeSec: int64(time.Since(s.start).Seconds()),
 	}
 	s.mu.Unlock()
+	if s.cfg.Journal != nil {
+		st.Journal = &JournalStatus{
+			Enabled:        true,
+			SizeBytes:      s.cfg.Journal.Size(),
+			Records:        s.reg.Counter(metricJournalRecords, "").Value(),
+			Errors:         s.reg.Counter(metricJournalErrors, "").Value(),
+			CorruptRecords: s.met.journalCorrupt.Value(),
+		}
+	}
+	if s.cfg.Recovery != nil {
+		st.Recovery = &RecoveryStatus{
+			JobsRecovered:   s.met.jobsRecovered.Value(),
+			JobsResumed:     s.met.jobsResumed.Value(),
+			ShardsRecovered: s.met.shardsRecovered.Value(),
+			CleanShutdown:   s.cfg.Recovery.CleanShutdown,
+			ReplaySeconds:   s.met.replaySeconds.Value(),
+		}
+	}
 	writeJSON(w, http.StatusOK, st)
 }

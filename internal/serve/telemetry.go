@@ -16,15 +16,24 @@ import (
 // /statusz and /metrics render these same instruments, so the two
 // surfaces cannot disagree (pinned by TestStatuszMatchesMetrics).
 type serveMetrics struct {
-	accepted, shed      *telemetry.Counter
-	completed, failed   *telemetry.Counter
-	canceled            *telemetry.Counter
-	retries, panics     *telemetry.Counter
-	drainsClean         *telemetry.Counter
-	drainsAborted       *telemetry.Counter
-	manifestJobs        *telemetry.Counter
-	latency             *telemetry.Histogram
-	queueCap, workers   *telemetry.Gauge
+	accepted, shed    *telemetry.Counter
+	completed, failed *telemetry.Counter
+	canceled          *telemetry.Counter
+	retries, panics   *telemetry.Counter
+	drainsClean       *telemetry.Counter
+	drainsAborted     *telemetry.Counter
+	unfinishedJobs    *telemetry.Counter
+	latency           *telemetry.Histogram
+	queueCap, workers *telemetry.Gauge
+
+	// Journal and recovery instruments. The per-append families
+	// (records/bytes/syncs/errors) are fed by the journal through the
+	// sink; the boot-time ones are set once from the Recovery.
+	journalCorrupt  *telemetry.Counter
+	jobsRecovered   *telemetry.Counter
+	jobsResumed     *telemetry.Counter
+	shardsRecovered *telemetry.Counter
+	replaySeconds   *telemetry.Gauge
 }
 
 // Metric family names exposed on /metrics. Exported-by-convention
@@ -45,7 +54,21 @@ const (
 	metricUptime        = "simd_uptime_seconds"
 	metricDrainsClean   = "simd_drains_clean_total"
 	metricDrainsAborted = "simd_drains_aborted_total"
-	metricManifestJobs  = "simd_manifest_jobs_total"
+	metricUnfinished    = "simd_shutdown_unfinished_jobs_total"
+
+	// Journal families. The append-side ones are counted by the Journal
+	// itself (through the server's sink); the replay-side ones are set
+	// at boot from the Recovery.
+	metricJournalRecords = "simd_journal_records_total"
+	metricJournalBytes   = "simd_journal_bytes_total"
+	metricJournalSyncs   = "simd_journal_syncs_total"
+	metricJournalErrors  = "simd_journal_errors_total"
+	metricJournalCorrupt = "simd_journal_corrupt_records_total"
+	metricJournalSize    = "simd_journal_size_bytes"
+	metricReplaySeconds  = "simd_journal_replay_seconds"
+	metricJobsRecovered  = "simd_jobs_recovered_total"
+	metricJobsResumed    = "simd_jobs_resumed_total"
+	metricShardsRecBoot  = "simd_shards_recovered_total"
 )
 
 // initTelemetry builds the server's registry, tracer and sink, and
@@ -59,22 +82,39 @@ func (s *Server) initTelemetry() {
 	s.sink = telemetry.NewRegistrySink(reg, s.tracer)
 
 	s.met = &serveMetrics{
-		accepted:      reg.Counter(metricAccepted, "jobs admitted to the queue"),
-		shed:          reg.Counter(metricShed, "submissions refused by the bounded queue or during drain"),
-		completed:     reg.Counter(metricCompleted, "jobs finished in state done"),
-		failed:        reg.Counter(metricFailed, "jobs finished in state failed"),
-		canceled:      reg.Counter(metricCanceled, "jobs finished in state canceled (client or shutdown)"),
-		retries:       reg.Counter(metricRetries, "transient job attempts retried with backoff"),
-		panics:        reg.Counter(metricPanics, "job attempts that panicked (isolated, never fatal)"),
-		drainsClean:   reg.Counter(metricDrainsClean, "shutdowns that drained the backlog within the deadline"),
-		drainsAborted: reg.Counter(metricDrainsAborted, "shutdowns that hit the drain deadline and aborted jobs"),
-		manifestJobs:  reg.Counter(metricManifestJobs, "unfinished jobs persisted to the shutdown manifest"),
+		accepted:       reg.Counter(metricAccepted, "jobs admitted to the queue"),
+		shed:           reg.Counter(metricShed, "submissions refused by the bounded queue or during drain"),
+		completed:      reg.Counter(metricCompleted, "jobs finished in state done"),
+		failed:         reg.Counter(metricFailed, "jobs finished in state failed"),
+		canceled:       reg.Counter(metricCanceled, "jobs finished in state canceled (client or shutdown)"),
+		retries:        reg.Counter(metricRetries, "transient job attempts retried with backoff"),
+		panics:         reg.Counter(metricPanics, "job attempts that panicked (isolated, never fatal)"),
+		drainsClean:    reg.Counter(metricDrainsClean, "shutdowns that drained the backlog within the deadline"),
+		drainsAborted:  reg.Counter(metricDrainsAborted, "shutdowns that hit the drain deadline and aborted jobs"),
+		unfinishedJobs: reg.Counter(metricUnfinished, "jobs left unfinished at shutdown (resume from the journal on next boot)"),
 		latency: reg.Histogram(metricLatency,
 			"per-job wall time from start to terminal state", nil),
 		queueCap: reg.Gauge(metricQueueCap, "admission queue capacity"),
 		workers:  reg.Gauge(metricWorkers, "job executor pool size"),
+
+		journalCorrupt:  reg.Counter(metricJournalCorrupt, "journal records skipped on replay for CRC or structural corruption"),
+		jobsRecovered:   reg.Counter(metricJobsRecovered, "jobs reconstructed from the journal at boot"),
+		jobsResumed:     reg.Counter(metricJobsResumed, "unfinished jobs re-queued from the journal at boot"),
+		shardsRecovered: reg.Counter(metricShardsRecBoot, "shard checkpoints restored from the journal at boot"),
+		replaySeconds:   reg.Gauge(metricReplaySeconds, "wall time of the boot journal replay"),
 	}
-	s.met.queueCap.Set(float64(s.cfg.QueueDepth))
+	reg.Counter(metricJournalRecords, "records appended to the job journal")
+	reg.Counter(metricJournalBytes, "bytes appended to the job journal (frames included)")
+	reg.Counter(metricJournalSyncs, "journal fsync barriers issued")
+	reg.Counter(metricJournalErrors, "journal append or sync failures (job proceeds, durability degraded)")
+	reg.GaugeFunc(metricJournalSize, "current journal size in bytes (0 when journalling is off)",
+		func() float64 {
+			if s.cfg.Journal == nil {
+				return 0
+			}
+			return float64(s.cfg.Journal.Size())
+		})
+	s.met.queueCap.Set(float64(cap(s.queue)))
 	s.met.workers.Set(float64(s.cfg.Workers))
 	reg.GaugeFunc(metricQueueDepth, "jobs waiting in the admission queue",
 		func() float64 { return float64(len(s.queue)) })
