@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check golden bench bench-check determinism fuzz-smoke chaos kill-soak telemetry-overhead journal-overhead
+.PHONY: build test vet race check golden bench bench-check determinism fuzz-smoke chaos kill-soak telemetry-overhead journal-overhead profile
 
 build:
 	$(GO) build ./...
@@ -39,18 +39,31 @@ bench:
 bench-check:
 	$(GO) run ./cmd/simbench -short -check -baseline BENCH_simstack.json -out /tmp/BENCH_simstack_check.json
 
+# CPU-profile the Table 1a grid (the batch kernel's home workload) into
+# artifacts/: the .pprof plus the bench binary pprof needs to symbolise
+# it. Inspect with `go tool pprof artifacts/table1a_bench.test
+# artifacts/table1a_cpu.pprof`.
+profile:
+	mkdir -p artifacts
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1a$$' -benchtime 2000x \
+		-cpuprofile artifacts/table1a_cpu.pprof \
+		-o artifacts/table1a_bench.test .
+
 # The scheduling-invariance matrix under the race detector: worker
 # counts × shard sizes × permuted completion order × chaos retries must
 # leave every table bit unchanged, with no data races.
 determinism:
 	$(GO) test -race -count=1 -run 'Determinism|Shard|OrderIndependence|PartitionInvariance' ./internal/experiment/ ./internal/stats/
 
-# Short native-fuzz smoke (~45s): the planner over its whole input
-# envelope, the model-vs-simulation validators, and journal replay over
-# arbitrary bytes (must never panic, never invent completed shards).
-# CI runs this; longer local campaigns just raise -fuzztime.
+# Short native-fuzz smoke (~60s): the planner over its whole input
+# envelope, batch-vs-scalar kernel equivalence on randomized
+# configurations (byte-identical stats.Shard payloads), the
+# model-vs-simulation validators, and journal replay over arbitrary
+# bytes (must never panic, never invent completed shards). CI runs
+# this; longer local campaigns just raise -fuzztime.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPlannerChoose -fuzztime 15s ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzBatchScalarEquivalence -fuzztime 15s ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzValidateParams -fuzztime 15s ./internal/validate/
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 15s ./internal/serve/
 

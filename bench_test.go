@@ -106,6 +106,7 @@ func BenchmarkSingleCellParallel(b *testing.B) {
 	scheme := schemes[len(schemes)-1]
 	const reps = 10_000
 	runner := experiment.Runner{Reps: reps, Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := runner.RunCell(spec, scheme, spec.Us[0], spec.Lambdas[0]); err != nil {

@@ -53,12 +53,19 @@ import (
 	"repro/internal/task"
 )
 
-// cpuPoint is one width of a workload's scaling sweep.
+// cpuPoint is one width of a workload's scaling sweep. CPULimited
+// flags a width that oversubscribes the machine (GOMAXPROCS above the
+// schedulable CPU count): its speedup measures contention, not
+// scaling, and consumers must not read it as a scaling regression.
 type cpuPoint struct {
 	NumCPU        int     `json:"num_cpu"`
 	NsPerRep      float64 `json:"ns_per_rep"`
 	RepsPerSec    float64 `json:"reps_per_sec"`
 	SpeedupVs1CPU float64 `json:"speedup_vs_1cpu,omitempty"`
+	// ParallelEfficiency is speedup divided by the width — 1.0 is
+	// perfect scaling.
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
+	CPULimited         bool    `json:"cpu_limited,omitempty"`
 }
 
 // measurement is one timed workload, normalised per simulation rep. The
@@ -66,13 +73,18 @@ type cpuPoint struct {
 // number -check and the history trend compare; CPUs carries the full
 // sweep for the grid workloads.
 type measurement struct {
-	Name         string     `json:"name"`
-	RepsPerOp    int        `json:"reps_per_op"`
-	NsPerRep     float64    `json:"ns_per_rep"`
-	AllocsPerRep float64    `json:"allocs_per_rep"`
-	BytesPerRep  float64    `json:"bytes_per_rep"`
-	RepsPerSec   float64    `json:"reps_per_sec"`
-	CPUs         []cpuPoint `json:"cpus,omitempty"`
+	Name         string  `json:"name"`
+	RepsPerOp    int     `json:"reps_per_op"`
+	NsPerRep     float64 `json:"ns_per_rep"`
+	AllocsPerRep float64 `json:"allocs_per_rep"`
+	BytesPerRep  float64 `json:"bytes_per_rep"`
+	RepsPerSec   float64 `json:"reps_per_sec"`
+	// ShardSize is the repetitions-per-shard unit the grid workloads
+	// ran with — the batch width of the structure-of-arrays kernel —
+	// recorded so entries with different batching stay comparable.
+	// Zero for unsharded workloads (SingleRunCtx).
+	ShardSize int        `json:"shard_size,omitempty"`
+	CPUs      []cpuPoint `json:"cpus,omitempty"`
 }
 
 // report is the file schema. History holds previous reports, oldest
@@ -114,6 +126,30 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 		os.Exit(2)
+	}
+	// The default sweep assumes a multi-core host; on a smaller machine
+	// (1-core CI containers) the oversubscribed widths would measure
+	// scheduler contention, not scaling, so the *default* list is
+	// clamped to the schedulable CPU count. An explicit -cpu list is
+	// honoured as given — the oversubscribed points are then flagged
+	// cpu_limited in the JSON.
+	cpuExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "cpu" {
+			cpuExplicit = true
+		}
+	})
+	if !cpuExplicit {
+		kept := cpus[:0]
+		for _, n := range cpus {
+			if n <= runtime.NumCPU() {
+				kept = append(kept, n)
+			}
+		}
+		if len(kept) == 0 {
+			kept = append(kept, 1)
+		}
+		cpus = kept
 	}
 
 	if *short {
@@ -248,8 +284,12 @@ func printMeasurement(m measurement) {
 	fmt.Printf("%-12s %10.0f ns/rep %8.1f allocs/rep %12.0f reps/sec\n",
 		m.Name, m.NsPerRep, m.AllocsPerRep, m.RepsPerSec)
 	for _, p := range m.CPUs {
-		fmt.Printf("  %2d cpu  %12.0f reps/sec  %5.2fx vs 1 cpu\n",
-			p.NumCPU, p.RepsPerSec, p.SpeedupVs1CPU)
+		limited := ""
+		if p.CPULimited {
+			limited = "  (cpu-limited)"
+		}
+		fmt.Printf("  %2d cpu  %12.0f reps/sec  %5.2fx vs 1 cpu  eff %4.2f%s\n",
+			p.NumCPU, p.RepsPerSec, p.SpeedupVs1CPU, p.ParallelEfficiency, limited)
 	}
 }
 
@@ -290,10 +330,17 @@ func benchTable(id string, reps int, cpus []int) (measurement, error) {
 		point := normalise("Table"+id, br, total)
 		if i == 0 {
 			m = point
+			m.ShardSize = experiment.DefaultShardSize
 		}
-		pt := cpuPoint{NumCPU: n, NsPerRep: point.NsPerRep, RepsPerSec: point.RepsPerSec}
+		pt := cpuPoint{
+			NumCPU:     n,
+			NsPerRep:   point.NsPerRep,
+			RepsPerSec: point.RepsPerSec,
+			CPULimited: n > runtime.NumCPU(),
+		}
 		if base := m.RepsPerSec; base > 0 {
 			pt.SpeedupVs1CPU = point.RepsPerSec / base
+			pt.ParallelEfficiency = pt.SpeedupVs1CPU / float64(n)
 		}
 		m.CPUs = append(m.CPUs, pt)
 	}

@@ -1,0 +1,773 @@
+// Batched structure-of-arrays execution kernels: the warm Monte-Carlo
+// path flattened. A batch is K repetitions of one cell; the kernel runs
+// them rep-major through a loop that mirrors the scalar
+// Engine/RunInterval machinery expression for expression — same float
+// operations, same order — but with every layer of indirection removed:
+// fault arrivals pre-materialised in bulk (fault.Arrivals over
+// rng.ExpBatch) instead of one virtual draw per fault, energy metering
+// inlined to the two multiplies Meter.Segment performs, per-speed wall
+// costs resolved once per batch, and the shared fault-free prefix of
+// the batch walked once and replayed by snapshot jump.
+//
+// The prefix-jump is the batch-shape win: until its first fault arrival
+// a repetition is deterministic — no randomness, no replan, no speed
+// switch — so every repetition of a cell follows one shared trajectory
+// out of the gate. The kernel walks that trajectory once per batch with
+// the live loop's exact operation sequence, snapshotting (t, energy,
+// rc, x) at each interval top; a repetition binary-searches the
+// interval its first arrival lands in and resumes there, and a
+// repetition whose first arrival falls after execution ends takes the
+// shared terminal state in O(1) (at the paper's low-λ cells that is
+// most of the batch).
+//
+// Post-fault replans, by contrast, key on continuous (rc, rd) states:
+// a fault's surviving work is quantised to span boundaries, but t (and
+// so rd) accumulates a path-dependent mix of span, checkpoint and
+// rollback durations, and the reachable set grows combinatorially with
+// fault depth. Measured at the paper's fault-dense cells, ~4 in 5
+// replans are first sightings no matter the cache size — so the batch
+// plan cache is sized at 4096 slots to catch the recurring fifth (and
+// the hot initial plan) cheaply, packs an entry into one cache line,
+// and otherwise leans on making the miss path (Planner.compute) fast
+// rather than on hit rate.
+//
+// The scalar path stays as the reference implementation; the
+// batch/scalar equivalence property and fuzz tests pin byte-identical
+// stats.Shard payloads between the two.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// batchPlanCacheSize is the batch plan cache's slot count (a power of
+// two). Empirically the sweet spot for the paper's grids (512 and 16384
+// both measured slower): at 48 bytes a slot the array is 192 KiB per
+// worker, reused across cells via epoch tagging (no per-cell clearing).
+const batchPlanCacheSize = 4096
+
+// batchPlanEntry is one direct-mapped slot, packed into a single cache
+// line (48 bytes): the exact (rc, rd) state bits, the fault budget and
+// cache epoch sharing a word, the planned interval lengths, and the
+// operating point as an index into the batch's speedCosts table
+// (badConfigIdx marks a BadConfig plan). The planning λ is not part of
+// the key — it is constant per batch, and rebinding the cache to a new
+// (planner, λ) pair bumps the epoch, invalidating every entry in O(1).
+type batchPlanEntry struct {
+	rc, rd  uint64
+	rfEpoch uint64
+	itv     float64
+	sub     float64
+	ptIdx   int32
+	_       int32
+}
+
+// badConfigIdx is the ptIdx sentinel for a BadConfig plan.
+const badConfigIdx = -1
+
+// batchState is the per-BatchContext scratch of the adaptive kernel:
+// the epoch-tagged plan cache bound to the cell's (Planner, λ) pair,
+// plus the per-operating-point cost table. Rebinding to a new planner
+// or planning rate (a new cell, a new sweep point) bumps the epoch.
+type batchState struct {
+	pl    *Planner
+	lam   uint64
+	epoch uint32
+	ents  []batchPlanEntry
+	costs []speedCosts
+
+	// Fault-free prefix trajectory scratch (see buildPrefix): snapshots
+	// of (t, energy, rc, x) at the top of each interval of the shared
+	// no-fault trajectory, reused across batches.
+	pxT, pxE, pxRC, pxX []float64
+}
+
+// speedCosts caches the wall-clock overhead durations and energy per
+// cycle of one operating point — the values Engine.refreshSpeedCosts
+// derives on every speed switch, computed once per batch here. The
+// expressions match AtSpeed/EnergyPerCycle exactly.
+type speedCosts struct {
+	pt       cpu.OperatingPoint
+	epc      float64
+	wall     [3]float64
+	rollback float64
+}
+
+// batchScratch returns b's kernel scratch, allocating it on first use.
+// The fixed kernel uses it for the prefix-trajectory arrays alone; the
+// adaptive kernel binds it to a planner via batchStateFor.
+func batchScratch(b *sim.BatchContext) *batchState {
+	st, ok := b.Scratch().(*batchState)
+	if !ok {
+		st = &batchState{ents: make([]batchPlanEntry, batchPlanCacheSize)}
+		b.SetScratch(st)
+	}
+	return st
+}
+
+// batchStateFor returns b's kernel scratch bound to (pl, lam), bumping
+// the epoch when either changed (new cell, new configuration, new sweep
+// point — the plan cache must not leak entries across planners, and a
+// planner serves a whole λ sweep, so λ must invalidate too).
+func batchStateFor(b *sim.BatchContext, pl *Planner, lam float64) *batchState {
+	st := batchScratch(b)
+	if lb := math.Float64bits(lam); st.pl != pl || st.lam != lb {
+		st.pl, st.lam = pl, lb
+		st.epoch++
+	}
+	return st
+}
+
+// batchSlot hashes a (rc, rd, rf) state to its batch-cache slot — same
+// mix as planKey.slot minus the λ term, wider modulus.
+func batchSlot(rc, rd uint64, rf int) uint64 {
+	h := rc*0x9e3779b97f4a7c15 ^ rd*0xbf58476d1ce4e5b9 ^ uint64(rf)
+	h ^= h >> 29
+	h *= 0xff51afd7ed558ccd
+	return (h >> 33) & (batchPlanCacheSize - 1)
+}
+
+// plan is the batch-side Planner consultation: one lookup per planning
+// equivalence class, delegating to Planner.compute on a miss. It
+// returns the resolved speedCosts entry (nil iff bad) alongside the
+// interval lengths, so callers never re-resolve the operating point.
+// Hits and misses accrue to the bound planner's counters, so
+// PlannerCacheStats (and the telemetry ledger built on it) keeps
+// reporting the combined scalar+batch totals.
+func (st *batchState) plan(rc, rd, lam float64, rf int) (sc *speedCosts, itv, subLen float64, bad bool) {
+	rcb, rdb := math.Float64bits(rc), math.Float64bits(rd)
+	rfEpoch := uint64(uint32(rf))<<32 | uint64(st.epoch)
+	ent := &st.ents[batchSlot(rcb, rdb, rf)]
+	if ent.rc == rcb && ent.rd == rdb && ent.rfEpoch == rfEpoch {
+		st.pl.hits++
+		if ent.ptIdx == badConfigIdx {
+			return nil, ent.itv, ent.sub, true
+		}
+		return &st.costs[ent.ptIdx], ent.itv, ent.sub, false
+	}
+	st.pl.misses++
+	p := st.pl.compute(rc, rd, lam, rf)
+	idx := int32(badConfigIdx)
+	if !p.BadConfig {
+		idx = st.costIdx(p.Point)
+		sc = &st.costs[idx]
+	}
+	ent.rc, ent.rd, ent.rfEpoch = rcb, rdb, rfEpoch
+	ent.itv, ent.sub, ent.ptIdx = p.Interval, p.SubLen, idx
+	return sc, p.Interval, p.SubLen, p.BadConfig
+}
+
+// costIdx resolves the speedCosts index of pt, (re)built per batch from
+// the model's point list.
+func (st *batchState) costIdx(pt cpu.OperatingPoint) int32 {
+	for i := range st.costs {
+		if st.costs[i].pt == pt {
+			return int32(i)
+		}
+	}
+	panic(fmt.Sprintf("core: operating point %+v missing from batch cost table", pt))
+}
+
+// buildCosts fills the per-point cost table from the model and cost
+// parameters, reusing the backing array.
+func buildSpeedCosts(dst []speedCosts, model *cpu.Model, costs checkpoint.Costs) []speedCosts {
+	dst = dst[:0]
+	for _, pt := range model.Points() {
+		f := pt.Freq
+		dst = append(dst, speedCosts{
+			pt:  pt,
+			epc: pt.EnergyPerCycle(),
+			wall: [3]float64{
+				checkpoint.SCP:  costs.AtSpeed(checkpoint.SCP, f),
+				checkpoint.CCP:  costs.AtSpeed(checkpoint.CCP, f),
+				checkpoint.CSCP: costs.AtSpeed(checkpoint.CSCP, f),
+			},
+			rollback: costs.Rollback / f,
+		})
+	}
+	return dst
+}
+
+// batchable reports whether the parameters are inside the kernel
+// envelope: the ideal-model warm path, where the only randomness a
+// repetition consumes is its Poisson fault arrivals. Tracing wants
+// per-event timelines, custom fault processes draw through their own
+// code paths, and imperfect fault tolerance consumes extra randomness
+// and store state — all of those take the scalar reference path.
+func batchable(p sim.Params) bool {
+	return p.Trace == nil && p.FaultProcess == nil &&
+		(p.Imperfect == nil || p.Imperfect.IsIdeal())
+}
+
+// arrivalHint estimates how many fault arrivals one repetition consumes
+// — λ times the fault-free useful execution time at the planned
+// frequency, plus slack for re-executed work — to size the
+// pre-materialised queue near the mean per-repetition fault count.
+// Over-drawing wastes exponentials on every repetition; under-drawing
+// costs only the tail repetitions one small bulk refill, so the hint
+// deliberately sits close to the mean rather than padding for the
+// worst case.
+func arrivalHint(lambda, cycles, freq float64) int {
+	if lambda == 0 {
+		return 0
+	}
+	h := int(lambda*(cycles/freq)*1.2) + 3
+	if h > 64 {
+		h = 64
+	}
+	return h
+}
+
+// Both scheme families provide batch kernels.
+var (
+	_ sim.BatchScheme = (*FixedCSCP)(nil)
+	_ sim.BatchScheme = (*Adaptive)(nil)
+)
+
+// RunBatch implements sim.BatchScheme: the fixed-interval, fixed-speed
+// kernel. One operating point, one interval length, m = 1 everywhere —
+// the flattened equivalent of run() over the engine's m==1 fast path.
+func (s *FixedCSCP) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Params, seeds []uint64) bool {
+	if !batchable(p) {
+		return false
+	}
+	n := len(seeds)
+	b.Grow(n)
+	model := p.CPUModel()
+	pt, err := model.AtFreq(s.Freq)
+	if err != nil {
+		// Scalar path: Finish(false, FailBadConfig) on a fresh engine —
+		// nothing metered, nothing drawn that the Result observes.
+		for i := 0; i < n; i++ {
+			b.Completed[i] = false
+			b.Energy[i], b.Time[i], b.Faults[i], b.Switches[i] = 0, 0, 0, 0
+		}
+		return true
+	}
+	f := pt.Freq
+	epc := pt.EnergyPerCycle()
+	itv := s.interval(p, f)
+	wallCSCP := p.Costs.AtSpeed(checkpoint.CSCP, f)
+	wallRB := p.Costs.Rollback / f
+	repl := float64(p.ReplicaCount())
+	// Per-charge energy increments are products of per-rep constants —
+	// computed once here, bit-identical to evaluating them at each
+	// charge site (same factors, same order).
+	eItv := (f * itv * repl) * epc
+	eCSCP := (f * wallCSCP * repl) * epc
+	eRB := (f * wallRB * repl) * epc
+	D := p.Task.Deadline
+	N := p.Task.Cycles
+	lam := p.Lambda
+	budget := p.MaxIntervalBudget()
+	hint := arrivalHint(lam, N, f)
+	src, arr := b.Source(), b.Arrivals()
+	st := batchScratch(b)
+
+	// Shared fault-free prefix (see the adaptive kernel for the full
+	// rationale): with one speed and one interval length every
+	// repetition follows the same deterministic trajectory until its
+	// first fault arrival. Walk it once with the live loop's exact
+	// operation sequence, snapshotting (t, energy, rc, x) at each
+	// interval top; a repetition jumps to the interval its first
+	// arrival lands in, and a repetition whose first arrival falls
+	// after the end of execution is the shared trajectory verbatim.
+	pxT, pxE, pxRC, pxX := st.pxT[:0], st.pxE[:0], st.pxRC[:0], st.pxX[:0]
+	termValid, termCompleted := false, false
+	var termT, termE, xTotal float64
+	{
+		var t, x, energy float64
+		rc := N
+		broke := false
+		for k := 0; k < budget; k++ {
+			pxT = append(pxT, t)
+			pxE = append(pxE, energy)
+			pxRC = append(pxRC, rc)
+			pxX = append(pxX, x)
+			rd := D - t
+			if rc/f > rd {
+				termValid, termT, termE = true, t, energy
+				broke = true
+				break // infeasible, completed stays false
+			}
+			cur := minPos(itv, rc/f)
+			if cur <= 0 {
+				broke = true
+				break // guard truncation: table ends, no terminal
+			}
+			eCur := eItv
+			if cur != itv {
+				eCur = (f * cur * repl) * epc
+			}
+			energy += eCur
+			t += cur
+			x += cur
+			energy += eCSCP
+			t += wallCSCP
+			rc -= cur * f
+			if rc <= sim.EpsWork {
+				termValid, termCompleted, termT, termE = true, t <= D, t, energy
+				broke = true
+				break
+			}
+		}
+		if !broke {
+			// Interval budget exhausted without completing.
+			termValid, termT, termE = true, t, energy
+		}
+		xTotal = x
+	}
+	st.pxT, st.pxE, st.pxRC, st.pxX = pxT, pxE, pxRC, pxX
+	last := len(pxX) - 1
+
+	for i := 0; i < n; i++ {
+		src.Reseed(seeds[i])
+		// Engine.Reset's process switch: only a strictly positive λ gets
+		// a fault process; anything else (zero, or unvalidated junk)
+		// never fires and draws nothing.
+		next := math.Inf(1)
+		if lam > 0 {
+			arr.Reset(lam, src, hint)
+			next = arr.Next()
+		}
+		if termValid && next >= xTotal {
+			b.Completed[i] = termCompleted
+			b.Energy[i] = termE
+			b.Time[i] = termT
+			b.Faults[i], b.Switches[i] = 0, 0
+			continue
+		}
+		// Largest snapshot index with x[j] <= next — the interval the
+		// first arrival lands in (span consumption is strict next < end).
+		it0 := 0
+		if last > 0 {
+			lo, hi := 0, last
+			for lo < hi {
+				mid := int(uint(lo+hi+1) >> 1)
+				if pxX[mid] <= next {
+					lo = mid
+				} else {
+					hi = mid - 1
+				}
+			}
+			it0 = lo
+		}
+		t, energy, rc, x := pxT[it0], pxE[it0], pxRC[it0], pxX[it0]
+		faults := 0
+		completed := false
+		for k := it0; k < budget; k++ {
+			rd := D - t
+			if rc/f > rd {
+				break // infeasible
+			}
+			cur := minPos(itv, rc/f)
+			if cur <= 0 {
+				panic(fmt.Sprintf("sim: non-positive interval %v", cur))
+			}
+			eCur := eItv
+			if cur != itv {
+				eCur = (f * cur * repl) * epc
+			}
+			// ExecSpan(cur): consume every arrival inside the span.
+			first := -1.0
+			end := x + cur
+			for next < end {
+				if first < 0 {
+					first = next - x
+				}
+				faults++
+				next = arr.Next()
+			}
+			energy += eCur
+			t += cur
+			x = end
+			// Closing CSCP.
+			energy += eCSCP
+			t += wallCSCP
+			if first < 0 {
+				rc -= cur * f
+			} else {
+				// Detection at the CSCP: rollback, nothing kept.
+				energy += eRB
+				t += wallRB
+			}
+			if rc <= sim.EpsWork {
+				completed = t <= D
+				break
+			}
+		}
+		b.Completed[i] = completed
+		b.Energy[i] = energy
+		b.Time[i] = t
+		b.Faults[i] = float64(faults)
+		b.Switches[i] = 0 // one speed throughout: the meter never counts a switch
+	}
+	return true
+}
+
+// RunBatch implements sim.BatchScheme: the adaptive kernel — planned
+// intervals, optional sub-checkpoints, optional DVS — over the batch
+// plan cache. Online λ estimation and the eager-DVS ablation replan on
+// continuous per-repetition state (the useful-execution clock) and stay
+// on the scalar path.
+func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Params, seeds []uint64) bool {
+	if !batchable(p) || s.EstimateLambdaPrior > 0 || s.EagerSpeedReeval {
+		return false
+	}
+	n := len(seeds)
+	b.Grow(n)
+	pl := s.plannerFor(rctx, p)
+	lam := p.Lambda
+	st := batchStateFor(b, pl, lam)
+	model := p.CPUModel()
+	st.costs = buildSpeedCosts(st.costs, model, p.Costs)
+
+	D := p.Task.Deadline
+	N := p.Task.Cycles
+	k0 := p.Task.FaultBudget
+	repl := float64(p.ReplicaCount())
+	budget := p.MaxIntervalBudget()
+	useSub := s.UseSub
+	subCCP := s.Sub == checkpoint.CCP
+	src, arr := b.Source(), b.Arrivals()
+
+	// The initial plan (rc = N, rd = D, full fault budget) is the same
+	// for every repetition of the cell — hoist it out of the rep loop.
+	sc0, itv0, sub0, bad0 := st.plan(N, D, lam, k0)
+	if bad0 {
+		for i := 0; i < n; i++ {
+			b.Completed[i] = false
+			b.Energy[i], b.Time[i], b.Faults[i], b.Switches[i] = 0, 0, 0, 0
+		}
+		return true
+	}
+	hint := arrivalHint(lam, N, sc0.pt.Freq)
+
+	// Shared fault-free prefix: until its first fault arrival, every
+	// repetition follows the same deterministic trajectory under the
+	// initial plan (no replans, no speed switches, no randomness).
+	// Walk it once with the exact per-interval operation sequence the
+	// live loop performs, snapshotting (t, energy, rc, x) at each
+	// interval top; a repetition then jumps straight to the interval
+	// its first arrival lands in. The snapshots come from the same
+	// float operations in the same order, so the jump is bit-exact.
+	e0pc := sc0.pt.EnergyPerCycle()
+	f0 := sc0.pt.Freq
+	e0SCP := (f0 * sc0.wall[checkpoint.SCP] * repl) * e0pc
+	e0CCP := (f0 * sc0.wall[checkpoint.CCP] * repl) * e0pc
+	e0CSCP := (f0 * sc0.wall[checkpoint.CSCP] * repl) * e0pc
+	e0RB := (f0 * sc0.rollback * repl) * e0pc
+	pxT, pxE, pxRC, pxX := st.pxT[:0], st.pxE[:0], st.pxRC[:0], st.pxX[:0]
+	// Terminal state of the never-faulting trajectory. Invalid only when
+	// the walk stops at the live loop's non-positive-interval guard; the
+	// affected repetitions then resume from the last snapshot so the
+	// guard fires (or not) exactly where the scalar path would panic.
+	termValid, termCompleted := false, false
+	var termT, termE, xTotal float64
+	{
+		var t, x, energy float64
+		rc := N
+		itv, subLen := itv0, sub0
+		broke := false
+		for it := 0; it < budget; it++ {
+			pxT = append(pxT, t)
+			pxE = append(pxE, energy)
+			pxRC = append(pxRC, rc)
+			pxX = append(pxX, x)
+			rd := D - t
+			if rc/f0 > rd {
+				termValid, termT, termE = true, t, energy
+				broke = true
+				break // infeasible, completed stays false
+			}
+			cur := minPos(itv, rc/f0)
+			if cur <= 0 {
+				broke = true
+				break // guard truncation: table ends, no terminal
+			}
+			m := 1
+			if useSub && subLen > 0 {
+				m = int(math.Ceil(cur/subLen - 1e-9))
+				if m < 1 {
+					m = 1
+				}
+			}
+			if m == 1 {
+				energy += (f0 * cur * repl) * e0pc
+				t += cur
+				x += cur
+				energy += e0CSCP
+				t += sc0.wall[checkpoint.CSCP]
+			} else if !subCCP {
+				span := cur / float64(m)
+				eSp := (f0 * span * repl) * e0pc
+				for j := 0; j < m; j++ {
+					energy += eSp
+					t += span
+					x += span
+					if j < m-1 {
+						energy += e0SCP
+						t += sc0.wall[checkpoint.SCP]
+					}
+				}
+				energy += e0CSCP
+				t += sc0.wall[checkpoint.CSCP]
+			} else {
+				span := cur / float64(m)
+				eSp := (f0 * span * repl) * e0pc
+				for j := 0; j < m; j++ {
+					energy += eSp
+					t += span
+					x += span
+					if j == m-1 {
+						energy += e0CSCP
+						t += sc0.wall[checkpoint.CSCP]
+					} else {
+						energy += e0CCP
+						t += sc0.wall[checkpoint.CCP]
+					}
+				}
+			}
+			rc -= cur * f0
+			if rc <= sim.EpsWork {
+				termValid, termCompleted, termT, termE = true, t <= D, t, energy
+				broke = true
+				break
+			}
+		}
+		if !broke {
+			// Interval budget exhausted without completing.
+			termValid, termT, termE = true, t, energy
+		}
+		xTotal = x
+	}
+	st.pxT, st.pxE, st.pxRC, st.pxX = pxT, pxE, pxRC, pxX
+	last := len(pxX) - 1
+
+	for i := 0; i < n; i++ {
+		src.Reseed(seeds[i])
+		next := math.Inf(1)
+		if lam > 0 {
+			arr.Reset(lam, src, hint)
+			next = arr.Next()
+		}
+		if termValid && next >= xTotal {
+			// First fault (if any) arrives after execution ends: the
+			// repetition is the shared trajectory, verbatim. Arrivals
+			// past the end are never consumed by the scalar loop either.
+			b.Completed[i] = termCompleted
+			b.Energy[i] = termE
+			b.Time[i] = termT
+			b.Faults[i], b.Switches[i] = 0, 0
+			continue
+		}
+		// Jump to the interval containing the first arrival: the largest
+		// snapshot index j with x[j] <= next (span consumption uses a
+		// strict next < end, so a boundary arrival belongs to the next
+		// interval). A guard-truncated table routes past-the-end
+		// repetitions to the last snapshot, where the live loop stops at
+		// the same state the scalar path would.
+		it0 := 0
+		if last > 0 {
+			lo, hi := 0, last
+			for lo < hi {
+				mid := int(uint(lo+hi+1) >> 1)
+				if pxX[mid] <= next {
+					lo = mid
+				} else {
+					hi = mid - 1
+				}
+			}
+			it0 = lo
+		}
+		t, energy, rc, x := pxT[it0], pxE[it0], pxRC[it0], pxX[it0]
+		var faults, switches int
+		rf := k0
+		sc := sc0
+		itv, subLen := itv0, sub0
+		// Lazy meter-state emulation: a switch is counted when a
+		// segment is charged at a different point than the last one
+		// (never on the first segment) — Meter.segmentSlow's rule. The
+		// point is constant within an interval, so the check runs once
+		// per interval, and it compares speedCosts pointers: plan always
+		// resolves a point to its first matching st.costs slot, so
+		// within a batch pointer identity coincides with point equality.
+		// A jumped-over prefix interval has already charged segments at
+		// the initial point (lastSc nil means no segment charged yet).
+		var lastSc *speedCosts
+		epc := 0.0
+		// Per-charge energy increments at the current operating point —
+		// products of values constant between speed switches, refreshed
+		// alongside epc. Each equals the inline expression it replaces
+		// bit-for-bit (same factors, same association order).
+		var eSCP, eCCP, eCSCP, eRB float64
+		if it0 > 0 {
+			lastSc = sc0
+			epc = e0pc
+			eSCP, eCCP, eCSCP, eRB = e0SCP, e0CCP, e0CSCP, e0RB
+		}
+		completed := false
+		f := sc.pt.Freq
+
+		for it := it0; it < budget; it++ {
+			rd := D - t
+			if rc/f > rd {
+				break // infeasible
+			}
+			cur := minPos(itv, rc/f)
+			if cur <= 0 {
+				panic(fmt.Sprintf("sim: non-positive interval %v", cur))
+			}
+			m := 1
+			if useSub && subLen > 0 {
+				m = int(math.Ceil(cur/subLen - 1e-9))
+				if m < 1 {
+					m = 1
+				}
+			}
+			if sc != lastSc {
+				if lastSc != nil {
+					switches++
+				}
+				lastSc = sc
+				epc = sc.pt.EnergyPerCycle()
+				eSCP = (f * sc.wall[checkpoint.SCP] * repl) * epc
+				eCCP = (f * sc.wall[checkpoint.CCP] * repl) * epc
+				eCSCP = (f * sc.wall[checkpoint.CSCP] * repl) * epc
+				eRB = (f * sc.rollback * repl) * epc
+			}
+
+			kept := 0.0
+			detected := false
+			if m == 1 {
+				// Single-span interval: one execution span, the closing
+				// CSCP, rollback to the interval-leading state on a fault.
+				first := -1.0
+				end := x + cur
+				for next < end {
+					if first < 0 {
+						first = next - x
+					}
+					faults++
+					next = arr.Next()
+				}
+				energy += (f * cur * repl) * epc
+				t += cur
+				x = end
+				energy += eCSCP
+				t += sc.wall[checkpoint.CSCP]
+				if first < 0 {
+					kept = cur * f
+				} else {
+					energy += eRB
+					t += sc.rollback
+					detected = true
+				}
+			} else if !subCCP {
+				// SCP flavour: detection deferred to the closing CSCP,
+				// rollback to the newest store before the earliest fault.
+				span := cur / float64(m)
+				eSp := (f * span * repl) * epc
+				firstOffset := -1.0
+				for j := 0; j < m; j++ {
+					first := -1.0
+					end := x + span
+					for next < end {
+						if first < 0 {
+							first = next - x
+						}
+						faults++
+						next = arr.Next()
+					}
+					energy += eSp
+					t += span
+					x = end
+					if first >= 0 && firstOffset < 0 {
+						firstOffset = float64(j)*span + first
+					}
+					if j < m-1 {
+						energy += eSCP
+						t += sc.wall[checkpoint.SCP]
+					}
+				}
+				energy += eCSCP
+				t += sc.wall[checkpoint.CSCP]
+				if firstOffset < 0 {
+					kept = cur * f
+				} else {
+					goodBoundary := math.Floor(firstOffset / span)
+					kept = goodBoundary * span * f
+					energy += eRB
+					t += sc.rollback
+					detected = true
+				}
+			} else {
+				// CCP flavour: detection at the next comparison aborts the
+				// interval — unexecuted spans consume no arrivals.
+				span := cur / float64(m)
+				eSp := (f * span * repl) * epc
+				for j := 0; j < m; j++ {
+					first := -1.0
+					end := x + span
+					for next < end {
+						if first < 0 {
+							first = next - x
+						}
+						faults++
+						next = arr.Next()
+					}
+					energy += eSp
+					t += span
+					x = end
+					eKind, wKind := eCCP, sc.wall[checkpoint.CCP]
+					if j == m-1 {
+						eKind, wKind = eCSCP, sc.wall[checkpoint.CSCP]
+					}
+					energy += eKind
+					t += wKind
+					if first >= 0 {
+						energy += eRB
+						t += sc.rollback
+						detected = true
+						break
+					}
+				}
+				if !detected {
+					kept = cur * f
+				}
+			}
+
+			rc -= kept
+			if detected {
+				if rf > 0 {
+					rf--
+				}
+				// Fig. 6 lines 15–17: re-take the speed decision and the
+				// interval plan. A BadConfig here keeps the previous plan,
+				// exactly as the scalar loop ignores replan's result
+				// mid-run (fixed-speed badness is static and already
+				// caught by the initial plan).
+				if pSC, pItv, pSub, pBad := st.plan(rc, D-t, lam, rf); !pBad {
+					sc = pSC
+					f = sc.pt.Freq
+					itv, subLen = pItv, pSub
+				}
+			}
+			if rc <= sim.EpsWork {
+				completed = t <= D
+				break
+			}
+		}
+		b.Completed[i] = completed
+		b.Energy[i] = energy
+		b.Time[i] = t
+		b.Faults[i] = float64(faults)
+		b.Switches[i] = float64(switches)
+	}
+	return true
+}

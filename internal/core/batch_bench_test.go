@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/sim"
+)
+
+func benchKernelParams(b testing.TB) sim.Params {
+	return mustParams(b, 0.78, 1, 0.0014, 5, checkpoint.SCPSetting())
+}
+
+func BenchmarkKernelScalar(b *testing.B) {
+	p := benchKernelParams(b)
+	s := NewAdaptDVSSCP()
+	rctx := sim.NewRunContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sim.RunScheme(rctx, s, p, rctx.Reseed(uint64(i)+1))
+	}
+}
+
+func BenchmarkKernelBatch(b *testing.B) {
+	p := benchKernelParams(b)
+	s := NewAdaptDVSSCP()
+	rctx := sim.NewRunContext()
+	bctx := sim.NewBatchContext()
+	const batch = 128
+	seeds := make([]uint64, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := range seeds {
+			seeds[j] = uint64(i+j) + 1
+		}
+		if !sim.RunBatch(rctx, bctx, s, p, seeds) {
+			b.Fatal("not batchable")
+		}
+	}
+}

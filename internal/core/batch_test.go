@@ -1,0 +1,272 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// shardSeeds derives a deterministic seed/key pair set, mimicking the
+// experiment layer's counter-based identities.
+func shardSeeds(base uint64, n int) (seeds, keys []uint64) {
+	seeds = make([]uint64, n)
+	keys = make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = rng.Stream(base, i)
+		keys[i] = rng.Stream(base^0xd1342543de82ef95, i)
+	}
+	return seeds, keys
+}
+
+// runScalarShard is the reference: n scalar context runs folded into a
+// Shard, exactly as the experiment's fallback loop does.
+func runScalarShard(s sim.Scheme, p sim.Params, seeds, keys []uint64) (out stats.Shard, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	rctx := sim.NewRunContext()
+	for i, seed := range seeds {
+		res := sim.RunScheme(rctx, s, p, rctx.Reseed(seed))
+		out.ObserveRun(keys[i], res.Completed, res.SilentCorruption,
+			res.Energy, res.Time, float64(res.Faults), float64(res.Switches))
+	}
+	return out, false
+}
+
+// runBatchShard runs the same repetitions through the batch kernel.
+// ok reports whether the scheme/params were batchable at all.
+func runBatchShard(s sim.Scheme, p sim.Params, seeds, keys []uint64) (out stats.Shard, ok, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	rctx := sim.NewRunContext()
+	bctx := sim.NewBatchContext()
+	if !sim.RunBatch(rctx, bctx, s, p, seeds) {
+		return out, false, false
+	}
+	out.ObserveRuns(keys, bctx.Completed, bctx.Energy, bctx.Time, bctx.Faults, bctx.Switches)
+	return out, true, false
+}
+
+func mustParams(t testing.TB, u, freq, lambda float64, k int, costs checkpoint.Costs) sim.Params {
+	t.Helper()
+	tk, err := task.FromUtilization(fmt.Sprintf("batch-U%.2f", u), u, freq, 10000, k)
+	if err != nil {
+		t.Fatalf("task: %v", err)
+	}
+	return sim.Params{Task: tk, Costs: costs, Lambda: lambda}
+}
+
+// batchSchemes is the full batchable scheme envelope: both baselines,
+// the DATE'03 comparator, both paper schemes and the fixed-speed
+// adaptive variants — at both operating frequencies, plus deliberately
+// bad fixed frequencies (the BadConfig path must match too).
+func batchSchemes() []sim.Scheme {
+	return []sim.Scheme{
+		NewPoissonScheme(1), NewPoissonScheme(2), NewPoissonScheme(3), // 3: bad config
+		NewKFTScheme(1), NewKFTScheme(2),
+		NewADTDVS(),
+		NewAdaptDVSSCP(), NewAdaptDVSCCP(),
+		NewAdaptSCP(1), NewAdaptSCP(2), NewAdaptSCP(3), // 3: bad config
+		NewAdaptCCP(1), NewAdaptCCP(2),
+	}
+}
+
+// TestBatchScalarEquivalence pins the tentpole invariant: for every
+// batchable scheme over a grid spanning both cost settings, both fault
+// budgets, λ = 0 and the paper's rates (plus a high-λ stress point that
+// forces dense replanning), the batch kernel and the scalar reference
+// produce byte-identical stats.Shard payloads.
+func TestBatchScalarEquivalence(t *testing.T) {
+	const reps = 64
+	grid := []struct {
+		u, lambda float64
+		k         int
+		costs     checkpoint.Costs
+	}{
+		{0.76, 0.0014, 5, checkpoint.SCPSetting()},
+		{0.82, 0.0016, 5, checkpoint.SCPSetting()},
+		{0.92, 1e-4, 1, checkpoint.SCPSetting()},
+		{1.00, 2e-4, 1, checkpoint.SCPSetting()},
+		{0.78, 0.0014, 5, checkpoint.CCPSetting()},
+		{0.95, 2e-4, 1, checkpoint.CCPSetting()},
+		{0.80, 0, 5, checkpoint.SCPSetting()},    // fault-free
+		{0.76, 0.01, 5, checkpoint.SCPSetting()}, // dense faults, dense replans
+		{0.76, 0.01, 0, checkpoint.CCPSetting()}, // zero fault budget
+	}
+	for _, g := range grid {
+		for _, s := range batchSchemes() {
+			name := fmt.Sprintf("%s/U%.2f/λ%g/k%d/ts%g", s.Name(), g.u, g.lambda, g.k, g.costs.Store)
+			p := mustParams(t, g.u, 1, g.lambda, g.k, g.costs)
+			base := rng.Stream(0xbeef, len(name)) ^ uint64(len(name))<<32
+			seeds, keys := shardSeeds(base, reps)
+			want, wantPanic := runScalarShard(s, p, seeds, keys)
+			got, ok, gotPanic := runBatchShard(s, p, seeds, keys)
+			if !ok {
+				t.Errorf("%s: kernel refused a batchable configuration", name)
+				continue
+			}
+			if wantPanic || gotPanic {
+				if wantPanic != gotPanic {
+					t.Errorf("%s: panic mismatch scalar=%v batch=%v", name, wantPanic, gotPanic)
+				}
+				continue
+			}
+			wb := want.AppendBinary(nil)
+			gb := got.AppendBinary(nil)
+			if !bytes.Equal(wb, gb) {
+				ws, gs := want.Summary(), got.Summary()
+				t.Errorf("%s: shard payloads differ\nscalar: P=%v E=%v T=%v F=%v S=%v\nbatch:  P=%v E=%v T=%v F=%v S=%v",
+					name, ws.P, ws.E, ws.MeanTime, ws.MeanFaults, ws.MeanSwitches,
+					gs.P, gs.E, gs.MeanTime, gs.MeanFaults, gs.MeanSwitches)
+			}
+		}
+	}
+}
+
+// TestBatchLambdaRebind pins the plan cache's λ invalidation: the batch
+// plan cache drops λ from its keys (it is constant per batch), so
+// reusing one BatchContext across a λ sweep — where plannerFor hands
+// back the *same* planner for every rate — must not serve a stale
+// plan. This is exactly the worker-loop shape: one context, one
+// planner, consecutive cells differing only in λ.
+func TestBatchLambdaRebind(t *testing.T) {
+	s := NewAdaptDVSSCP()
+	rctx := sim.NewRunContext()
+	bctx := sim.NewBatchContext()
+	for _, lambda := range []float64{0.0014, 0.0016, 0.0014, 0.01, 0} {
+		p := mustParams(t, 0.78, 1, lambda, 5, checkpoint.SCPSetting())
+		seeds, keys := shardSeeds(0x10ba^math.Float64bits(lambda), 32)
+		want, _ := runScalarShard(s, p, seeds, keys)
+		if !sim.RunBatch(rctx, bctx, s, p, seeds) {
+			t.Fatalf("λ=%g: kernel refused a batchable configuration", lambda)
+		}
+		var got stats.Shard
+		got.ObserveRuns(keys, bctx.Completed, bctx.Energy, bctx.Time, bctx.Faults, bctx.Switches)
+		if !bytes.Equal(want.AppendBinary(nil), got.AppendBinary(nil)) {
+			t.Errorf("λ=%g: shard payloads differ after context reuse", lambda)
+		}
+	}
+}
+
+// TestBatchGateFallsBack pins the kernel envelope: configurations the
+// kernel cannot reproduce bit-for-bit must refuse the batch (so the
+// caller runs the scalar reference), never silently approximate.
+func TestBatchGateFallsBack(t *testing.T) {
+	p := mustParams(t, 0.8, 1, 0.0014, 5, checkpoint.SCPSetting())
+	seeds, _ := shardSeeds(1, 4)
+	rctx, bctx := sim.NewRunContext(), sim.NewBatchContext()
+
+	traced := p
+	traced.Trace = &sim.Trace{}
+	if sim.RunBatch(rctx, bctx, NewAdaptDVSSCP(), traced, seeds) {
+		t.Error("kernel accepted a traced run")
+	}
+	if sim.RunBatch(rctx, bctx, NewAdaptDVSSCP().WithOnlineLambda(0.001), p, seeds) {
+		t.Error("kernel accepted online λ estimation")
+	}
+	if sim.RunBatch(rctx, bctx, NewAdaptDVSSCP().WithEagerDVS(), p, seeds) {
+		t.Error("kernel accepted the eager-DVS ablation")
+	}
+}
+
+// TestBatchPlannerLedger pins that batch planning flows through the
+// context's planner counters: PlannerCacheStats must see both hits
+// (repeated equivalence classes) and misses (first sightings) from a
+// batched cell, so the telemetry ledger stays meaningful.
+func TestBatchPlannerLedger(t *testing.T) {
+	p := mustParams(t, 0.78, 1, 0.0016, 5, checkpoint.SCPSetting())
+	seeds, _ := shardSeeds(7, 128)
+	rctx, bctx := sim.NewRunContext(), sim.NewBatchContext()
+	if !sim.RunBatch(rctx, bctx, NewAdaptDVSSCP(), p, seeds) {
+		t.Fatal("kernel refused a batchable configuration")
+	}
+	hits, misses := PlannerCacheStats(rctx)
+	if hits == 0 || misses == 0 {
+		t.Fatalf("batch planner ledger empty: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// FuzzBatchScalarEquivalence drives the equivalence property over
+// randomized task/fault/cost/scheme parameters: whatever the fuzzer
+// finds, batch and scalar execution must agree byte for byte on the
+// stats.Shard payload (or both reject/panic identically).
+func FuzzBatchScalarEquivalence(f *testing.F) {
+	f.Add(0.8, 0.0014, uint8(5), 2.0, 20.0, 0.0, uint8(0), uint8(8), uint64(42))
+	f.Add(0.92, 1e-4, uint8(1), 20.0, 2.0, 0.0, uint8(3), uint8(4), uint64(7))
+	f.Add(1.0, 0.0, uint8(0), 2.0, 20.0, 5.0, uint8(5), uint8(2), uint64(1))
+	f.Add(0.76, 0.02, uint8(2), 1.0, 1.0, 1.0, uint8(7), uint8(6), uint64(99))
+	f.Fuzz(func(t *testing.T, u, lambda float64, k uint8, store, compare, rollback float64, schemeSel, reps uint8, seed uint64) {
+		// Sanitise into the validated-parameter envelope; the point is
+		// randomized coverage inside it, not crash-hunting outside it
+		// (Params.Validate guards the real entry points).
+		if !(u > 0.05 && u <= 1.5) {
+			t.Skip()
+		}
+		if math.IsNaN(lambda) || lambda < 0 || lambda > 0.05 {
+			t.Skip()
+		}
+		// Checkpoint costs are clamped into [0.5, 100): a free store or
+		// compare makes the optimal sub-interval count explode into the
+		// millions (legitimately — sub-checkpoints cost nothing), which
+		// turns single inputs into multi-second runs the fuzz engine
+		// flags as hangs. Rollback may be zero (the paper's setting).
+		clamp := func(v, lo float64) float64 {
+			if !(v >= lo && v < 100) {
+				return lo + math.Mod(math.Abs(v), 100-lo)
+			}
+			return v
+		}
+		costs := checkpoint.Costs{Store: clamp(store, 0.5), Compare: clamp(compare, 0.5), Rollback: clamp(rollback, 0)}
+		if costs.Validate() != nil {
+			t.Skip()
+		}
+		schemes := []sim.Scheme{
+			NewPoissonScheme(1), NewPoissonScheme(2),
+			NewKFTScheme(1),
+			NewADTDVS(),
+			NewAdaptDVSSCP(), NewAdaptDVSCCP(),
+			NewAdaptSCP(1), NewAdaptCCP(2),
+		}
+		s := schemes[int(schemeSel)%len(schemes)]
+		tk, err := task.FromUtilization("fuzz", u, 1, 10000, int(k%8))
+		if err != nil {
+			t.Skip()
+		}
+		// Bound the interval budget tightly: degenerate fuzzed costs can
+		// yield thousands of sub-intervals per interval, and the fuzz
+		// engine treats a >10s input as a hang. Both paths honour the
+		// same budget, so equivalence is unaffected.
+		p := sim.Params{Task: tk, Costs: costs, Lambda: lambda, MaxIntervals: 1500}
+		if p.Validate() != nil {
+			t.Skip()
+		}
+		n := int(reps%16) + 1
+		seeds, keys := shardSeeds(seed, n)
+		want, wantPanic := runScalarShard(s, p, seeds, keys)
+		got, ok, gotPanic := runBatchShard(s, p, seeds, keys)
+		if !ok {
+			t.Fatal("kernel refused a batchable configuration")
+		}
+		if wantPanic != gotPanic {
+			t.Fatalf("panic mismatch: scalar=%v batch=%v", wantPanic, gotPanic)
+		}
+		if wantPanic {
+			return
+		}
+		if !bytes.Equal(want.AppendBinary(nil), got.AppendBinary(nil)) {
+			t.Fatalf("shard payloads differ for %s u=%v λ=%v k=%d costs=%+v", s.Name(), u, lambda, k%8, costs)
+		}
+	})
+}

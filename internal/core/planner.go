@@ -74,7 +74,17 @@ type Planner struct {
 	// cache, never hit it.
 	memo    *[planCacheSize]planEntry
 	subs    []subEnv
+	envs    []itvEnv
 	nocache bool
+
+	// Speed-decision precomputation: TEst(rc, f, c, λ) factors as
+	// (rc/f)·(1+s)/(1-s) with s = sqrt(λ·c/f) constant per (point, λ).
+	// te caches (1+s) and (1-s) per operating point for the λ it was
+	// built against, so the per-plan feasibility test costs one divide,
+	// one multiply and one divide instead of a sqrt chain per point.
+	teLam uint64
+	teOK  bool
+	te    []tePoint
 
 	// hits/misses count plan-cache lookups (nocache lookups count as
 	// misses). Plain fields, not atomics: a Planner is single-goroutine,
@@ -90,6 +100,14 @@ type planEntry struct {
 	full bool
 }
 
+// tePoint is one operating point's precomputed TEst factors. A point
+// with oneMinus ≤ 0 has s ≥ 1 (TEst = +Inf): never feasible.
+type tePoint struct {
+	pt       cpu.OperatingPoint
+	onePlus  float64 // 1 + sqrt(λ·c/f), the exact double TEst computes
+	oneMinus float64 // 1 - sqrt(λ·c/f)
+}
+
 // subEnv pairs one (frequency, λ) environment — keyed on exact float
 // bits — with its NumSub memo; the pool is a linear-scanned slice
 // because it holds at most a handful of entries (two for the paper's
@@ -97,6 +115,16 @@ type planEntry struct {
 type subEnv struct {
 	f, lam uint64
 	sm     *analysis.SubMemo
+}
+
+// itvEnv pairs one (frequency, λ) environment with its precomputed
+// policy.Env — the Fig. 4 interval constants for the wall-clock
+// checkpoint cost at that speed. Same linear-scanned-pool shape as
+// subEnv, and for the same reason: a planner sees at most a handful of
+// (f, λ) pairs over its whole life.
+type itvEnv struct {
+	f, lam uint64
+	env    policy.Env
 }
 
 // slot hashes a plan key to its cache slot with a few multiplies — the
@@ -188,7 +216,7 @@ func (pl *Planner) compute(rc, rd, lam float64, rf int) Plan {
 		// The degenerate rc ≤ 0 corner (handled below) must not reach
 		// TEst, which requires non-negative work; clamping leaves every
 		// rc > 0 state untouched.
-		pt = s.pickSpeed(pl.model, pl.costs.CSCPCycles(), lam, math.Max(rc, 0), rd)
+		pt = pl.pickSpeedPre(lam, math.Max(rc, 0), rd)
 	} else {
 		if pl.fixedBad {
 			return Plan{BadConfig: true}
@@ -200,14 +228,49 @@ func (pl *Planner) compute(rc, rd, lam float64, rf int) Plan {
 		deg := math.Max(rc/f, sim.EpsWork)
 		return Plan{Point: pt, Interval: deg, SubLen: deg}
 	}
-	cWall := pl.costs.CSCPCycles() / f
-	itv, _ := policy.Interval(rd, rc/f, cWall, rf, lam)
+	itv, _ := pl.envFor(f, lam).Interval(rd, rc/f, rf)
 	itv = math.Min(itv, rc/f)
 	subLen := itv
 	if s.UseSub {
 		subLen = itv / float64(pl.numSub(f, lam, itv))
 	}
 	return Plan{Point: pt, Interval: itv, SubLen: subLen}
+}
+
+// pickSpeedPre is Adaptive.pickSpeed over the planner's precomputed
+// TEst factors: the slowest operating point with
+// (rc/f)·(1+s)/(1-s) ≤ rd — the identical doubles TEst produces, since
+// (1+s) and (1-s) are cached verbatim — or the fastest point if none
+// fits. The factor table is rebuilt whenever the planning λ changes
+// (only online-λ schemes change it within a planner's lifetime).
+func (pl *Planner) pickSpeedPre(lam, rc, rd float64) cpu.OperatingPoint {
+	if lb := math.Float64bits(lam); !pl.teOK || pl.teLam != lb {
+		pl.buildTE(lam, lb)
+	}
+	for i := range pl.te {
+		e := &pl.te[i]
+		if e.oneMinus > 0 && ((rc/e.pt.Freq)*e.onePlus)/e.oneMinus <= rd {
+			return e.pt
+		}
+	}
+	return pl.model.Max()
+}
+
+// buildTE fills the TEst factor table for one planning λ. The s ≥ 1
+// (and NaN) divergence TEst reports as +Inf maps to oneMinus ≤ 0, which
+// pickSpeedPre treats as never-feasible — the same verdict +Inf ≤ rd
+// reaches.
+func (pl *Planner) buildTE(lam float64, lamBits uint64) {
+	c := pl.costs.CSCPCycles()
+	pl.te = pl.te[:0]
+	for _, pt := range pl.model.Points() {
+		s := 0.0
+		if lam != 0 && c != 0 {
+			s = math.Sqrt(lam * c / pt.Freq)
+		}
+		pl.te = append(pl.te, tePoint{pt: pt, onePlus: 1 + s, oneMinus: 1 - s})
+	}
+	pl.teLam, pl.teOK = lamBits, true
 }
 
 // numSub returns the optimal sub-interval count for an interval of
@@ -230,6 +293,25 @@ func (pl *Planner) numSub(f, lam, itv float64) int {
 		return sm.NumSub(itv)
 	}
 	return analysis.NumSub(ap, pl.cfg.Sub, itv)
+}
+
+// envFor returns the policy.Env for one (frequency, λ) pair, building
+// and pooling it on first sight. The pool shares subEnvCap: an
+// online-λ scheme that overflows it falls back to building the env per
+// plan, which is exactly the un-pooled Interval cost.
+func (pl *Planner) envFor(f, lam float64) *policy.Env {
+	fb, lb := math.Float64bits(f), math.Float64bits(lam)
+	for i := range pl.envs {
+		if pl.envs[i].f == fb && pl.envs[i].lam == lb {
+			return &pl.envs[i].env
+		}
+	}
+	env := policy.NewEnv(pl.costs.CSCPCycles()/f, lam)
+	if len(pl.envs) < subEnvCap {
+		pl.envs = append(pl.envs, itvEnv{f: fb, lam: lb, env: env})
+		return &pl.envs[len(pl.envs)-1].env
+	}
+	return &env
 }
 
 // plannerCacheKey identifies the construction state of a Planner: one

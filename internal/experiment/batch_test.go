@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTableBatchScalarEquivalence pins the tentpole invariant at the
+// experiment layer: a full published grid produced through the batch
+// kernels is identical — every summary bit — to the same grid forced
+// through the scalar reference loop. Table 1a sweeps λ with shared
+// planners and reuses worker contexts across cells, so this also
+// exercises the batch plan cache's cross-cell invalidation in the
+// exact shape production runs have.
+func TestTableBatchScalarEquivalence(t *testing.T) {
+	spec, err := TableByID("1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Runner{Reps: 16, Seed: 9, Workers: 2}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := Runner{Reps: 16, Seed: 9, Workers: 2, DisableBatch: true}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Rows) != len(scalar.Rows) {
+		t.Fatalf("row count differs: batch %d scalar %d", len(batch.Rows), len(scalar.Rows))
+	}
+	for i := range batch.Rows {
+		br, sr := batch.Rows[i], scalar.Rows[i]
+		for j := range br.Cells {
+			// Summaries of never-completing cells carry NaN conditional
+			// means, so struct equality would reject identical results;
+			// the shortest-round-trip formatting is exact for every
+			// non-NaN float and collapses NaNs correctly.
+			bs, ss := fmt.Sprintf("%+v", br.Cells[j]), fmt.Sprintf("%+v", sr.Cells[j])
+			if bs != ss {
+				t.Errorf("U=%v λ=%v %s:\nbatch:  %s\nscalar: %s",
+					br.U, br.Lambda, br.Cells[j].Scheme, bs, ss)
+			}
+		}
+	}
+}
+
+// benchCell times one 10k-repetition grid cell — the paper scheme at
+// Table 1a's first cell — through the sharded executor, batched vs
+// forced-scalar. The reps/sec metric is the number the tentpole's
+// ≥2×-throughput acceptance floor tracks, isolated from grid mix.
+func benchCell(b *testing.B, disable bool) {
+	spec, err := TableByID("1a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	schemes := spec.Schemes()
+	scheme := schemes[len(schemes)-1]
+	const reps = 10_000
+	runner := Runner{Reps: reps, Seed: 1, DisableBatch: disable}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.RunCell(spec, scheme, spec.Us[0], spec.Lambdas[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	secPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N) * 1e-9
+	b.ReportMetric(float64(reps)/secPerOp, "reps/sec")
+}
+
+func BenchmarkCellBatch(b *testing.B)  { benchCell(b, false) }
+func BenchmarkCellScalar(b *testing.B) { benchCell(b, true) }

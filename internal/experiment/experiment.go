@@ -209,8 +209,17 @@ type Runner struct {
 	// ShardSize is the number of repetitions per work-stealing shard
 	// unit; zero means DefaultShardSize. Any value yields bit-identical
 	// results — shard size (like worker count and steal order) only
-	// shapes scheduling, never statistics.
+	// shapes scheduling, never statistics. A shard is also the batch the
+	// structure-of-arrays kernel executes in one flat pass, so ShardSize
+	// doubles as the batch size (recorded alongside throughput in
+	// BENCH_simstack.json entries).
 	ShardSize int
+	// DisableBatch forces every shard through the scalar reference loop
+	// instead of the batched structure-of-arrays kernel. The two paths
+	// are bit-identical (the batch/scalar equivalence tests pin it), so
+	// this is purely a benchmarking/ablation knob — it changes speed,
+	// never a result bit.
+	DisableBatch bool
 
 	// OnShard, when non-nil, receives every successfully executed
 	// shard's binary checkpoint (stats.Shard encoding of reps

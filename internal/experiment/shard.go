@@ -234,6 +234,7 @@ func (r Runner) runShards(ctx context.Context, cells []*cellState, onDone func(*
 func (s *sched) worker(w int) {
 	defer s.wg.Done()
 	rctx := sim.NewRunContext()
+	bctx := sim.NewBatchContext()
 	var scratch stats.Shard
 	var seenHits, seenMisses uint64
 	for {
@@ -244,7 +245,7 @@ func (s *sched) worker(w int) {
 		if !ok {
 			return
 		}
-		s.runUnit(u, rctx, &scratch, &seenHits, &seenMisses)
+		s.runUnit(u, rctx, bctx, &scratch, &seenHits, &seenMisses)
 	}
 }
 
@@ -279,7 +280,7 @@ func (s *sched) steal(w int) (shardUnit, bool) {
 
 // runUnit executes one shard and merges it into its cell, handling
 // chaos retries, failure propagation and last-shard completion.
-func (s *sched) runUnit(u shardUnit, rctx *sim.RunContext, scratch *stats.Shard, seenHits, seenMisses *uint64) {
+func (s *sched) runUnit(u shardUnit, rctx *sim.RunContext, bctx *sim.BatchContext, scratch *stats.Shard, seenHits, seenMisses *uint64) {
 	c := s.cells[u.cell]
 	c.mu.Lock()
 	if !c.started {
@@ -299,7 +300,7 @@ func (s *sched) runUnit(u shardUnit, rctx *sim.RunContext, scratch *stats.Shard,
 	if !skip {
 		for attempt := 0; ; attempt++ {
 			scratch.Reset()
-			err = s.execShard(rctx, scratch, c, u)
+			err = s.execShard(rctx, bctx, scratch, c, u)
 			if err == nil && s.r.shardFault != nil && s.r.shardFault(u.cell, u.start, u.end, attempt) {
 				// Chaos: the shard is spuriously cancelled after the work
 				// is done — discard its statistics and re-run it in place.
@@ -357,10 +358,15 @@ func (s *sched) runUnit(u shardUnit, rctx *sim.RunContext, scratch *stats.Shard,
 
 // execShard runs one shard's repetitions into scratch. Each rep's
 // stream and sketch key depend only on (cellSeed, rep), so the result
-// is independent of which worker runs it, and when. A panicking scheme
-// is recovered into a *CellError; the run context stays reusable (the
-// next run fully resets it).
-func (s *sched) execShard(rctx *sim.RunContext, scratch *stats.Shard, c *cellState, u shardUnit) (err error) {
+// is independent of which worker runs it, and when — and of which path
+// runs it: the batch kernel (one flat structure-of-arrays pass over the
+// whole shard, the warm default) and the scalar loop (the reference
+// implementation, also the fallback for configurations outside the
+// kernel envelope) produce byte-identical Shard payloads, pinned by the
+// equivalence property and fuzz tests. A panicking scheme is recovered
+// into a *CellError; the contexts stay reusable (the next run fully
+// resets them).
+func (s *sched) execShard(rctx *sim.RunContext, bctx *sim.BatchContext, scratch *stats.Shard, c *cellState, u shardUnit) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			ce := c.wrap(fmt.Errorf("%v", p))
@@ -371,6 +377,24 @@ func (s *sched) execShard(rctx *sim.RunContext, scratch *stats.Shard, c *cellSta
 	}()
 	if c.paramsErr != nil {
 		return c.wrap(c.paramsErr)
+	}
+	if !s.r.DisableBatch && bctx != nil {
+		// One cancellation poll per batch — the same granularity the
+		// scalar loop polls at (a shard is at most a few hundred reps).
+		if cerr := s.ctx.Err(); cerr != nil {
+			return c.wrap(cerr)
+		}
+		n := u.end - u.start
+		bctx.Grow(n)
+		for j := 0; j < n; j++ {
+			bctx.Seeds[j] = mix(c.seed, u.start+j)
+			bctx.Keys[j] = repKey(c.seed, u.start+j)
+		}
+		if sim.RunBatch(rctx, bctx, c.scheme, c.params, bctx.Seeds) {
+			scratch.ObserveRuns(bctx.Keys, bctx.Completed,
+				bctx.Energy, bctx.Time, bctx.Faults, bctx.Switches)
+			return nil
+		}
 	}
 	for rep := u.start; rep < u.end; rep++ {
 		if (rep-u.start)&0xff == 0 {

@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestArrivalsMatchesPoissonProcess pins the pre-materialised queue to
+// the lazy process bit for bit: for any hint (so across every chunk
+// boundary and refill doubling), the sequence of absolute arrival times
+// equals PoissonProcess.Next draw for draw from the same seed.
+func TestArrivalsMatchesPoissonProcess(t *testing.T) {
+	var a Arrivals
+	for _, lambda := range []float64{0.0014, 0.0016, 1e-4, 1, 42.5} {
+		for _, hint := range []int{0, 1, 2, 3, 16, 64} {
+			ref := NewPoisson(lambda, rng.New(777))
+			a.Reset(lambda, rng.New(777), hint)
+			for i := 0; i < 200; i++ {
+				want := ref.Next()
+				if got := a.Next(); got != want {
+					t.Fatalf("λ=%g hint=%d arrival %d: %v != %v", lambda, hint, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestArrivalsZeroRate pins the λ=0 contract: never fires, never draws.
+func TestArrivalsZeroRate(t *testing.T) {
+	src := rng.New(1)
+	var a Arrivals
+	a.Reset(0, src, 16)
+	for i := 0; i < 3; i++ {
+		if v := a.Next(); !math.IsInf(v, 1) {
+			t.Fatalf("zero-rate Next = %v, want +Inf", v)
+		}
+	}
+	// No draw consumed: the stream must match a fresh one.
+	if src.Uint64() != rng.New(1).Uint64() {
+		t.Fatal("zero-rate Arrivals consumed randomness")
+	}
+}
+
+// TestArrivalsReuse pins that Reset fully rewinds a used queue: a second
+// repetition on a fresh stream sees exactly the fresh-queue sequence.
+func TestArrivalsReuse(t *testing.T) {
+	var a, b Arrivals
+	a.Reset(0.5, rng.New(9), 8)
+	for i := 0; i < 50; i++ {
+		a.Next()
+	}
+	a.Reset(0.5, rng.New(10), 8)
+	b.Reset(0.5, rng.New(10), 8)
+	for i := 0; i < 50; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("arrival %d after reuse: %v != %v", i, x, y)
+		}
+	}
+}
+
+// TestArrivalsGuards pins the panic contract shared with NewPoisson.
+func TestArrivalsGuards(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative-rate": func() { new(Arrivals).Reset(-1, rng.New(1), 4) },
+		"nan-rate":      func() { new(Arrivals).Reset(math.NaN(), rng.New(1), 4) },
+		"nil-source":    func() { new(Arrivals).Reset(1, nil, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -137,17 +137,52 @@ func (d Decision) String() string {
 // The returned interval is always clamped to (0, rt]: an interval longer
 // than the remaining work degenerates to a single final checkpoint.
 func Interval(rd, rt, c float64, rf int, lambda float64) (float64, Decision) {
-	if rt <= 0 || c <= 0 {
-		panic(fmt.Sprintf("policy: Interval requires rt,C>0, got rt=%v C=%v", rt, c))
+	return NewEnv(c, lambda).Interval(rd, rt, rf)
+}
+
+// Env pre-computes the parts of the Fig. 4 procedure that depend only
+// on the checkpoint cost C and the fault rate λ — the threshold
+// denominator 1+sqrt(λ·C/2) inside ThLambda and the entire Poisson
+// interval I1 = sqrt(2C/λ). Both are environment constants: within one
+// batch of repetitions (and within one replan-heavy repetition) every
+// Interval call shares them, so hoisting the two sqrts out of the call
+// is free. Each cached value is produced by exactly the expressions
+// ThLambda and I1 evaluate, so Env.Interval is bit-identical to the
+// package-level Interval (which delegates to it).
+type Env struct {
+	c, lambda float64
+	thDenom   float64 // 1 + sqrt(λ·C/2); unused when λ = 0
+	i1        float64 // sqrt(2C/λ); unused when λ = 0
+}
+
+// NewEnv builds the (C, λ) environment. It panics on non-positive C or
+// negative λ, like the interval procedures.
+func NewEnv(c, lambda float64) Env {
+	if c <= 0 {
+		panic(fmt.Sprintf("policy: Interval requires rt,C>0, got C=%v", c))
 	}
 	if lambda < 0 {
 		panic(fmt.Sprintf("policy: negative λ %v", lambda))
+	}
+	e := Env{c: c, lambda: lambda}
+	if lambda > 0 {
+		e.thDenom = 1 + math.Sqrt(lambda*c/2)
+		e.i1 = math.Sqrt(2 * c / lambda)
+	}
+	return e
+}
+
+// Interval is the DATE'03 Fig. 4 procedure over this environment; see
+// the package-level Interval for the contract.
+func (e Env) Interval(rd, rt float64, rf int) (float64, Decision) {
+	if rt <= 0 {
+		panic(fmt.Sprintf("policy: Interval requires rt,C>0, got rt=%v C=%v", rt, e.c))
 	}
 	if rf < 0 {
 		rf = 0
 	}
 
-	expFaults := lambda * rt
+	expFaults := e.lambda * rt
 
 	var itv float64
 	var branch Decision
@@ -155,23 +190,23 @@ func Interval(rd, rt, c float64, rf int, lambda float64) (float64, Decision) {
 	case expFaults <= float64(rf):
 		// The k-fault-tolerant requirement is the stringent one.
 		switch {
-		case lambda > 0 && rt > ThLambda(rd, lambda, c) && rd+c > rt:
-			itv, branch = I3(rt, rd, c), BranchSlackRich
-		case rt > Th(rd, float64(rf), c) && expFaults >= 1:
-			itv, branch = I2(rt, math.Ceil(expFaults), c), BranchExpected
+		case e.lambda > 0 && rt > (rd+e.c)/e.thDenom && rd+e.c > rt:
+			itv, branch = I3(rt, rd, e.c), BranchSlackRich
+		case rt > Th(rd, float64(rf), e.c) && expFaults >= 1:
+			itv, branch = I2(rt, math.Ceil(expFaults), e.c), BranchExpected
 		default:
 			k := float64(rf)
 			if k < 1 {
 				k = 1
 			}
-			itv, branch = I2(rt, k, c), BranchBudget
+			itv, branch = I2(rt, k, e.c), BranchBudget
 		}
 	default:
 		// Poisson-arrival criterion is the stringent one.
-		if rt > ThLambda(rd, lambda, c) && rd+c > rt {
-			itv, branch = I3(rt, rd, c), BranchSlackRichPoisson
+		if rt > (rd+e.c)/e.thDenom && rd+e.c > rt {
+			itv, branch = I3(rt, rd, e.c), BranchSlackRichPoisson
 		} else {
-			itv, branch = I1(c, lambda), BranchPoisson
+			itv, branch = e.i1, BranchPoisson
 		}
 	}
 

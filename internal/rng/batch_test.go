@@ -1,0 +1,73 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestExpBatchMatchesExp pins the batch fill to the scalar sampler: for
+// identical seeds, ExpBatch(rate, dst) must produce exactly the sequence
+// of len(dst) Exp(rate) calls, bit for bit, across fill sizes that
+// exercise chunk boundaries and the ziggurat's rare paths.
+func TestExpBatchMatchesExp(t *testing.T) {
+	for _, rate := range []float64{0.0014, 1, 2.5, 1e-6, 1e6} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			a, b := New(1234), New(1234)
+			dst := make([]float64, n)
+			a.ExpBatch(rate, dst)
+			for i := 0; i < n; i++ {
+				want := b.Exp(rate)
+				if dst[i] != want {
+					t.Fatalf("rate=%g n=%d draw %d: ExpBatch %v != Exp %v", rate, n, i, dst[i], want)
+				}
+			}
+			// The generators must also be left in identical states.
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("rate=%g n=%d: generator states diverged after fill", rate, n)
+			}
+		}
+	}
+}
+
+// TestExpBatchGuard pins the panic contract to Exp's: non-positive and
+// NaN rates are rejected loudly before any draw.
+func TestExpBatchGuard(t *testing.T) {
+	for _, rate := range []float64{0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpBatch(%v) did not panic", rate)
+				}
+			}()
+			New(1).ExpBatch(rate, make([]float64, 4))
+		}()
+	}
+}
+
+// TestExpBatchKSAgainstExponential is the distributional check of the
+// batch fill: 200k draws at a non-unit rate, rescaled to standard
+// exponential, must pass the one-sample KS test at the 0.1% critical
+// value — the same gate the scalar ziggurat sampler is pinned by.
+func TestExpBatchKSAgainstExponential(t *testing.T) {
+	const n = 200_000
+	const rate = 0.0016
+	xs := make([]float64, n)
+	New(42).ExpBatch(rate, xs)
+	for i := range xs {
+		xs[i] *= rate // standardise
+	}
+	sort.Float64s(xs)
+	if d := ksStatistic(xs); d > 1.95/math.Sqrt(n) {
+		t.Fatalf("KS statistic %.5f exceeds 0.1%% critical value %.5f", d, 1.95/math.Sqrt(n))
+	}
+}
+
+func BenchmarkExpBatch(b *testing.B) {
+	r := New(5)
+	dst := make([]float64, 64)
+	for i := 0; i < b.N; i++ {
+		r.ExpBatch(0.0014, dst)
+	}
+	benchSink = dst[0]
+}

@@ -107,6 +107,21 @@ func (r *Source) Exp(rate float64) float64 {
 	return r.expUnit() / rate
 }
 
+// ExpBatch fills dst with successive exponentially distributed values
+// with the given rate — exactly the sequence len(dst) successive Exp
+// calls would produce, draw for draw and bit for bit. It exists for the
+// batch execution path, which pre-materialises a repetition's fault
+// inter-arrival times in one bulk fill instead of one virtual call per
+// fault. Same panic contract as Exp.
+func (r *Source) ExpBatch(rate float64, dst []float64) {
+	if !(rate > 0) {
+		panic("rng: Exp with non-positive or NaN rate")
+	}
+	for i := range dst {
+		dst[i] = r.expUnit() / rate
+	}
+}
+
 // ExpLog is the inverse-CDF reference sampler (-log(U)/rate, one
 // uniform per draw). The ziggurat sampler is pinned against it
 // statistically; it is exported for tests and for callers that need the

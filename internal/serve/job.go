@@ -67,8 +67,11 @@ type JobSpec struct {
 	// paper's default.
 	Reps int `json:"reps,omitempty"`
 	// ShardSize (grid): repetitions per work-stealing shard unit; zero
-	// means the engine default. Purely a scheduling knob — results are
-	// bit-identical for every value.
+	// means the engine default. A shard is also the batch the
+	// structure-of-arrays kernel executes in one flat pass, so this
+	// knob sets the kernel's batch width — still purely a
+	// scheduling/amortisation knob, results are bit-identical for
+	// every value.
 	ShardSize int `json:"shard_size,omitempty"`
 
 	// Scheme (single, mission): Poisson | k-f-t | A_D | A_D_S | A_D_C.

@@ -303,6 +303,30 @@ func (s *Shard) ObserveRun(key uint64, completed, wrong bool, energy, timeToDone
 	}
 }
 
+// ObserveRuns folds a whole batch of repetitions in — the
+// structure-of-arrays counterpart of ObserveRun, fed by the batch
+// execution kernel. The slices are parallel and must have equal length;
+// observation i is exactly ObserveRun(keys[i], completed[i], false,
+// energy[i], timeToDone[i], faults[i], switches[i]). Corrupted
+// completions cannot occur on the batchable (ideal fault-tolerance)
+// path, so there is no wrong slice; runs that can corrupt go through
+// ObserveRun.
+func (s *Shard) ObserveRuns(keys []uint64, completed []bool, energy, timeToDone, faults, switches []float64) {
+	for i := range keys {
+		s.trials++
+		s.faults.Add(faults[i])
+		s.switches.Add(switches[i])
+		if completed[i] {
+			s.completed++
+			e := energy[i]
+			s.energy.Add(e)
+			s.energySq.Add(e * e)
+			s.time.Add(timeToDone[i])
+			s.timeTail.Add(keys[i], timeToDone[i])
+		}
+	}
+}
+
 // Merge folds another shard in. Every constituent is associative and
 // commutative, so the merge order cannot affect any Summary bit.
 func (s *Shard) Merge(o *Shard) {
