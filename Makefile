@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check golden bench bench-check determinism fuzz-smoke chaos kill-soak telemetry-overhead journal-overhead profile
+.PHONY: build test vet race check golden bench bench-check determinism fuzz-smoke chaos kill-soak cluster-soak telemetry-overhead journal-overhead profile
 
 build:
 	$(GO) build ./...
@@ -51,9 +51,10 @@ profile:
 
 # The scheduling-invariance matrix under the race detector: worker
 # counts × shard sizes × permuted completion order × chaos retries must
-# leave every table bit unchanged, with no data races.
+# leave every table bit unchanged, with no data races. Includes the
+# cluster's 1-node-vs-3-node byte-identity check.
 determinism:
-	$(GO) test -race -count=1 -run 'Determinism|Shard|OrderIndependence|PartitionInvariance' ./internal/experiment/ ./internal/stats/
+	$(GO) test -race -count=1 -run 'Determinism|Shard|OrderIndependence|PartitionInvariance' ./internal/experiment/ ./internal/stats/ ./internal/cluster/
 
 # Short native-fuzz smoke (~60s): the planner over its whole input
 # envelope, batch-vs-scalar kernel equivalence on randomized
@@ -78,6 +79,13 @@ chaos:
 # recovered grid result, race detector on.
 kill-soak:
 	$(GO) test -race -run KillRecoverSoak -count=1 -v -timeout 600s ./internal/serve/
+
+# The kill-tolerant distributed soak: worker processes SIGKILLed
+# mid-unit, a flaky transport dropping/duplicating/delaying coordinator
+# traffic, and a coordinator crash mid-job — the successor must finish
+# the job byte-identical with an exact rep ledger, race detector on.
+cluster-soak:
+	$(GO) test -race -run ClusterSoak -count=1 -v -timeout 600s ./internal/cluster/
 
 # Measure the telemetry sink's tax on the Table 1a grid: none vs nop
 # vs live registry sink. Budget: nop ≤2% over none (DESIGN.md §11).

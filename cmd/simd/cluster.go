@@ -1,0 +1,133 @@
+// Cluster roles of the simd binary: a stateless worker that executes
+// (cell, rep-range) units, and a coordinator that shards grid jobs
+// across registered workers with leases, heartbeats, hedged retries and
+// a crash-safe shard journal.
+
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/storage"
+)
+
+// runWorker serves the unit-execution API and, when a coordinator URL
+// is given, keeps registering until the handshake succeeds.
+func runWorker(listen, coordURL, advertise string, maxInflight int) error {
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		MaxInflight: maxInflight,
+		Logf:        log.Printf,
+	})
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return cli.Resourcef("listening on %s: %v", listen, err)
+	}
+	if advertise == "" {
+		addr, ok := ln.Addr().(*net.TCPAddr)
+		if !ok {
+			return cli.Usagef("cannot derive -advertise from listener %s; set it explicitly", ln.Addr())
+		}
+		host := addr.IP.String()
+		if addr.IP == nil || addr.IP.IsUnspecified() {
+			host = "127.0.0.1"
+		}
+		advertise = fmt.Sprintf("http://%s", net.JoinHostPort(host, fmt.Sprint(addr.Port)))
+	}
+	httpSrv := &http.Server{Handler: w.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("worker listening on %s (advertising %s)", ln.Addr(), advertise)
+		if serr := httpSrv.Serve(ln); !errors.Is(serr, http.ErrServerClosed) {
+			errCh <- serr
+			return
+		}
+		errCh <- nil
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if coordURL != "" {
+		go func() {
+			if rerr := cluster.RegisterLoop(ctx, nil, coordURL, advertise, log.Printf); rerr == nil {
+				log.Printf("registered with coordinator %s", coordURL)
+			}
+		}()
+	}
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down worker")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutCtx)
+}
+
+// runCoordinator boots the coordinator, replaying its journal so
+// unfinished jobs resume from their banked shards.
+func runCoordinator(listen, journalPath string, journalSync, unitReps int, hedgeAfter, lease, heartbeat time.Duration) error {
+	cfg := cluster.Config{
+		UnitReps:          unitReps,
+		HedgeAfter:        hedgeAfter,
+		LeaseTimeout:      lease,
+		HeartbeatInterval: heartbeat,
+		Logf:              log.Printf,
+	}
+	if journalPath != "" {
+		store, err := storage.OpenFileLog(journalPath)
+		if err != nil {
+			return cli.Resourcef("opening journal %s: %v", journalPath, err)
+		}
+		jl := serve.NewJournal(store, journalSync)
+		defer jl.Close()
+		data, err := store.ReadAll()
+		if err != nil {
+			return cli.Resourcef("reading journal %s: %v", journalPath, err)
+		}
+		rec := serve.ReplayJournal(data)
+		log.Printf("journal %s: %d records (%d corrupt skipped), %d jobs, %d to resume",
+			journalPath, rec.Records, rec.Corrupt, len(rec.Jobs), rec.UnfinishedJobs())
+		cfg.Journal = jl
+		cfg.Recovery = rec
+	}
+	coord := cluster.New(cfg)
+	httpSrv := &http.Server{Addr: listen, Handler: coord.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("coordinator listening on %s", listen)
+		if serr := httpSrv.ListenAndServe(); !errors.Is(serr, http.ErrServerClosed) {
+			errCh <- serr
+			return
+		}
+		errCh <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		coord.Close()
+		return err
+	case got := <-sig:
+		log.Printf("received %v, shutting down coordinator (unfinished jobs resume from the journal)", got)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := httpSrv.Shutdown(shutCtx)
+	coord.Close()
+	return err
+}

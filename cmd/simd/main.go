@@ -35,6 +35,21 @@
 // A legacy drain manifest (-manifest, from older builds) is migrated
 // into the journal once at boot and renamed *.migrated.
 //
+// Cluster mode (-role): the same binary also runs as a fault-tolerant
+// coordinator/worker cluster for grid jobs.
+//
+//	simd -role=coordinator -listen :8080 -journal coord.journal
+//	simd -role=worker -listen :8081 -coordinator http://localhost:8080
+//
+// The coordinator shards each grid job into (cell, rep-range) units,
+// dispatches them to registered workers with leases, heartbeats, hedged
+// retries and re-dispatch on failure, folds the returned shard payloads
+// with the exact merge algebra (an N-node answer is byte-identical to a
+// 1-node answer), journals banked shards for crash-safe resume, and
+// dedups identical jobs through a content-addressed result cache.
+// Workers are stateless executors; kill one mid-unit and the
+// coordinator re-dispatches the lease elsewhere.
+//
 // Observability: GET /metrics serves the Prometheus text exposition of
 // the job ledger, journal counters, queue gauges, job-latency histogram
 // and engine counters; GET /trace streams recent run-trace events as
@@ -96,6 +111,15 @@ func run(args []string) error {
 		chaosDelay    = fs.Duration("chaos-delay", 50*time.Millisecond, "straggler delay")
 		chaosSeed     = fs.Uint64("chaos-seed", 1, "chaos draw seed")
 
+		role        = fs.String("role", "single", "process role: single (self-contained daemon), coordinator (shards grid jobs across workers) or worker (stateless unit executor)")
+		coordURL    = fs.String("coordinator", "", "worker: coordinator base URL to register with (empty skips registration)")
+		advertise   = fs.String("advertise", "", "worker: base URL the coordinator should dial back (default http://127.0.0.1:<listen port>)")
+		maxInflight = fs.Int("max-inflight", 0, "worker: concurrent unit bound, 503+Retry-After beyond it (0 = GOMAXPROCS)")
+		unitReps    = fs.Int("unit-reps", 0, "coordinator: repetitions per dispatched work unit (0 = default 2000)")
+		hedgeAfter  = fs.Duration("hedge-after", 2*time.Second, "coordinator: duplicate a straggling unit to a second worker after this long (<0 disables)")
+		lease       = fs.Duration("lease", 15*time.Second, "coordinator: work-unit lease (per-dispatch deadline); expiry re-dispatches")
+		heartbeat   = fs.Duration("heartbeat", 500*time.Millisecond, "coordinator: worker heartbeat probe interval")
+
 		showVersion = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -109,6 +133,17 @@ func run(args []string) error {
 		return cli.Usagef("%v", err)
 	} else if armed != "" {
 		log.Printf("kill point armed: %s (the process will SIGKILL itself there)", armed)
+	}
+
+	switch *role {
+	case "single":
+		// fall through to the self-contained daemon below
+	case "worker":
+		return runWorker(*listen, *coordURL, *advertise, *maxInflight)
+	case "coordinator":
+		return runCoordinator(*listen, *journalPath, *journalSync, *unitReps, *hedgeAfter, *lease, *heartbeat)
+	default:
+		return cli.Usagef("unknown -role %q (want single, coordinator or worker)", *role)
 	}
 
 	cfg := serve.Config{

@@ -1,0 +1,147 @@
+// Network-layer chaos: FlakyTransport wraps an http.RoundTripper and,
+// with configured probabilities, drops a response after the server has
+// done the work (the classic lost-ack — the receiver must tolerate
+// re-execution), duplicates a request (the receiver must dedup), or
+// delays it (straggler). The cluster coordinator mounts it on its
+// dispatch client during soaks: every injection exercises an invariant
+// the coordinator claims — first-writer-wins dedup, lease-expiry
+// re-dispatch, hedged retries — while any finished table must still be
+// bit-for-bit identical to a calm run.
+//
+// Draws come from a private deterministic stream, so a soak's injection
+// mix is reproducible per seed (the interleaving across concurrent
+// requests is scheduling-dependent, as real networks are).
+
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// TransportConfig sets the network injection mix. Probabilities are
+// evaluated independently per request in the order drop, dup, delay —
+// at most one injection fires per request.
+type TransportConfig struct {
+	// Seed feeds the deterministic draw stream.
+	Seed uint64
+	// DropProb performs the request but discards the response and
+	// returns a transport error: the work happened, the reply was lost.
+	DropProb float64
+	// DupProb sends the request twice and returns the second response —
+	// the first lands as an unsolicited duplicate the receiver must
+	// tolerate. Requests without a rewindable body pass through.
+	DupProb float64
+	// DelayProb sleeps Delay (respecting the request context) before
+	// forwarding, modelling a congested link.
+	DelayProb float64
+	// Delay is the added latency.
+	Delay time.Duration
+}
+
+// TransportStats counts injections by kind.
+type TransportStats struct {
+	Requests, Drops, Dups, Delays int64
+}
+
+// FlakyTransport implements http.RoundTripper with the configured mix.
+type FlakyTransport struct {
+	cfg  TransportConfig
+	base http.RoundTripper
+
+	mu  sync.Mutex
+	src *rng.Source
+
+	requests, drops, dups, delays atomic.Int64
+}
+
+// NewFlakyTransport wraps base (nil means http.DefaultTransport).
+func NewFlakyTransport(cfg TransportConfig, base http.RoundTripper) *FlakyTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &FlakyTransport{cfg: cfg, base: base, src: rng.New(cfg.Seed)}
+}
+
+// Stats snapshots the injection counters.
+func (t *FlakyTransport) Stats() TransportStats {
+	return TransportStats{
+		Requests: t.requests.Load(),
+		Drops:    t.drops.Load(),
+		Dups:     t.dups.Load(),
+		Delays:   t.delays.Load(),
+	}
+}
+
+// Injected reports the total number of injections of any kind.
+func (s TransportStats) Injected() int64 { return s.Drops + s.Dups + s.Delays }
+
+const (
+	fateClean = iota
+	fateDrop
+	fateDup
+	fateDelay
+)
+
+func (t *FlakyTransport) draw() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	roll := t.src.Float64()
+	switch {
+	case roll < t.cfg.DropProb:
+		return fateDrop
+	case roll < t.cfg.DropProb+t.cfg.DupProb:
+		return fateDup
+	case roll < t.cfg.DropProb+t.cfg.DupProb+t.cfg.DelayProb:
+		return fateDelay
+	}
+	return fateClean
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	switch t.draw() {
+	case fateDrop:
+		// The server does the work; the client never sees the reply.
+		resp, err := t.base.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		t.drops.Add(1)
+		return nil, fmt.Errorf("chaos: response dropped")
+	case fateDup:
+		if req.Body == nil || req.GetBody != nil {
+			first := req.Clone(req.Context())
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					break
+				}
+				first.Body = body
+			}
+			t.dups.Add(1)
+			if resp, err := t.base.RoundTrip(first); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	case fateDelay:
+		t.delays.Add(1)
+		timer := time.NewTimer(t.cfg.Delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	return t.base.RoundTrip(req)
+}

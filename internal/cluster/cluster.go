@@ -1,0 +1,185 @@
+// Package cluster promotes the single-process simulation service into a
+// fault-tolerant coordinator/worker cluster. The coordinator shards a
+// grid job into (cell, rep-range) work units — addressable from nothing
+// but the base seed and the cell's grid coordinates, because every
+// repetition's rng stream is a counter-based pure function of
+// (CellSeed, rep) — dispatches them over HTTP/JSON to registered
+// workers, and folds the returned stats.Shard payloads with the exact
+// order-independent merge algebra. A 10-node answer is therefore
+// byte-identical to a 1-node answer, whatever the failure history.
+//
+// Node failure is the common case, not the exception. The load-bearing
+// robustness properties, each pinned by the cluster suite and the
+// kill-tolerant distributed soak:
+//
+//   - Leases, not trust: a dispatched unit is owned by its worker only
+//     for the lease window (the dispatch context deadline). A worker
+//     that dies, hangs or loses connectivity simply fails the dispatch,
+//     and the unit is re-dispatched with capped exponential backoff and
+//     deterministic jitter (the serve retry law).
+//   - Heartbeats: the coordinator probes every registered worker; after
+//     HeartbeatMisses consecutive failures the worker is marked dead and
+//     stops receiving units (it resurrects on the next successful probe
+//     or registration — re-registration is idempotent).
+//   - Hedged dispatch: a unit outstanding on exactly one worker for more
+//     than HedgeAfter is duplicated to a different worker. Responses
+//     dedup first-writer-wins by (cellSeed, start, end): the first
+//     structurally valid payload is banked, every later arrival is
+//     counted and dropped — a rep can never merge twice.
+//   - Byzantine tolerance: every incoming shard is validated against the
+//     stats codec and must claim exactly Trials() == End-Start; anything
+//     suspect is rejected and the unit re-dispatched. A malicious or
+//     corrupted worker can cost time, never correctness.
+//   - Crash-safe coordination: with a journal configured, every banked
+//     shard is durable (the serve write-ahead journal), and a
+//     coordinator restart resumes each unfinished job from its banked
+//     shards — merging checkpoints and dispatching only the gaps — with
+//     a bit-identical final table.
+//   - Content-addressed results: finished tables are cached by the
+//     canonical job hash, so an identical JobSpec from a million users
+//     costs one computation.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/experiment"
+	"repro/internal/serve"
+)
+
+// ProtocolVersion is the cluster wire-protocol version. Coordinator and
+// worker exchange it (alongside the build version) at registration and
+// on every unit request; any mismatch is rejected up front — skewed
+// payloads must never merge.
+const ProtocolVersion = 1
+
+// RegisterRequest is a worker's registration handshake, as posted to
+// POST /cluster/v1/register on the coordinator.
+type RegisterRequest struct {
+	// Addr is the worker's base URL as reachable from the coordinator.
+	Addr string `json:"addr"`
+	// Proto is the worker's ProtocolVersion.
+	Proto int `json:"proto"`
+	// Version is the worker's build version (cli.Version()): two
+	// processes agree on it iff they run the same binary build, which is
+	// the cheapest sufficient proof their simulation bits agree.
+	Version string `json:"version"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	ID      string `json:"id"`
+	Proto   int    `json:"proto"`
+	Version string `json:"version"`
+}
+
+// Hello is a worker's health-probe response.
+type Hello struct {
+	Proto   int    `json:"proto"`
+	Version string `json:"version"`
+}
+
+// UnitRequest is one (cell, rep-range) work unit, as posted to
+// POST /cluster/v1/execute on a worker. The cell is addressed by its
+// grid coordinates plus the base seed — the worker re-derives the cell
+// seed and the per-rep streams, so the payload carries no state, only
+// an address into the deterministic computation.
+type UnitRequest struct {
+	Proto   int     `json:"proto"`
+	Version string  `json:"version"`
+	Table   string  `json:"table"`
+	Col     int     `json:"col"` // scheme column index into Spec.Schemes()
+	U       float64 `json:"u"`
+	Lambda  float64 `json:"lambda"`
+	Seed    uint64  `json:"seed"`  // base seed of the job
+	Start   int     `json:"start"` // rep range [Start, End)
+	End     int     `json:"end"`
+}
+
+// UnitResult is a worker's answer: the canonical stats.Shard bytes of
+// exactly the requested repetitions, echoing the identity the
+// coordinator dedups and validates by.
+type UnitResult struct {
+	CellSeed uint64 `json:"cell_seed"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	Data     []byte `json:"data"`
+}
+
+// JobKey is the canonical content hash of a grid job: the fields that
+// determine the result bits (table, repetitions, base seed) and nothing
+// else — shard size, deadline and retry budget are scheduling knobs
+// that cannot change a single output bit, so specs differing only there
+// hash identically and share one cached computation.
+func JobKey(spec serve.JobSpec) string {
+	reps := spec.Reps
+	if reps <= 0 {
+		reps = experiment.DefaultReps
+	}
+	h := sha256.Sum256(fmt.Appendf(nil, "grid|%s|%d|%d", spec.Table, reps, spec.Seed))
+	return hex.EncodeToString(h[:])
+}
+
+// resultCache is the coordinator's bounded content-addressed result
+// store: canonical job hash → finished result JSON. FIFO eviction — the
+// point is dedup of identical hot requests, not a general cache.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]json.RawMessage
+	order []string
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, m: make(map[string]json.RawMessage)}
+}
+
+func (rc *resultCache) get(key string) (json.RawMessage, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	blob, ok := rc.m[key]
+	return blob, ok
+}
+
+func (rc *resultCache) put(key string, blob json.RawMessage) {
+	if len(blob) == 0 {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if _, ok := rc.m[key]; !ok {
+		rc.order = append(rc.order, key)
+	}
+	rc.m[key] = blob
+	for rc.cap > 0 && len(rc.order) > rc.cap {
+		delete(rc.m, rc.order[0])
+		rc.order = rc.order[1:]
+	}
+}
+
+// normalizeAddr canonicalises a worker address into a base URL.
+func normalizeAddr(addr string) string {
+	addr = strings.TrimSuffix(strings.TrimSpace(addr), "/")
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return addr
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,737 @@
+package cluster_test
+
+// In-process cluster suite: real coordinator and workers over
+// httptest servers, pinning the tentpole invariants — N-node answers
+// byte-identical to the 1-node and local answers, exact rep
+// accounting through redispatch/hedging/byzantine noise, the
+// content-addressed result cache, Retry-After propagation, the
+// registration handshake, journal-backed coordinator resume, and
+// /metrics-vs-/statusz consistency.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/serve"
+	"repro/internal/storage"
+)
+
+// testSpec is the canonical small workload: table 2b is the smallest
+// grid (16 cells), and 40 reps at unit size 16 gives 3 units per cell
+// including one short tail unit.
+func testSpec() serve.JobSpec {
+	return serve.JobSpec{Kind: serve.JobGrid, Table: "2b", Reps: 40, Seed: 424242, ShardSize: 16}
+}
+
+// localGridJSON computes the single-process reference answer for a
+// grid spec, rendered through the same serve encoder the coordinator
+// uses — the byte-identity baseline.
+func localGridJSON(t *testing.T, spec serve.JobSpec) []byte {
+	t.Helper()
+	tspec, err := experiment.TableByID(spec.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := experiment.Runner{Reps: spec.Reps, Seed: spec.Seed, Workers: 4, ShardSize: 13}
+	tbl, err := r.RunTable(tspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(serve.GridResultFromTable(tbl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// startWorker serves a cluster worker, optionally wrapping its execute
+// endpoint with a fault injector (health probes stay untouched so the
+// worker remains heartbeat-live).
+func startWorker(t *testing.T, cfg cluster.WorkerConfig, wrapExecute func(http.Handler) http.Handler) (*cluster.Worker, *httptest.Server) {
+	t.Helper()
+	w := cluster.NewWorker(cfg)
+	h := w.Handler()
+	if wrapExecute != nil {
+		inner, wrapped := h, wrapExecute(h)
+		h = http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/cluster/v1/execute" {
+				wrapped.ServeHTTP(rw, r)
+				return
+			}
+			inner.ServeHTTP(rw, r)
+		})
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return w, ts
+}
+
+// startCoordinator serves a coordinator and registers the given worker
+// URLs through the real handshake.
+func startCoordinator(t *testing.T, cfg cluster.Config, workerURLs ...string) (*cluster.Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	c := cluster.New(cfg)
+	t.Cleanup(c.Close)
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+	for _, u := range workerURLs {
+		if err := cluster.Register(context.Background(), nil, ts.URL, u); err != nil {
+			t.Fatalf("register %s: %v", u, err)
+		}
+	}
+	if got := len(c.Workers()); got != len(workerURLs) {
+		t.Fatalf("registered %d workers, want %d", got, len(workerURLs))
+	}
+	return c, ts
+}
+
+func counter(c *cluster.Coordinator, name string) int64 {
+	return c.Metrics().Counter(name, "").Value()
+}
+
+// waitDone polls a job to terminal state.
+func waitDone(t *testing.T, c *cluster.Coordinator, id string, timeout time.Duration) cluster.JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v, ok := c.Lookup(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if v.State.Terminal() {
+			if v.State != serve.StateDone {
+				t.Fatalf("job %s ended %s: %s", id, v.State, v.Error)
+			}
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not terminal after %v (%d/%d units)", id, timeout, v.UnitsDone, v.UnitsTotal)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertLedgerExact pins the rep accounting: merged + recovered ==
+// cells × reps with not one repetition dropped or double-counted.
+func assertLedgerExact(t *testing.T, c *cluster.Coordinator, spec serve.JobSpec) {
+	t.Helper()
+	tspec, err := experiment.TableByID(spec.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := len(tspec.Us) * len(tspec.Lambdas) * len(tspec.Schemes())
+	merged := counter(c, experiment.MetricReps)
+	recovered := counter(c, experiment.MetricRepsRecovered)
+	if want := int64(cells * spec.Reps); merged+recovered != want {
+		t.Errorf("rep ledger leak: merged %d + recovered %d != cells×reps %d", merged, recovered, want)
+	}
+}
+
+// TestClusterDeterminismNodeCount is the tentpole acceptance property:
+// the same JobSpec folded through 1 worker and through 3 workers
+// yields result JSON byte-identical to each other and to the local
+// single-process engine.
+func TestClusterDeterminismNodeCount(t *testing.T) {
+	spec := testSpec()
+	want := localGridJSON(t, spec)
+
+	run := func(nWorkers int) []byte {
+		var urls []string
+		for i := 0; i < nWorkers; i++ {
+			_, ts := startWorker(t, cluster.WorkerConfig{}, nil)
+			urls = append(urls, ts.URL)
+		}
+		c, _ := startCoordinator(t, cluster.Config{HedgeAfter: -1}, urls...)
+		v, err := c.Enqueue(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = waitDone(t, c, v.ID, 30*time.Second)
+		assertLedgerExact(t, c, spec)
+		if got := counter(c, experiment.MetricRepsRecovered); got != 0 {
+			t.Errorf("%d-worker run recovered %d reps from nowhere", nWorkers, got)
+		}
+		return v.Result
+	}
+
+	one := run(1)
+	three := run(3)
+	if !bytes.Equal(one, want) {
+		t.Error("1-worker cluster result differs from the local engine")
+	}
+	if !bytes.Equal(three, one) {
+		t.Error("3-worker cluster result differs from the 1-worker result")
+	}
+}
+
+// TestClusterCacheHit pins the content-addressed result cache: an
+// identical canonical job — even with different scheduling knobs —
+// is served finished, byte-identical, with zero new dispatches.
+func TestClusterCacheHit(t *testing.T) {
+	spec := testSpec()
+	_, wts := startWorker(t, cluster.WorkerConfig{}, nil)
+	c, _ := startCoordinator(t, cluster.Config{HedgeAfter: -1}, wts.URL)
+
+	v1, err := c.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 = waitDone(t, c, v1.ID, 30*time.Second)
+
+	dispatched := counter(c, cluster.MetricUnitsDispatched)
+	resub := spec
+	resub.ShardSize = 7       // scheduling knobs must not miss the cache:
+	resub.DeadlineMS = 90_000 // they cannot change a result bit
+	v2, err := c.Enqueue(resub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.State != serve.StateDone || !v2.CacheHit {
+		t.Fatalf("resubmission state %s cacheHit %v, want immediate done cache hit", v2.State, v2.CacheHit)
+	}
+	if !bytes.Equal(v2.Result, v1.Result) {
+		t.Error("cached result differs from the computed one")
+	}
+	if got := counter(c, cluster.MetricUnitsDispatched); got != dispatched {
+		t.Errorf("cache hit dispatched %d new units, want 0", got-dispatched)
+	}
+	if got := counter(c, cluster.MetricCacheHits); got != 1 {
+		t.Errorf("%s = %d, want 1", cluster.MetricCacheHits, got)
+	}
+
+	// A spec differing in a result-determining field must miss.
+	miss := spec
+	miss.Seed++
+	v3, err := c.Enqueue(miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.CacheHit {
+		t.Error("different seed hit the cache — content address ignores result bits")
+	}
+	waitDone(t, c, v3.ID, 30*time.Second)
+}
+
+// TestClusterRegisterHandshake pins satellite 1: protocol or build
+// version skew is refused with 400 (and counted, and the worker never
+// joins the pool), on both the coordinator and worker sides.
+func TestClusterRegisterHandshake(t *testing.T) {
+	c, ts := startCoordinator(t, cluster.Config{})
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/cluster/v1/register", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post(fmt.Sprintf(`{"addr":"http://127.0.0.1:1","proto":%d,"version":"bogus-build"}`, cluster.ProtocolVersion)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("version-skewed register: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(fmt.Sprintf(`{"addr":"http://127.0.0.1:1","proto":%d,"version":%q}`, cluster.ProtocolVersion+1, c.Status().Version)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("proto-skewed register: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"proto":1,"version":"x"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty-addr register: status %d, want 400", resp.StatusCode)
+	}
+	if got := counter(c, cluster.MetricRegisterRejected); got != 2 {
+		t.Errorf("%s = %d, want 2 (skew rejections only)", cluster.MetricRegisterRejected, got)
+	}
+	if got := len(c.Workers()); got != 0 {
+		t.Errorf("%d workers joined through rejected handshakes", got)
+	}
+
+	// The worker side refuses skewed unit requests the same way.
+	_, wts := startWorker(t, cluster.WorkerConfig{}, nil)
+	body := fmt.Sprintf(`{"proto":%d,"version":"bogus-build","table":"2b","col":0,"u":0.92,"lambda":1e-4,"seed":1,"start":0,"end":8}`, cluster.ProtocolVersion)
+	resp, err := http.Post(wts.URL+"/cluster/v1/execute", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(msg), "version skew") {
+		t.Errorf("skewed execute: status %d body %s, want 400 version skew", resp.StatusCode, msg)
+	}
+}
+
+// TestClusterRedispatchOnWorkerDeath kills a worker mid-job (server
+// closed: in-flight dispatches fail, heartbeats flatline) and asserts
+// the coordinator marks it dead, re-dispatches its units and still
+// produces the byte-identical table with an exact ledger.
+func TestClusterRedispatchOnWorkerDeath(t *testing.T) {
+	spec := testSpec()
+	spec.Reps, spec.ShardSize = 80, 10 // 128 units: plenty left after the kill
+	want := localGridJSON(t, spec)
+
+	slow := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			time.Sleep(3 * time.Millisecond)
+			h.ServeHTTP(rw, r)
+		})
+	}
+	_, w1 := startWorker(t, cluster.WorkerConfig{}, slow)
+	_, w2 := startWorker(t, cluster.WorkerConfig{}, slow)
+	c, _ := startCoordinator(t, cluster.Config{
+		HedgeAfter:        -1,
+		HeartbeatInterval: 25 * time.Millisecond,
+		HeartbeatMisses:   2,
+		RetryBase:         5 * time.Millisecond,
+	}, w1.URL, w2.URL)
+
+	v, err := c.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		cur, _ := c.Lookup(v.ID)
+		if cur.UnitsDone >= 10 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w1.Close() // the kill: connection refused from here on
+
+	v = waitDone(t, c, v.ID, 60*time.Second)
+	if !bytes.Equal(v.Result, want) {
+		t.Error("post-death result differs from the local engine")
+	}
+	assertLedgerExact(t, c, spec)
+	if got := counter(c, cluster.MetricUnitsRedispatched); got == 0 {
+		t.Error("no unit was re-dispatched — the dead worker lost nothing?")
+	}
+	if got := counter(c, cluster.MetricWorkerDeaths); got == 0 {
+		t.Error("heartbeats never declared the closed worker dead")
+	}
+	if got := c.WorkersLive(); got != 1 {
+		t.Errorf("WorkersLive = %d, want 1", got)
+	}
+}
+
+// TestClusterHedgedDispatch pins straggler hedging: units stuck on a
+// slow worker are duplicated to the fast one, the first valid answer
+// wins, late twins are dropped as duplicates, and the table is still
+// byte-identical with an exact ledger.
+func TestClusterHedgedDispatch(t *testing.T) {
+	spec := testSpec()
+	spec.Reps, spec.ShardSize = 20, 10 // 32 units
+	want := localGridJSON(t, spec)
+
+	stall := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			time.Sleep(300 * time.Millisecond)
+			h.ServeHTTP(rw, r)
+		})
+	}
+	_, slow := startWorker(t, cluster.WorkerConfig{}, stall)
+	_, fast := startWorker(t, cluster.WorkerConfig{}, nil)
+	c, _ := startCoordinator(t, cluster.Config{
+		HedgeAfter: 25 * time.Millisecond,
+	}, slow.URL, fast.URL)
+
+	v, err := c.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitDone(t, c, v.ID, 60*time.Second)
+	if !bytes.Equal(v.Result, want) {
+		t.Error("hedged result differs from the local engine")
+	}
+	assertLedgerExact(t, c, spec)
+	if got := counter(c, cluster.MetricHedgesWon); got == 0 {
+		t.Errorf("%s = 0: no hedge ever won against a 300ms straggler", cluster.MetricHedgesWon)
+	}
+	hedged := counter(c, cluster.MetricUnitsHedged)
+	if won := counter(c, cluster.MetricHedgesWon); won > hedged {
+		t.Errorf("hedges won %d > hedged %d", won, hedged)
+	}
+}
+
+// TestClusterByzantineShardRejected runs one permanently corrupting
+// worker next to an honest one: every poisoned payload is rejected by
+// structural validation, re-dispatched, and the final table is still
+// byte-identical — byzantine workers cost time, never bits.
+func TestClusterByzantineShardRejected(t *testing.T) {
+	spec := testSpec()
+	spec.Reps, spec.ShardSize = 20, 10 // 32 units
+	want := localGridJSON(t, spec)
+
+	corrupt := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, r)
+			if rec.Code != http.StatusOK {
+				rw.WriteHeader(rec.Code)
+				rw.Write(rec.Body.Bytes())
+				return
+			}
+			var res cluster.UnitResult
+			if err := json.Unmarshal(rec.Body.Bytes(), &res); err == nil && len(res.Data) > 0 {
+				// Truncate the shard payload: a single flipped byte can land
+				// in a merged-but-unrendered sum and slip through, but a
+				// short encoding always fails the self-validating decoder.
+				res.Data = res.Data[:len(res.Data)-1]
+			}
+			blob, _ := json.Marshal(res)
+			rw.Header().Set("Content-Type", "application/json")
+			rw.Write(blob)
+		})
+	}
+	_, evil := startWorker(t, cluster.WorkerConfig{}, corrupt)
+	_, good := startWorker(t, cluster.WorkerConfig{}, nil)
+	c, _ := startCoordinator(t, cluster.Config{
+		HedgeAfter: -1,
+		RetryBase:  2 * time.Millisecond,
+	}, evil.URL, good.URL)
+
+	v, err := c.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitDone(t, c, v.ID, 60*time.Second)
+	if !bytes.Equal(v.Result, want) {
+		t.Error("byzantine worker changed the table bits")
+	}
+	assertLedgerExact(t, c, spec)
+	if got := counter(c, cluster.MetricUnitsRejected); got == 0 {
+		t.Errorf("%s = 0: the corrupting worker was never caught", cluster.MetricUnitsRejected)
+	}
+	if got := counter(c, cluster.MetricUnitsRedispatched); got == 0 {
+		t.Error("rejected units were never re-dispatched")
+	}
+}
+
+// TestClusterRetryAfterPropagation pins satellite 2: a worker shedding
+// with 503 + Retry-After moves its own next-eligible time out on the
+// coordinator, counted per applied hold, while the rest of the pool
+// finishes the job.
+func TestClusterRetryAfterPropagation(t *testing.T) {
+	spec := testSpec()
+	spec.Reps, spec.ShardSize = 20, 10 // 32 units
+	want := localGridJSON(t, spec)
+
+	// One single-slot worker that sheds under the coordinator's 4-deep
+	// dispatch pressure, one wide-open worker.
+	var sheds atomic.Int64
+	countSheds := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, r)
+			if rec.Code == http.StatusServiceUnavailable {
+				sheds.Add(1)
+			}
+			for k, vs := range rec.Header() {
+				for _, hv := range vs {
+					rw.Header().Add(k, hv)
+				}
+			}
+			rw.WriteHeader(rec.Code)
+			rw.Write(rec.Body.Bytes())
+		})
+	}
+	slowExec := func(h http.Handler) http.Handler {
+		inner := countSheds(h)
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			time.Sleep(5 * time.Millisecond) // hold the one slot long enough to shed
+			inner.ServeHTTP(rw, r)
+		})
+	}
+	_, tiny := startWorker(t, cluster.WorkerConfig{MaxInflight: 1, RetryAfter: time.Second}, slowExec)
+	_, wide := startWorker(t, cluster.WorkerConfig{}, nil)
+	c, _ := startCoordinator(t, cluster.Config{
+		HedgeAfter: -1,
+		RetryBase:  2 * time.Millisecond,
+	}, tiny.URL, wide.URL)
+
+	v, err := c.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitDone(t, c, v.ID, 60*time.Second)
+	if !bytes.Equal(v.Result, want) {
+		t.Error("result differs from the local engine under load shedding")
+	}
+	assertLedgerExact(t, c, spec)
+	holds := counter(c, cluster.MetricRetryAfterHolds)
+	if sheds.Load() > 0 && holds == 0 {
+		t.Errorf("worker shed %d requests but no Retry-After hold was applied", sheds.Load())
+	}
+	if sheds.Load() == 0 {
+		t.Skip("shed never triggered on this scheduling — nothing to assert")
+	}
+	t.Logf("sheds %d, holds applied %d", sheds.Load(), holds)
+}
+
+// TestCoordinatorJournalResume crashes the coordinator mid-job
+// (Close() abandons the dispatch loop without a finished record) and
+// boots a successor from the replayed journal: the job resumes from
+// its banked shards, only the gaps are dispatched, and the finished
+// table is byte-identical with the resumed ledger exact.
+func TestCoordinatorJournalResume(t *testing.T) {
+	spec := testSpec()
+	spec.Reps, spec.ShardSize = 200, 10 // 320 units: the crash lands mid-flight
+	want := localGridJSON(t, spec)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "coord.journal")
+
+	slow := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			time.Sleep(2 * time.Millisecond)
+			h.ServeHTTP(rw, r)
+		})
+	}
+	_, wts := startWorker(t, cluster.WorkerConfig{}, slow)
+
+	// Life 1: journalled coordinator, crash after some units banked.
+	store1, err := storage.OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl1 := serve.NewJournal(store1, 2)
+	c1 := cluster.New(cluster.Config{
+		HedgeAfter: -1, Journal: jl1, Logf: t.Logf,
+		MaxInflightPerWorker: 2,
+	})
+	ts1 := httptest.NewServer(c1.Handler())
+	if err := cluster.Register(context.Background(), nil, ts1.URL, wts.URL); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c1.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		cur, _ := c1.Lookup(v.ID)
+		if cur.UnitsDone >= 15 {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("job finished before the crash (%s)", cur.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ts1.Close()
+	c1.Close() // abandons the job: no finished record
+	if err := jl1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	banked1 := counter(c1, cluster.MetricUnitsCompleted)
+	if banked1 == 0 {
+		t.Fatal("no unit banked before the crash — resume is vacuous")
+	}
+
+	// Life 2: replay, resume, finish.
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := serve.ReplayJournal(blob)
+	if rec.CleanShutdown {
+		t.Error("journal claims clean shutdown after a crashed coordinator")
+	}
+	if got := rec.UnfinishedJobs(); got != 1 {
+		t.Fatalf("replay found %d unfinished jobs, want 1", got)
+	}
+	store2, err := storage.OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl2 := serve.NewJournal(store2, 2)
+	defer jl2.Close()
+	c2 := cluster.New(cluster.Config{
+		HedgeAfter: -1, Journal: jl2, Recovery: rec, Logf: t.Logf,
+	})
+	t.Cleanup(c2.Close)
+	ts2 := httptest.NewServer(c2.Handler())
+	t.Cleanup(ts2.Close)
+	if err := cluster.Register(context.Background(), nil, ts2.URL, wts.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := waitDone(t, c2, v.ID, 60*time.Second)
+	if !v2.Resumed {
+		t.Error("finished job not marked resumed")
+	}
+	if !bytes.Equal(v2.Result, want) {
+		t.Error("resumed result differs from the local engine")
+	}
+	assertLedgerExact(t, c2, spec)
+	recovered := counter(c2, experiment.MetricRepsRecovered)
+	if recovered == 0 {
+		t.Error("successor recovered nothing from the journal")
+	}
+	if got := counter(c2, cluster.MetricJobsResumed); got != 1 {
+		t.Errorf("%s = %d, want 1", cluster.MetricJobsResumed, got)
+	}
+	if got := counter(c2, cluster.MetricShardsRecovered); got == 0 {
+		t.Errorf("%s = 0, want > 0", cluster.MetricShardsRecovered)
+	}
+	t.Logf("crash after %d banked units; successor recovered %d reps", banked1, recovered)
+}
+
+// --- /metrics vs /statusz consistency (satellite 4) ---
+
+var (
+	clusterMetricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	clusterSampleRe     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+)
+
+// parseExposition validates Prometheus text format 0.0.4 and returns
+// samples keyed by full sample name (the serve suite's strict parser).
+func parseExposition(body string) (map[string]float64, error) {
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	for i, line := range strings.Split(body, "\n") {
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !clusterMetricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: bad HELP %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok || !clusterMetricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: bad TYPE %q", i+1, line)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", i+1, kind)
+			}
+			typed[name] = kind
+		case strings.HasPrefix(line, "#"):
+			return nil, fmt.Errorf("line %d: unexpected comment %q", i+1, line)
+		default:
+			m := clusterSampleRe.FindStringSubmatch(line)
+			if m == nil {
+				return nil, fmt.Errorf("line %d: unparseable sample %q", i+1, line)
+			}
+			name, raw := m[1], m[3]
+			family := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if typed[strings.TrimSuffix(name, suf)] == "histogram" {
+					family = strings.TrimSuffix(name, suf)
+					break
+				}
+			}
+			if typed[family] == "" {
+				return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", i+1, name)
+			}
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad value %q: %v", i+1, raw, err)
+			}
+			samples[m[1]+m[2]] = v
+		}
+	}
+	return samples, nil
+}
+
+// TestClusterStatuszMatchesMetrics: /metrics and /statusz render the
+// same registry, so every counter must agree exactly, and the
+// exposition must be strictly well-formed — the coordinator twin of
+// the serve ledger-consistency test.
+func TestClusterStatuszMatchesMetrics(t *testing.T) {
+	spec := testSpec()
+	_, wts := startWorker(t, cluster.WorkerConfig{}, nil)
+	c, ts := startCoordinator(t, cluster.Config{HedgeAfter: -1}, wts.URL)
+
+	v, err := c.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c, v.ID, 30*time.Second)
+	if _, err := c.Enqueue(spec); err != nil { // a cache hit, to move that counter too
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("GET /metrics Content-Type %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := parseExposition(string(body))
+	if err != nil {
+		t.Fatalf("malformed exposition: %v\n---\n%s", err, body)
+	}
+
+	sresp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st cluster.Status
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, want := range map[string]int64{
+		cluster.MetricWorkersRegistered: st.Counters.WorkersRegistered,
+		cluster.MetricRegisterRejected:  st.Counters.RegisterRejected,
+		cluster.MetricWorkerDeaths:      st.Counters.WorkerDeaths,
+		cluster.MetricHeartbeatMisses:   st.Counters.HeartbeatMisses,
+		cluster.MetricUnitsDispatched:   st.Counters.UnitsDispatched,
+		cluster.MetricUnitsCompleted:    st.Counters.UnitsCompleted,
+		cluster.MetricUnitsRedispatched: st.Counters.UnitsRedispatched,
+		cluster.MetricUnitsHedged:       st.Counters.UnitsHedged,
+		cluster.MetricHedgesWon:         st.Counters.HedgesWon,
+		cluster.MetricUnitsRejected:     st.Counters.UnitsRejected,
+		cluster.MetricUnitsDuplicate:    st.Counters.UnitsDuplicate,
+		cluster.MetricRetryAfterHolds:   st.Counters.RetryAfterHolds,
+		cluster.MetricCacheHits:         st.Counters.CacheHits,
+		cluster.MetricJobsAccepted:      st.Counters.JobsAccepted,
+		cluster.MetricJobsCompleted:     st.Counters.JobsCompleted,
+		cluster.MetricJobsFailed:        st.Counters.JobsFailed,
+		cluster.MetricJobsResumed:       st.Counters.JobsResumed,
+		cluster.MetricShardsRecovered:   st.Counters.ShardsRecovered,
+		experiment.MetricReps:           st.Counters.RepsMerged,
+		experiment.MetricRepsRecovered:  st.Counters.RepsRecovered,
+	} {
+		got, ok := samples[name]
+		if !ok {
+			t.Errorf("/metrics missing sample %s", name)
+			continue
+		}
+		if int64(got) != want {
+			t.Errorf("%s: /metrics %v vs /statusz %d", name, got, want)
+		}
+	}
+	if got, ok := samples[cluster.MetricWorkersLive]; !ok || int(got) != st.WorkersLive {
+		t.Errorf("%s: /metrics %v (present %v) vs /statusz %d", cluster.MetricWorkersLive, got, ok, st.WorkersLive)
+	}
+	// Sanity: the workload actually moved the interesting counters.
+	if st.Counters.UnitsCompleted == 0 || st.Counters.CacheHits == 0 || st.Counters.JobsCompleted != 2 {
+		t.Errorf("workload left counters unmoved: %+v", st.Counters)
+	}
+}

@@ -1,0 +1,407 @@
+// The dispatch engine: one goroutine per job owns all unit state and
+// drives the assign → dispatch → bank loop; dispatch goroutines do HTTP
+// only and report on a channel, so every invariant (lease expiry →
+// re-dispatch, hedging, first-writer-wins dedup, structural validation,
+// exact rep accounting) lives in single-threaded code.
+//
+// The rep ledger is the same one the local engine keeps:
+//
+//	grid_reps_total + grid_reps_recovered_total == cells × reps
+//
+// exactly — merged units count into grid_reps_total once (banked units
+// drop duplicates), journal-recovered checkpoints into
+// grid_reps_recovered_total, and nothing else ever touches either.
+
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// assignTick is the dispatch loop's idle poll period: how often it
+// re-scans for units whose backoff expired or whose hedge timer fired.
+const assignTick = 25 * time.Millisecond
+
+// cellAgg is the coordinator-side accumulation point of one grid cell.
+// Only the job's dispatch goroutine touches it.
+type cellAgg struct {
+	rowIdx, colIdx int
+	u, lambda      float64
+	scheme         string
+	seed           uint64
+	agg            stats.Shard
+}
+
+// unitState is one (cell, rep-range) work unit's scheduling state. Only
+// the job's dispatch goroutine touches it; dispatch goroutines get a
+// copy of req.
+type unitState struct {
+	cellIdx int
+	req     UnitRequest
+
+	banked   bool
+	inflight int
+	hedged   bool
+	attempts int
+	// sentAt/onAddr describe the primary outstanding dispatch (hedge
+	// timing and hedge-target exclusion).
+	sentAt time.Time
+	onAddr string
+	// notBefore is the re-dispatch backoff gate.
+	notBefore time.Time
+}
+
+// unitOutcome is one dispatch's report back to the job goroutine.
+type unitOutcome struct {
+	idx        int
+	worker     *workerState
+	hedge      bool
+	res        *UnitResult
+	retryAfter time.Duration
+	err        error
+}
+
+// runJob is a job's dispatch loop, from unit construction to the
+// finished (or failed, or abandoned-for-resume) record.
+func (c *Coordinator) runJob(job *Job) {
+	defer c.wg.Done()
+	tspec, err := experiment.TableByID(job.Spec.Table)
+	if err != nil {
+		c.failJob(job, err) // unreachable for validated specs
+		return
+	}
+	reps := job.Spec.Reps
+	if reps <= 0 {
+		reps = experiment.DefaultReps
+	}
+	unitReps := job.Spec.ShardSize
+	if unitReps <= 0 {
+		unitReps = c.cfg.UnitReps
+	}
+	schemes := tspec.Schemes()
+
+	// Cells in table order — the exact row/column layout RunTableCtx
+	// builds, so the folded table assembles positionally.
+	var cells []*cellAgg
+	rows := 0
+	for _, u := range tspec.Us {
+		for _, lam := range tspec.Lambdas {
+			for ci, s := range schemes {
+				cells = append(cells, &cellAgg{
+					rowIdx: rows, colIdx: ci, u: u, lambda: lam, scheme: s.Name(),
+					seed: experiment.CellSeed(job.Spec.Seed, tspec.ID, u, lam, s.Name()),
+				})
+			}
+			rows++
+		}
+	}
+
+	// Units: full coverage, or — on resume — only the gaps left after
+	// merging the journal's banked shards through the same validation
+	// gauntlet the local resume path applies.
+	var units []*unitState
+	recovered := 0
+	for idx, cell := range cells {
+		var gaps []experiment.ShardRange
+		if job.recovered != nil {
+			var rec int
+			rec, gaps = experiment.RecoverInto(&cell.agg, job.recovered[cell.seed], reps, unitReps)
+			recovered += rec
+		} else {
+			for s := 0; s < reps; s += unitReps {
+				e := s + unitReps
+				if e > reps {
+					e = reps
+				}
+				gaps = append(gaps, experiment.ShardRange{Start: s, End: e})
+			}
+		}
+		for _, g := range gaps {
+			units = append(units, &unitState{
+				cellIdx: idx,
+				req: UnitRequest{
+					Proto: ProtocolVersion, Version: c.cfg.Version,
+					Table: tspec.ID, Col: cell.colIdx, U: cell.u, Lambda: cell.lambda,
+					Seed: job.Spec.Seed, Start: g.Start, End: g.End,
+				},
+			})
+		}
+	}
+	if recovered > 0 {
+		c.met.repsRecovered.Add(int64(recovered))
+	}
+
+	c.mu.Lock()
+	job.State = serve.StateRunning
+	job.Started = time.Now()
+	job.UnitsTotal = len(units)
+	c.mu.Unlock()
+
+	deadline := c.cfg.DefaultTimeout
+	if job.Spec.DeadlineMS > 0 {
+		deadline = time.Duration(job.Spec.DeadlineMS) * time.Millisecond
+	}
+	jobCtx, cancel := context.WithTimeout(c.baseCtx, deadline)
+	defer cancel()
+
+	results := make(chan unitOutcome)
+	outstanding, banked := 0, 0
+	ticker := time.NewTicker(assignTick)
+	defer ticker.Stop()
+loop:
+	for banked < len(units) {
+		c.assign(jobCtx, job, units, results, &outstanding)
+		select {
+		case out := <-results:
+			outstanding--
+			if c.handleOutcome(job, cells, units, out) {
+				banked++
+			}
+		case <-ticker.C:
+		case <-jobCtx.Done():
+			break loop
+		}
+	}
+	// Drain in-flight dispatches before deciding the outcome: a unit
+	// completing during the drain still banks (and with it, possibly,
+	// the job).
+	for outstanding > 0 {
+		out := <-results
+		outstanding--
+		if c.handleOutcome(job, cells, units, out) {
+			banked++
+		}
+	}
+	switch {
+	case banked == len(units):
+		c.completeJob(job, tspec, reps, rows, len(schemes), cells)
+	case c.baseCtx.Err() != nil:
+		// Coordinator shutdown (or crash simulation): write no finished
+		// record — the journal's accepted record plus the banked shards
+		// are exactly what the next boot resumes.
+		return
+	default:
+		c.failJob(job, fmt.Errorf("cluster: job deadline exceeded with %d/%d units banked", banked, len(units)))
+	}
+}
+
+// assign scans the unit table once and dispatches everything eligible:
+// idle units past their backoff to the best worker, and single-inflight
+// stragglers past the hedge threshold to a second worker.
+func (c *Coordinator) assign(ctx context.Context, job *Job, units []*unitState, results chan<- unitOutcome, outstanding *int) {
+	now := time.Now()
+	for i, u := range units {
+		if u.banked {
+			continue
+		}
+		if u.inflight == 0 {
+			if now.Before(u.notBefore) {
+				continue
+			}
+			w := c.acquireWorker("")
+			if w == nil {
+				return // no worker is eligible for anything right now
+			}
+			if u.attempts > 0 {
+				c.met.unitsRedispatched.Inc()
+			}
+			c.launch(ctx, u, i, w, false, results, outstanding)
+		} else if u.inflight == 1 && !u.hedged && c.cfg.HedgeAfter > 0 && now.Sub(u.sentAt) > c.cfg.HedgeAfter {
+			w := c.acquireWorker(u.onAddr)
+			if w == nil {
+				continue // no second worker available; keep waiting
+			}
+			u.hedged = true
+			c.met.unitsHedged.Inc()
+			c.launch(ctx, u, i, w, true, results, outstanding)
+		}
+	}
+}
+
+// launch starts one dispatch goroutine for unit i on worker w.
+func (c *Coordinator) launch(ctx context.Context, u *unitState, idx int, w *workerState, hedge bool, results chan<- unitOutcome, outstanding *int) {
+	u.inflight++
+	if !hedge {
+		u.sentAt = time.Now()
+		u.onAddr = w.addr
+	}
+	*outstanding++
+	c.met.unitsDispatched.Inc()
+	req := u.req
+	t0 := time.Now()
+	go func() {
+		res, retryAfter, err := c.callExecute(ctx, w.addr, req)
+		c.met.unitSeconds.Observe(time.Since(t0).Seconds())
+		c.releaseWorker(w, err == nil)
+		results <- unitOutcome{idx: idx, worker: w, hedge: hedge, res: res, retryAfter: retryAfter, err: err}
+	}()
+}
+
+// callExecute performs one unit dispatch under the lease deadline.
+func (c *Coordinator) callExecute(ctx context.Context, addr string, ureq UnitRequest) (*UnitResult, time.Duration, error) {
+	body, err := json.Marshal(ureq)
+	if err != nil {
+		return nil, 0, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.LeaseTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, addr+"/cluster/v1/execute", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var res UnitResult
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&res); derr != nil {
+			return nil, 0, fmt.Errorf("cluster: worker %s: bad unit response: %w", addr, derr)
+		}
+		return &res, 0, nil
+	case http.StatusServiceUnavailable:
+		var hold time.Duration
+		if s, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && s > 0 {
+			hold = time.Duration(s) * time.Second
+		}
+		return nil, hold, fmt.Errorf("cluster: worker %s at capacity", addr)
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, 0, fmt.Errorf("cluster: worker %s: %s: %s", addr, resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// handleOutcome applies one dispatch result to the unit table and
+// reports whether a new unit was banked. First writer wins: the first
+// structurally valid payload for (cellSeed, start, end) merges and
+// journals; every later arrival — hedge twin, duplicated response,
+// re-dispatch of a lease that turned out alive — is counted and
+// dropped, so no repetition can ever merge twice.
+func (c *Coordinator) handleOutcome(job *Job, cells []*cellAgg, units []*unitState, out unitOutcome) bool {
+	u := units[out.idx]
+	u.inflight--
+	backoff := func() {
+		u.attempts++
+		u.notBefore = time.Now().Add(serve.BackoffDelay(
+			c.cfg.RetryBase, c.cfg.RetryMax, u.attempts-1,
+			cells[u.cellIdx].seed^uint64(u.req.Start)))
+	}
+	if out.err != nil {
+		if out.retryAfter > 0 {
+			c.holdWorker(out.worker, out.retryAfter)
+			c.met.retryAfterHolds.Inc()
+		}
+		if !u.banked {
+			backoff()
+		}
+		return false
+	}
+	cell := cells[u.cellIdx]
+	var sh stats.Shard
+	res := out.res
+	if res == nil || res.Start != u.req.Start || res.End != u.req.End || res.CellSeed != cell.seed ||
+		sh.UnmarshalBinary(res.Data) != nil || sh.Trials() != u.req.End-u.req.Start {
+		// Byzantine or corrupted payload: it can cost a retry, never a
+		// table bit. The rejection counts as a failure of the worker, so
+		// the acquire tiebreak steers the retry elsewhere.
+		c.met.unitsRejected.Inc()
+		c.mu.Lock()
+		out.worker.failures++
+		c.mu.Unlock()
+		c.logf("cluster: rejected invalid shard from %s for cell %x [%d,%d)",
+			out.worker.addr, cell.seed, u.req.Start, u.req.End)
+		if !u.banked {
+			backoff()
+		}
+		return false
+	}
+	if u.banked {
+		c.met.unitsDuplicate.Inc()
+		return false
+	}
+	u.banked = true
+	if out.hedge {
+		c.met.hedgesWon.Inc()
+	}
+	if jl := c.cfg.Journal; jl != nil {
+		if err := jl.AppendShard(job.ID, cell.seed, u.req.Start, u.req.End, res.Data); err != nil {
+			c.logf("cluster: journal shard %s cell %x: %v", job.ID, cell.seed, err)
+		}
+	}
+	cell.agg.Merge(&sh)
+	c.met.unitsCompleted.Inc()
+	c.met.repsMerged.Add(int64(u.req.End - u.req.Start))
+	c.mu.Lock()
+	job.UnitsDone++
+	c.mu.Unlock()
+	return true
+}
+
+// completeJob assembles the folded table — positionally, in the exact
+// layout a local RunTableCtx builds — renders it through the serve
+// encoder, journals the finished record and feeds the result cache.
+func (c *Coordinator) completeJob(job *Job, tspec experiment.Spec, reps, nrows, ncols int, cells []*cellAgg) {
+	rows := make([]experiment.Row, nrows)
+	for _, cell := range cells {
+		if rows[cell.rowIdx].Cells == nil {
+			rows[cell.rowIdx] = experiment.Row{
+				U: cell.u, Lambda: cell.lambda,
+				Cells: make([]experiment.CellResult, ncols),
+			}
+		}
+		rows[cell.rowIdx].Cells[cell.colIdx] = experiment.CellResult{
+			Scheme: cell.scheme, Done: true, Summary: cell.agg.Summary(),
+		}
+	}
+	result := serve.GridResultFromTable(experiment.Table{Spec: tspec, Reps: reps, Rows: rows})
+	blob, err := json.Marshal(result)
+	if err != nil {
+		c.failJob(job, fmt.Errorf("cluster: encode result: %w", err))
+		return
+	}
+	c.cache.put(job.Key, blob)
+	c.met.jobsCompleted.Inc()
+	c.mu.Lock()
+	job.State = serve.StateDone
+	job.Result = blob
+	job.Finished = time.Now()
+	c.mu.Unlock()
+	if jl := c.cfg.Journal; jl != nil {
+		if err := jl.AppendFinished(job.ID, serve.StateDone, "", 1, blob); err != nil {
+			c.logf("cluster: journal finished %s: %v", job.ID, err)
+		}
+	}
+	c.logf("cluster: job %s done (%d units)", job.ID, job.UnitsTotal)
+}
+
+func (c *Coordinator) failJob(job *Job, ferr error) {
+	c.met.jobsFailed.Inc()
+	c.mu.Lock()
+	job.State = serve.StateFailed
+	job.Error = ferr.Error()
+	job.Finished = time.Now()
+	c.mu.Unlock()
+	if jl := c.cfg.Journal; jl != nil {
+		if err := jl.AppendFinished(job.ID, serve.StateFailed, ferr.Error(), 1, nil); err != nil {
+			c.logf("cluster: journal finished %s: %v", job.ID, err)
+		}
+	}
+	c.logf("cluster: job %s failed: %v", job.ID, ferr)
+}

@@ -1,0 +1,193 @@
+// Coordinator telemetry: one registry feeds both /metrics (Prometheus
+// text exposition) and /statusz (JSON) — the two surfaces render the
+// same instruments and cannot disagree, pinned by
+// TestClusterStatuszMatchesMetrics.
+
+package cluster
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/telemetry"
+)
+
+// Coordinator metric families. The rep ledger reuses the experiment
+// names (grid_reps_total / grid_reps_recovered_total) with the same
+// exactness contract: their sum equals cells × reps for every finished
+// job, resumed or not.
+const (
+	MetricWorkersLive       = "cluster_workers_live"
+	MetricWorkersRegistered = "cluster_workers_registered_total"
+	MetricRegisterRejected  = "cluster_register_rejected_total"
+	MetricWorkerDeaths      = "cluster_worker_deaths_total"
+	MetricHeartbeatMisses   = "cluster_heartbeat_misses_total"
+	MetricUnitsDispatched   = "cluster_units_dispatched_total"
+	MetricUnitsCompleted    = "cluster_units_completed_total"
+	MetricUnitsRedispatched = "cluster_units_redispatched_total"
+	MetricUnitsHedged       = "cluster_units_hedged_total"
+	MetricHedgesWon         = "cluster_hedges_won_total"
+	MetricUnitsRejected     = "cluster_units_rejected_total"
+	MetricUnitsDuplicate    = "cluster_units_duplicate_total"
+	MetricRetryAfterHolds   = "cluster_retry_after_holds_total"
+	MetricCacheHits         = "cluster_cache_hits_total"
+	MetricJobsAccepted      = "cluster_jobs_accepted_total"
+	MetricJobsCompleted     = "cluster_jobs_completed_total"
+	MetricJobsFailed        = "cluster_jobs_failed_total"
+	MetricJobsResumed       = "cluster_jobs_resumed_total"
+	MetricShardsRecovered   = "cluster_shards_recovered_total"
+	MetricUnitSeconds       = "cluster_unit_seconds"
+)
+
+type clusterMetrics struct {
+	reg *telemetry.Registry
+
+	workersRegistered *telemetry.Counter
+	registerRejected  *telemetry.Counter
+	workerDeaths      *telemetry.Counter
+	heartbeatMisses   *telemetry.Counter
+	unitsDispatched   *telemetry.Counter
+	unitsCompleted    *telemetry.Counter
+	unitsRedispatched *telemetry.Counter
+	unitsHedged       *telemetry.Counter
+	hedgesWon         *telemetry.Counter
+	unitsRejected     *telemetry.Counter
+	unitsDuplicate    *telemetry.Counter
+	retryAfterHolds   *telemetry.Counter
+	cacheHits         *telemetry.Counter
+	jobsAccepted      *telemetry.Counter
+	jobsCompleted     *telemetry.Counter
+	jobsFailed        *telemetry.Counter
+	jobsResumed       *telemetry.Counter
+	shardsRecovered   *telemetry.Counter
+	repsMerged        *telemetry.Counter
+	repsRecovered     *telemetry.Counter
+	unitSeconds       *telemetry.Histogram
+}
+
+func (c *Coordinator) initTelemetry() {
+	reg := telemetry.NewRegistry()
+	c.met = &clusterMetrics{
+		reg:               reg,
+		workersRegistered: reg.Counter(MetricWorkersRegistered, "workers accepted through the registration handshake"),
+		registerRejected:  reg.Counter(MetricRegisterRejected, "registrations rejected for protocol or build-version skew"),
+		workerDeaths:      reg.Counter(MetricWorkerDeaths, "workers marked dead after missed heartbeats"),
+		heartbeatMisses:   reg.Counter(MetricHeartbeatMisses, "individual heartbeat probe failures"),
+		unitsDispatched:   reg.Counter(MetricUnitsDispatched, "work-unit dispatches sent to workers (re-dispatches and hedges included)"),
+		unitsCompleted:    reg.Counter(MetricUnitsCompleted, "work units banked (validated, journaled and merged exactly once)"),
+		unitsRedispatched: reg.Counter(MetricUnitsRedispatched, "work units re-dispatched after a failed or expired lease"),
+		unitsHedged:       reg.Counter(MetricUnitsHedged, "straggler units duplicated to a second worker"),
+		hedgesWon:         reg.Counter(MetricHedgesWon, "banked units whose winning response was the hedge duplicate"),
+		unitsRejected:     reg.Counter(MetricUnitsRejected, "unit responses rejected by structural validation (byzantine or corrupt)"),
+		unitsDuplicate:    reg.Counter(MetricUnitsDuplicate, "valid unit responses dropped because the unit was already banked"),
+		retryAfterHolds:   reg.Counter(MetricRetryAfterHolds, "worker Retry-After hints applied to dispatch eligibility"),
+		cacheHits:         reg.Counter(MetricCacheHits, "jobs served from the content-addressed result cache without dispatching"),
+		jobsAccepted:      reg.Counter(MetricJobsAccepted, "grid jobs accepted by the coordinator"),
+		jobsCompleted:     reg.Counter(MetricJobsCompleted, "jobs finished in state done (cache hits included)"),
+		jobsFailed:        reg.Counter(MetricJobsFailed, "jobs finished in state failed"),
+		jobsResumed:       reg.Counter(MetricJobsResumed, "unfinished jobs re-queued from the journal at boot"),
+		shardsRecovered:   reg.Counter(MetricShardsRecovered, "shard checkpoints restored from the journal at boot"),
+		repsMerged:        reg.Counter(experiment.MetricReps, "repetitions merged from banked work units"),
+		repsRecovered:     reg.Counter(experiment.MetricRepsRecovered, "repetitions restored from journaled checkpoints instead of re-executed"),
+		unitSeconds:       reg.Histogram(MetricUnitSeconds, "per-dispatch round-trip wall time", nil),
+	}
+	reg.GaugeFunc(MetricWorkersLive, "registered workers currently passing heartbeats",
+		func() float64 { return float64(c.WorkersLive()) })
+	reg.GaugeFunc("cluster_uptime_seconds", "seconds since the coordinator started",
+		func() float64 { return time.Since(c.start).Seconds() })
+}
+
+// Metrics returns the coordinator's registry — the same instance
+// /metrics renders.
+func (c *Coordinator) Metrics() *telemetry.Registry { return c.met.reg }
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = c.met.reg.WritePrometheus(w)
+}
+
+// StatusCounters is the counter block of /statusz, re-read from the
+// same registry instruments /metrics renders.
+type StatusCounters struct {
+	WorkersRegistered int64 `json:"workers_registered"`
+	RegisterRejected  int64 `json:"register_rejected"`
+	WorkerDeaths      int64 `json:"worker_deaths"`
+	HeartbeatMisses   int64 `json:"heartbeat_misses"`
+	UnitsDispatched   int64 `json:"units_dispatched"`
+	UnitsCompleted    int64 `json:"units_completed"`
+	UnitsRedispatched int64 `json:"units_redispatched"`
+	UnitsHedged       int64 `json:"units_hedged"`
+	HedgesWon         int64 `json:"hedges_won"`
+	UnitsRejected     int64 `json:"units_rejected"`
+	UnitsDuplicate    int64 `json:"units_duplicate"`
+	RetryAfterHolds   int64 `json:"retry_after_holds"`
+	CacheHits         int64 `json:"cache_hits"`
+	JobsAccepted      int64 `json:"jobs_accepted"`
+	JobsCompleted     int64 `json:"jobs_completed"`
+	JobsFailed        int64 `json:"jobs_failed"`
+	JobsResumed       int64 `json:"jobs_resumed"`
+	ShardsRecovered   int64 `json:"shards_recovered"`
+	RepsMerged        int64 `json:"reps_merged"`
+	RepsRecovered     int64 `json:"reps_recovered"`
+}
+
+// Status is the /statusz body.
+type Status struct {
+	Proto         int            `json:"proto"`
+	Version       string         `json:"version"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	WorkersLive   int            `json:"workers_live"`
+	WorkersTotal  int            `json:"workers_total"`
+	Jobs          int            `json:"jobs"`
+	Counters      StatusCounters `json:"counters"`
+}
+
+// Status snapshots the coordinator state.
+func (c *Coordinator) Status() Status {
+	m := c.met
+	c.mu.Lock()
+	total := len(c.workers)
+	live := 0
+	for _, w := range c.workers {
+		if w.live {
+			live++
+		}
+	}
+	jobs := len(c.jobs)
+	c.mu.Unlock()
+	return Status{
+		Proto:         ProtocolVersion,
+		Version:       c.cfg.Version,
+		UptimeSeconds: time.Since(c.start).Seconds(),
+		WorkersLive:   live,
+		WorkersTotal:  total,
+		Jobs:          jobs,
+		Counters: StatusCounters{
+			WorkersRegistered: m.workersRegistered.Value(),
+			RegisterRejected:  m.registerRejected.Value(),
+			WorkerDeaths:      m.workerDeaths.Value(),
+			HeartbeatMisses:   m.heartbeatMisses.Value(),
+			UnitsDispatched:   m.unitsDispatched.Value(),
+			UnitsCompleted:    m.unitsCompleted.Value(),
+			UnitsRedispatched: m.unitsRedispatched.Value(),
+			UnitsHedged:       m.unitsHedged.Value(),
+			HedgesWon:         m.hedgesWon.Value(),
+			UnitsRejected:     m.unitsRejected.Value(),
+			UnitsDuplicate:    m.unitsDuplicate.Value(),
+			RetryAfterHolds:   m.retryAfterHolds.Value(),
+			CacheHits:         m.cacheHits.Value(),
+			JobsAccepted:      m.jobsAccepted.Value(),
+			JobsCompleted:     m.jobsCompleted.Value(),
+			JobsFailed:        m.jobsFailed.Value(),
+			JobsResumed:       m.jobsResumed.Value(),
+			ShardsRecovered:   m.shardsRecovered.Value(),
+			RepsMerged:        m.repsMerged.Value(),
+			RepsRecovered:     m.repsRecovered.Value(),
+		},
+	}
+}
+
+func (c *Coordinator) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}

@@ -1,0 +1,235 @@
+// The worker side of the cluster: a stateless executor. A worker holds
+// no job state at all — every unit request is a pure address into the
+// deterministic computation, so a worker can be SIGKILLed at any moment
+// and the only loss is the lease the coordinator re-dispatches. The
+// crashpoint "worker.unit" sits between finishing a unit and writing
+// the response: a kill there models the worst case (work done, reply
+// lost), which the coordinator must answer by re-executing elsewhere
+// without double-merging.
+
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/crashpoint"
+	"repro/internal/experiment"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// Worker-side metric families (on the worker's own /metrics).
+const (
+	MetricWorkerUnitsExecuted = "cluster_worker_units_executed_total"
+	MetricWorkerBusy          = "cluster_worker_busy_total"
+	MetricWorkerRejected      = "cluster_worker_requests_rejected_total"
+)
+
+// WorkerConfig configures a cluster worker.
+type WorkerConfig struct {
+	// MaxInflight bounds concurrently executing units; at saturation the
+	// worker sheds with 503 + Retry-After instead of queueing (the same
+	// bounded-admission posture as the single-process service). Zero
+	// means GOMAXPROCS.
+	MaxInflight int
+	// RetryAfter is the hint returned on saturation. Zero means 1s.
+	RetryAfter time.Duration
+	// Version overrides the build version used in handshakes (tests
+	// only). Zero means cli.Version().
+	Version string
+	// Logf receives operational logging. Nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// Worker executes (cell, rep-range) units on behalf of a coordinator.
+type Worker struct {
+	cfg     WorkerConfig
+	version string
+	sem     chan struct{}
+	mux     *http.ServeMux
+
+	reg                      *telemetry.Registry
+	executed, busy, rejected *telemetry.Counter
+}
+
+// NewWorker builds a worker.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	version := cfg.Version
+	if version == "" {
+		version = cli.Version()
+	}
+	w := &Worker{
+		cfg:     cfg,
+		version: version,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		mux:     http.NewServeMux(),
+		reg:     telemetry.NewRegistry(),
+	}
+	w.executed = w.reg.Counter(MetricWorkerUnitsExecuted, "work units executed to completion")
+	w.busy = w.reg.Counter(MetricWorkerBusy, "unit requests shed with 503 at the inflight bound")
+	w.rejected = w.reg.Counter(MetricWorkerRejected, "unit requests rejected as malformed or version-skewed")
+	w.reg.GaugeFunc("cluster_worker_inflight", "units currently executing",
+		func() float64 { return float64(len(w.sem)) })
+	w.mux.HandleFunc("POST /cluster/v1/execute", w.handleExecute)
+	w.mux.HandleFunc("GET /cluster/v1/healthz", w.handleHealthz)
+	w.mux.HandleFunc("GET /healthz", w.handleHealthz)
+	w.mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = w.reg.WritePrometheus(rw)
+	})
+	return w
+}
+
+// Handler returns the worker's HTTP surface.
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// Metrics returns the worker's registry.
+func (w *Worker) Metrics() *telemetry.Registry { return w.reg }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	writeJSON(rw, http.StatusOK, Hello{Proto: ProtocolVersion, Version: w.version})
+}
+
+func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
+	var req UnitRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		w.rejected.Inc()
+		writeJSON(rw, http.StatusBadRequest, errorBody{Error: "bad unit request: " + err.Error()})
+		return
+	}
+	if req.Proto != ProtocolVersion || req.Version != w.version {
+		w.rejected.Inc()
+		writeJSON(rw, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(
+			"version skew: got proto %d version %q, want proto %d version %q",
+			req.Proto, req.Version, ProtocolVersion, w.version)})
+		return
+	}
+	tspec, err := experiment.TableByID(req.Table)
+	if err != nil {
+		w.rejected.Inc()
+		writeJSON(rw, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	schemes := tspec.Schemes()
+	if req.Col < 0 || req.Col >= len(schemes) || req.Start < 0 || req.End <= req.Start {
+		w.rejected.Inc()
+		writeJSON(rw, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(
+			"bad unit address: col %d range [%d,%d)", req.Col, req.Start, req.End)})
+		return
+	}
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	default:
+		w.busy.Inc()
+		rw.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(w.cfg.RetryAfter)))
+		writeJSON(rw, http.StatusServiceUnavailable, errorBody{Error: "worker at inflight bound"})
+		return
+	}
+	data, err := experiment.ExecUnit(r.Context(), tspec, req.Col, req.U, req.Lambda, req.Seed, req.Start, req.End)
+	if err != nil {
+		w.logf("cluster worker: unit %s[%d] u=%v λ=%v [%d,%d): %v",
+			req.Table, req.Col, req.U, req.Lambda, req.Start, req.End, err)
+		writeJSON(rw, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	// The worst-case kill site: the unit is fully computed but the reply
+	// has not been written. A SIGKILL here loses the lease, never the
+	// ledger — the coordinator re-dispatches and the merge algebra makes
+	// the re-execution bit-identical.
+	crashpoint.Hit("worker.unit")
+	w.executed.Inc()
+	writeJSON(rw, http.StatusOK, UnitResult{
+		CellSeed: experiment.CellSeed(req.Seed, tspec.ID, req.U, req.Lambda, schemes[req.Col].Name()),
+		Start:    req.Start,
+		End:      req.End,
+		Data:     data,
+	})
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Register performs one registration handshake with a coordinator,
+// advertising the worker's reachable base URL.
+func Register(ctx context.Context, client *http.Client, coordinatorURL, advertise string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, err := json.Marshal(RegisterRequest{
+		Addr: advertise, Proto: ProtocolVersion, Version: cli.Version(),
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		normalizeAddr(coordinatorURL)+"/cluster/v1/register", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: register: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// RegisterLoop retries Register under the serve backoff law until it
+// succeeds or ctx fires — the boot loop of a worker process whose
+// coordinator may not be up yet.
+func RegisterLoop(ctx context.Context, client *http.Client, coordinatorURL, advertise string, logf func(string, ...any)) error {
+	h := fnv.New64a()
+	h.Write([]byte(advertise))
+	seed := h.Sum64()
+	for attempt := 0; ; attempt++ {
+		err := Register(ctx, client, coordinatorURL, advertise)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		d := serve.BackoffDelay(250*time.Millisecond, 5*time.Second, attempt, seed)
+		if logf != nil {
+			logf("cluster worker: register with %s failed (%v), retrying in %v", coordinatorURL, err, d)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+	}
+}

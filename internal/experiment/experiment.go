@@ -291,8 +291,13 @@ func (r Runner) workers() int {
 // this package used before the derivation was hoisted into rng).
 func mix(cell uint64, rep int) uint64 { return rng.Stream(cell, rep) }
 
-// cellSeed derives a deterministic seed for a (table, U, λ, scheme) cell.
-func (r Runner) cellSeed(id string, u, lambda float64, scheme string) uint64 {
+// CellSeed derives the deterministic seed of a (table, U, λ, scheme)
+// cell from the base seed — the same derivation every Runner uses.
+// Exported so remote executors (the cluster worker) can address the
+// identical rep streams from nothing but the cell's grid coordinates:
+// a shard computed anywhere from (CellSeed, rep range) is bit-identical
+// to the one a local run would produce.
+func CellSeed(base uint64, id string, u, lambda float64, scheme string) uint64 {
 	// FNV-1a over the textual key keeps seeds stable across refactors.
 	const (
 		offset = 14695981039346656037
@@ -310,13 +315,18 @@ func (r Runner) cellSeed(id string, u, lambda float64, scheme string) uint64 {
 	buf = append(buf, '|')
 	buf = append(buf, scheme...)
 	buf = append(buf, '|')
-	buf = strconv.AppendUint(buf, r.Seed, 10)
+	buf = strconv.AppendUint(buf, base, 10)
 	h := uint64(offset)
 	for _, b := range buf {
 		h ^= uint64(b)
 		h *= prime
 	}
 	return h
+}
+
+// cellSeed derives a deterministic seed for a (table, U, λ, scheme) cell.
+func (r Runner) cellSeed(id string, u, lambda float64, scheme string) uint64 {
+	return CellSeed(r.Seed, id, u, lambda, scheme)
 }
 
 // RunCell simulates one cell to a Summary.

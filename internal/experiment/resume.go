@@ -82,6 +82,46 @@ func validRecovered(cps []ShardCheckpoint, reps int) []recoveredShard {
 	return kept
 }
 
+// ShardRange is a half-open repetition range [Start, End) of one cell —
+// the gaps RecoverInto reports for re-execution.
+type ShardRange struct {
+	Start, End int
+}
+
+// RecoverInto merges the surviving checkpoints of one cell into agg —
+// after the same validation gauntlet the local resume path applies
+// (validRecovered: in-range, disjoint, decodable, trial-count-matching;
+// anything suspect is recomputed, never trusted) — and returns the
+// number of repetitions restored plus the uncovered ranges, chunked by
+// size. A cluster coordinator resuming from its journal feeds each
+// cell's banked shards through this and dispatches only the gaps.
+func RecoverInto(agg *stats.Shard, cps []ShardCheckpoint, reps, size int) (recovered int, gaps []ShardRange) {
+	if size <= 0 {
+		size = DefaultShardSize
+	}
+	valid := validRecovered(cps, reps)
+	for i := range valid {
+		agg.Merge(&valid[i].shard)
+		recovered += valid[i].end - valid[i].start
+	}
+	emit := func(lo, hi int) {
+		for s := lo; s < hi; s += size {
+			e := s + size
+			if e > hi {
+				e = hi
+			}
+			gaps = append(gaps, ShardRange{Start: s, End: e})
+		}
+	}
+	pos := 0
+	for _, rc := range valid {
+		emit(pos, rc.start)
+		pos = rc.end
+	}
+	emit(pos, reps)
+	return recovered, gaps
+}
+
 // gapUnits appends shard units covering every rep of cell ci not covered
 // by the recovered set, chunked by size, and returns the extended slice
 // plus the unit count added.

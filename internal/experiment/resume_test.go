@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
 
@@ -147,5 +148,128 @@ func TestResumeRejectsSuspectCheckpoints(t *testing.T) {
 	}
 	if got := tableBitsJSON(t, tbl); !bytes.Equal(got, want) {
 		t.Error("poisoned checkpoints changed the table JSON")
+	}
+}
+
+// synthCheckpoint builds a structurally valid checkpoint of exactly
+// end-start trials with synthetic observations — enough to pass the
+// codec and trial-count gates of validRecovered.
+func synthCheckpoint(start, end int) ShardCheckpoint {
+	var sh stats.Shard
+	for i := start; i < end; i++ {
+		sh.ObserveRun(uint64(i)+1, true, false, 1.5, 2.5, 0, 1)
+	}
+	return ShardCheckpoint{Start: start, End: end, Data: sh.AppendBinary(nil)}
+}
+
+// TestValidRecoveredEdgeCases pins the validation gauntlet unit by
+// unit: overlapping ranges, out-of-range ends, exact duplicate
+// (start,end) pairs, inverted and zero-length shards, undecodable
+// payloads and trial-count mismatches are all dropped — without
+// panicking and without letting any repetition into the kept set
+// twice.
+func TestValidRecoveredEdgeCases(t *testing.T) {
+	const reps = 100
+	cps := []ShardCheckpoint{
+		synthCheckpoint(10, 20),
+		synthCheckpoint(10, 20),           // exact duplicate (start,end) pair
+		{Start: 5, End: 5},                // zero-length
+		{Start: 7, End: 3},                // inverted range
+		synthCheckpoint(90, 100),          // flush against the upper bound: kept
+		{Start: 95, End: 105, Data: synthCheckpoint(95, 105).Data}, // End > reps
+		{Start: -4, End: 6, Data: synthCheckpoint(0, 10).Data},     // negative Start
+		synthCheckpoint(15, 30),           // overlaps the kept [10,20)
+		synthCheckpoint(20, 40),           // abuts the kept [10,20): kept
+		{Start: 50, End: 60, Data: []byte("not a shard encoding")},
+		{Start: 60, End: 70, Data: synthCheckpoint(60, 65).Data}, // claims 10, holds 5
+		{Start: 42, End: 44, Data: nil},   // nil payload
+	}
+	kept := validRecovered(cps, reps)
+
+	want := [][2]int{{10, 20}, {20, 40}, {90, 100}}
+	if len(kept) != len(want) {
+		t.Fatalf("kept %d shards, want %d", len(kept), len(want))
+	}
+	for i, w := range want {
+		if kept[i].start != w[0] || kept[i].end != w[1] {
+			t.Errorf("kept[%d] = [%d,%d), want [%d,%d)", i, kept[i].start, kept[i].end, w[0], w[1])
+		}
+	}
+	// The structural invariant behind "no double count": the kept set is
+	// sorted, disjoint and in range, and each survivor's payload holds
+	// exactly its range's trials.
+	pos := 0
+	for i, k := range kept {
+		if k.start < pos || k.end > reps {
+			t.Errorf("kept[%d] = [%d,%d) violates disjoint/in-range (pos %d)", i, k.start, k.end, pos)
+		}
+		if k.shard.Trials() != k.end-k.start {
+			t.Errorf("kept[%d] holds %d trials for range [%d,%d)", i, k.shard.Trials(), k.start, k.end)
+		}
+		pos = k.end
+	}
+}
+
+// TestValidRecoveredAllSuspect: a checkpoint set with nothing worth
+// keeping — every entry malformed one way or another — yields an empty
+// kept set, not a panic.
+func TestValidRecoveredAllSuspect(t *testing.T) {
+	const reps = 50
+	cps := []ShardCheckpoint{
+		{Start: 0, End: 0},
+		{Start: 10, End: 5},
+		{Start: -1, End: 4, Data: synthCheckpoint(0, 5).Data},
+		{Start: 45, End: 55, Data: synthCheckpoint(45, 55).Data},
+		{Start: 0, End: 10, Data: []byte{0xde, 0xad}},
+		{Start: 0, End: 10}, // nil payload
+	}
+	if kept := validRecovered(cps, reps); len(kept) != 0 {
+		t.Errorf("kept %d suspect shards, want 0", len(kept))
+	}
+	if kept := validRecovered(nil, reps); len(kept) != 0 {
+		t.Errorf("kept %d shards from a nil set, want 0", len(kept))
+	}
+}
+
+// TestRecoverIntoGapsExact: RecoverInto's recovered count and gap list
+// must partition [0, reps) exactly against the kept shards — the
+// coordinator dispatches precisely the gaps, so an off-by-one here
+// is a silently dropped or double-executed repetition.
+func TestRecoverIntoGapsExact(t *testing.T) {
+	const reps, size = 100, 25
+	var agg stats.Shard
+	recovered, gaps := RecoverInto(&agg, []ShardCheckpoint{
+		synthCheckpoint(10, 20),
+		synthCheckpoint(10, 20), // duplicate: must not double-merge
+		synthCheckpoint(40, 60),
+		{Start: 55, End: 65, Data: synthCheckpoint(55, 65).Data}, // overlap: dropped
+	}, reps, size)
+
+	if recovered != 30 {
+		t.Errorf("recovered = %d, want 30", recovered)
+	}
+	if agg.Trials() != 30 {
+		t.Errorf("agg holds %d trials, want 30 (duplicate shard double-merged?)", agg.Trials())
+	}
+	// Gaps + recovered ranges must tile [0, reps) with no hole and no
+	// overlap, and every gap must respect the chunk size.
+	covered := make([]int, reps)
+	mark := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			covered[i]++
+		}
+	}
+	mark(10, 20)
+	mark(40, 60)
+	for _, g := range gaps {
+		if g.End-g.Start <= 0 || g.End-g.Start > size {
+			t.Errorf("gap [%d,%d) has bad size (chunk %d)", g.Start, g.End, size)
+		}
+		mark(g.Start, g.End)
+	}
+	for i, n := range covered {
+		if n != 1 {
+			t.Fatalf("rep %d covered %d times, want exactly once", i, n)
+		}
 	}
 }

@@ -378,32 +378,46 @@ func (s *sched) execShard(rctx *sim.RunContext, bctx *sim.BatchContext, scratch 
 	if c.paramsErr != nil {
 		return c.wrap(c.paramsErr)
 	}
-	if !s.r.DisableBatch && bctx != nil {
+	if rerr := execRange(s.ctx, rctx, bctx, scratch, c.scheme, c.params, c.seed, u.start, u.end, s.r.DisableBatch); rerr != nil {
+		return c.wrap(rerr)
+	}
+	return nil
+}
+
+// execRange runs repetitions [start, end) of the cell identified by
+// cellSeed into scratch — the shared execution core of the local
+// work-stealing scheduler and the remote ExecUnit entry point. The batch
+// kernel is the warm default; the scalar loop is the reference and the
+// fallback for configurations outside the kernel envelope; both produce
+// byte-identical Shard payloads. Panics propagate to the caller, which
+// owns recovery policy.
+func execRange(ctx context.Context, rctx *sim.RunContext, bctx *sim.BatchContext, scratch *stats.Shard, scheme sim.Scheme, params sim.Params, cellSeed uint64, start, end int, disableBatch bool) error {
+	if !disableBatch && bctx != nil {
 		// One cancellation poll per batch — the same granularity the
 		// scalar loop polls at (a shard is at most a few hundred reps).
-		if cerr := s.ctx.Err(); cerr != nil {
-			return c.wrap(cerr)
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
 		}
-		n := u.end - u.start
+		n := end - start
 		bctx.Grow(n)
 		for j := 0; j < n; j++ {
-			bctx.Seeds[j] = mix(c.seed, u.start+j)
-			bctx.Keys[j] = repKey(c.seed, u.start+j)
+			bctx.Seeds[j] = mix(cellSeed, start+j)
+			bctx.Keys[j] = repKey(cellSeed, start+j)
 		}
-		if sim.RunBatch(rctx, bctx, c.scheme, c.params, bctx.Seeds) {
+		if sim.RunBatch(rctx, bctx, scheme, params, bctx.Seeds) {
 			scratch.ObserveRuns(bctx.Keys, bctx.Completed,
 				bctx.Energy, bctx.Time, bctx.Faults, bctx.Switches)
 			return nil
 		}
 	}
-	for rep := u.start; rep < u.end; rep++ {
-		if (rep-u.start)&0xff == 0 {
-			if cerr := s.ctx.Err(); cerr != nil {
-				return c.wrap(cerr)
+	for rep := start; rep < end; rep++ {
+		if (rep-start)&0xff == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
 			}
 		}
-		res := sim.RunScheme(rctx, c.scheme, c.params, rctx.Reseed(mix(c.seed, rep)))
-		scratch.ObserveRun(repKey(c.seed, rep), res.Completed, res.SilentCorruption,
+		res := sim.RunScheme(rctx, scheme, params, rctx.Reseed(mix(cellSeed, rep)))
+		scratch.ObserveRun(repKey(cellSeed, rep), res.Completed, res.SilentCorruption,
 			res.Energy, res.Time, float64(res.Faults), float64(res.Switches))
 	}
 	return nil

@@ -1,0 +1,59 @@
+// Remote execution surface: ExecUnit runs one (cell, rep-range) work
+// unit from nothing but the cell's grid coordinates and the base seed,
+// and returns the canonical stats.Shard encoding of exactly those
+// repetitions. Because every rep's rng stream and sketch key are pure
+// functions of (CellSeed, rep), the bytes are bit-identical to the shard
+// checkpoint a local Runner would have produced for the same range — so
+// a cluster coordinator can fold units computed on any mix of machines
+// with the order-independent merge algebra and get a table that is
+// byte-identical to a single-process run.
+
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ExecUnit executes repetitions [start, end) of the (table, scheme
+// column, U, λ) cell under base seed and returns the canonical
+// stats.Shard bytes. A panicking scheme is recovered into a *CellError
+// (Panicked set, stack captured) so a worker process survives any
+// malformed cell. col indexes spec.Schemes().
+func ExecUnit(ctx context.Context, spec Spec, col int, u, lambda float64, seed uint64, start, end int) (data []byte, err error) {
+	schemes := spec.Schemes()
+	if col < 0 || col >= len(schemes) {
+		return nil, fmt.Errorf("experiment: scheme column %d out of range [0,%d)", col, len(schemes))
+	}
+	if start < 0 || end <= start {
+		return nil, fmt.Errorf("experiment: invalid rep range [%d,%d)", start, end)
+	}
+	scheme := schemes[col]
+	params, perr := spec.CellParams(u, lambda)
+	cellSeed := CellSeed(seed, spec.ID, u, lambda, scheme.Name())
+	wrap := func(e error) *CellError {
+		return &CellError{Table: spec.ID, U: u, Lambda: lambda, Scheme: scheme.Name(), Seed: cellSeed, Err: e}
+	}
+	if perr != nil {
+		return nil, wrap(perr)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			ce := wrap(fmt.Errorf("%v", p))
+			ce.Panicked = true
+			ce.Stack = debug.Stack()
+			data, err = nil, ce
+		}
+	}()
+	rctx := sim.NewRunContext()
+	bctx := sim.NewBatchContext()
+	var scratch stats.Shard
+	if rerr := execRange(ctx, rctx, bctx, &scratch, scheme, params, cellSeed, start, end, false); rerr != nil {
+		return nil, wrap(rerr)
+	}
+	return scratch.AppendBinary(nil), nil
+}

@@ -160,6 +160,15 @@ func executeGrid(ctx context.Context, spec JobSpec, workers int, progress func(d
 	if err != nil {
 		return nil, err
 	}
+	return GridResultFromTable(tbl), nil
+}
+
+// GridResultFromTable projects a finished experiment table into the
+// service's JSON result shape. Exported so the cluster coordinator
+// renders the table it folded from remote shards through the identical
+// encoder — byte-identical result JSON is the cluster's core invariant,
+// and it must not depend on which process does the rendering.
+func GridResultFromTable(tbl experiment.Table) GridResult {
 	out := GridResult{Table: tbl.Spec.ID, Reps: tbl.Reps}
 	for _, row := range tbl.Rows {
 		r := GridRow{U: row.U, Lambda: row.Lambda}
@@ -173,7 +182,7 @@ func executeGrid(ctx context.Context, spec JobSpec, workers int, progress func(d
 		}
 		out.Rows = append(out.Rows, r)
 	}
-	return out, nil
+	return out
 }
 
 // singleParams builds the simulation parameters of a single/mission

@@ -505,7 +505,7 @@ func (s *Server) runJob(job *Job) {
 			break
 		}
 		s.met.retries.Inc()
-		delay := backoffDelay(s.cfg.RetryBase, s.cfg.RetryMax, attempt, job.Spec.Seed)
+		delay := BackoffDelay(s.cfg.RetryBase, s.cfg.RetryMax, attempt, job.Spec.Seed)
 		s.trace("job.retry", map[string]any{
 			"id": job.ID, "attempt": attempt + 1,
 			"error": err.Error(), "delay_ms": delay.Milliseconds(),
@@ -666,11 +666,13 @@ func splitmix(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// backoffDelay is exponential backoff with deterministic jitter: the
+// BackoffDelay is exponential backoff with deterministic jitter: the
 // delay for attempt n is in [d/2, d) where d = base·2ⁿ capped at max.
 // Jitter derives from (seed, attempt), so a job's retry schedule is
-// reproducible while distinct jobs decorrelate.
-func backoffDelay(base, max time.Duration, attempt int, seed uint64) time.Duration {
+// reproducible while distinct jobs decorrelate. Exported so the cluster
+// coordinator's unit re-dispatch and worker registration loops share the
+// same retry law as the job server.
+func BackoffDelay(base, max time.Duration, attempt int, seed uint64) time.Duration {
 	d := base
 	for i := 0; i < attempt && d < max; i++ {
 		d *= 2
