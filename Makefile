@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check golden bench bench-check determinism fuzz-smoke chaos kill-soak cluster-soak telemetry-overhead journal-overhead profile
+.PHONY: build test vet race check golden bench bench-check determinism fuzz-smoke chaos kill-soak cluster-soak store-soak telemetry-overhead journal-overhead profile
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,13 @@ kill-soak:
 # the job byte-identical with an exact rep ledger, race detector on.
 cluster-soak:
 	$(GO) test -race -run ClusterSoak -count=1 -v -timeout 600s ./internal/cluster/
+
+# The tiered-store soak: a capacity-constrained checkpoint store under
+# chaos shard retries across several worker/shard shapes — tables stay
+# bit-identical, the rep ledger stays exact, and store_* telemetry is
+# scheduling-invariant, race detector on.
+store-soak:
+	$(GO) test -race -run StoreSoak -count=1 -v -timeout 600s ./internal/experiment/
 
 # Measure the telemetry sink's tax on the Table 1a grid: none vs nop
 # vs live registry sink. Budget: nop ≤2% over none (DESIGN.md §11).

@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/checkpoint"
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -52,6 +53,7 @@ func run() error {
 		reps       = flag.Int("reps", 10000, "Monte-Carlo repetitions")
 		seed       = flag.Uint64("seed", 1, "base seed")
 		trace      = flag.Bool("trace", false, "print the event timeline of a single run")
+		analytic   = flag.Bool("analytic", false, "also print the Young/Daly analytic optimal checkpoint intervals for this (cost, λ) point")
 	)
 	showVersion := cli.VersionFlag()
 	flag.Parse()
@@ -127,5 +129,17 @@ func run() error {
 	fmt.Printf("P = %.4f ± %.4f\n", s.P, s.PCI)
 	fmt.Printf("E = %.0f ± %.0f (over timely completions)\n", s.E, s.ECI)
 	fmt.Printf("mean faults/run = %.2f, mean speed switches/run = %.2f\n", s.MeanFaults, s.MeanSwitches)
+	if *analytic {
+		// The classical single-level comparators, evaluated at the full
+		// CSCP cost (ts+tcp). The simulated schemes optimise a richer
+		// DMR-specific model, so these bracket rather than match — a wild
+		// disagreement flags a modelling bug on one side.
+		ai, aerr := analysis.Intervals(costs.CSCPCycles(), *lambda)
+		if aerr != nil {
+			return cli.Usagef("%v", aerr)
+		}
+		fmt.Printf("analytic: MTBF=%.0f τ_Young=%.1f τ_Daly=%.1f (c=ts+tcp=%.0f)\n",
+			ai.MTBF, ai.Young, ai.Daly, costs.CSCPCycles())
+	}
 	return nil
 }

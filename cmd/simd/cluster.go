@@ -25,9 +25,10 @@ import (
 
 // runWorker serves the unit-execution API and, when a coordinator URL
 // is given, keeps registering until the handshake succeeds.
-func runWorker(listen, coordURL, advertise string, maxInflight int) error {
+func runWorker(listen, coordURL, advertise string, maxInflight int, key []byte) error {
 	w := cluster.NewWorker(cluster.WorkerConfig{
 		MaxInflight: maxInflight,
+		Key:         key,
 		Logf:        log.Printf,
 	})
 	ln, err := net.Listen("tcp", listen)
@@ -79,12 +80,13 @@ func runWorker(listen, coordURL, advertise string, maxInflight int) error {
 
 // runCoordinator boots the coordinator, replaying its journal so
 // unfinished jobs resume from their banked shards.
-func runCoordinator(listen, journalPath string, journalSync, unitReps int, hedgeAfter, lease, heartbeat time.Duration) error {
+func runCoordinator(listen, journalPath string, journalSync, unitReps int, hedgeAfter, lease, heartbeat time.Duration, key []byte) error {
 	cfg := cluster.Config{
 		UnitReps:          unitReps,
 		HedgeAfter:        hedgeAfter,
 		LeaseTimeout:      lease,
 		HeartbeatInterval: heartbeat,
+		Key:               key,
 		Logf:              log.Printf,
 	}
 	if journalPath != "" {

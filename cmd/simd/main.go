@@ -119,6 +119,7 @@ func run(args []string) error {
 		hedgeAfter  = fs.Duration("hedge-after", 2*time.Second, "coordinator: duplicate a straggling unit to a second worker after this long (<0 disables)")
 		lease       = fs.Duration("lease", 15*time.Second, "coordinator: work-unit lease (per-dispatch deadline); expiry re-dispatches")
 		heartbeat   = fs.Duration("heartbeat", 500*time.Millisecond, "coordinator: worker heartbeat probe interval")
+		clusterKey  = fs.String("cluster-key", "", "shared HMAC key for shard-result authentication; set identically on coordinator and workers (empty disables)")
 
 		showVersion = fs.Bool("version", false, "print build version and exit")
 	)
@@ -139,9 +140,9 @@ func run(args []string) error {
 	case "single":
 		// fall through to the self-contained daemon below
 	case "worker":
-		return runWorker(*listen, *coordURL, *advertise, *maxInflight)
+		return runWorker(*listen, *coordURL, *advertise, *maxInflight, []byte(*clusterKey))
 	case "coordinator":
-		return runCoordinator(*listen, *journalPath, *journalSync, *unitReps, *hedgeAfter, *lease, *heartbeat)
+		return runCoordinator(*listen, *journalPath, *journalSync, *unitReps, *hedgeAfter, *lease, *heartbeat, []byte(*clusterKey))
 	default:
 		return cli.Usagef("unknown -role %q (want single, coordinator or worker)", *role)
 	}

@@ -1,12 +1,14 @@
 // Command sweep traces P and E per scheme over a swept parameter —
-// fault rate, utilisation, or the store/compare cost split — as CSV
-// series, the figure-like counterpart of the paper's tables.
+// fault rate, utilisation, the store/compare cost split, or the tiered
+// store's checkpoint-set capacity — as CSV series, the figure-like
+// counterpart of the paper's tables.
 //
 // Usage:
 //
 //	sweep -kind lambda -from 2e-4 -to 2e-3 -steps 10
 //	sweep -kind u -from 0.70 -to 0.95 -steps 11
 //	sweep -kind costratio -from 0.05 -to 0.95 -steps 10
+//	sweep -kind storecap -ks 0,8,4,2,1
 //
 // Exit codes: 0 on success, 1 on a runtime failure, 2 on a flag value
 // the command cannot act on.
@@ -17,6 +19,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/checkpoint"
 	"repro/internal/cli"
@@ -36,7 +40,8 @@ func main() {
 
 func run() error {
 	var (
-		kind    = flag.String("kind", "lambda", "swept parameter: lambda | u | costratio")
+		kind    = flag.String("kind", "lambda", "swept parameter: lambda | u | costratio | storecap")
+		ks      = flag.String("ks", "0,12,8,6,4,3,2,1", "retention bounds for -kind storecap, comma-separated (0 = unlimited store)")
 		from    = flag.Float64("from", 2e-4, "first swept value")
 		to      = flag.Float64("to", 2e-3, "last swept value")
 		steps   = flag.Int("steps", 10, "number of sweep points")
@@ -53,7 +58,7 @@ func run() error {
 		return nil
 	}
 
-	if *steps < 2 {
+	if *steps < 2 && *kind != "storecap" {
 		return cli.Usagef("-steps must be at least 2")
 	}
 	values := make([]float64, *steps)
@@ -92,6 +97,16 @@ func run() error {
 		ser, err = sweep.Utilization(cfg, schemes, values)
 	case "costratio":
 		ser, err = sweep.CostRatio(cfg, schemes, values)
+	case "storecap":
+		var kvals []int
+		for _, tok := range strings.Split(*ks, ",") {
+			kv, perr := strconv.Atoi(strings.TrimSpace(tok))
+			if perr != nil {
+				return cli.Usagef("bad -ks entry %q", tok)
+			}
+			kvals = append(kvals, kv)
+		}
+		ser, err = sweep.StoreCapacity(cfg, schemes, kvals)
 	default:
 		return cli.Usagef("unknown -kind %q", *kind)
 	}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/cli"
 	"repro/internal/experiment"
 	"repro/internal/telemetry"
@@ -50,6 +51,7 @@ func run() error {
 		score    = flag.Bool("score", false, "print measured-vs-published agreement scores")
 		quiet    = flag.Bool("q", false, "suppress per-cell progress")
 		traceOut = flag.String("trace-out", "", "write per-cell run-trace events (JSONL) to this file")
+		analytic = flag.Bool("analytic", false, "append the Young/Daly analytic interval comparators per fault rate")
 	)
 	showVersion := cli.VersionFlag()
 	flag.Parse()
@@ -122,6 +124,21 @@ func run() error {
 			}
 			if sc, ok := tbl.BaselineScore(); ok {
 				fmt.Printf("table %s (baselines):   %s\n", spec.ID, sc)
+			}
+			fmt.Println()
+		}
+		if *analytic {
+			// Classical single-level comparators at the table's CSCP cost.
+			// Off by default so existing output stays byte-identical.
+			c := spec.Costs.CSCPCycles()
+			for _, lam := range spec.Lambdas {
+				ai, aerr := analysis.Intervals(c, lam)
+				if aerr != nil {
+					fmt.Printf("table %s λ=%g: %v\n", spec.ID, lam, aerr)
+					continue
+				}
+				fmt.Printf("table %s λ=%g: MTBF=%.0f τ_Young=%.1f τ_Daly=%.1f (c=%.0f)\n",
+					spec.ID, lam, ai.MTBF, ai.Young, ai.Daly, c)
 			}
 			fmt.Println()
 		}

@@ -1,0 +1,76 @@
+// Young's and Daly's classical optimal checkpoint intervals — the
+// standard analytic baselines the HPC checkpointing literature compares
+// against. The paper's renewal models (R1/R2) are interval-granular and
+// DMR-specific; Young/Daly answer the simpler single-level question
+// "how often should a task of MTBF M checkpoint at cost C", which makes
+// them a useful sanity comparator for the simulated optimal intervals:
+// when the simulator disagrees wildly with Daly on a scenario the
+// models should agree on, something is wrong with one of them.
+
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// YoungInterval is Young's first-order optimum checkpoint interval
+// for checkpoint cost c and mean time between failures mtbf:
+//
+//	τ_Y = sqrt(2·c·M)
+//
+// valid when c ≪ M. Costs and the returned interval are in the same
+// time unit as mtbf (for this repo: cycles at minimum speed).
+func YoungInterval(c, mtbf float64) float64 {
+	if c < 0 || mtbf <= 0 || math.IsNaN(c) || math.IsNaN(mtbf) {
+		panic(fmt.Sprintf("analysis: YoungInterval got c=%v mtbf=%v", c, mtbf))
+	}
+	return math.Sqrt(2 * c * mtbf)
+}
+
+// DalyInterval is Daly's higher-order refinement of Young's interval:
+//
+//	τ_D = sqrt(2cM)·[1 + (1/3)·sqrt(c/2M) + (1/9)·(c/2M)] − c   for c < 2M
+//	τ_D = M                                                      otherwise
+//
+// It reduces to Young's estimate as c/M → 0 and degrades gracefully
+// when the checkpoint cost approaches the failure scale, where Young's
+// formula stops making sense.
+func DalyInterval(c, mtbf float64) float64 {
+	if c < 0 || mtbf <= 0 || math.IsNaN(c) || math.IsNaN(mtbf) {
+		panic(fmt.Sprintf("analysis: DalyInterval got c=%v mtbf=%v", c, mtbf))
+	}
+	if c >= 2*mtbf {
+		return mtbf
+	}
+	x := c / (2 * mtbf)
+	return math.Sqrt(2*c*mtbf)*(1+math.Sqrt(x)/3+x/9) - c
+}
+
+// AnalyticIntervals bundles the two classical estimates for a fault
+// rate λ (MTBF = 1/λ) and a per-checkpoint cost c, plus the simulated
+// paper model's interval for context. Lambda must be positive — with
+// no faults there is no finite optimal interval.
+type AnalyticIntervals struct {
+	// Young and Daly are the classical optimal intervals.
+	Young, Daly float64
+	// MTBF is 1/λ, the failure scale both formulas are built on.
+	MTBF float64
+}
+
+// Intervals evaluates both estimates at fault rate lambda and
+// checkpoint cost c.
+func Intervals(c, lambda float64) (AnalyticIntervals, error) {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return AnalyticIntervals{}, fmt.Errorf("analysis: Young/Daly need λ>0, got %v", lambda)
+	}
+	if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return AnalyticIntervals{}, fmt.Errorf("analysis: Young/Daly need cost ≥ 0, got %v", c)
+	}
+	mtbf := 1 / lambda
+	return AnalyticIntervals{
+		Young: YoungInterval(c, mtbf),
+		Daly:  DalyInterval(c, mtbf),
+		MTBF:  mtbf,
+	}, nil
+}

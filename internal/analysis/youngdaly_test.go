@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestYoungDalyAgreeInTheSmallCostLimit(t *testing.T) {
+	// c ≪ M: Daly's refinement converges to Young's first-order formula.
+	const mtbf = 1e6
+	for _, c := range []float64{1e-3, 1, 10} {
+		y, d := YoungInterval(c, mtbf), DalyInterval(c, mtbf)
+		if rel := math.Abs(d-y) / y; rel > 0.01 {
+			t.Errorf("c=%v: Young %v vs Daly %v (rel %v), want agreement under 1%%", c, y, d, rel)
+		}
+	}
+}
+
+func TestDalyIntervalRegimes(t *testing.T) {
+	// Known value: c=100, M=1e4 → sqrt(2e6)=1414.2136...; Daly subtracts
+	// c and adds the correction terms.
+	y := YoungInterval(100, 1e4)
+	if math.Abs(y-math.Sqrt(2e6)) > 1e-9 {
+		t.Errorf("Young(100, 1e4) = %v", y)
+	}
+	d := DalyInterval(100, 1e4)
+	if !(d < y) {
+		t.Errorf("Daly %v should sit below Young %v at c/M=0.01", d, y)
+	}
+	if d <= 0 {
+		t.Errorf("Daly interval %v not positive", d)
+	}
+	// Degenerate regime: cost at or past 2M clamps to the MTBF.
+	if got := DalyInterval(2e4, 1e4); got != 1e4 {
+		t.Errorf("Daly(2M, M) = %v, want M", got)
+	}
+	// Monotone in mtbf: rarer faults → longer intervals.
+	if !(DalyInterval(100, 1e5) > DalyInterval(100, 1e4)) {
+		t.Error("Daly interval not increasing in MTBF")
+	}
+}
+
+func TestIntervalsValidation(t *testing.T) {
+	if _, err := Intervals(100, 0); err == nil {
+		t.Error("λ=0 accepted")
+	}
+	if _, err := Intervals(-1, 0.001); err == nil {
+		t.Error("negative cost accepted")
+	}
+	ai, err := Intervals(270, 0.0014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.MTBF != 1/0.0014 {
+		t.Errorf("MTBF = %v", ai.MTBF)
+	}
+	if !(ai.Young > 0 && ai.Daly > 0 && ai.Daly < ai.Young) {
+		t.Errorf("intervals: young=%v daly=%v", ai.Young, ai.Daly)
+	}
+}

@@ -1,0 +1,36 @@
+// Shard-result authentication: an optional shared-key HMAC over every
+// unit response. The structural validators (stats codec, exact rep
+// accounting) already stop *malformed* payloads; the HMAC closes the
+// remaining gap — a well-formed shard fabricated by something that is
+// not a keyed worker (a stale process on a recycled port, a
+// misconfigured load balancer, an active attacker on the segment).
+// With a key configured on both sides, a shard banks only if its tag
+// verifies; everything else is rejected and the unit re-dispatched, so
+// a forger can cost time, never a table bit. Without a key the wire
+// format is unchanged byte for byte.
+
+package cluster
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// signUnit computes the hex HMAC-SHA256 tag of a unit result under key:
+// the authenticated message is the full result identity (cell seed and
+// rep range) plus the shard payload, so a tag cannot be replayed onto a
+// different unit or a different payload.
+func signUnit(key []byte, cellSeed uint64, start, end int, data []byte) string {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(fmt.Appendf(nil, "unit|%d|%d|%d|", cellSeed, start, end))
+	mac.Write(data)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// verifyUnit checks a unit result's tag in constant time.
+func verifyUnit(key []byte, res *UnitResult) bool {
+	want := signUnit(key, res.CellSeed, res.Start, res.End, res.Data)
+	return hmac.Equal([]byte(want), []byte(res.Auth))
+}

@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // ProtocolVersion is the cluster wire-protocol version. Coordinator and
@@ -100,6 +101,10 @@ type UnitRequest struct {
 	Seed    uint64  `json:"seed"`  // base seed of the job
 	Start   int     `json:"start"` // rep range [Start, End)
 	End     int     `json:"end"`
+	// Store is the job's tiered checkpoint store configuration, forwarded
+	// verbatim so the worker simulates the exact cell semantics the
+	// coordinator will merge. Nil keeps the free infinite store.
+	Store *store.Config `json:"store,omitempty"`
 }
 
 // UnitResult is a worker's answer: the canonical stats.Shard bytes of
@@ -110,6 +115,10 @@ type UnitResult struct {
 	Start    int    `json:"start"`
 	End      int    `json:"end"`
 	Data     []byte `json:"data"`
+	// Auth is the hex HMAC-SHA256 tag over (cell seed, rep range, data)
+	// under the cluster's shared key. Empty when the worker holds no key;
+	// a keyed coordinator rejects such shards before banking.
+	Auth string `json:"auth,omitempty"`
 }
 
 // JobKey is the canonical content hash of a grid job: the fields that
@@ -122,7 +131,15 @@ func JobKey(spec serve.JobSpec) string {
 	if reps <= 0 {
 		reps = experiment.DefaultReps
 	}
-	h := sha256.Sum256(fmt.Appendf(nil, "grid|%s|%d|%d", spec.Table, reps, spec.Seed))
+	key := fmt.Appendf(nil, "grid|%s|%d|%d", spec.Table, reps, spec.Seed)
+	// The store config changes the result bits, so it is part of the
+	// content address; the canonical JSON keeps the hash stable across
+	// processes. Nil appends nothing — pre-store keys are unchanged.
+	if spec.Store != nil {
+		key = append(key, '|')
+		key = append(key, spec.Store.CanonicalJSON()...)
+	}
+	h := sha256.Sum256(key)
 	return hex.EncodeToString(h[:])
 }
 

@@ -29,6 +29,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/serve"
 	"repro/internal/storage"
+	"repro/internal/store"
 )
 
 // testSpec is the canonical small workload: table 2b is the smallest
@@ -47,6 +48,7 @@ func localGridJSON(t *testing.T, spec serve.JobSpec) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tspec.Store = spec.Store
 	r := experiment.Runner{Reps: spec.Reps, Seed: spec.Seed, Workers: 4, ShardSize: 13}
 	tbl, err := r.RunTable(tspec)
 	if err != nil {
@@ -179,6 +181,44 @@ func TestClusterDeterminismNodeCount(t *testing.T) {
 	}
 	if !bytes.Equal(three, one) {
 		t.Error("3-worker cluster result differs from the 1-worker result")
+	}
+}
+
+// TestClusterStoreConfig pins the tiered-store threading: a
+// store-configured grid job folded through 2 workers is byte-identical
+// to the local engine under the same config, differs from the
+// store-free answer, and the store config is part of the content
+// address (JobKey) so the two can never share a cache entry.
+func TestClusterStoreConfig(t *testing.T) {
+	spec := testSpec()
+	spec.Store = store.DefaultConfig(4)
+	if cluster.JobKey(spec) == cluster.JobKey(testSpec()) {
+		t.Fatal("store config not part of the job key — cached store-free results would serve store jobs")
+	}
+	alt := testSpec()
+	alt.Store = store.DefaultConfig(2)
+	if cluster.JobKey(spec) == cluster.JobKey(alt) {
+		t.Fatal("different store configs share a job key")
+	}
+
+	want := localGridJSON(t, spec)
+	var urls []string
+	for i := 0; i < 2; i++ {
+		_, ts := startWorker(t, cluster.WorkerConfig{}, nil)
+		urls = append(urls, ts.URL)
+	}
+	c, _ := startCoordinator(t, cluster.Config{HedgeAfter: -1}, urls...)
+	v, err := c.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitDone(t, c, v.ID, 30*time.Second)
+	assertLedgerExact(t, c, spec)
+	if !bytes.Equal(v.Result, want) {
+		t.Error("store-configured cluster result differs from the local engine")
+	}
+	if bytes.Equal(v.Result, localGridJSON(t, testSpec())) {
+		t.Error("store-configured result identical to the store-free one — config not reaching workers")
 	}
 }
 
@@ -418,6 +458,45 @@ func TestClusterByzantineShardRejected(t *testing.T) {
 	}
 	if got := counter(c, cluster.MetricUnitsRedispatched); got == 0 {
 		t.Error("rejected units were never re-dispatched")
+	}
+}
+
+// TestClusterShardAuth pins the HMAC shard authentication: a keyed
+// coordinator rejects shards from a keyless worker (counted under
+// cluster_units_rejected_auth_total) and from a worker holding the
+// wrong key, banks only shards a correctly-keyed worker signed, and
+// the final table is still byte-identical to the local engine.
+func TestClusterShardAuth(t *testing.T) {
+	spec := testSpec()
+	spec.Reps, spec.ShardSize = 20, 10 // 32 units
+	want := localGridJSON(t, spec)
+	key := []byte("cluster-secret")
+
+	_, keyless := startWorker(t, cluster.WorkerConfig{}, nil)
+	_, wrongKey := startWorker(t, cluster.WorkerConfig{Key: []byte("not-the-secret")}, nil)
+	_, keyed := startWorker(t, cluster.WorkerConfig{Key: key}, nil)
+	c, _ := startCoordinator(t, cluster.Config{
+		HedgeAfter: -1,
+		RetryBase:  2 * time.Millisecond,
+		Key:        key,
+	}, keyless.URL, wrongKey.URL, keyed.URL)
+
+	v, err := c.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitDone(t, c, v.ID, 60*time.Second)
+	if !bytes.Equal(v.Result, want) {
+		t.Error("authenticated cluster result differs from the local engine")
+	}
+	assertLedgerExact(t, c, spec)
+	if got := counter(c, cluster.MetricUnitsRejectedAuth); got == 0 {
+		t.Errorf("%s = 0: unauthenticated shards were never rejected", cluster.MetricUnitsRejectedAuth)
+	}
+	// Auth rejections must not leak into the structural-rejection family:
+	// the two report different attacks.
+	if got := counter(c, cluster.MetricUnitsRejected); got != 0 {
+		t.Errorf("%s = %d, want 0 — auth failures misfiled as byzantine", cluster.MetricUnitsRejected, got)
 	}
 }
 
@@ -707,6 +786,7 @@ func TestClusterStatuszMatchesMetrics(t *testing.T) {
 		cluster.MetricUnitsHedged:       st.Counters.UnitsHedged,
 		cluster.MetricHedgesWon:         st.Counters.HedgesWon,
 		cluster.MetricUnitsRejected:     st.Counters.UnitsRejected,
+		cluster.MetricUnitsRejectedAuth: st.Counters.UnitsRejectedAuth,
 		cluster.MetricUnitsDuplicate:    st.Counters.UnitsDuplicate,
 		cluster.MetricRetryAfterHolds:   st.Counters.RetryAfterHolds,
 		cluster.MetricCacheHits:         st.Counters.CacheHits,

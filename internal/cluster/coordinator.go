@@ -65,6 +65,12 @@ type Config struct {
 	// Version overrides the build version required of workers (tests
 	// only). Default cli.Version().
 	Version string
+	// Key, when non-empty, requires every unit response to carry a valid
+	// HMAC-SHA256 tag under this shared key before it is banked; failures
+	// are counted (cluster_units_rejected_auth_total) and the unit is
+	// re-dispatched. Empty disables authentication (the historical wire
+	// behaviour).
+	Key []byte
 	// Logf receives operational logging. Nil means silent.
 	Logf func(format string, args ...any)
 }

@@ -134,6 +134,7 @@ func (c *Coordinator) runJob(job *Job) {
 					Proto: ProtocolVersion, Version: c.cfg.Version,
 					Table: tspec.ID, Col: cell.colIdx, U: cell.u, Lambda: cell.lambda,
 					Seed: job.Spec.Seed, Start: g.Start, End: g.End,
+					Store: job.Spec.Store,
 				},
 			})
 		}
@@ -314,8 +315,24 @@ func (c *Coordinator) handleOutcome(job *Job, cells []*cellAgg, units []*unitSta
 		return false
 	}
 	cell := cells[u.cellIdx]
-	var sh stats.Shard
 	res := out.res
+	// Authentication gates banking before structural validation: a shard
+	// without a valid tag under the cluster key is untrusted input
+	// whatever its shape. Rejection re-dispatches, so a forger (or a
+	// keyless stale worker) costs time, never a table bit.
+	if len(c.cfg.Key) > 0 && (res == nil || !verifyUnit(c.cfg.Key, res)) {
+		c.met.unitsRejectedAuth.Inc()
+		c.mu.Lock()
+		out.worker.failures++
+		c.mu.Unlock()
+		c.logf("cluster: rejected unauthenticated shard from %s for cell %x [%d,%d)",
+			out.worker.addr, cell.seed, u.req.Start, u.req.End)
+		if !u.banked {
+			backoff()
+		}
+		return false
+	}
+	var sh stats.Shard
 	if res == nil || res.Start != u.req.Start || res.End != u.req.End || res.CellSeed != cell.seed ||
 		sh.UnmarshalBinary(res.Data) != nil || sh.Trials() != u.req.End-u.req.Start {
 		// Byzantine or corrupted payload: it can cost a retry, never a

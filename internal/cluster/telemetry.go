@@ -29,6 +29,7 @@ const (
 	MetricUnitsHedged       = "cluster_units_hedged_total"
 	MetricHedgesWon         = "cluster_hedges_won_total"
 	MetricUnitsRejected     = "cluster_units_rejected_total"
+	MetricUnitsRejectedAuth = "cluster_units_rejected_auth_total"
 	MetricUnitsDuplicate    = "cluster_units_duplicate_total"
 	MetricRetryAfterHolds   = "cluster_retry_after_holds_total"
 	MetricCacheHits         = "cluster_cache_hits_total"
@@ -53,6 +54,7 @@ type clusterMetrics struct {
 	unitsHedged       *telemetry.Counter
 	hedgesWon         *telemetry.Counter
 	unitsRejected     *telemetry.Counter
+	unitsRejectedAuth *telemetry.Counter
 	unitsDuplicate    *telemetry.Counter
 	retryAfterHolds   *telemetry.Counter
 	cacheHits         *telemetry.Counter
@@ -80,6 +82,7 @@ func (c *Coordinator) initTelemetry() {
 		unitsHedged:       reg.Counter(MetricUnitsHedged, "straggler units duplicated to a second worker"),
 		hedgesWon:         reg.Counter(MetricHedgesWon, "banked units whose winning response was the hedge duplicate"),
 		unitsRejected:     reg.Counter(MetricUnitsRejected, "unit responses rejected by structural validation (byzantine or corrupt)"),
+		unitsRejectedAuth: reg.Counter(MetricUnitsRejectedAuth, "unit responses rejected for a missing or invalid HMAC tag"),
 		unitsDuplicate:    reg.Counter(MetricUnitsDuplicate, "valid unit responses dropped because the unit was already banked"),
 		retryAfterHolds:   reg.Counter(MetricRetryAfterHolds, "worker Retry-After hints applied to dispatch eligibility"),
 		cacheHits:         reg.Counter(MetricCacheHits, "jobs served from the content-addressed result cache without dispatching"),
@@ -120,6 +123,7 @@ type StatusCounters struct {
 	UnitsHedged       int64 `json:"units_hedged"`
 	HedgesWon         int64 `json:"hedges_won"`
 	UnitsRejected     int64 `json:"units_rejected"`
+	UnitsRejectedAuth int64 `json:"units_rejected_auth"`
 	UnitsDuplicate    int64 `json:"units_duplicate"`
 	RetryAfterHolds   int64 `json:"retry_after_holds"`
 	CacheHits         int64 `json:"cache_hits"`
@@ -174,6 +178,7 @@ func (c *Coordinator) Status() Status {
 			UnitsHedged:       m.unitsHedged.Value(),
 			HedgesWon:         m.hedgesWon.Value(),
 			UnitsRejected:     m.unitsRejected.Value(),
+			UnitsRejectedAuth: m.unitsRejectedAuth.Value(),
 			UnitsDuplicate:    m.unitsDuplicate.Value(),
 			RetryAfterHolds:   m.retryAfterHolds.Value(),
 			CacheHits:         m.cacheHits.Value(),

@@ -47,6 +47,11 @@ type WorkerConfig struct {
 	// Version overrides the build version used in handshakes (tests
 	// only). Zero means cli.Version().
 	Version string
+	// Key, when non-empty, is the cluster's shared HMAC key: every unit
+	// result is tagged with an HMAC-SHA256 over its identity and payload
+	// so a keyed coordinator banks only authentic shards. Must match the
+	// coordinator's key byte for byte.
+	Key []byte
 	// Logf receives operational logging. Nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -132,6 +137,14 @@ func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
+	// The store config is part of the unit's cell semantics: the worker
+	// must simulate exactly what the coordinator will merge and bank.
+	if err := req.Store.Validate(); err != nil {
+		w.rejected.Inc()
+		writeJSON(rw, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	tspec.Store = req.Store
 	schemes := tspec.Schemes()
 	if req.Col < 0 || req.Col >= len(schemes) || req.Start < 0 || req.End <= req.Start {
 		w.rejected.Inc()
@@ -161,12 +174,16 @@ func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 	// the re-execution bit-identical.
 	crashpoint.Hit("worker.unit")
 	w.executed.Inc()
-	writeJSON(rw, http.StatusOK, UnitResult{
+	res := UnitResult{
 		CellSeed: experiment.CellSeed(req.Seed, tspec.ID, req.U, req.Lambda, schemes[req.Col].Name()),
 		Start:    req.Start,
 		End:      req.End,
 		Data:     data,
-	})
+	}
+	if len(w.cfg.Key) > 0 {
+		res.Auth = signUnit(w.cfg.Key, res.CellSeed, res.Start, res.End, res.Data)
+	}
+	writeJSON(rw, http.StatusOK, res)
 }
 
 func retryAfterSeconds(d time.Duration) int {

@@ -198,9 +198,10 @@ func buildSpeedCosts(dst []speedCosts, model *cpu.Model, costs checkpoint.Costs)
 // repetition consumes is its Poisson fault arrivals. Tracing wants
 // per-event timelines, custom fault processes draw through their own
 // code paths, and imperfect fault tolerance consumes extra randomness
-// and store state — all of those take the scalar reference path.
+// and store state — all of those take the scalar reference path, as do
+// tiered-store runs (bounded retention changes rollback targets).
 func batchable(p sim.Params) bool {
-	return p.Trace == nil && p.FaultProcess == nil &&
+	return p.Trace == nil && p.FaultProcess == nil && p.Store == nil &&
 		(p.Imperfect == nil || p.Imperfect.IsIdeal())
 }
 

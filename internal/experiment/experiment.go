@@ -21,6 +21,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/task"
 	"repro/internal/telemetry"
 )
@@ -51,6 +52,14 @@ type Spec struct {
 	// AdaptiveSub is the flavour of the paper scheme's additional
 	// checkpoints: SCP for Tables 1–2, CCP for Tables 3–4.
 	AdaptiveSub checkpoint.Kind
+	// Store, when non-nil, runs every cell under the tiered checkpoint
+	// store model (bounded retention, tier costs, fallible media — see
+	// internal/store). Nil keeps the paper's free infinite store: every
+	// published table runs with Store nil and is bit-identical to the
+	// seed. The config is part of the cell's semantics, so remote
+	// executors receive it inside the unit request and the cluster job
+	// key hashes it.
+	Store *store.Config
 }
 
 // Schemes instantiates the four columns of the sub-table, in the paper's
@@ -77,7 +86,7 @@ func (s Spec) CellParams(u, lambda float64) (sim.Params, error) {
 	if err != nil {
 		return sim.Params{}, err
 	}
-	return sim.Params{Task: tk, Costs: s.Costs, Lambda: lambda}, nil
+	return sim.Params{Task: tk, Costs: s.Costs, Lambda: lambda, Store: s.Store}, nil
 }
 
 // Tables returns the specs of all eight sub-tables, in paper order.
@@ -271,6 +280,80 @@ const (
 	// (discard-and-rerun; never double-merged).
 	MetricShardRetries = "grid_shard_retries_total"
 )
+
+// Store metric families (store_*), reported when cells run under a
+// tiered checkpoint store (Spec.Store or a store-wrapping scheme) and
+// flushed per shard from each worker's private store.Stats — the same
+// drain pattern as the planner cache ledger. The registry has no label
+// support, so the per-tier and per-depth families embed the index in
+// the metric name.
+const (
+	// MetricStoreEvictions counts images discarded by the maintenance
+	// policy at the retention bound.
+	MetricStoreEvictions = "store_evictions_total"
+	// MetricStoreDemotions counts images rewritten into a deeper tier by
+	// the recency cascade.
+	MetricStoreDemotions = "store_demotions_total"
+	// MetricStoreTruncated counts stale post-rollback images dropped.
+	MetricStoreTruncated = "store_truncated_total"
+	// MetricStoreRestarts counts recoveries that found nothing usable and
+	// restarted the task from scratch.
+	MetricStoreRestarts = "store_restarts_total"
+	// MetricStoreRecoveries counts store-walking rollbacks.
+	MetricStoreRecoveries = "store_recoveries_total"
+)
+
+// Per-tier and per-depth store family names, precomputed so the
+// per-shard flush never formats strings.
+var (
+	storeTierWriteNames        [store.MaxTiers]string
+	storeTierRestoreNames      [store.MaxTiers]string
+	storeTierRestoreCycleNames [store.MaxTiers]string
+	storeDepthNames            [store.DepthBuckets]string
+)
+
+func init() {
+	for t := 0; t < store.MaxTiers; t++ {
+		storeTierWriteNames[t] = fmt.Sprintf("store_tier%d_writes_total", t)
+		storeTierRestoreNames[t] = fmt.Sprintf("store_tier%d_restores_total", t)
+		storeTierRestoreCycleNames[t] = fmt.Sprintf("store_tier%d_restore_cycles", t)
+	}
+	for b := 0; b < store.DepthBuckets; b++ {
+		storeDepthNames[b] = fmt.Sprintf("store_rollback_depth%d_total", b+1)
+	}
+}
+
+// MetricStoreTierWrites returns the per-tier physical-write counter
+// family name ("store_tier<t>_writes_total").
+func MetricStoreTierWrites(t int) string { return storeTierWriteNames[t] }
+
+// MetricStoreTierRestores returns the per-tier restore-attempt counter
+// family name ("store_tier<t>_restores_total").
+func MetricStoreTierRestores(t int) string { return storeTierRestoreNames[t] }
+
+// MetricStoreTierRestoreCycles returns the per-tier restore-cycles
+// histogram family name ("store_tier<t>_restore_cycles"); each
+// observation is one shard's worth of charged cycles.
+func MetricStoreTierRestoreCycles(t int) string { return storeTierRestoreCycleNames[t] }
+
+// MetricStoreDepth returns the rollback-depth counter family name for
+// recoveries that examined exactly d images ("store_rollback_depth<d>_total",
+// d in 1..store.DepthBuckets, the last bucket absorbing deeper walks).
+func MetricStoreDepth(d int) string { return storeDepthNames[d-1] }
+
+// StoreCounterNames lists every store_* counter family, in a stable
+// order — the set serve pre-registers and the consistency tests assert.
+func StoreCounterNames() []string {
+	names := []string{
+		MetricStoreEvictions, MetricStoreDemotions, MetricStoreTruncated,
+		MetricStoreRestarts, MetricStoreRecoveries,
+	}
+	for t := 0; t < store.MaxTiers; t++ {
+		names = append(names, storeTierWriteNames[t], storeTierRestoreNames[t])
+	}
+	names = append(names, storeDepthNames[:]...)
+	return names
+}
 
 func (r Runner) reps() int {
 	if r.Reps <= 0 {
@@ -516,6 +599,9 @@ func (s Spec) Validate() error {
 	}
 	if s.AdaptiveSub != checkpoint.SCP && s.AdaptiveSub != checkpoint.CCP {
 		return fmt.Errorf("experiment: adaptive sub-checkpoint must be SCP or CCP")
+	}
+	if err := s.Store.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/tmr"
 )
 
@@ -28,6 +29,12 @@ import (
 //     to the ideal paper scheme as reference. Checkpoint-heavy schemes
 //     pay for their exposed checkpoint time and their larger corruptible
 //     store population, which reorders the columns relative to Table 1a.
+//   - "E4": tiered-store ablation — the paper scheme under shrinking
+//     checkpoint-set bounds on the default NVRAM+flash stack
+//     (store.DefaultConfig), next to the free-infinite-store reference,
+//     plus one column combining the k=4 store with the imperfect-FT
+//     model. Smaller k means evicted rollback targets, deeper restore
+//     cascades and restarts, so P degrades as capacity shrinks.
 func ExtensionTables() []Spec {
 	base, _ := TableByID("1a")
 	e1 := base
@@ -36,7 +43,9 @@ func ExtensionTables() []Spec {
 	e2.ID, e2.Title = "E2", "extension: λ-knowledge ablation (true vs wrong vs estimated), SCP setting, k=5"
 	e3 := base
 	e3.ID, e3.Title = "E3", "extension: imperfect-FT ablation (coverage/corruption/vulnerable ops), SCP setting, k=5"
-	return []Spec{e1, e2, e3}
+	e4 := base
+	e4.ID, e4.Title = "E4", "extension: tiered-store ablation (bounded checkpoint sets on NVRAM+flash), SCP setting, k=5"
+	return []Spec{e1, e2, e3, e4}
 }
 
 // DefaultImperfection is the knob setting of the E3 ablation and the
@@ -74,6 +83,14 @@ func ExtensionSchemes(id string) ([]sim.Scheme, error) {
 			ImperfectScheme(core.NewKFTScheme(1), im),
 			ImperfectScheme(core.NewADTDVS(), im),
 			ImperfectScheme(core.NewAdaptDVSSCP(), im),
+		}, nil
+	case "E4":
+		return []sim.Scheme{
+			core.NewAdaptDVSSCP(), // free infinite store reference
+			StoreScheme(core.NewAdaptDVSSCP(), store.DefaultConfig(8)),
+			StoreScheme(core.NewAdaptDVSSCP(), store.DefaultConfig(4)),
+			StoreScheme(core.NewAdaptDVSSCP(), store.DefaultConfig(2)),
+			StoreScheme(ImperfectScheme(core.NewAdaptDVSSCP(), DefaultImperfection()), store.DefaultConfig(4)),
 		}, nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown extension table %q", id)
@@ -143,6 +160,39 @@ func (s imperfectScheme) Run(p sim.Params, src *rng.Source) sim.Result {
 func (s imperfectScheme) RunCtx(rctx *sim.RunContext, p sim.Params, src *rng.Source) sim.Result {
 	im := s.im
 	p.Imperfect = &im
+	return sim.RunScheme(rctx, s.inner, p, src)
+}
+
+// StoreScheme wraps a scheme so every run executes under the given
+// tiered checkpoint store, overriding whatever the cell parameters say.
+// The scheme's own planning is untouched — it still assumes every
+// checkpoint it takes will be restorable, which is exactly the
+// ablation: the policy pays for eviction decisions it did not plan for.
+func StoreScheme(inner sim.Scheme, cfg *store.Config) sim.Scheme {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return storeScheme{inner: inner, cfg: cfg}
+}
+
+type storeScheme struct {
+	inner sim.Scheme
+	cfg   *store.Config
+}
+
+// Name implements sim.Scheme; the store label keeps columns
+// distinguishable ("A_D_S+store(k4/quasi-geometric)").
+func (s storeScheme) Name() string { return s.inner.Name() + "+store(" + s.cfg.Label() + ")" }
+
+// Run implements sim.Scheme.
+func (s storeScheme) Run(p sim.Params, src *rng.Source) sim.Result {
+	return s.RunCtx(nil, p, src)
+}
+
+// RunCtx implements sim.ContextScheme, forwarding the context to the
+// wrapped scheme when it supports one. rctx may be nil.
+func (s storeScheme) RunCtx(rctx *sim.RunContext, p sim.Params, src *rng.Source) sim.Result {
+	p.Store = s.cfg
 	return sim.RunScheme(rctx, s.inner, p, src)
 }
 

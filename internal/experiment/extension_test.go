@@ -7,7 +7,7 @@ import (
 
 func TestExtensionTablesDefined(t *testing.T) {
 	specs := ExtensionTables()
-	if len(specs) != 3 {
+	if len(specs) != 4 {
 		t.Fatalf("extension tables = %d", len(specs))
 	}
 	for _, s := range specs {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -237,6 +238,10 @@ func (s *sched) worker(w int) {
 	bctx := sim.NewBatchContext()
 	var scratch stats.Shard
 	var seenHits, seenMisses uint64
+	// Private store-activity accumulator: the engine writes into cur
+	// without sharing; seen holds the last flushed snapshot so each
+	// shard reports only its delta.
+	var storeCur, storeSeen store.Stats
 	for {
 		u, ok := s.deques[w].pop()
 		if !ok {
@@ -245,8 +250,38 @@ func (s *sched) worker(w int) {
 		if !ok {
 			return
 		}
-		s.runUnit(u, rctx, bctx, &scratch, &seenHits, &seenMisses)
+		s.runUnit(u, rctx, bctx, &scratch, &seenHits, &seenMisses, &storeCur, &storeSeen)
 	}
+}
+
+// flushStoreStats reports the store activity accumulated since the last
+// flush and advances the snapshot. Cells without a store never move the
+// counters, so the common case is one comparison.
+func flushStoreStats(sink telemetry.Sink, cur, seen *store.Stats) {
+	if *cur == *seen {
+		return
+	}
+	count := func(name string, d uint64) {
+		if d > 0 {
+			sink.Count(name, int64(d))
+		}
+	}
+	count(MetricStoreEvictions, cur.Evictions-seen.Evictions)
+	count(MetricStoreDemotions, cur.Demotions-seen.Demotions)
+	count(MetricStoreTruncated, cur.Truncated-seen.Truncated)
+	count(MetricStoreRestarts, cur.Restarts-seen.Restarts)
+	count(MetricStoreRecoveries, cur.Recoveries-seen.Recoveries)
+	for t := 0; t < store.MaxTiers; t++ {
+		count(storeTierWriteNames[t], cur.TierWrites[t]-seen.TierWrites[t])
+		count(storeTierRestoreNames[t], cur.TierRestores[t]-seen.TierRestores[t])
+		if d := cur.TierRestoreCycles[t] - seen.TierRestoreCycles[t]; d > 0 {
+			sink.Observe(storeTierRestoreCycleNames[t], d)
+		}
+	}
+	for b := 0; b < store.DepthBuckets; b++ {
+		count(storeDepthNames[b], cur.Depth[b]-seen.Depth[b])
+	}
+	*seen = *cur
 }
 
 // steal scans the other deques for work, moving half of the first
@@ -280,7 +315,7 @@ func (s *sched) steal(w int) (shardUnit, bool) {
 
 // runUnit executes one shard and merges it into its cell, handling
 // chaos retries, failure propagation and last-shard completion.
-func (s *sched) runUnit(u shardUnit, rctx *sim.RunContext, bctx *sim.BatchContext, scratch *stats.Shard, seenHits, seenMisses *uint64) {
+func (s *sched) runUnit(u shardUnit, rctx *sim.RunContext, bctx *sim.BatchContext, scratch *stats.Shard, seenHits, seenMisses *uint64, storeCur, storeSeen *store.Stats) {
 	c := s.cells[u.cell]
 	c.mu.Lock()
 	if !c.started {
@@ -300,7 +335,7 @@ func (s *sched) runUnit(u shardUnit, rctx *sim.RunContext, bctx *sim.BatchContex
 	if !skip {
 		for attempt := 0; ; attempt++ {
 			scratch.Reset()
-			err = s.execShard(rctx, bctx, scratch, c, u)
+			err = s.execShard(rctx, bctx, scratch, c, u, storeCur)
 			if err == nil && s.r.shardFault != nil && s.r.shardFault(u.cell, u.start, u.end, attempt) {
 				// Chaos: the shard is spuriously cancelled after the work
 				// is done — discard its statistics and re-run it in place.
@@ -323,6 +358,7 @@ func (s *sched) runUnit(u shardUnit, rctx *sim.RunContext, bctx *sim.BatchContex
 		*seenHits, *seenMisses = hits, misses
 		s.sink.Count(MetricPlannerHits, int64(dh))
 		s.sink.Count(MetricPlannerMisses, int64(dm))
+		flushStoreStats(s.sink, storeCur, storeSeen)
 	}
 
 	if err == nil && !skip && s.r.OnShard != nil {
@@ -366,7 +402,7 @@ func (s *sched) runUnit(u shardUnit, rctx *sim.RunContext, bctx *sim.BatchContex
 // equivalence property and fuzz tests. A panicking scheme is recovered
 // into a *CellError; the contexts stay reusable (the next run fully
 // resets them).
-func (s *sched) execShard(rctx *sim.RunContext, bctx *sim.BatchContext, scratch *stats.Shard, c *cellState, u shardUnit) (err error) {
+func (s *sched) execShard(rctx *sim.RunContext, bctx *sim.BatchContext, scratch *stats.Shard, c *cellState, u shardUnit, storeStats *store.Stats) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			ce := c.wrap(fmt.Errorf("%v", p))
@@ -378,7 +414,12 @@ func (s *sched) execShard(rctx *sim.RunContext, bctx *sim.BatchContext, scratch 
 	if c.paramsErr != nil {
 		return c.wrap(c.paramsErr)
 	}
-	if rerr := execRange(s.ctx, rctx, bctx, scratch, c.scheme, c.params, c.seed, u.start, u.end, s.r.DisableBatch); rerr != nil {
+	params := c.params
+	// Aim the engine's store counters at this worker's accumulator. The
+	// pointer rides through even when a wrapper scheme (StoreScheme)
+	// injects the store config mid-run, so wrapped cells report too.
+	params.StoreStats = storeStats
+	if rerr := execRange(s.ctx, rctx, bctx, scratch, c.scheme, params, c.seed, u.start, u.end, s.r.DisableBatch); rerr != nil {
 		return c.wrap(rerr)
 	}
 	return nil

@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// soakStoreConfig is a deliberately tight two-tier stack: two NVRAM
+// slots over three flash slots, five images total, quasi-geometric
+// maintenance. Small enough that evictions and demotions happen every
+// run, cheap enough that cells still complete and report energy.
+func soakStoreConfig() *store.Config {
+	return &store.Config{
+		Tiers: []store.Tier{
+			{Name: "nvram", Capacity: 2, WriteCycles: 5, ReadCycles: 3},
+			{Name: "flash", Capacity: 3, WriteCycles: 10, ReadCycles: 8},
+		},
+		K:      5,
+		Policy: store.PolicyQuasiGeometric,
+	}
+}
+
+// TestStoreSoak is the tiered-store counterpart of the shard chaos
+// soak: every cell runs under a capacity-constrained store while
+// roughly half of all shard units are spuriously cancelled after
+// completing and re-run. Under -race, across several worker/shard
+// shapes, it pins three properties at once:
+//
+//   - bit-identical tables: neither the store, the sharding, the steal
+//     order, nor the chaos retries leak scheduling into the results;
+//   - exact rep ledger: retried shards never merge twice, so
+//     grid_reps_total counts every repetition exactly once;
+//   - store telemetry is scheduling-invariant when undisturbed, and
+//     under chaos grows only by the re-done physical store work —
+//     retried shards really do rewrite their images, and the counters
+//     account that honestly instead of staying frozen at the
+//     undisturbed totals.
+func TestStoreSoak(t *testing.T) {
+	spec := smallSpec(t)
+	spec.Store = soakStoreConfig()
+	const (
+		reps  = 240
+		shard = 32 // ragged tail: 7 units of 32 + one of 16 per cell
+	)
+
+	// Sequential baseline: one worker, whole-cell shards, no chaos.
+	baseReg := telemetry.NewRegistry()
+	baseTbl, err := Runner{
+		Reps: reps, Seed: 47, Workers: 1, ShardSize: reps,
+		Sink: telemetry.NewRegistrySink(baseReg, nil),
+	}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableBitsJSON(t, baseTbl)
+	baseStore := map[string]int64{}
+	for _, name := range StoreCounterNames() {
+		baseStore[name] = baseReg.Counter(name, "").Value()
+	}
+	// The baseline itself must exercise the store, or the soak proves
+	// nothing: physical writes, maintenance pressure, and rollbacks.
+	if baseStore[MetricStoreTierWrites(0)] == 0 {
+		t.Fatalf("baseline: no tier-0 writes — store not active")
+	}
+	if baseStore[MetricStoreEvictions] == 0 && baseStore[MetricStoreDemotions] == 0 {
+		t.Fatalf("baseline: no evictions or demotions — capacity bound never bit")
+	}
+	if baseStore[MetricStoreRecoveries]+baseStore[MetricStoreRestarts] == 0 {
+		t.Fatalf("baseline: no recoveries or restarts — faults never rolled back through the store")
+	}
+
+	// Undisturbed parallel run: store telemetry is per-rep deterministic,
+	// so any worker/shard shape must reproduce the baseline counters
+	// exactly, not just the table bits.
+	parReg := telemetry.NewRegistry()
+	parTbl, err := Runner{
+		Reps: reps, Seed: 47, Workers: 4, ShardSize: shard,
+		Sink: telemetry.NewRegistrySink(parReg, nil),
+	}.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableBitsJSON(t, parTbl); !bytes.Equal(got, want) {
+		t.Error("undisturbed parallel run: table JSON differs from sequential baseline")
+	}
+	for _, name := range StoreCounterNames() {
+		if got := parReg.Counter(name, "").Value(); got != baseStore[name] {
+			t.Errorf("undisturbed parallel run: %s = %d, want %d (store telemetry must be scheduling-invariant)",
+				name, got, baseStore[name])
+		}
+	}
+
+	// Chaos runs: first attempt of every other unit is cancelled after
+	// its work completes and re-runs in place.
+	for _, workers := range []int{3, 6} {
+		reg := telemetry.NewRegistry()
+		r := Runner{
+			Reps: reps, Seed: 47, Workers: workers, ShardSize: shard,
+			Sink: telemetry.NewRegistrySink(reg, nil),
+			shardFault: func(cell, start, end, attempt int) bool {
+				return attempt == 0 && (cell+start/shard)%2 == 0
+			},
+		}
+		tbl, err := r.RunTable(spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := tableBitsJSON(t, tbl); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: chaos retries changed the table JSON", workers)
+		}
+
+		cells := len(tbl.Rows) * len(tbl.Rows[0].Cells)
+		unitsPerCell := (reps + shard - 1) / shard
+		if got := reg.Counter(MetricReps, "").Value(); got != int64(cells*reps) {
+			t.Errorf("workers=%d: %s = %d, want exactly %d (retries must not double-count)",
+				workers, MetricReps, got, cells*reps)
+		}
+		wantRetries := int64(0)
+		for ci := 0; ci < cells; ci++ {
+			for s := 0; s < unitsPerCell; s++ {
+				if (ci+s)%2 == 0 {
+					wantRetries++
+				}
+			}
+		}
+		if got := reg.Counter(MetricShardRetries, "").Value(); got != wantRetries {
+			t.Errorf("workers=%d: %s = %d, want %d", workers, MetricShardRetries, got, wantRetries)
+		}
+		if got := reg.Counter(MetricCellsCompleted, "").Value(); got != int64(cells) {
+			t.Errorf("workers=%d: %s = %d, want %d", workers, MetricCellsCompleted, got, cells)
+		}
+		// Retried units redo their store writes for real; with half of
+		// all units retried the physical-work counters must strictly
+		// exceed the undisturbed totals while the table stays identical.
+		if got := reg.Counter(MetricStoreTierWrites(0), "").Value(); got <= baseStore[MetricStoreTierWrites(0)] {
+			t.Errorf("workers=%d: %s = %d under chaos, want > undisturbed %d (retries redo physical writes)",
+				workers, MetricStoreTierWrites(0), got, baseStore[MetricStoreTierWrites(0)])
+		}
+		for _, name := range StoreCounterNames() {
+			if got := reg.Counter(name, "").Value(); got < baseStore[name] {
+				t.Errorf("workers=%d: %s = %d under chaos, below undisturbed %d — retries can only add work",
+					workers, name, got, baseStore[name])
+			}
+		}
+	}
+}

@@ -146,6 +146,9 @@ func executeGrid(ctx context.Context, spec JobSpec, workers int, progress func(d
 	if err != nil {
 		return nil, err
 	}
+	// The store config is part of the cell semantics: grid cells run
+	// under the bounded-set store model when the job asks for one.
+	tspec.Store = spec.Store
 	runner := experiment.Runner{
 		Reps:      spec.Reps,
 		Seed:      spec.Seed,
@@ -193,7 +196,9 @@ func singleParams(spec JobSpec) (sim.Params, error) {
 	if err != nil {
 		return sim.Params{}, err
 	}
-	return sim.Params{Task: tk, Costs: costsBySetting(spec.Setting), Lambda: spec.Lambda}, nil
+	// Mission specs never carry a store (Validate rejects them), so this
+	// only bites single-trajectory jobs.
+	return sim.Params{Task: tk, Costs: costsBySetting(spec.Setting), Lambda: spec.Lambda, Store: spec.Store}, nil
 }
 
 func executeSingle(ctx context.Context, spec JobSpec) (any, error) {

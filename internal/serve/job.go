@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/store"
 )
 
 // JobKind selects the workload of a job.
@@ -89,6 +90,14 @@ type JobSpec struct {
 	Frames int `json:"frames,omitempty"`
 	// Battery (mission): pack capacity in V²·cycles; zero means 3e8.
 	Battery float64 `json:"battery,omitempty"`
+
+	// Store (grid, single): tiered checkpoint store configuration; every
+	// cell/trajectory runs under the bounded-set store model
+	// (internal/store). Omitted or null keeps the paper's free infinite
+	// store — results bit-identical to pre-store servers. The config is
+	// part of the result's identity: cluster dispatch forwards it in
+	// unit requests and hashes it into the job key.
+	Store *store.Config `json:"store,omitempty"`
 
 	// DeadlineMS is the per-job deadline in milliseconds. Zero takes the
 	// server default; values above the server maximum are clamped.
@@ -167,6 +176,14 @@ func (s JobSpec) Validate() error {
 		}
 	default:
 		return fmt.Errorf("serve: unknown job kind %q (want grid, mission or single)", s.Kind)
+	}
+	if s.Store != nil {
+		if s.Kind == JobMission {
+			return fmt.Errorf("serve: mission jobs do not take a store config")
+		}
+		if err := s.Store.Validate(); err != nil {
+			return err
+		}
 	}
 	if s.DeadlineMS < 0 {
 		return fmt.Errorf("serve: negative deadline %dms", s.DeadlineMS)

@@ -941,6 +941,11 @@ type Status struct {
 	UptimeSec int64           `json:"uptime_sec"`
 	Journal   *JournalStatus  `json:"journal,omitempty"`
 	Recovery  *RecoveryStatus `json:"recovery,omitempty"`
+	// Store is the tiered-checkpoint-store counter ledger, keyed by the
+	// /metrics family name and read off the same registry instruments, so
+	// the two surfaces cannot disagree. Present once any store-configured
+	// job has run (any counter non-zero).
+	Store map[string]int64 `json:"store,omitempty"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -962,6 +967,16 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			Errors:         s.reg.Counter(metricJournalErrors, "").Value(),
 			CorruptRecords: s.met.journalCorrupt.Value(),
 		}
+	}
+	storeLedger := map[string]int64{}
+	total := int64(0)
+	for _, name := range experiment.StoreCounterNames() {
+		v := s.reg.Counter(name, "").Value()
+		storeLedger[name] = v
+		total += v
+	}
+	if total > 0 {
+		st.Store = storeLedger
 	}
 	if s.cfg.Recovery != nil {
 		st.Recovery = &RecoveryStatus{

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/mission"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -141,6 +142,13 @@ func (s *Server) initTelemetry() {
 	reg.Counter(experiment.MetricShards, "rep-shard units executed by the work-stealing grid scheduler")
 	reg.Counter(experiment.MetricShardsStolen, "rep-shard units moved between worker deques by stealing")
 	reg.Counter(experiment.MetricShardRetries, "rep-shard chaos re-executions (discarded, never double-merged)")
+	for _, name := range experiment.StoreCounterNames() {
+		reg.Counter(name, "tiered checkpoint store accounting (internal/store), summed across all workers")
+	}
+	for t := 0; t < store.MaxTiers; t++ {
+		reg.Histogram(experiment.MetricStoreTierRestoreCycles(t),
+			"cycles spent restoring images from this store tier", nil)
+	}
 	reg.Counter(mission.MetricFrames, "mission frames flown across all jobs")
 	reg.Counter(mission.MetricMisses, "mission frames that missed their deadline")
 	reg.Counter(mission.MetricWrongFrames, "mission frames completed with silent corruption")

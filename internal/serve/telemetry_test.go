@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/experiment"
 	"repro/internal/serve"
 )
 
@@ -172,6 +173,14 @@ func TestStatuszMatchesMetrics(t *testing.T) {
 	for _, id := range ids {
 		waitTerminal(t, ts, id, 10*time.Second)
 	}
+	// One store-configured grid job so the store_* ledger is live on both
+	// surfaces (§11 consistency extends to the tiered-store families).
+	gv, gresp := submit(t, ts, `{"kind":"grid","table":"1a","reps":40,"seed":9,"store":{"tiers":[{"name":"nvram","capacity":2,"write_cycles":5,"read_cycles":3},{"name":"flash","capacity":3,"write_cycles":10,"read_cycles":8}],"k":5,"policy":"quasi-geometric"}}`)
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("store grid submit: status %d", gresp.StatusCode)
+	}
+	waitTerminal(t, ts, gv.ID, 30*time.Second)
 
 	resp, err := http.Get(ts.URL + "/statusz")
 	if err != nil {
@@ -183,6 +192,7 @@ func TestStatuszMatchesMetrics(t *testing.T) {
 		QueueLen int                   `json:"queue_len"`
 		QueueCap int                   `json:"queue_cap"`
 		Workers  int                   `json:"workers"`
+		Store    map[string]int64      `json:"store"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
@@ -205,8 +215,31 @@ func TestStatuszMatchesMetrics(t *testing.T) {
 			t.Errorf("%s: /metrics = %d, /statusz = %d — surfaces disagree", name, got, want)
 		}
 	}
-	if st.Counters.Accepted != int64(len(ids)) {
-		t.Errorf("accepted = %d, submitted-and-accepted = %d", st.Counters.Accepted, len(ids))
+	if st.Counters.Accepted != int64(len(ids))+1 {
+		t.Errorf("accepted = %d, submitted-and-accepted = %d", st.Counters.Accepted, len(ids)+1)
+	}
+
+	// The store ledger must be present after a store-configured job, carry
+	// every counter family, agree with /metrics sample-for-sample, and
+	// show real tier-0 write traffic.
+	if len(st.Store) == 0 {
+		t.Fatal("statusz store ledger absent after a store-configured grid job")
+	}
+	for _, name := range experiment.StoreCounterNames() {
+		want, ok := st.Store[name]
+		if !ok {
+			t.Errorf("statusz store ledger missing %s", name)
+			continue
+		}
+		if got := int64(mets[name]); got != want {
+			t.Errorf("%s: /metrics = %d, /statusz = %d — surfaces disagree", name, got, want)
+		}
+	}
+	if st.Store["store_tier0_writes_total"] == 0 {
+		t.Error("store_tier0_writes_total = 0 after a store-configured grid job")
+	}
+	if st.Store["store_recoveries_total"]+st.Store["store_restarts_total"] == 0 {
+		t.Error("no store recoveries or restarts recorded on table 1a — fault injection should have forced rollbacks")
 	}
 }
 

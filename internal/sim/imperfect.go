@@ -98,18 +98,25 @@ func (e *Engine) checkpointOpImperfect(k checkpoint.Kind, work float64) {
 	if k == checkpoint.CCP {
 		return // compare-only: nothing stored
 	}
-	rec := checkpoint.Record{Time: work, Kind: k}
-	switch {
-	case struck || work > e.divergedAt:
-		// The replicas disagreed while storing (or the op was struck
-		// mid-write): the two halves differ, and the record fails its
-		// consistency check for free at recovery time.
-		rec.Digests = [2]uint64{1, 2}
-	case e.imp.StoreCorruption > 0 && e.src.Float64() < e.imp.StoreCorruption:
-		// Stable-storage damage: the record still looks consistent and
-		// is unmasked only by a restore attempt.
-		rec.Corrupted = true
+	// The replicas disagreed while storing (or the op was struck
+	// mid-write): the two halves differ, and the record fails its
+	// consistency check for free at recovery time.
+	diverged := struck || work > e.divergedAt
+	// Stable-storage damage: the record still looks consistent and is
+	// unmasked only by a restore attempt. Drawn only for non-diverged
+	// records, preserving the draw order of the pre-store engine.
+	corrupted := !diverged && e.imp.StoreCorruption > 0 && e.src.Float64() < e.imp.StoreCorruption
+	if e.set.Active() {
+		// Tiered store: the record becomes a bounded-set image; tier
+		// write costs and tier corruption draws happen inside.
+		e.pushImage(work, diverged, corrupted)
+		return
 	}
+	rec := checkpoint.Record{Time: work, Kind: k}
+	if diverged {
+		rec.Digests = [2]uint64{1, 2}
+	}
+	rec.Corrupted = corrupted
 	e.store.Push(rec)
 }
 
@@ -137,6 +144,9 @@ func (e *Engine) compareImperfect() bool {
 // beginning of the task as the last resort. It returns the absolute work
 // level restored to.
 func (e *Engine) recoverImperfect() float64 {
+	if e.set.Active() {
+		return e.recoverImperfectStore()
+	}
 	budget := e.imp.Budget()
 	attempts := 0
 	target := -1.0

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/rng"
+	"repro/internal/store"
 	"repro/internal/task"
 )
 
@@ -77,6 +78,21 @@ type Params struct {
 	// paper's ideal assumptions bit-for-bit (the seed code path, no
 	// additional randomness consumed). See internal/fault.Imperfection.
 	Imperfect *fault.Imperfection
+	// Store, when non-nil, replaces the paper's free infinite stable
+	// storage with a tiered checkpoint store holding a bounded set of
+	// images under an online maintenance policy (internal/store): writes
+	// and restores pay tier cycle costs, rollback cascades down tiers
+	// and older images when the ideal target was evicted or corrupted,
+	// and an empty set forces a restart from scratch. Nil — and also any
+	// store whose tiers are unlimited, zero-cost and invulnerable —
+	// reproduces the seed trajectories bit for bit.
+	Store *store.Config
+	// StoreStats, when non-nil alongside Store, receives the store
+	// activity counters (evictions, per-tier writes/restores, rollback
+	// depth histogram). The caller owns the value — one per worker
+	// goroutine, no sharing — so the engine's hot path stays free of
+	// atomics; nil discards the counts.
+	StoreStats *store.Stats
 }
 
 // ReplicaCount returns the redundancy degree (default DMR).
@@ -102,6 +118,9 @@ func (p Params) Validate() error {
 		if err := p.Imperfect.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := p.Store.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -238,6 +257,17 @@ type Engine struct {
 	missed          int
 	corruptRestores int
 	restarts        int
+
+	// Tiered-store state (store.go). set is inactive (and the fields
+	// untouched) when Params.Store is nil; sstats points at
+	// Params.StoreStats or at ownStats when the caller provided none;
+	// lastGoodSeq is the sequence number of the newest non-diverged
+	// image — the analytic rollback target — used by recoveries to
+	// decide between the bit-exact ideal return and the degraded walk.
+	set         store.Set
+	sstats      *store.Stats
+	ownStats    store.Stats
+	lastGoodSeq uint64
 }
 
 // NewEngine prepares a fresh execution: clocks at zero, the processor at
@@ -273,6 +303,12 @@ func (e *Engine) Reset(p Params, src *rng.Source) {
 	}
 	e.store.Reset()
 	e.missed, e.corruptRestores, e.restarts = 0, 0, 0
+	e.set.Configure(p.Store)
+	e.lastGoodSeq = 0
+	e.sstats = p.StoreStats
+	if e.sstats == nil {
+		e.sstats = &e.ownStats
+	}
 
 	switch {
 	case p.FaultProcess != nil:
@@ -432,6 +468,9 @@ func (e *Engine) RunInterval(itv float64, m int, sub checkpoint.Kind, doneWork f
 	}
 	if e.imp != nil {
 		return e.runIntervalImperfect(itv, m, sub, doneWork)
+	}
+	if e.set.Active() {
+		return e.runIntervalStore(itv, m, sub, doneWork)
 	}
 	f := e.cur.Freq
 	if m == 1 {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/task"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	K                  int
 	Costs              checkpoint.Costs
 	Lambda             float64
+	// Store, when non-nil, runs every point under the tiered checkpoint
+	// store model (internal/store). The StoreCapacity sweep overrides it
+	// per point.
+	Store *store.Config
 	// Reps per point and base seed.
 	Reps int
 	Seed uint64
@@ -57,11 +62,14 @@ func (c Config) params() (sim.Params, error) {
 	if err != nil {
 		return sim.Params{}, err
 	}
-	return sim.Params{Task: tk, Costs: c.Costs, Lambda: c.Lambda}, nil
+	return sim.Params{Task: tk, Costs: c.Costs, Lambda: c.Lambda, Store: c.Store}, nil
 }
 
 func (c Config) cell(s sim.Scheme, p sim.Params, x float64) stats.Summary {
-	pointSeed := c.Seed ^ math.Float64bits(x) ^ hashName(s.Name())
+	return c.cellSeeded(s, p, c.Seed^math.Float64bits(x)^hashName(s.Name()))
+}
+
+func (c Config) cellSeeded(s sim.Scheme, p sim.Params, pointSeed uint64) stats.Summary {
 	rctx := sim.NewRunContext()
 	var cell stats.Cell
 	for i := 0; i < c.reps(); i++ {
@@ -140,6 +148,37 @@ func CostRatio(cfg Config, schemes []sim.Scheme, shares []float64) (Series, erro
 			return Series{}, err
 		}
 		ser.Points = append(ser.Points, point(c, schemes, p, share))
+	}
+	return ser, nil
+}
+
+// StoreCapacity sweeps the retained-checkpoint bound k of the default
+// NVRAM+flash stack (store.DefaultConfig) — the capacity-vs-P/E
+// frontier of the tiered-store model. k <= 0 runs the unlimited stack
+// (plotted at X=0). Unlike the other sweeps, every point reuses the
+// same rep streams (common random numbers: the point seed omits X), so
+// the frontier reflects the capacity effect alone — shrinking k can
+// only evict more rollback targets on an identical fault history, which
+// is what makes the P curve monotone up to model effect rather than
+// sampling noise.
+func StoreCapacity(cfg Config, schemes []sim.Scheme, ks []int) (Series, error) {
+	ser := newSeries("P/E vs checkpoint-set capacity", "k", schemes)
+	for _, k := range ks {
+		c := cfg
+		c.Store = store.DefaultConfig(k)
+		p, err := c.params()
+		if err != nil {
+			return Series{}, err
+		}
+		x := float64(k)
+		if k <= 0 {
+			x = 0
+		}
+		pt := Point{X: x, Results: make([]stats.Summary, len(schemes))}
+		for i, s := range schemes {
+			pt.Results[i] = c.cellSeeded(s, p, c.Seed^hashName(s.Name()))
+		}
+		ser.Points = append(ser.Points, pt)
 	}
 	return ser, nil
 }
