@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check golden bench bench-check determinism fuzz-smoke chaos kill-soak cluster-soak store-soak telemetry-overhead journal-overhead profile
+.PHONY: build test vet race check golden bench bench-check determinism fuzz-smoke chaos kill-soak cluster-soak store-soak telemetry-overhead journal-overhead profile profile-smoke pgo
 
 build:
 	$(GO) build ./...
@@ -31,13 +31,13 @@ golden:
 # numbers — appending the previous report to the history — in
 # BENCH_simstack.json.
 bench:
-	$(GO) run ./cmd/simbench -out BENCH_simstack.json
+	$(GO) run -pgo=default.pgo ./cmd/simbench -out BENCH_simstack.json
 
 # Regression gate: re-time the stack quickly and fail if any workload's
 # single-CPU ns_per_rep is >15% above the committed baseline. Writes to
 # a scratch file so the committed artefact only changes via `make bench`.
 bench-check:
-	$(GO) run ./cmd/simbench -short -check -baseline BENCH_simstack.json -out /tmp/BENCH_simstack_check.json
+	$(GO) run -pgo=default.pgo ./cmd/simbench -short -check -baseline BENCH_simstack.json -out /tmp/BENCH_simstack_check.json
 
 # CPU-profile the Table 1a grid (the batch kernel's home workload) into
 # artifacts/: the .pprof plus the bench binary pprof needs to symbolise
@@ -48,6 +48,25 @@ profile:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1a$$' -benchtime 2000x \
 		-cpuprofile artifacts/table1a_cpu.pprof \
 		-o artifacts/table1a_bench.test .
+
+# Tiny profiled run asserting the pprof artefact comes out non-empty —
+# the CI guard that keeps the `make profile` / `make pgo` workflow from
+# silently rotting when bench names or flags drift.
+profile-smoke:
+	mkdir -p artifacts
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1a$$' -benchtime 20x \
+		-cpuprofile artifacts/profile_smoke.pprof \
+		-o artifacts/profile_smoke.test .
+	test -s artifacts/profile_smoke.pprof
+
+# Refresh the checked-in PGO profile: re-profile the Table 1a grid and
+# verify the tree builds with profile-guided optimisation on. The bench
+# targets build simbench with this profile, so after any hot-path
+# change run `make pgo && make bench` to re-record with a fresh
+# profile (workflow: DESIGN.md §17).
+pgo: profile
+	cp artifacts/table1a_cpu.pprof default.pgo
+	$(GO) build -pgo=default.pgo ./...
 
 # The scheduling-invariance matrix under the race detector: worker
 # counts × shard sizes × permuted completion order × chaos retries must

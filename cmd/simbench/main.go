@@ -17,6 +17,15 @@
 //   - SingleRunCtx: one execution of the headline scheme (A_D_S at the
 //     paper's anchor cell) through a reused RunContext — the simulator's
 //     warm inner-loop cost. Inherently serial; not swept.
+//   - ReseedBatch, SpanWalk: kernel sub-components — the batched
+//     per-repetition seed-stream setup and the structure-of-arrays
+//     arrival span walk — so a regression inside the batch kernel is
+//     attributable from the artefact alone. Reported per repetition
+//     and per span respectively; serial, not swept.
+//
+// Sweep widths above the schedulable CPU count are skipped outright
+// (never recorded): on an undersized host they would measure scheduler
+// contention, not scaling.
 //
 // The previous report is not thrown away: its summary (sans its own
 // history) is appended to the new file's "history" array, so the
@@ -49,6 +58,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/task"
 )
@@ -128,28 +138,22 @@ func main() {
 		os.Exit(2)
 	}
 	// The default sweep assumes a multi-core host; on a smaller machine
-	// (1-core CI containers) the oversubscribed widths would measure
-	// scheduler contention, not scaling, so the *default* list is
-	// clamped to the schedulable CPU count. An explicit -cpu list is
-	// honoured as given — the oversubscribed points are then flagged
-	// cpu_limited in the JSON.
-	cpuExplicit := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "cpu" {
-			cpuExplicit = true
+	// (1-core CI containers) an oversubscribed width measures scheduler
+	// contention, not scaling — a "4 cpu" row with speedup ≈ 0.97 is
+	// noise that poisons the artefact's trend. Such widths are skipped
+	// outright (with a notice), never recorded, even when -cpu names
+	// them explicitly.
+	kept := cpus[:0]
+	for _, n := range cpus {
+		if n > runtime.NumCPU() {
+			fmt.Fprintf(os.Stderr, "simbench: skipping %d-cpu sweep (host schedules %d)\n", n, runtime.NumCPU())
+			continue
 		}
-	})
-	if !cpuExplicit {
-		kept := cpus[:0]
-		for _, n := range cpus {
-			if n <= runtime.NumCPU() {
-				kept = append(kept, n)
-			}
-		}
-		if len(kept) == 0 {
-			kept = append(kept, 1)
-		}
-		cpus = kept
+		kept = append(kept, n)
+	}
+	cpus = kept
+	if len(cpus) == 0 {
+		cpus = append(cpus, 1)
 	}
 
 	if *short {
@@ -186,9 +190,10 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, m)
 		printMeasurement(m)
 	}
-	m := benchSingleRunCtx()
-	rep.Benchmarks = append(rep.Benchmarks, m)
-	printMeasurement(m)
+	for _, m := range []measurement{benchSingleRunCtx(), benchReseedBatch(), benchSpanWalk()} {
+		rep.Benchmarks = append(rep.Benchmarks, m)
+		printMeasurement(m)
+	}
 
 	// Append, never overwrite: the old report joins the trend.
 	if prevErr == nil {
@@ -260,6 +265,9 @@ func readReport(path string) (report, error) {
 
 // checkRegressions compares same-name workloads' scalar ns_per_rep
 // (the first sweep width) between the baseline and the fresh run.
+// Baselines whose headline width was oversubscribed (cpu_limited —
+// recorded by versions that still emitted such rows) measured
+// contention, not the kernel, and are ignored.
 func checkRegressions(old, fresh report) []string {
 	byName := map[string]measurement{}
 	for _, m := range old.Benchmarks {
@@ -269,6 +277,9 @@ func checkRegressions(old, fresh report) []string {
 	for _, m := range fresh.Benchmarks {
 		o, ok := byName[m.Name]
 		if !ok || o.NsPerRep <= 0 {
+			continue
+		}
+		if len(o.CPUs) > 0 && o.CPUs[0].CPULimited {
 			continue
 		}
 		if m.NsPerRep > o.NsPerRep*(1+regressionTolerance) {
@@ -361,6 +372,66 @@ func benchSingleRunCtx() measurement {
 		}
 	})
 	return normalise("SingleRunCtx", br, 1)
+}
+
+// benchReseedBatch times the batched seed-stream setup a shard pays
+// before its kernel runs — bulk counter-based stream derivation, the
+// one-pass generator-state materialisation and the per-repetition
+// state installs — normalised per repetition. Mirrors
+// core.BenchmarkReseedBatch.
+func benchReseedBatch() measurement {
+	const batch = 128
+	bctx := sim.NewBatchContext()
+	bctx.Grow(batch)
+	src := bctx.Source()
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng.StreamBatch(42, i*batch, bctx.Seeds[:batch])
+			bctx.States.Reseed(bctx.Seeds[:batch])
+			for j := 0; j < batch; j++ {
+				bctx.States.Load(src, j)
+			}
+		}
+	})
+	return normalise("ReseedBatch", br, batch)
+}
+
+// benchSpanWalk times the kernels' structure-of-arrays arrival
+// consumption — the straight-line walk counting the fault arrivals in
+// each checkpoint span by index arithmetic — normalised per span.
+// Mirrors core.BenchmarkArrivalSpanWalk.
+func benchSpanWalk() measurement {
+	const (
+		spans  = 4096
+		span   = 0.05
+		lambda = 0.0014
+	)
+	bctx := sim.NewBatchContext()
+	arr := bctx.Arrivals()
+	faults := 0
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			arr.Reset(lambda, rng.New(uint64(i)+1), 64)
+			times := arr.Times()
+			x, pos := 0.0, 0
+			for s := 0; s < spans; s++ {
+				end := x + span
+				if times[len(times)-1] < end {
+					times = arr.EnsureBeyond(end)
+				}
+				p0 := pos
+				for times[pos] < end {
+					pos++
+				}
+				faults += pos - p0
+				x = end
+			}
+		}
+	})
+	_ = faults
+	return normalise("SpanWalk", br, spans)
 }
 
 func normalise(name string, br testing.BenchmarkResult, repsPerOp int) measurement {

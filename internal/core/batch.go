@@ -4,10 +4,16 @@
 // Engine/RunInterval machinery expression for expression — same float
 // operations, same order — but with every layer of indirection removed:
 // fault arrivals pre-materialised in bulk (fault.Arrivals over
-// rng.ExpBatch) instead of one virtual draw per fault, energy metering
-// inlined to the two multiplies Meter.Segment performs, per-speed wall
-// costs resolved once per batch, and the shared fault-free prefix of
-// the batch walked once and replayed by snapshot jump.
+// rng.ExpBatch) and consumed as straight-line walks over the times
+// slice (no per-fault calls), per-repetition generator states derived
+// in one structure-of-arrays pass (rng.StateBatch) instead of four
+// dependent finaliser rounds per repetition, energy metering inlined to
+// the two multiplies Meter.Segment performs, per-speed wall costs
+// resolved once per batch, full-interval sub-division and energy
+// increments hoisted out of the interval loop (identical inputs ⇒
+// identical doubles, so the hoist is bit-free), and the shared
+// fault-free prefix of the batch walked once and replayed by snapshot
+// jump.
 //
 // The prefix-jump is the batch-shape win: until its first fault arrival
 // a repetition is deterministic — no randomness, no replan, no speed
@@ -18,7 +24,10 @@
 // interval its first arrival lands in and resumes there, and a
 // repetition whose first arrival falls after execution ends takes the
 // shared terminal state in O(1) (at the paper's low-λ cells that is
-// most of the batch).
+// most of the batch). The eager-DVS ablation replans every interval, so
+// its fault-free trajectory carries evolving plan state the snapshots
+// do not capture — those cells run the live loop from the start, still
+// far cheaper than the scalar engine.
 //
 // Post-fault replans, by contrast, key on continuous (rc, rd) states:
 // a fault's surviving work is quantised to span boundaries, but t (and
@@ -26,10 +35,13 @@
 // rollback durations, and the reachable set grows combinatorially with
 // fault depth. Measured at the paper's fault-dense cells, ~4 in 5
 // replans are first sightings no matter the cache size — so the batch
-// plan cache is sized at 4096 slots to catch the recurring fifth (and
-// the hot initial plan) cheaply, packs an entry into one cache line,
-// and otherwise leans on making the miss path (Planner.compute) fast
-// rather than on hit rate.
+// plan cache is a compact 2048-set × 2-way array that catches the
+// recurring fifth (and the hot initial plan) cheaply, packs an entry
+// into one cache line, and otherwise leans on making the miss path
+// (Planner.compute) fast rather than on hit rate. The planning λ is
+// part of the key, so a λ sweep over one planner retains its entries
+// and the online-λ estimator's continuous rates coexist in the same
+// array.
 //
 // The scalar path stays as the reference implementation; the
 // batch/scalar equivalence property and fuzz tests pin byte-identical
@@ -45,41 +57,56 @@ import (
 	"repro/internal/sim"
 )
 
-// batchPlanCacheSize is the batch plan cache's slot count (a power of
-// two). Empirically the sweet spot for the paper's grids (512 and 16384
-// both measured slower): at 48 bytes a slot the array is 192 KiB per
-// worker, reused across cells via epoch tagging (no per-cell clearing).
-const batchPlanCacheSize = 4096
+// batchPlanSets × batchPlanWays is the batch plan cache's entry count,
+// sized to hold a full published sub-table's planning states: Table 1a
+// at the bench harness's 50 reps/cell visits ~7k distinct states, and
+// since entries persist across table runs (planner-id keys, pooled
+// worker contexts) a steady-state re-run hits on everything that fits —
+// 16k entries turn the re-run miss rate from capacity-bound (~80% at
+// the previous 4k entries) into conflict-only. Two ways per set keep
+// the recurring classes of a fault-dense cell resident when a colliding
+// first-sighting state would otherwise evict them. At 64 bytes an entry
+// the array is 1 MiB per worker context, reused across cells and table
+// runs via planner-id tagging (no per-cell clearing).
+const (
+	batchPlanSets = 8192
+	batchPlanWays = 2
+)
 
-// batchPlanEntry is one direct-mapped slot, packed into a single cache
-// line (48 bytes): the exact (rc, rd) state bits, the fault budget and
-// cache epoch sharing a word, the planned interval lengths, and the
-// operating point as an index into the batch's speedCosts table
-// (badConfigIdx marks a BadConfig plan). The planning λ is not part of
-// the key — it is constant per batch, and rebinding the cache to a new
-// (planner, λ) pair bumps the epoch, invalidating every entry in O(1).
+// batchPlanEntry is one cache way, packed into a single cache line
+// (64 bytes): the exact (rc, rd, λ) state bits, the fault budget and
+// planner id sharing a word, the planned interval lengths, and the
+// operating point coarsened to an index into the batch's speedCosts
+// table (badConfigIdx marks a BadConfig plan) — same plan inputs yield
+// the same plan, so storing the coarse index instead of the full point
+// is bit-free. The planner id in the key (instead of an invalidation
+// epoch) lets entries survive cell switches: a worker sweeping a grid
+// returns to each cell's pooled planner with its plans still resident.
 type batchPlanEntry struct {
-	rc, rd  uint64
-	rfEpoch uint64
-	itv     float64
-	sub     float64
-	ptIdx   int32
-	_       int32
+	rc, rd uint64
+	lam    uint64
+	rfID   uint64
+	itv    float64
+	sub    float64
+	ptIdx  int32
+	_      int32
 }
 
 // badConfigIdx is the ptIdx sentinel for a BadConfig plan.
 const badConfigIdx = -1
 
 // batchState is the per-BatchContext scratch of the adaptive kernel:
-// the epoch-tagged plan cache bound to the cell's (Planner, λ) pair,
-// plus the per-operating-point cost table. Rebinding to a new planner
-// or planning rate (a new cell, a new sweep point) bumps the epoch.
+// the plan cache bound to the cell's Planner, plus the
+// per-operating-point cost table. Every planner the context has served
+// gets a stable small id (part of each entry's key), so rebinding to a
+// previously seen planner finds its entries still valid.
 type batchState struct {
-	pl    *Planner
-	lam   uint64
-	epoch uint32
-	ents  []batchPlanEntry
-	costs []speedCosts
+	pl     *Planner
+	plID   uint64
+	ids    map[*Planner]uint64
+	nextID uint64
+	ents   []batchPlanEntry
+	costs  []speedCosts
 
 	// Fault-free prefix trajectory scratch (see buildPrefix): snapshots
 	// of (t, energy, rc, x) at the top of each interval of the shared
@@ -98,57 +125,90 @@ type speedCosts struct {
 	rollback float64
 }
 
+// infTimes is the shared arrival view of a zero-rate repetition: a
+// single sentinel past every horizon, so the span walks run without a
+// rate branch and never index an empty slice. Read-only, shared by all
+// workers.
+var infTimes = []float64{math.Inf(1)}
+
 // batchScratch returns b's kernel scratch, allocating it on first use.
 // The fixed kernel uses it for the prefix-trajectory arrays alone; the
 // adaptive kernel binds it to a planner via batchStateFor.
 func batchScratch(b *sim.BatchContext) *batchState {
 	st, ok := b.Scratch().(*batchState)
 	if !ok {
-		st = &batchState{ents: make([]batchPlanEntry, batchPlanCacheSize)}
+		st = &batchState{ents: make([]batchPlanEntry, batchPlanSets*batchPlanWays)}
 		b.SetScratch(st)
 	}
 	return st
 }
 
-// batchStateFor returns b's kernel scratch bound to (pl, lam), bumping
-// the epoch when either changed (new cell, new configuration, new sweep
-// point — the plan cache must not leak entries across planners, and a
-// planner serves a whole λ sweep, so λ must invalidate too).
-func batchStateFor(b *sim.BatchContext, pl *Planner, lam float64) *batchState {
+// batchPlanIDCap bounds the planner-id map: when a context has served
+// this many distinct planners the ids (and with them every cached
+// entry) reset — a rare wholesale flush that keeps long-lived workers'
+// memory bounded without per-switch invalidation.
+const batchPlanIDCap = 512
+
+// batchStateFor returns b's kernel scratch bound to pl. Each planner
+// the context serves gets a stable id that keys its cache entries, so
+// switching planners (a new cell) never invalidates anything: a grid
+// sweep returns to each cell's pooled planner — and a λ sweep to each
+// rate — with the previous batches' plans still resident.
+func batchStateFor(b *sim.BatchContext, pl *Planner) *batchState {
 	st := batchScratch(b)
-	if lb := math.Float64bits(lam); st.pl != pl || st.lam != lb {
-		st.pl, st.lam = pl, lb
-		st.epoch++
+	if st.pl != pl {
+		st.pl = pl
+		id, ok := st.ids[pl]
+		if !ok {
+			if st.ids == nil {
+				st.ids = make(map[*Planner]uint64, 64)
+			} else if len(st.ids) >= batchPlanIDCap {
+				clear(st.ids)
+				clear(st.ents)
+				st.nextID = 0
+			}
+			st.nextID++ // ids start at 1: zeroed entries never match
+			id = st.nextID
+			st.ids[pl] = id
+		}
+		st.plID = id
 	}
 	return st
 }
 
-// batchSlot hashes a (rc, rd, rf) state to its batch-cache slot — same
-// mix as planKey.slot minus the λ term, wider modulus.
-func batchSlot(rc, rd uint64, rf int) uint64 {
-	h := rc*0x9e3779b97f4a7c15 ^ rd*0xbf58476d1ce4e5b9 ^ uint64(rf)
+// batchSlot hashes a (rc, rd, λ, rf) state to its cache set — same mix
+// as planKey.slot, wider modulus.
+func batchSlot(rc, rd, lam uint64, rf int) uint64 {
+	h := rc*0x9e3779b97f4a7c15 ^ rd*0xbf58476d1ce4e5b9 ^ lam*0x94d049bb133111eb ^ uint64(rf)
 	h ^= h >> 29
 	h *= 0xff51afd7ed558ccd
-	return (h >> 33) & (batchPlanCacheSize - 1)
+	return (h >> 33) & (batchPlanSets - 1)
 }
 
-// plan is the batch-side Planner consultation: one lookup per planning
-// equivalence class, delegating to Planner.compute on a miss. It
-// returns the resolved speedCosts entry (nil iff bad) alongside the
+// plan is the batch-side Planner consultation: one set probe per
+// planning equivalence class, delegating to Planner.compute on a miss.
+// It returns the resolved speedCosts entry (nil iff bad) alongside the
 // interval lengths, so callers never re-resolve the operating point.
-// Hits and misses accrue to the bound planner's counters, so
-// PlannerCacheStats (and the telemetry ledger built on it) keeps
-// reporting the combined scalar+batch totals.
+// Way 0 holds proven-reused entries (a way-1 hit promotes by swap), way
+// 1 takes fresh insertions, so the repeat path stays one compare. Hits
+// and misses accrue
+// to the bound planner's counters, so PlannerCacheStats (and the
+// telemetry ledger built on it) keeps reporting the combined
+// scalar+batch totals.
 func (st *batchState) plan(rc, rd, lam float64, rf int) (sc *speedCosts, itv, subLen float64, bad bool) {
-	rcb, rdb := math.Float64bits(rc), math.Float64bits(rd)
-	rfEpoch := uint64(uint32(rf))<<32 | uint64(st.epoch)
-	ent := &st.ents[batchSlot(rcb, rdb, rf)]
-	if ent.rc == rcb && ent.rd == rdb && ent.rfEpoch == rfEpoch {
+	rcb, rdb, lb := math.Float64bits(rc), math.Float64bits(rd), math.Float64bits(lam)
+	rfID := uint64(uint32(rf))<<32 | st.plID
+	base := batchSlot(rcb, rdb, lb, rf) * batchPlanWays
+	ent := &st.ents[base]
+	if ent.rc == rcb && ent.rd == rdb && ent.lam == lb && ent.rfID == rfID {
 		st.pl.hits++
-		if ent.ptIdx == badConfigIdx {
-			return nil, ent.itv, ent.sub, true
-		}
-		return &st.costs[ent.ptIdx], ent.itv, ent.sub, false
+		return st.entryPlan(ent)
+	}
+	alt := &st.ents[base+1]
+	if alt.rc == rcb && alt.rd == rdb && alt.lam == lb && alt.rfID == rfID {
+		*ent, *alt = *alt, *ent // promote the hit to MRU
+		st.pl.hits++
+		return st.entryPlan(ent)
 	}
 	st.pl.misses++
 	p := st.pl.compute(rc, rd, lam, rf)
@@ -157,9 +217,26 @@ func (st *batchState) plan(rc, rd, lam float64, rf int) (sc *speedCosts, itv, su
 		idx = st.costIdx(p.Point)
 		sc = &st.costs[idx]
 	}
-	ent.rc, ent.rd, ent.rfEpoch = rcb, rdb, rfEpoch
-	ent.itv, ent.sub, ent.ptIdx = p.Interval, p.SubLen, idx
+	// Insert into an empty way 0 first (a valid entry's rfID is never 0:
+	// planner ids start at 1), otherwise overwrite way 1 — the LRU way,
+	// since hits promote to way 0 by swap. Never displacing way 0 on a
+	// miss is what lets a set retain two states that each recur only
+	// once per table run (the steady-state re-run pattern) instead of
+	// the last-inserted one evicting the other forever.
+	if ent.rfID == 0 {
+		alt = ent
+	}
+	alt.rc, alt.rd, alt.lam, alt.rfID = rcb, rdb, lb, rfID
+	alt.itv, alt.sub, alt.ptIdx = p.Interval, p.SubLen, idx
 	return sc, p.Interval, p.SubLen, p.BadConfig
+}
+
+// entryPlan resolves a hit entry's plan tuple.
+func (st *batchState) entryPlan(ent *batchPlanEntry) (sc *speedCosts, itv, subLen float64, bad bool) {
+	if ent.ptIdx == badConfigIdx {
+		return nil, ent.itv, ent.sub, true
+	}
+	return &st.costs[ent.ptIdx], ent.itv, ent.sub, false
 }
 
 // costIdx resolves the speedCosts index of pt, (re)built per batch from
@@ -269,6 +346,7 @@ func (s *FixedCSCP) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Pa
 	hint := arrivalHint(lam, N, f)
 	src, arr := b.Source(), b.Arrivals()
 	st := batchScratch(b)
+	b.States.Reseed(seeds)
 
 	// Shared fault-free prefix (see the adaptive kernel for the full
 	// rationale): with one speed and one interval length every
@@ -291,12 +369,13 @@ func (s *FixedCSCP) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Pa
 			pxRC = append(pxRC, rc)
 			pxX = append(pxX, x)
 			rd := D - t
-			if rc/f > rd {
+			rcf := rc / f
+			if rcf > rd {
 				termValid, termT, termE = true, t, energy
 				broke = true
 				break // infeasible, completed stays false
 			}
-			cur := minPos(itv, rc/f)
+			cur := minPos(itv, rcf)
 			if cur <= 0 {
 				broke = true
 				break // guard truncation: table ends, no terminal
@@ -327,15 +406,18 @@ func (s *FixedCSCP) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Pa
 	last := len(pxX) - 1
 
 	for i := 0; i < n; i++ {
-		src.Reseed(seeds[i])
+		b.States.Load(src, i)
 		// Engine.Reset's process switch: only a strictly positive λ gets
 		// a fault process; anything else (zero, or unvalidated junk)
-		// never fires and draws nothing.
-		next := math.Inf(1)
+		// never fires and draws nothing. The zero-rate sentinel keeps
+		// the span walks branch-free.
+		times := infTimes
 		if lam > 0 {
 			arr.Reset(lam, src, hint)
-			next = arr.Next()
+			times = arr.Times()
 		}
+		pos := 0
+		next := times[0]
 		if termValid && next >= xTotal {
 			b.Completed[i] = termCompleted
 			b.Energy[i] = termE
@@ -363,10 +445,11 @@ func (s *FixedCSCP) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Pa
 		completed := false
 		for k := it0; k < budget; k++ {
 			rd := D - t
-			if rc/f > rd {
+			rcf := rc / f
+			if rcf > rd {
 				break // infeasible
 			}
-			cur := minPos(itv, rc/f)
+			cur := minPos(itv, rcf)
 			if cur <= 0 {
 				panic(fmt.Sprintf("sim: non-positive interval %v", cur))
 			}
@@ -374,15 +457,23 @@ func (s *FixedCSCP) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Pa
 			if cur != itv {
 				eCur = (f * cur * repl) * epc
 			}
-			// ExecSpan(cur): consume every arrival inside the span.
-			first := -1.0
+			// ExecSpan(cur): consume every arrival inside the span — a
+			// straight-line walk over the pre-materialised times, with
+			// the pending arrival held in a register so the common
+			// fault-free span costs one compare, no load.
+			hit := false
 			end := x + cur
-			for next < end {
-				if first < 0 {
-					first = next - x
+			if next < end {
+				if times[len(times)-1] < end {
+					times = arr.EnsureBeyond(end)
 				}
-				faults++
-				next = arr.Next()
+				p0 := pos
+				for times[pos] < end {
+					pos++
+				}
+				faults += pos - p0
+				next = times[pos]
+				hit = true
 			}
 			energy += eCur
 			t += cur
@@ -390,7 +481,7 @@ func (s *FixedCSCP) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Pa
 			// Closing CSCP.
 			energy += eCSCP
 			t += wallCSCP
-			if first < 0 {
+			if !hit {
 				rc -= cur * f
 			} else {
 				// Detection at the CSCP: rollback, nothing kept.
@@ -412,19 +503,28 @@ func (s *FixedCSCP) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Pa
 }
 
 // RunBatch implements sim.BatchScheme: the adaptive kernel — planned
-// intervals, optional sub-checkpoints, optional DVS — over the batch
-// plan cache. Online λ estimation and the eager-DVS ablation replan on
-// continuous per-repetition state (the useful-execution clock) and stay
-// on the scalar path.
+// intervals, optional sub-checkpoints, optional DVS, online λ
+// estimation and the eager-DVS ablation — over the batch plan cache.
 func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Params, seeds []uint64) bool {
-	if !batchable(p) || s.EstimateLambdaPrior > 0 || s.EagerSpeedReeval {
+	return s.RunBatchArrival(rctx, b, p, seeds, p.Lambda)
+}
+
+// RunBatchArrival is RunBatch with the fault-arrival rate decoupled
+// from the planning rate p.Lambda — the wrong-belief harness shape of
+// the λ-knowledge ablation, whose scalar form runs a plain Poisson
+// process at the grid's true rate while the scheme plans with a scaled
+// belief. The arrival times are bit-identical to that process's (the
+// queue draws the same exponentials in the same order), so the
+// experiment wrapper batches those cells by stripping its FaultProcess
+// and passing the true rate here.
+func (s *Adaptive) RunBatchArrival(rctx *sim.RunContext, b *sim.BatchContext, p sim.Params, seeds []uint64, arrival float64) bool {
+	if !batchable(p) {
 		return false
 	}
 	n := len(seeds)
 	b.Grow(n)
 	pl := s.plannerFor(rctx, p)
-	lam := p.Lambda
-	st := batchStateFor(b, pl, lam)
+	st := batchStateFor(b, pl)
 	model := p.CPUModel()
 	st.costs = buildSpeedCosts(st.costs, model, p.Costs)
 
@@ -436,10 +536,26 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 	useSub := s.UseSub
 	subCCP := s.Sub == checkpoint.CCP
 	src, arr := b.Source(), b.Arrivals()
+	b.States.Reseed(seeds)
+
+	// Planning rate: the given λ, or the online posterior mean when
+	// estimation is enabled — λ̂ = (1+detections)/(pseudo+exposure),
+	// which at zero detections and zero exposure is exactly 1/pseudo
+	// (x + 0.0 is the identity on positive doubles). The eager-DVS
+	// ablation replans before every interval; both were scalar-only
+	// before the envelope extension.
+	estimate := s.EstimateLambdaPrior > 0
+	eager := s.DVS && s.EagerSpeedReeval
+	var pseudo float64
+	lam0 := p.Lambda
+	if estimate {
+		pseudo = math.Min(1/s.EstimateLambdaPrior, D)
+		lam0 = 1 / pseudo
+	}
 
 	// The initial plan (rc = N, rd = D, full fault budget) is the same
 	// for every repetition of the cell — hoist it out of the rep loop.
-	sc0, itv0, sub0, bad0 := st.plan(N, D, lam, k0)
+	sc0, itv0, sub0, bad0 := st.plan(N, D, lam0, k0)
 	if bad0 {
 		for i := 0; i < n; i++ {
 			b.Completed[i] = false
@@ -447,22 +563,43 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 		}
 		return true
 	}
-	hint := arrivalHint(lam, N, sc0.pt.Freq)
+	hint := arrivalHint(arrival, N, sc0.pt.Freq)
 
 	// Shared fault-free prefix: until its first fault arrival, every
 	// repetition follows the same deterministic trajectory under the
-	// initial plan (no replans, no speed switches, no randomness).
+	// initial plan (no replans, no speed switches, no randomness —
+	// online estimation only moves λ̂ at detections, so it shares too).
 	// Walk it once with the exact per-interval operation sequence the
 	// live loop performs, snapshotting (t, energy, rc, x) at each
 	// interval top; a repetition then jumps straight to the interval
 	// its first arrival lands in. The snapshots come from the same
 	// float operations in the same order, so the jump is bit-exact.
+	// Eager-DVS replans every interval, so its prefix would need the
+	// whole evolving plan state snapshotted — those cells skip the
+	// prefix and run every repetition live.
 	e0pc := sc0.pt.EnergyPerCycle()
 	f0 := sc0.pt.Freq
 	e0SCP := (f0 * sc0.wall[checkpoint.SCP] * repl) * e0pc
 	e0CCP := (f0 * sc0.wall[checkpoint.CCP] * repl) * e0pc
 	e0CSCP := (f0 * sc0.wall[checkpoint.CSCP] * repl) * e0pc
 	e0RB := (f0 * sc0.rollback * repl) * e0pc
+	// Full-interval invariants under the initial plan: a non-tail
+	// interval (cur == itv) always splits into the same m spans of the
+	// same length with the same energy increments — identical inputs,
+	// identical doubles — so the Ceil/divide/multiply chain runs once
+	// per plan instead of once per interval.
+	m0 := 1
+	if useSub && sub0 > 0 {
+		m0 = int(math.Ceil(itv0/sub0 - 1e-9))
+		if m0 < 1 {
+			m0 = 1
+		}
+	}
+	span0 := itv0 / float64(m0)
+	eSp0 := (f0 * span0 * repl) * e0pc
+	eItv0 := (f0 * itv0 * repl) * e0pc
+
+	usePrefix := !eager
 	pxT, pxE, pxRC, pxX := st.pxT[:0], st.pxE[:0], st.pxRC[:0], st.pxX[:0]
 	// Terminal state of the never-faulting trajectory. Invalid only when
 	// the walk stops at the live loop's non-positive-interval guard; the
@@ -470,10 +607,9 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 	// guard fires (or not) exactly where the scalar path would panic.
 	termValid, termCompleted := false, false
 	var termT, termE, xTotal float64
-	{
+	if usePrefix {
 		var t, x, energy float64
 		rc := N
-		itv, subLen := itv0, sub0
 		broke := false
 		for it := 0; it < budget; it++ {
 			pxT = append(pxT, t)
@@ -481,32 +617,40 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 			pxRC = append(pxRC, rc)
 			pxX = append(pxX, x)
 			rd := D - t
-			if rc/f0 > rd {
+			rcf := rc / f0
+			if rcf > rd {
 				termValid, termT, termE = true, t, energy
 				broke = true
 				break // infeasible, completed stays false
 			}
-			cur := minPos(itv, rc/f0)
+			cur := minPos(itv0, rcf)
 			if cur <= 0 {
 				broke = true
 				break // guard truncation: table ends, no terminal
 			}
-			m := 1
-			if useSub && subLen > 0 {
-				m = int(math.Ceil(cur/subLen - 1e-9))
-				if m < 1 {
-					m = 1
+			var m int
+			var span, eSp, eItv float64
+			if cur == itv0 {
+				m, span, eSp, eItv = m0, span0, eSp0, eItv0
+			} else {
+				m = 1
+				if useSub && sub0 > 0 {
+					m = int(math.Ceil(cur/sub0 - 1e-9))
+					if m < 1 {
+						m = 1
+					}
 				}
+				span = cur / float64(m)
+				eSp = (f0 * span * repl) * e0pc
+				eItv = (f0 * cur * repl) * e0pc
 			}
 			if m == 1 {
-				energy += (f0 * cur * repl) * e0pc
+				energy += eItv
 				t += cur
 				x += cur
 				energy += e0CSCP
 				t += sc0.wall[checkpoint.CSCP]
 			} else if !subCCP {
-				span := cur / float64(m)
-				eSp := (f0 * span * repl) * e0pc
 				for j := 0; j < m; j++ {
 					energy += eSp
 					t += span
@@ -519,8 +663,6 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 				energy += e0CSCP
 				t += sc0.wall[checkpoint.CSCP]
 			} else {
-				span := cur / float64(m)
-				eSp := (f0 * span * repl) * e0pc
 				for j := 0; j < m; j++ {
 					energy += eSp
 					t += span
@@ -551,43 +693,49 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 	last := len(pxX) - 1
 
 	for i := 0; i < n; i++ {
-		src.Reseed(seeds[i])
-		next := math.Inf(1)
-		if lam > 0 {
-			arr.Reset(lam, src, hint)
-			next = arr.Next()
+		b.States.Load(src, i)
+		times := infTimes
+		if arrival > 0 {
+			arr.Reset(arrival, src, hint)
+			times = arr.Times()
 		}
-		if termValid && next >= xTotal {
-			// First fault (if any) arrives after execution ends: the
-			// repetition is the shared trajectory, verbatim. Arrivals
-			// past the end are never consumed by the scalar loop either.
-			b.Completed[i] = termCompleted
-			b.Energy[i] = termE
-			b.Time[i] = termT
-			b.Faults[i], b.Switches[i] = 0, 0
-			continue
-		}
-		// Jump to the interval containing the first arrival: the largest
-		// snapshot index j with x[j] <= next (span consumption uses a
-		// strict next < end, so a boundary arrival belongs to the next
-		// interval). A guard-truncated table routes past-the-end
-		// repetitions to the last snapshot, where the live loop stops at
-		// the same state the scalar path would.
+		pos := 0
+		next := times[0]
+		var t, energy, x float64
+		rc := N
 		it0 := 0
-		if last > 0 {
-			lo, hi := 0, last
-			for lo < hi {
-				mid := int(uint(lo+hi+1) >> 1)
-				if pxX[mid] <= next {
-					lo = mid
-				} else {
-					hi = mid - 1
-				}
+		if usePrefix {
+			if termValid && next >= xTotal {
+				// First fault (if any) arrives after execution ends: the
+				// repetition is the shared trajectory, verbatim. Arrivals
+				// past the end are never consumed by the scalar loop either.
+				b.Completed[i] = termCompleted
+				b.Energy[i] = termE
+				b.Time[i] = termT
+				b.Faults[i], b.Switches[i] = 0, 0
+				continue
 			}
-			it0 = lo
+			// Jump to the interval containing the first arrival: the largest
+			// snapshot index j with x[j] <= next (span consumption uses a
+			// strict next < end, so a boundary arrival belongs to the next
+			// interval). A guard-truncated table routes past-the-end
+			// repetitions to the last snapshot, where the live loop stops at
+			// the same state the scalar path would.
+			if last > 0 {
+				lo, hi := 0, last
+				for lo < hi {
+					mid := int(uint(lo+hi+1) >> 1)
+					if pxX[mid] <= next {
+						lo = mid
+					} else {
+						hi = mid - 1
+					}
+				}
+				it0 = lo
+			}
+			t, energy, rc, x = pxT[it0], pxE[it0], pxRC[it0], pxX[it0]
 		}
-		t, energy, rc, x := pxT[it0], pxE[it0], pxRC[it0], pxX[it0]
-		var faults, switches int
+		var faults, switches, det int
 		rf := k0
 		sc := sc0
 		itv, subLen := itv0, sub0
@@ -605,8 +753,13 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 		// Per-charge energy increments at the current operating point —
 		// products of values constant between speed switches, refreshed
 		// alongside epc. Each equals the inline expression it replaces
-		// bit-for-bit (same factors, same association order).
+		// bit-for-bit (same factors, same association order). The mF
+		// family is the full-interval invariants at the live plan,
+		// refreshed when the plan or the point changes (reconst).
 		var eSCP, eCCP, eCSCP, eRB float64
+		mF := m0
+		spanF, eSpF, eItvF := span0, eSp0, eItv0
+		reconst := false
 		if it0 > 0 {
 			lastSc = sc0
 			epc = e0pc
@@ -617,19 +770,31 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 
 		for it := it0; it < budget; it++ {
 			rd := D - t
-			if rc/f > rd {
+			if eager {
+				// The idealised governor: re-take the speed decision and
+				// the interval plan before every interval, bidirectionally.
+				// A BadConfig keeps the previous plan, like the scalar
+				// loop ignoring replan's mid-run result.
+				lamE := lam0
+				if estimate {
+					lamE = (1 + float64(det)) / (pseudo + x)
+				}
+				if pSC, pItv, pSub, pBad := st.plan(rc, rd, lamE, rf); !pBad {
+					if pSC != sc || pItv != itv || pSub != subLen {
+						sc = pSC
+						f = sc.pt.Freq
+						itv, subLen = pItv, pSub
+						reconst = true
+					}
+				}
+			}
+			rcf := rc / f
+			if rcf > rd {
 				break // infeasible
 			}
-			cur := minPos(itv, rc/f)
+			cur := minPos(itv, rcf)
 			if cur <= 0 {
 				panic(fmt.Sprintf("sim: non-positive interval %v", cur))
-			}
-			m := 1
-			if useSub && subLen > 0 {
-				m = int(math.Ceil(cur/subLen - 1e-9))
-				if m < 1 {
-					m = 1
-				}
 			}
 			if sc != lastSc {
 				if lastSc != nil {
@@ -641,6 +806,36 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 				eCCP = (f * sc.wall[checkpoint.CCP] * repl) * epc
 				eCSCP = (f * sc.wall[checkpoint.CSCP] * repl) * epc
 				eRB = (f * sc.rollback * repl) * epc
+				reconst = true
+			}
+			if reconst {
+				reconst = false
+				mF = 1
+				if useSub && subLen > 0 {
+					mF = int(math.Ceil(itv/subLen - 1e-9))
+					if mF < 1 {
+						mF = 1
+					}
+				}
+				spanF = itv / float64(mF)
+				eSpF = (f * spanF * repl) * epc
+				eItvF = (f * itv * repl) * epc
+			}
+			var m int
+			var span, eSp, eItv float64
+			if cur == itv {
+				m, span, eSp, eItv = mF, spanF, eSpF, eItvF
+			} else {
+				m = 1
+				if useSub && subLen > 0 {
+					m = int(math.Ceil(cur/subLen - 1e-9))
+					if m < 1 {
+						m = 1
+					}
+				}
+				span = cur / float64(m)
+				eSp = (f * span * repl) * epc
+				eItv = (f * cur * repl) * epc
 			}
 
 			kept := 0.0
@@ -648,21 +843,28 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 			if m == 1 {
 				// Single-span interval: one execution span, the closing
 				// CSCP, rollback to the interval-leading state on a fault.
-				first := -1.0
+				// The pending arrival stays in a register across spans, so
+				// the common fault-free span costs one compare, no load.
+				hit := false
 				end := x + cur
-				for next < end {
-					if first < 0 {
-						first = next - x
+				if next < end {
+					if times[len(times)-1] < end {
+						times = arr.EnsureBeyond(end)
 					}
-					faults++
-					next = arr.Next()
+					p0 := pos
+					for times[pos] < end {
+						pos++
+					}
+					faults += pos - p0
+					next = times[pos]
+					hit = true
 				}
-				energy += (f * cur * repl) * epc
+				energy += eItv
 				t += cur
 				x = end
 				energy += eCSCP
 				t += sc.wall[checkpoint.CSCP]
-				if first < 0 {
+				if !hit {
 					kept = cur * f
 				} else {
 					energy += eRB
@@ -672,25 +874,27 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 			} else if !subCCP {
 				// SCP flavour: detection deferred to the closing CSCP,
 				// rollback to the newest store before the earliest fault.
-				span := cur / float64(m)
-				eSp := (f * span * repl) * epc
 				firstOffset := -1.0
 				for j := 0; j < m; j++ {
-					first := -1.0
 					end := x + span
-					for next < end {
-						if first < 0 {
-							first = next - x
+					if next < end {
+						if times[len(times)-1] < end {
+							times = arr.EnsureBeyond(end)
 						}
-						faults++
-						next = arr.Next()
+						if firstOffset < 0 {
+							// next still holds the span's earliest arrival.
+							firstOffset = float64(j)*span + (next - x)
+						}
+						p0 := pos
+						for times[pos] < end {
+							pos++
+						}
+						faults += pos - p0
+						next = times[pos]
 					}
 					energy += eSp
 					t += span
 					x = end
-					if first >= 0 && firstOffset < 0 {
-						firstOffset = float64(j)*span + first
-					}
 					if j < m-1 {
 						energy += eSCP
 						t += sc.wall[checkpoint.SCP]
@@ -710,17 +914,20 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 			} else {
 				// CCP flavour: detection at the next comparison aborts the
 				// interval — unexecuted spans consume no arrivals.
-				span := cur / float64(m)
-				eSp := (f * span * repl) * epc
 				for j := 0; j < m; j++ {
-					first := -1.0
+					hit := false
 					end := x + span
-					for next < end {
-						if first < 0 {
-							first = next - x
+					if next < end {
+						if times[len(times)-1] < end {
+							times = arr.EnsureBeyond(end)
 						}
-						faults++
-						next = arr.Next()
+						p0 := pos
+						for times[pos] < end {
+							pos++
+						}
+						faults += pos - p0
+						next = times[pos]
+						hit = true
 					}
 					energy += eSp
 					t += span
@@ -731,7 +938,7 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 					}
 					energy += eKind
 					t += wKind
-					if first >= 0 {
+					if hit {
 						energy += eRB
 						t += sc.rollback
 						detected = true
@@ -745,6 +952,7 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 
 			rc -= kept
 			if detected {
+				det++
 				if rf > 0 {
 					rf--
 				}
@@ -752,11 +960,19 @@ func (s *Adaptive) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Par
 				// interval plan. A BadConfig here keeps the previous plan,
 				// exactly as the scalar loop ignores replan's result
 				// mid-run (fixed-speed badness is static and already
-				// caught by the initial plan).
-				if pSC, pItv, pSub, pBad := st.plan(rc, D-t, lam, rf); !pBad {
-					sc = pSC
-					f = sc.pt.Freq
-					itv, subLen = pItv, pSub
+				// caught by the initial plan). The online estimator feeds
+				// its posterior mean over the useful-execution exposure x.
+				lamR := lam0
+				if estimate {
+					lamR = (1 + float64(det)) / (pseudo + x)
+				}
+				if pSC, pItv, pSub, pBad := st.plan(rc, D-t, lamR, rf); !pBad {
+					if pSC != sc || pItv != itv || pSub != subLen {
+						sc = pSC
+						f = sc.pt.Freq
+						itv, subLen = pItv, pSub
+						reconst = true
+					}
 				}
 			}
 			if rc <= sim.EpsWork {

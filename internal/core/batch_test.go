@@ -71,7 +71,9 @@ func mustParams(t testing.TB, u, freq, lambda float64, k int, costs checkpoint.C
 // batchSchemes is the full batchable scheme envelope: both baselines,
 // the DATE'03 comparator, both paper schemes and the fixed-speed
 // adaptive variants — at both operating frequencies, plus deliberately
-// bad fixed frequencies (the BadConfig path must match too).
+// bad fixed frequencies (the BadConfig path must match too) — and the
+// online-λ / eager-DVS ablation variants the round-two kernel brought
+// inside the envelope.
 func batchSchemes() []sim.Scheme {
 	return []sim.Scheme{
 		NewPoissonScheme(1), NewPoissonScheme(2), NewPoissonScheme(3), // 3: bad config
@@ -80,6 +82,11 @@ func batchSchemes() []sim.Scheme {
 		NewAdaptDVSSCP(), NewAdaptDVSCCP(),
 		NewAdaptSCP(1), NewAdaptSCP(2), NewAdaptSCP(3), // 3: bad config
 		NewAdaptCCP(1), NewAdaptCCP(2),
+		NewAdaptDVSSCP().WithOnlineLambda(0.001),
+		NewAdaptDVSCCP().WithOnlineLambda(0.01),
+		NewAdaptDVSSCP().WithEagerDVS(),
+		NewAdaptDVSCCP().WithEagerDVS(),
+		NewAdaptDVSSCP().WithOnlineLambda(0.001).WithEagerDVS(),
 	}
 }
 
@@ -135,12 +142,13 @@ func TestBatchScalarEquivalence(t *testing.T) {
 	}
 }
 
-// TestBatchLambdaRebind pins the plan cache's λ invalidation: the batch
-// plan cache drops λ from its keys (it is constant per batch), so
-// reusing one BatchContext across a λ sweep — where plannerFor hands
-// back the *same* planner for every rate — must not serve a stale
-// plan. This is exactly the worker-loop shape: one context, one
-// planner, consecutive cells differing only in λ.
+// TestBatchLambdaRebind pins the plan cache across a λ sweep: the rate
+// is part of every entry's key (the online estimator plans at
+// continuous rates), so reusing one BatchContext across consecutive
+// cells — where plannerFor hands back the *same* planner for every
+// rate — must not serve a stale plan. This is exactly the worker-loop
+// shape: one context, one planner, consecutive cells differing only
+// in λ.
 func TestBatchLambdaRebind(t *testing.T) {
 	s := NewAdaptDVSSCP()
 	rctx := sim.NewRunContext()
@@ -160,9 +168,12 @@ func TestBatchLambdaRebind(t *testing.T) {
 	}
 }
 
-// TestBatchGateFallsBack pins the kernel envelope: configurations the
-// kernel cannot reproduce bit-for-bit must refuse the batch (so the
-// caller runs the scalar reference), never silently approximate.
+// TestBatchGateFallsBack pins the kernel envelope from both sides:
+// configurations the kernel cannot reproduce bit-for-bit must refuse
+// the batch (so the caller runs the scalar reference), never silently
+// approximate — while the online-λ and eager-DVS ablations, scalar-only
+// before the round-two kernel, must now be accepted so the E-table
+// cells never fall back to the scalar loop.
 func TestBatchGateFallsBack(t *testing.T) {
 	p := mustParams(t, 0.8, 1, 0.0014, 5, checkpoint.SCPSetting())
 	seeds, _ := shardSeeds(1, 4)
@@ -173,11 +184,14 @@ func TestBatchGateFallsBack(t *testing.T) {
 	if sim.RunBatch(rctx, bctx, NewAdaptDVSSCP(), traced, seeds) {
 		t.Error("kernel accepted a traced run")
 	}
-	if sim.RunBatch(rctx, bctx, NewAdaptDVSSCP().WithOnlineLambda(0.001), p, seeds) {
-		t.Error("kernel accepted online λ estimation")
+	if !sim.RunBatch(rctx, bctx, NewAdaptDVSSCP().WithOnlineLambda(0.001), p, seeds) {
+		t.Error("kernel refused online λ estimation (now inside the envelope)")
 	}
-	if sim.RunBatch(rctx, bctx, NewAdaptDVSSCP().WithEagerDVS(), p, seeds) {
-		t.Error("kernel accepted the eager-DVS ablation")
+	if !sim.RunBatch(rctx, bctx, NewAdaptDVSSCP().WithEagerDVS(), p, seeds) {
+		t.Error("kernel refused the eager-DVS ablation (now inside the envelope)")
+	}
+	if !sim.RunBatch(rctx, bctx, NewAdaptDVSSCP().WithOnlineLambda(0.001).WithEagerDVS(), p, seeds) {
+		t.Error("kernel refused combined online-λ + eager-DVS")
 	}
 }
 
@@ -238,6 +252,10 @@ func FuzzBatchScalarEquivalence(f *testing.F) {
 			NewADTDVS(),
 			NewAdaptDVSSCP(), NewAdaptDVSCCP(),
 			NewAdaptSCP(1), NewAdaptCCP(2),
+			NewAdaptDVSSCP().WithOnlineLambda(0.001),
+			NewAdaptDVSCCP().WithOnlineLambda(0.01),
+			NewAdaptDVSSCP().WithEagerDVS(),
+			NewAdaptDVSSCP().WithOnlineLambda(0.001).WithEagerDVS(),
 		}
 		s := schemes[int(schemeSel)%len(schemes)]
 		tk, err := task.FromUtilization("fuzz", u, 1, 10000, int(k%8))

@@ -325,40 +325,69 @@ type plannerCacheKey struct {
 	task  task.Task
 }
 
-// plannerMemo is the value parked in RunContext scratch. hits/misses
-// carry the cache counters of planners this slot has already retired
-// (each new cell rebuilds the planner), so PlannerCacheStats reports a
-// context-lifetime total.
+// plannerPoolCap bounds the per-context planner pool: large enough to
+// hold every (scheme, grid-point) planner of a full published sub-table
+// (8 grid points × 4 columns = 32), so re-running a table — the bench
+// harness's and the serve daemon's steady state — rebuilds nothing and
+// keeps every planner's TE tables, env pools and sub-interval memos
+// warm. Beyond the cap the least-recently-used planner retires.
+const plannerPoolCap = 48
+
+// plannerMemo is the value parked in RunContext scratch: the context's
+// planner pool in most-recently-used order (a repetition's lookup hits
+// index 0; a cell switch scans, a table re-run scans once per cell).
+// hits/misses carry the cache counters of planners the pool has already
+// retired, so PlannerCacheStats reports a context-lifetime total.
 type plannerMemo struct {
-	key          plannerCacheKey
-	pl           *Planner
+	keys         []plannerCacheKey
+	pls          []*Planner
 	hits, misses uint64
 }
 
 // plannerFor returns a planner for the scheme over p's platform, reusing
-// the one cached in ctx when it matches. ctx may be nil (the plain
+// one pooled in ctx when it matches. ctx may be nil (the plain
 // uncontexted Run path), in which case a fresh planner is built — its
 // memo still serves the many replans of a single long run.
 func (s *Adaptive) plannerFor(ctx *sim.RunContext, p sim.Params) *Planner {
 	if ctx != nil {
-		// Field-wise match against the parked key: this runs once per
+		pm, ok := ctx.Scratch().(*plannerMemo)
+		if !ok {
+			pm = &plannerMemo{}
+			ctx.SetScratch(pm)
+		}
+		// Field-wise match against the pooled keys: this runs once per
 		// repetition, so it must not construct a key struct (a ~100-byte
-		// copy) just to compare it.
-		if pm, ok := ctx.Scratch().(*plannerMemo); ok &&
-			pm.key.cfg == *s && pm.key.model == p.CPUModel() &&
-			pm.key.costs == p.Costs && pm.key.task == p.Task {
-			return pm.pl
+		// copy) just to compare it. MRU order makes the per-repetition
+		// lookup one compare; only a cell switch scans deeper.
+		model := p.CPUModel()
+		for i := range pm.keys {
+			k := &pm.keys[i]
+			if k.cfg == *s && k.model == model && k.costs == p.Costs && k.task == p.Task {
+				if i > 0 {
+					key, pl := pm.keys[i], pm.pls[i]
+					copy(pm.keys[1:i+1], pm.keys[:i])
+					copy(pm.pls[1:i+1], pm.pls[:i])
+					pm.keys[0], pm.pls[0] = key, pl
+				}
+				return pm.pls[0]
+			}
 		}
-		key := plannerCacheKey{cfg: *s, model: p.CPUModel(), costs: p.Costs, task: p.Task}
+		key := plannerCacheKey{cfg: *s, model: model, costs: p.Costs, task: p.Task}
 		pl := NewPlanner(key.cfg, key.model, key.costs, key.task)
-		memo := &plannerMemo{key: key, pl: pl}
-		if pm, ok := ctx.Scratch().(*plannerMemo); ok {
+		if len(pm.pls) >= plannerPoolCap {
 			// Fold the retiring planner's counters into the carried total
-			// so the context's cache stats survive the rebuild.
-			memo.hits = pm.hits + pm.pl.hits
-			memo.misses = pm.misses + pm.pl.misses
+			// so the context's cache stats survive the eviction.
+			last := pm.pls[len(pm.pls)-1]
+			pm.hits += last.hits
+			pm.misses += last.misses
+			pm.keys = pm.keys[:len(pm.keys)-1]
+			pm.pls = pm.pls[:len(pm.pls)-1]
 		}
-		ctx.SetScratch(memo)
+		pm.keys = append(pm.keys, plannerCacheKey{})
+		pm.pls = append(pm.pls, nil)
+		copy(pm.keys[1:], pm.keys)
+		copy(pm.pls[1:], pm.pls)
+		pm.keys[0], pm.pls[0] = key, pl
 		return pl
 	}
 	// No context to outlive the run: planning states within one run are
@@ -371,13 +400,17 @@ func (s *Adaptive) plannerFor(ctx *sim.RunContext, p sim.Params) *Planner {
 }
 
 // PlannerCacheStats reports the plan-cache hit/miss totals accumulated
-// over ctx's lifetime — the live planner's counters plus those of every
-// planner the context has already retired. Contexts that never ran an
-// adaptive scheme report zeros. The caller owns delta bookkeeping: the
-// totals are monotonic for a fixed context.
+// over ctx's lifetime — the pooled planners' counters plus those of
+// every planner the context has already retired. Contexts that never
+// ran an adaptive scheme report zeros. The caller owns delta
+/// bookkeeping: the totals are monotonic for a fixed context.
 func PlannerCacheStats(ctx *sim.RunContext) (hits, misses uint64) {
 	if pm, ok := ctx.Scratch().(*plannerMemo); ok {
-		return pm.hits + pm.pl.hits, pm.misses + pm.pl.misses
+		hits, misses = pm.hits, pm.misses
+		for _, pl := range pm.pls {
+			hits += pl.hits
+			misses += pl.misses
+		}
 	}
-	return 0, 0
+	return hits, misses
 }

@@ -60,10 +60,13 @@ func TestPlannerMemoHitsFaultFree(t *testing.T) {
 		s.RunCtx(rctx, p, rctx.Reseed(seed))
 	}
 	pm, ok := rctx.Scratch().(*plannerMemo)
-	if !ok {
-		t.Fatal("no planner parked in context scratch")
+	if !ok || len(pm.pls) == 0 {
+		t.Fatal("no planner pooled in context scratch")
 	}
-	if n := pm.pl.MemoLen(); n != 1 {
+	if len(pm.pls) != 1 {
+		t.Fatalf("one cell pooled %d planners, want exactly 1", len(pm.pls))
+	}
+	if n := pm.pls[0].MemoLen(); n != 1 {
 		t.Errorf("fault-free cell cached %d plans, want exactly 1", n)
 	}
 }
@@ -104,31 +107,35 @@ func TestPlannerBadFixedFrequency(t *testing.T) {
 }
 
 // TestPlannerScratchInvalidation: a context that served one cell must
-// rebuild its planner when the scheme configuration or platform changes,
-// never reuse a stale one.
+// never hand a stale planner to a different scheme configuration or
+// platform — and the pool must hand the original planner back when the
+// first configuration returns.
 func TestPlannerScratchInvalidation(t *testing.T) {
 	rctx := sim.NewRunContext()
 	pA := params(0.78, 1, 0.0014, 5, checkpoint.SCPSetting())
 	pB := params(0.80, 1, 0.0014, 5, checkpoint.CCPSetting())
 
 	NewAdaptDVSSCP().RunCtx(rctx, pA, rctx.Reseed(1))
-	first, _ := rctx.Scratch().(*plannerMemo)
+	pm, _ := rctx.Scratch().(*plannerMemo)
+	if pm == nil || len(pm.pls) == 0 {
+		t.Fatal("planner not pooled in scratch")
+	}
+	plA := pm.pls[0]
 
 	NewAdaptDVSCCP().RunCtx(rctx, pB, rctx.Reseed(1))
-	second, _ := rctx.Scratch().(*plannerMemo)
-	if first == nil || second == nil {
-		t.Fatal("planner not parked in scratch")
-	}
-	if first == second || first.pl == second.pl {
+	if pm.pls[0] == plA {
 		t.Fatal("context reused a planner across different scheme/cell configurations")
 	}
 
-	// Returning to the first configuration may rebuild (single-slot
-	// cache) but must plan identically.
+	// Returning to the first configuration must surface the pooled
+	// planner again (MRU front) and plan identically to a fresh run.
 	r1 := NewAdaptDVSSCP().RunCtx(rctx, pA, rctx.Reseed(7))
 	r2 := NewAdaptDVSSCP().Run(pA, rng.New(7))
 	if r1 != r2 {
 		t.Fatalf("after scratch churn, RunCtx diverged: %+v vs %+v", r1, r2)
+	}
+	if pm.pls[0] != plA {
+		t.Fatal("returning configuration rebuilt its planner instead of reusing the pooled one")
 	}
 }
 
@@ -166,14 +173,19 @@ func TestPlannerCacheStats(t *testing.T) {
 			hits, misses, h2, m2)
 	}
 
-	// The planner's own counters agree with what it served.
+	// The pooled planners' own counters agree with what the context
+	// served (nothing retired yet at two pooled planners).
 	pm, _ := rctx.Scratch().(*plannerMemo)
 	if pm == nil {
-		t.Fatal("no planner parked")
+		t.Fatal("no planner pooled")
 	}
-	ph, pmiss := pm.pl.CacheStats()
+	var ph, pmiss uint64
+	for _, pl := range pm.pls {
+		h, m := pl.CacheStats()
+		ph, pmiss = ph+h, pmiss+m
+	}
 	if pm.hits+ph != h2 || pm.misses+pmiss != m2 {
-		t.Errorf("carryover bookkeeping inconsistent: memo %d/%d + live %d/%d != totals %d/%d",
+		t.Errorf("carryover bookkeeping inconsistent: retired %d/%d + pooled %d/%d != totals %d/%d",
 			pm.hits, pm.misses, ph, pmiss, h2, m2)
 	}
 }

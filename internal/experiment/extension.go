@@ -126,12 +126,31 @@ func (m misbelievingScheme) RunCtx(rctx *sim.RunContext, p sim.Params, src *rng.
 	p.FaultProcess = func(s *rng.Source) fault.Process {
 		return fault.NewPoisson(truth, s)
 	}
+	s := m.inner(truth)
+	p.Lambda = truth * m.factor
+	return sim.RunScheme(rctx, s, p, src)
+}
+
+// RunBatch implements sim.BatchScheme: the wrong-belief harness rides
+// the batch kernel by decoupling the rates instead of installing a
+// custom fault process. The kernel's pre-materialised queue at the true
+// rate draws the same exponentials in the same order as the scalar
+// path's plain Poisson process, so the shard payloads stay
+// byte-identical (pinned by the E2 equivalence test).
+func (m misbelievingScheme) RunBatch(rctx *sim.RunContext, b *sim.BatchContext, p sim.Params, seeds []uint64) bool {
+	truth := p.Lambda
+	s := m.inner(truth)
+	p.Lambda = truth * m.factor
+	return s.RunBatchArrival(rctx, b, p, seeds, truth)
+}
+
+// inner builds the wrapped paper scheme for a cell's true rate.
+func (m misbelievingScheme) inner(truth float64) *core.Adaptive {
 	s := core.NewAdaptDVSSCP()
 	if m.online {
 		s = s.WithOnlineLambda(truth * m.factor)
 	}
-	p.Lambda = truth * m.factor
-	return sim.RunScheme(rctx, s, p, src)
+	return s
 }
 
 // ImperfectScheme wraps a scheme so every run executes under the given

@@ -117,3 +117,27 @@ func (a *Arrivals) nextSlow() float64 {
 
 // Rate returns the arrival rate, like PoissonProcess.Rate.
 func (a *Arrivals) Rate() float64 { return a.lambda }
+
+// Times returns the arrival times materialised so far as a plain slice —
+// the structure-of-arrays view the batch kernels' span walks index
+// directly, replacing one Next call per fault with slice arithmetic.
+// The slice is read-only, invalidated by the next Reset, and possibly
+// regrown by EnsureBeyond (which returns the replacement). A positive-
+// rate queue always holds at least one materialised arrival after Reset.
+func (a *Arrivals) Times() []float64 { return a.times }
+
+// EnsureBeyond materialises arrivals until the newest one lies at or
+// beyond bound, returning the (possibly regrown) times slice. Span walks
+// call it before scanning a span known to contain arrivals, which keeps
+// the scan loop free of length checks: the slice is guaranteed to hold a
+// value >= the span end. It must not be called on a zero-rate queue
+// (whose times stay empty; the kernels use a +Inf sentinel instead).
+func (a *Arrivals) EnsureBeyond(bound float64) []float64 {
+	if a.lambda == 0 {
+		panic("fault: EnsureBeyond on a zero-rate arrival queue")
+	}
+	for a.now < bound {
+		a.fill(refillChunk)
+	}
+	return a.times
+}

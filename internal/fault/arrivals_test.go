@@ -77,3 +77,54 @@ func TestArrivalsGuards(t *testing.T) {
 		}()
 	}
 }
+
+// TestArrivalsTimesView pins the structure-of-arrays contract: the Times
+// slice is the same sequence Next would hand out, and EnsureBeyond
+// extends it until the newest arrival covers the bound without
+// disturbing earlier entries.
+func TestArrivalsTimesView(t *testing.T) {
+	var a Arrivals
+	a.Reset(0.01, rng.New(11), 4)
+	times := a.Times()
+	if len(times) < 1 {
+		t.Fatal("positive-rate Reset materialised no arrivals")
+	}
+	head := append([]float64(nil), times...)
+
+	times = a.EnsureBeyond(head[len(head)-1] * 16)
+	if times[len(times)-1] < head[len(head)-1]*16 {
+		t.Fatalf("EnsureBeyond stopped at %v, bound %v", times[len(times)-1], head[len(head)-1]*16)
+	}
+	for i, v := range head {
+		if times[i] != v {
+			t.Fatalf("EnsureBeyond disturbed entry %d: %v != %v", i, times[i], v)
+		}
+	}
+	// The view and Next agree element for element.
+	var b Arrivals
+	b.Reset(0.01, rng.New(11), 4)
+	for i := 0; i < len(times); i++ {
+		if got := b.Next(); got != times[i] {
+			t.Fatalf("Times[%d] = %v, Next = %v", i, times[i], got)
+		}
+	}
+	// Monotone non-decreasing, as an accumulated Poisson clock must be.
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("times not monotone at %d: %v < %v", i, times[i], times[i-1])
+		}
+	}
+}
+
+// TestEnsureBeyondZeroRatePanics pins the zero-rate guard: the kernels
+// must route λ=0 repetitions through the +Inf sentinel, never here.
+func TestEnsureBeyondZeroRatePanics(t *testing.T) {
+	var a Arrivals
+	a.Reset(0, rng.New(1), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnsureBeyond on a zero-rate queue did not panic")
+		}
+	}()
+	a.EnsureBeyond(1)
+}

@@ -25,21 +25,30 @@ func New(seed uint64) *Source {
 	return &src
 }
 
+// splitMixGamma is SplitMix64's Weyl-sequence increment.
+const splitMixGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 output finaliser: a bijective avalanche over
+// one 64-bit word. Reseed, Stream and their batch forms all derive
+// state through it.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Reseed re-initialises the generator from seed, as if freshly created by
 // New(seed).
 func (r *Source) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		sm += splitMixGamma
+		r.s[i] = mix64(sm)
 	}
 	// xoshiro must not start from the all-zero state; SplitMix64 cannot
 	// produce four zero words from any seed, but guard anyway.
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 0x9e3779b97f4a7c15
+		r.s[0] = splitMixGamma
 	}
 }
 
@@ -214,8 +223,72 @@ func logGamma(x float64) float64 {
 // bit-identical results. Neighbouring indices yield unrelated streams
 // (the finaliser is a bijective avalanche).
 func Stream(base uint64, i int) uint64 {
-	z := base + 0x9e3779b97f4a7c15*uint64(i+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return mix64(base + splitMixGamma*uint64(i+1))
+}
+
+// StreamBatch fills dst[j] with Stream(base, start+j) — the bulk form of
+// the per-repetition seed derivation the experiment layer performs for a
+// shard. One pass over a contiguous index range keeps the finaliser's
+// independent multiply chains pipelining across iterations, where the
+// one-at-a-time calls serialise on call overhead.
+func StreamBatch(base uint64, start int, dst []uint64) {
+	ctr := base + splitMixGamma*uint64(start)
+	for j := range dst {
+		ctr += splitMixGamma
+		dst[j] = mix64(ctr)
+	}
+}
+
+// StateBatch holds the initial xoshiro256** generator states of a whole
+// batch of seeds in structure-of-arrays form: column i across the four
+// lanes is exactly the state Source.Reseed(seeds[i]) would install. The
+// batch kernels derive a shard's states in one pass (Reseed) and install
+// them per repetition with Load, replacing len(seeds) scalar Reseed
+// calls whose four dependent finaliser rounds otherwise serialise at
+// every repetition boundary.
+//
+// The zero value is ready to use; Reseed sizes the lanes, reusing their
+// backing arrays across batches.
+type StateBatch struct {
+	s0, s1, s2, s3 []uint64
+}
+
+// Reseed derives the initial state of every seed, bit-identical to what
+// Source.Reseed would install — including the all-zero-state guard,
+// unreachable through SplitMix64 but replicated so Load is equivalent to
+// Reseed on every input.
+func (sb *StateBatch) Reseed(seeds []uint64) {
+	n := len(seeds)
+	sb.s0 = growLane(sb.s0, n)
+	sb.s1 = growLane(sb.s1, n)
+	sb.s2 = growLane(sb.s2, n)
+	sb.s3 = growLane(sb.s3, n)
+	s0, s1, s2, s3 := sb.s0, sb.s1, sb.s2, sb.s3
+	for i, seed := range seeds {
+		sm := seed + splitMixGamma
+		a := mix64(sm)
+		sm += splitMixGamma
+		b := mix64(sm)
+		sm += splitMixGamma
+		c := mix64(sm)
+		sm += splitMixGamma
+		d := mix64(sm)
+		if a|b|c|d == 0 {
+			a = splitMixGamma
+		}
+		s0[i], s1[i], s2[i], s3[i] = a, b, c, d
+	}
+}
+
+// Load installs the i-th derived state into r, as if r.Reseed had been
+// called with the i-th seed of the last Reseed batch.
+func (sb *StateBatch) Load(r *Source, i int) {
+	r.s[0], r.s[1], r.s[2], r.s[3] = sb.s0[i], sb.s1[i], sb.s2[i], sb.s3[i]
+}
+
+func growLane(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
 }

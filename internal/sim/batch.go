@@ -33,6 +33,13 @@ type BatchContext struct {
 	// float64 for stats accumulation.
 	Faults, Switches []float64
 
+	// States holds the batch's per-repetition initial generator states
+	// in structure-of-arrays form. Kernels derive them from the seed
+	// slice in one pass (States.Reseed) and install each repetition's
+	// state with States.Load — the batched replacement for a per-
+	// repetition Source.Reseed, bit-identical by rng's contract.
+	States rng.StateBatch
+
 	src     rng.Source
 	arr     fault.Arrivals
 	scratch any
@@ -99,8 +106,8 @@ type BatchScheme interface {
 	// into b's slices (sized by the kernel via Grow). It returns false —
 	// without touching b — when the configuration is outside the
 	// kernel's envelope (tracing, custom fault processes, imperfect
-	// fault tolerance, online λ estimation); the caller then falls back
-	// to the scalar path.
+	// fault tolerance, tiered stores); the caller then falls back to
+	// the scalar path.
 	RunBatch(rc *RunContext, b *BatchContext, p Params, seeds []uint64) bool
 }
 
